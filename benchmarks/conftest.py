@@ -1,0 +1,25 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one of the paper's evaluation artifacts and
+prints the rows/series the paper reports (captured by pytest-benchmark
+as ``extra_info`` where numeric).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.gpu.specs import VOLTA_V100
+
+
+@pytest.fixture(scope="session")
+def framework() -> CoordinatedFramework:
+    return CoordinatedFramework(device=VOLTA_V100)
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return VOLTA_V100

@@ -1,0 +1,87 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+AB1 unified thread structure, AB2 TLP-threshold sweep, AB3 theta
+sweep, AB4 batching heuristics, AB5 thread-pool restriction, AB6
+MAGMA-blocking sensitivity (the strawman check).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments.ablations import (
+    ab1_unified_threads,
+    ab2_tlp_threshold,
+    ab3_theta,
+    ab4_heuristics,
+    ab5_thread_pools,
+    ab6_magma_configuration,
+    print_report,
+)
+
+
+def _record(benchmark, rows):
+    print()
+    print(print_report(rows))
+    for r in rows:
+        key = f"{r.ablation}_{r.configuration}".replace(" ", "_")[:48]
+        benchmark.extra_info[key] = round(r.geomean_time_ms, 4)
+
+
+def test_ab1_unified_thread_structure(benchmark):
+    rows = benchmark.pedantic(
+        functools.partial(ab1_unified_threads, quick=False), rounds=1, iterations=1
+    )
+    _record(benchmark, rows)
+    unified = next(r for r in rows if r.configuration.startswith("unified"))
+    nonunified = next(r for r in rows if r.configuration.startswith("non-unified"))
+    assert unified.geomean_time_ms < nonunified.geomean_time_ms
+
+
+def test_ab2_tlp_threshold_sweep(benchmark):
+    rows = benchmark.pedantic(
+        functools.partial(ab2_tlp_threshold, quick=False), rounds=1, iterations=1
+    )
+    _record(benchmark, rows)
+    assert len(rows) == 5
+
+
+def test_ab3_theta_sweep(benchmark):
+    rows = benchmark.pedantic(
+        functools.partial(ab3_theta, quick=False), rounds=1, iterations=1
+    )
+    _record(benchmark, rows)
+    assert len(rows) == 5
+
+
+def test_ab4_batching_heuristics(benchmark):
+    rows = benchmark.pedantic(
+        functools.partial(ab4_heuristics, quick=False), rounds=1, iterations=1
+    )
+    _record(benchmark, rows)
+    by_name = {r.configuration: r.geomean_time_ms for r in rows}
+    assert by_name["best"] <= min(by_name["threshold"], by_name["binary"]) + 1e-12
+
+
+def test_ab5_thread_pools(benchmark):
+    rows = benchmark.pedantic(
+        functools.partial(ab5_thread_pools, quick=False), rounds=1, iterations=1
+    )
+    _record(benchmark, rows)
+    by_name = {r.configuration: r.geomean_time_ms for r in rows}
+    adaptive = by_name["adaptive (selection algorithm)"]
+    assert adaptive <= min(v for k, v in by_name.items() if "fixed" in k)
+
+
+def test_ab6_magma_blocking_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        functools.partial(ab6_magma_configuration, quick=False), rounds=1, iterations=1
+    )
+    _record(benchmark, rows)
+    by_name = {r.configuration: r.geomean_time_ms for r in rows}
+    default = by_name["magma default (size-clamped large/256)"]
+    # Strawman check: the modeled MAGMA default must not be the worst
+    # plausible configuration (huge-fixed is), and must be within 25%
+    # of the best fixed tile on this workload.
+    assert default < by_name["magma fixed huge/256"]
+    assert default <= 1.25 * min(by_name.values())

@@ -1,0 +1,27 @@
+"""Benchmark: the fan-structure generalization claim (Section 7.3).
+
+"The fan-structure is popular in other state-of-the-art CNN models
+such as Squeeze-Net and Res-Net" -- measured across all 21 fans of
+GoogLeNet, SqueezeNet and ResNet-50.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean
+from repro.experiments.fanstudy import print_report, run_fanstudy
+
+
+def test_fan_structure_generalization(benchmark):
+    results = benchmark.pedantic(run_fanstudy, rounds=1, iterations=1)
+    print()
+    print(print_report(results))
+    for network in ("googlenet", "squeezenet", "resnet50"):
+        sub = [r.speedup_vs_magma for r in results if r.network == network]
+        benchmark.extra_info[f"{network}_vs_magma_x"] = round(geomean(sub), 3)
+    overall = geomean([r.speedup_vs_magma for r in results])
+    benchmark.extra_info["overall_vs_magma_x"] = round(overall, 3)
+    # The generalization claim: every family batches profitably.
+    for network in ("googlenet", "squeezenet", "resnet50"):
+        sub = [r.speedup_vs_magma for r in results if r.network == network]
+        assert geomean(sub) >= 1.05, network
+    assert all(r.speedup_vs_serial > 1.0 for r in results)

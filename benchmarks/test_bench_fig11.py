@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 11 (architecture sensitivity).
+
+Paper: 100 random batched-GEMM cases on five architectures; mean
+speedups over MAGMA of 1.54X (P100), 1.38X (1080 Ti), 1.52X
+(Titan Xp), 1.46X (M60), 1.43X (Titan X).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments.fig11_arch import print_report, run_fig11
+
+
+def test_fig11_architecture_sensitivity(benchmark):
+    results = benchmark.pedantic(
+        functools.partial(run_fig11, n_cases=100, seed=0), rounds=1, iterations=1
+    )
+    print()
+    print(print_report(results))
+    for r in results:
+        key = r.device_name.lower().replace(" ", "_")
+        benchmark.extra_info[f"{key}_mean_x"] = round(r.mean_speedup, 3)
+        benchmark.extra_info[f"{key}_paper_x"] = r.paper_mean
+    # The portability claim: a material mean win on every architecture.
+    assert all(r.mean_speedup > 1.0 for r in results)
+    assert sum(r.mean_speedup for r in results) / len(results) > 1.25

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 8 (tiling engine vs MAGMA vbatch).
+
+Prints the per-histogram speedup series and records the aggregate in
+``extra_info``.  Paper result: about 1.20X mean speedup, declining
+with batch size and with M=N.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean, summarize_speedups
+from repro.experiments.fig8_tiling import print_report, run_fig8, trend_checks
+
+
+def test_fig8_tiling_engine(benchmark):
+    cells = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    speedups = [c.speedup for c in cells]
+    summary = summarize_speedups(speedups)
+    print()
+    print(print_report(cells))
+    checks = trend_checks(cells)
+    benchmark.extra_info["mean_speedup_x"] = round(summary.geomean, 3)
+    benchmark.extra_info["paper_mean_speedup_x"] = 1.20
+    benchmark.extra_info["min_speedup_x"] = round(summary.minimum, 3)
+    benchmark.extra_info["max_speedup_x"] = round(summary.maximum, 3)
+    benchmark.extra_info["trend_decreases_with_batch"] = checks[
+        "benefit_decreases_with_batch"
+    ]
+    benchmark.extra_info["trend_decreases_with_mn"] = checks["benefit_decreases_with_mn"]
+    assert summary.geomean > 1.1
+    assert all(checks.values())

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 9 (full framework vs MAGMA vbatch).
+
+Paper result: about 1.40X mean speedup; the batching engine's
+contribution is consistent across batch sizes and highest at small K.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import geomean, summarize_speedups
+from repro.experiments.fig9_batching import print_report, run_fig9, trend_checks
+
+
+def test_fig9_coordinated_framework(benchmark):
+    cells = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    summary = summarize_speedups([c.speedup for c in cells])
+    contribution = geomean([c.batching_contribution for c in cells])
+    print()
+    print(print_report(cells))
+    checks = trend_checks(cells)
+    benchmark.extra_info["mean_speedup_x"] = round(summary.geomean, 3)
+    benchmark.extra_info["paper_mean_speedup_x"] = 1.40
+    benchmark.extra_info["batching_contribution_x"] = round(contribution, 3)
+    for name, ok in checks.items():
+        benchmark.extra_info[f"trend_{name}"] = ok
+    assert summary.geomean > 1.2
+    assert checks["batching_contribution_higher_at_small_k"]
+    assert checks["benefit_decreases_with_mn"]

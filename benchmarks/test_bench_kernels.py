@@ -1,0 +1,71 @@
+"""Microbenchmarks of the library's own hot paths.
+
+These time the *reproduction's* Python code (planning, simulation,
+numerical execution, forest inference), keeping the framework's
+overhead visible -- the paper stresses its batching decisions are
+cheap (the forest needs 7-8 comparisons).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import GemmBatch
+from repro.core.selector import train_default_selector
+from repro.core.tiling import select_tiling
+from repro.baselines.magma_vbatch import simulate_magma_vbatch
+from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+from repro.workloads.synthetic import random_cases
+
+
+def test_planning_latency(benchmark, framework):
+    """Time of one full plan (tiling + batching + schedule build)."""
+    batch = inception_branch_batch(GOOGLENET_INCEPTIONS[2])
+    report = benchmark(lambda: framework.plan(batch, heuristic="threshold"))
+    assert report.schedule.num_blocks > 0
+
+
+def test_tiling_selection_latency(benchmark):
+    batch = GemmBatch.uniform(128, 128, 64, 32)
+    decision = benchmark(lambda: select_tiling(batch, 65536))
+    assert decision.tlp > 0
+
+
+def test_simulation_latency(benchmark, framework, v100):
+    batch = GemmBatch.uniform(256, 256, 128, 16)
+    plan = framework.plan(batch, heuristic="binary")
+    result = benchmark(lambda: framework.simulate_plan(plan))
+    assert result.time_ms > 0
+
+
+def test_magma_simulation_latency(benchmark, v100):
+    batch = GemmBatch.uniform(256, 256, 128, 16)
+    result = benchmark(lambda: simulate_magma_vbatch(batch, v100))
+    assert result.time_ms > 0
+
+
+def test_numerical_execution_throughput(benchmark, framework):
+    batch = GemmBatch.uniform(64, 64, 64, 4)
+    ops = batch.random_operands(np.random.default_rng(0))
+    outs = benchmark(lambda: framework.execute(batch, ops, heuristic="binary"))
+    assert len(outs) == 4
+
+
+def test_selector_inference_latency(benchmark):
+    """The online policy must be cheap (paper: negligible overhead)."""
+    selector = train_default_selector(n_samples=30, seed=0, n_estimators=8)
+    batch = GemmBatch.uniform(96, 96, 48, 8)
+    choice = benchmark(lambda: selector.predict(batch))
+    assert choice in ("threshold", "binary")
+
+
+def test_random_case_suite_throughput(benchmark, framework, v100):
+    """Planning+simulating a batch of random cases (the Figure 11
+    inner loop)."""
+    cases = random_cases(n_cases=5, seed=1)
+
+    def run():
+        return [framework.simulate(b, heuristic="best").time_ms for b in cases]
+
+    times = benchmark(run)
+    assert all(t > 0 for t in times)

@@ -1,0 +1,25 @@
+"""Benchmark: robustness of the headline claim to model calibration.
+
+Perturbs every key cost-model constant by +/-30% and re-measures the
+framework-vs-MAGMA mean speedup.  The reproduction's conclusions are
+credible only if they survive this sweep.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments.robustness import print_report, run_robustness
+
+
+def test_cost_model_robustness(benchmark):
+    rows = benchmark.pedantic(
+        functools.partial(run_robustness, quick=False), rounds=1, iterations=1
+    )
+    print()
+    print(print_report(rows))
+    for r in rows:
+        benchmark.extra_info[f"{r.parameter}@{r.scale}"] = round(r.mean_speedup, 3)
+    worst = min(r.mean_speedup for r in rows)
+    benchmark.extra_info["worst_case_speedup_x"] = round(worst, 3)
+    assert worst > 1.15, "headline claim is not robust to calibration"

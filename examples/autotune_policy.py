@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Train and inspect the online batching-heuristic selector.
+
+Reproduces the paper's Section 5 procedure: generate random batched
+cases, time both heuristics on the device model, label each case with
+the winner, fit a random forest on (mean M, mean N, mean K, B), and
+evaluate its holdout accuracy and decision cost.
+"""
+
+import numpy as np
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.selector import HEURISTIC_LABELS, HeuristicSelector
+from repro.gpu.specs import VOLTA_V100
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.training import generate_training_set, random_batch
+
+
+def main() -> None:
+    device = VOLTA_V100
+
+    print("generating training set (paper: >400 samples)...")
+    x_train, y_train, samples = generate_training_set(device, n_samples=220, seed=0)
+    wins = np.bincount(y_train, minlength=2)
+    print(
+        f"labels: threshold wins {wins[0]}, binary wins {wins[1]} "
+        f"(neither heuristic dominates -- the selection problem is real)"
+    )
+
+    forest = RandomForestClassifier(n_estimators=16, max_depth=8, seed=0)
+    forest.fit(x_train, y_train)
+    selector = HeuristicSelector(forest=forest)
+
+    x_test, y_test, _ = generate_training_set(device, n_samples=80, seed=99)
+    majority = max(np.mean(y_test == 0), np.mean(y_test == 1))
+    accuracy = forest.score(x_test, y_test)
+    print(f"holdout accuracy: {accuracy:.1%} (majority baseline {majority:.1%})")
+
+    rng = np.random.default_rng(5)
+    probes = [random_batch(rng) for _ in range(50)]
+    print(
+        f"decision cost: {selector.mean_comparisons(probes):.1f} comparisons "
+        "per tree per prediction (paper quotes 7-8)"
+    )
+
+    # What did the forest learn? Probe the policy surface along K.
+    print("\npolicy surface (B=16, M=N=128, sweeping K):")
+    from repro.core.problem import GemmBatch
+
+    for k in (16, 32, 64, 128, 256, 512, 1024):
+        batch = GemmBatch.uniform(128, 128, k, 16)
+        proba = selector.predict_proba(batch)
+        choice = selector.predict(batch)
+        print(
+            f"  K={k:5d}: p(threshold)={proba[0]:.2f} p(binary)={proba[1]:.2f}"
+            f"  -> {choice}"
+        )
+
+    # Close the loop: drive the framework in auto mode.
+    fw = CoordinatedFramework(device=device, selector=selector)
+    regret = []
+    for batch in probes[:20]:
+        auto_ms = fw.simulate(batch, heuristic="auto").time_ms
+        best_ms = fw.simulate(batch, heuristic="best").time_ms
+        regret.append(auto_ms / best_ms)
+    print(
+        f"\nauto-mode regret vs exhaustive best on 20 fresh cases: "
+        f"mean {np.mean(regret):.3f}x (1.0 = always picked the winner)"
+    )
+    assert set(HEURISTIC_LABELS) == {"threshold", "binary"}
+
+
+if __name__ == "__main__":
+    main()

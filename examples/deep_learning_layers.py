@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Batched GEMM for deep-learning layer shapes.
+
+Sweeps CNN-flavoured workloads (small filter counts, square feature
+maps, channel-product K) and shows where each execution strategy wins:
+the coordinated framework dominates the small-matrix regime the paper
+motivates, while everything converges for large dense GEMMs.
+"""
+
+from repro import CoordinatedFramework, GemmBatch, get_device, simulate_magma_vbatch
+from repro.analysis.metrics import achieved_tflops, geomean
+from repro.analysis.report import format_table
+from repro.baselines import simulate_cke, simulate_default
+from repro.workloads.synthetic import deep_learning_like_cases
+
+
+def main() -> None:
+    device = get_device("v100")
+    framework = CoordinatedFramework(device=device)
+
+    print("=== CNN-branch workloads (random inception-like batches) ===")
+    rows = []
+    speedups = []
+    for i, batch in enumerate(deep_learning_like_cases(seed=7, n_cases=8)):
+        plan = framework.plan(batch, heuristic="best")
+        ours = framework.simulate_plan(plan)
+        magma = simulate_magma_vbatch(batch, device)
+        speedup = magma.time_ms / ours.time_ms
+        speedups.append(speedup)
+        rows.append(
+            [
+                f"case{i} (B={len(batch)}, N={batch[0].n}, K={batch[0].k})",
+                round(ours.time_us, 1),
+                round(magma.time_us, 1),
+                round(speedup, 2),
+                plan.heuristic_used,
+                round(achieved_tflops(batch, ours.time_ms), 2),
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "ours (us)", "magma (us)", "speedup", "heuristic", "TFlops"],
+            rows,
+        )
+    )
+    print(f"\ngeomean speedup over MAGMA: {geomean(speedups):.2f}x")
+
+    print("\n=== the regimes, side by side ===")
+    regimes = {
+        "tiny batch of tiny GEMMs": GemmBatch.uniform(32, 32, 32, 4),
+        "many small GEMMs": GemmBatch.uniform(64, 64, 48, 48),
+        "one large dense GEMM": GemmBatch.uniform(2048, 2048, 2048, 1),
+    }
+    rows = []
+    for name, batch in regimes.items():
+        ours = framework.simulate(batch, heuristic="best").time_us
+        magma = simulate_magma_vbatch(batch, device).time_us
+        default = simulate_default(batch, device).time_us
+        cke = simulate_cke(batch, device).time_us
+        rows.append([name, round(ours, 1), round(magma, 1), round(cke, 1), round(default, 1)])
+    print(
+        format_table(
+            ["regime", "ours (us)", "magma (us)", "streams (us)", "default (us)"], rows
+        )
+    )
+    print(
+        "\nNote how the framework's edge concentrates exactly where the paper "
+        "says: small matrices, moderate batches."
+    )
+
+
+if __name__ == "__main__":
+    main()

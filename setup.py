@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs in offline environments.
+
+``pip install -e . --no-build-isolation`` needs the ``wheel`` package
+for PEP 660 builds; when it is unavailable, this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (setuptools
+develop mode) work instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""repro -- A Coordinated Tiling and Batching Framework for Efficient GEMM.
+
+Production-quality Python reproduction of Li et al., PPoPP 2019.  The
+package provides:
+
+* the coordinated framework itself
+  (:class:`repro.core.framework.CoordinatedFramework`): tiling engine,
+  batching engine, random-forest heuristic selector, and the
+  auxiliary-array programming interface;
+* a GPU execution-model substrate (:mod:`repro.gpu`) standing in for
+  the six NVIDIA devices of the paper's evaluation;
+* functional NumPy executors (:mod:`repro.kernels`) that run every
+  schedule numerically;
+* the baselines the paper compares against (:mod:`repro.baselines`);
+* the GoogleNet case study (:mod:`repro.nn`);
+* workload generators, analysis helpers, and one experiment driver per
+  table/figure (:mod:`repro.workloads`, :mod:`repro.analysis`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import CoordinatedFramework, GemmBatch, get_device
+
+    batch = GemmBatch.from_shapes([(16, 784, 192), (64, 784, 192)])
+    fw = CoordinatedFramework(device=get_device("v100"))
+    report = fw.plan(batch)
+    print(report.summary())
+    print(fw.simulate_plan(report).time_us, "us")
+"""
+
+from repro.core import (
+    CoordinatedFramework,
+    PlanCache,
+    Gemm,
+    GemmBatch,
+    Tile,
+    TilingStrategy,
+    TilingDecision,
+    PlanReport,
+    BatchSchedule,
+    BatchingResult,
+    HeuristicSelector,
+    select_tiling,
+    batch_tiles,
+    build_schedule,
+    train_default_selector,
+)
+from repro.gpu import (
+    DeviceSpec,
+    get_device,
+    list_devices,
+    simulate_kernel,
+    occupancy,
+    calibrate_tlp_threshold,
+)
+from repro.kernels import (
+    reference_gemm,
+    reference_batched_gemm,
+    tiled_gemm,
+    execute_schedule,
+)
+from repro.baselines import (
+    simulate_default,
+    simulate_cke,
+    simulate_cublas_batched,
+    simulate_magma_vbatch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoordinatedFramework",
+    "PlanCache",
+    "Gemm",
+    "GemmBatch",
+    "Tile",
+    "TilingStrategy",
+    "TilingDecision",
+    "PlanReport",
+    "BatchSchedule",
+    "BatchingResult",
+    "HeuristicSelector",
+    "select_tiling",
+    "batch_tiles",
+    "build_schedule",
+    "train_default_selector",
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "simulate_kernel",
+    "occupancy",
+    "calibrate_tlp_threshold",
+    "reference_gemm",
+    "reference_batched_gemm",
+    "tiled_gemm",
+    "execute_schedule",
+    "simulate_default",
+    "simulate_cke",
+    "simulate_cublas_batched",
+    "simulate_magma_vbatch",
+    "__version__",
+]

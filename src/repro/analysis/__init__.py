@@ -1,0 +1,31 @@
+"""Metrics and report formatting shared by experiments and benches."""
+
+from repro.analysis.metrics import (
+    speedup,
+    geomean,
+    achieved_tflops,
+    SpeedupSummary,
+    summarize_speedups,
+)
+from repro.analysis.report import (
+    format_table,
+    format_histogram_row,
+    format_grid,
+)
+from repro.analysis.timeline import build_timeline, render_timeline
+from repro.analysis.export import rows_to_csv, fig_cells_to_csv
+
+__all__ = [
+    "speedup",
+    "geomean",
+    "achieved_tflops",
+    "SpeedupSummary",
+    "summarize_speedups",
+    "format_table",
+    "format_histogram_row",
+    "format_grid",
+    "build_timeline",
+    "render_timeline",
+    "rows_to_csv",
+    "fig_cells_to_csv",
+]

@@ -1,0 +1,68 @@
+"""CSV export of experiment results.
+
+Reproduction consumers typically want the raw series to plot against
+the paper's figures; every experiment's structured results can be
+written as CSV with these helpers (standard library only).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Sequence
+
+
+def rows_to_csv(path: str | Path, rows: Sequence, fields: Sequence[str] | None = None) -> None:
+    """Write a sequence of dataclass instances (or mappings) as CSV.
+
+    ``fields`` selects/orders columns; by default every dataclass field
+    (or mapping key) of the first row is written.  Computed properties
+    can be included by naming them in ``fields``.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to export")
+    first = rows[0]
+    if fields is None:
+        if dataclasses.is_dataclass(first):
+            fields = [f.name for f in dataclasses.fields(first)]
+        elif isinstance(first, dict):
+            fields = list(first)
+        else:
+            raise TypeError(
+                f"cannot infer columns from {type(first).__name__}; pass fields="
+            )
+
+    def cell(row, name):
+        value = row[name] if isinstance(row, dict) else getattr(row, name)
+        if dataclasses.is_dataclass(value) or isinstance(value, (list, tuple, dict)):
+            raise TypeError(
+                f"column {name!r} holds a composite value; export scalars only"
+            )
+        return value
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(fields)
+        for row in rows:
+            writer.writerow([cell(row, name) for name in fields])
+
+
+def fig_cells_to_csv(path: str | Path, cells: Sequence) -> None:
+    """Export Figure 8/9 cells with their derived speedup columns."""
+    derived = []
+    for c in cells:
+        entry = {
+            "mn": c.mn,
+            "k": c.k,
+            "batch_size": c.batch_size,
+            "ours_ms": c.ours_ms,
+            "magma_ms": c.magma_ms,
+            "speedup": c.speedup,
+        }
+        if hasattr(c, "tiling_only_ms"):
+            entry["tiling_only_ms"] = c.tiling_only_ms
+            entry["batching_contribution"] = c.batching_contribution
+        derived.append(entry)
+    rows_to_csv(path, derived)

@@ -1,0 +1,70 @@
+"""Speedup and throughput metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.problem import GemmBatch
+
+
+def speedup(baseline_ms: float, candidate_ms: float) -> float:
+    """How many times faster the candidate is than the baseline."""
+    if baseline_ms <= 0 or candidate_ms <= 0:
+        raise ValueError("times must be positive")
+    return baseline_ms / candidate_ms
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean -- the right average for speedup ratios."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def achieved_tflops(batch: GemmBatch, time_ms: float) -> float:
+    """Achieved FP32 throughput of a batch execution."""
+    if time_ms <= 0:
+        raise ValueError(f"time_ms must be positive, got {time_ms}")
+    return batch.total_flops / (time_ms * 1e-3) / 1e12
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Distribution statistics of a set of speedups."""
+
+    count: int
+    geomean: float
+    minimum: float
+    maximum: float
+    wins: int  # cases with speedup > 1
+
+    @property
+    def win_rate(self) -> float:
+        return self.wins / self.count if self.count else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} cases: geomean {self.geomean:.2f}X "
+            f"(min {self.minimum:.2f}X, max {self.maximum:.2f}X, "
+            f"wins {self.wins}/{self.count})"
+        )
+
+
+def summarize_speedups(values: Sequence[float]) -> SpeedupSummary:
+    """Summary statistics over a list of speedup ratios."""
+    if not values:
+        raise ValueError("no speedups to summarize")
+    arr = np.asarray(values, dtype=np.float64)
+    return SpeedupSummary(
+        count=len(values),
+        geomean=geomean(values),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        wins=int(np.sum(arr > 1.0)),
+    )

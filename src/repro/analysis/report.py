@@ -1,0 +1,74 @@
+"""Plain-text report formatting for experiment drivers.
+
+The experiment scripts print the same rows/series the paper's tables
+and figures report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table (floats rendered with two decimals)."""
+    if not headers:
+        raise ValueError("a table needs headers")
+    rendered = [
+        [f"{c:.2f}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram_row(
+    label: str, values: Mapping[int, float], bar_unit: float = 0.1, bar_char: str = "#"
+) -> str:
+    """One histogram of the Figure 8/9 style: speedup bars over K.
+
+    Bars are scaled so ``bar_unit`` of speedup above 1.0 prints one
+    ``bar_char``; a 1.0X case prints an empty bar.
+    """
+    lines = [label]
+    for k in sorted(values):
+        v = values[k]
+        bar = bar_char * max(0, round((v - 1.0) / bar_unit))
+        lines.append(f"  K={k:<5d} {v:5.2f}X |{bar}")
+    return "\n".join(lines)
+
+
+def format_grid(
+    cell_labels: Sequence[str],
+    cells: Sequence[str],
+    columns: int,
+) -> str:
+    """Arrange pre-rendered histogram cells in a grid, column-major
+    batch sizes x row-major M=N, as the paper lays Figure 8 out."""
+    if columns < 1:
+        raise ValueError("columns must be >= 1")
+    if len(cell_labels) != len(cells):
+        raise ValueError("labels and cells must align")
+    blocks = []
+    for i in range(0, len(cells), columns):
+        row = cells[i : i + columns]
+        blocks.append("\n\n".join(row))
+        blocks.append("=" * 60)
+    return "\n".join(blocks[:-1]) if blocks else ""

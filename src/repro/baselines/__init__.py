@@ -1,0 +1,42 @@
+"""Baseline batched-GEMM execution strategies (paper Sections 3 and 7).
+
+All baselines run on the same simulator substrate as the framework, so
+speedup ratios isolate the algorithmic differences:
+
+* :mod:`repro.baselines.default` -- one kernel per GEMM, serial (the
+  artifact's ``default`` directory).
+* :mod:`repro.baselines.cke` -- concurrent kernel execution on CUDA
+  streams (the artifact's ``cke`` directory).
+* :mod:`repro.baselines.cublas_batched` -- ``cublasSgemmBatched``:
+  one fused kernel, but only for same-size batches.
+* :mod:`repro.baselines.magma_vbatch` -- MAGMA's vbatch: gridDim.z
+  expansion over a rectangular grid with bubble blocks, one uniform
+  single-GEMM tiling, one tile per block (the paper's primary
+  comparison point).
+* :mod:`repro.baselines.nonunified` -- per-GEMM tiles *without* the
+  unified thread structure (Figure 3(b)): the ablation showing why the
+  framework's Table 2 redesign matters.
+"""
+
+from repro.baselines.common import (
+    select_single_gemm_strategy,
+    magma_uniform_strategy,
+    gemm_kernel_blocks,
+)
+from repro.baselines.default import simulate_default
+from repro.baselines.cke import simulate_cke
+from repro.baselines.cublas_batched import simulate_cublas_batched
+from repro.baselines.magma_vbatch import simulate_magma_vbatch, magma_grid
+from repro.baselines.nonunified import simulate_nonunified
+
+__all__ = [
+    "select_single_gemm_strategy",
+    "magma_uniform_strategy",
+    "gemm_kernel_blocks",
+    "simulate_default",
+    "simulate_cke",
+    "simulate_cublas_batched",
+    "simulate_magma_vbatch",
+    "magma_grid",
+    "simulate_nonunified",
+]

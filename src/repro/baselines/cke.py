@@ -1,0 +1,30 @@
+"""Concurrent kernel execution (CKE) on CUDA streams.
+
+Each GEMM still launches as its own kernel with its own single-GEMM
+tiling, but kernels are spread across streams so their blocks may
+overlap on the device.  The speedup over the default mode is real but
+limited: the host serializes launches, and each small kernel's tiling
+is still blind to the batch -- "the concurrent execution relies on
+kernel scheduling and the performance speedup is very limited due to
+coarse-grained scheduling overhead" (Section 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import GemmBatch
+from repro.baselines.default import default_kernels
+from repro.gpu.simulator import SimulationResult, simulate_streams_concurrent
+from repro.gpu.specs import DeviceSpec
+
+
+def simulate_cke(
+    batch: GemmBatch, device: DeviceSpec, launch_gap_us: float = 2.0
+) -> SimulationResult:
+    """Simulate the batch on concurrent streams.
+
+    ``launch_gap_us`` is the host-side serialization between
+    consecutive launches.
+    """
+    return simulate_streams_concurrent(
+        device, default_kernels(batch, device), launch_gap_us=launch_gap_us
+    )

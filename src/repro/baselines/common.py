@@ -1,0 +1,88 @@
+"""Shared tiling heuristics and block builders for the baselines.
+
+The baselines tile the single-GEMM way (paper Table 1): strategy
+choice is driven by one GEMM's own dimensions, blind to how many GEMMs
+are batched -- exactly the behaviour Section 4.2 criticizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.tiling import SINGLE_GEMM_STRATEGIES, TilingStrategy
+from repro.gpu.costmodel import BlockWork, TileWork
+from repro.gpu.specs import DeviceSpec
+
+
+def _fitting(m: int, n: int) -> list[TilingStrategy]:
+    """Table 1 strategies whose tile fits the matrix, largest first.
+
+    A matrix smaller than the smallest tile still gets the smallest
+    strategy (predicated partial tile), as real libraries do.
+    """
+    fits = [s for s in SINGLE_GEMM_STRATEGIES if s.by <= m and s.bx <= n]
+    if not fits:
+        fits = [min(SINGLE_GEMM_STRATEGIES, key=lambda s: s.tile_elems)]
+    return sorted(fits, key=lambda s: s.tile_elems, reverse=True)
+
+
+def select_single_gemm_strategy(gemm: Gemm, device: DeviceSpec) -> TilingStrategy:
+    """The classic single-GEMM tile choice (cuBLAS-style heuristic).
+
+    Prefer the largest fitting tile (best data reuse) *provided* it
+    still yields at least one tile per SM; otherwise step down, and if
+    even the smallest tile cannot fill the machine, take the smallest
+    (maximum TLP).  This reproduces the standard library behaviour the
+    paper describes: near-peak for huge GEMMs, badly under-occupied for
+    small ones.
+    """
+    candidates = _fitting(gemm.m, gemm.n)
+    for s in candidates:
+        if s.num_tiles(gemm) >= device.num_sms:
+            return s
+    return candidates[-1]
+
+
+#: MAGMA's classic sgemm blocking: a 64x64 tile computed by a 16x16
+#: thread grid with 4x4 register sub-tiles (256 threads) -- the same
+#: geometry as the batched table's large/256 entry.
+DEFAULT_MAGMA_TILE_ELEMS = 64 * 64
+
+
+def magma_uniform_strategy(batch: GemmBatch) -> TilingStrategy:
+    """MAGMA vbatch's one-tiling-for-all choice.
+
+    MAGMA applies a single blocking to the whole batch: its fixed
+    single-GEMM-tuned 64x64/256-thread tile, stepped down only when
+    even the batch's largest GEMM is smaller than that.  It considers
+    neither how many blocks the whole batch yields (TLP) nor the K
+    depth of each GEMM (ILP) -- the two deficiencies the paper
+    identifies.  GEMMs much smaller than the fixed tile run it with
+    most threads idle (the GoogleNet M=16 pathology of Section 7.3).
+    """
+    from repro.core.tiling import BATCHED_STRATEGIES_256
+
+    max_m = max(g.m for g in batch)
+    max_n = max(g.n for g in batch)
+    fits = [
+        s
+        for s in BATCHED_STRATEGIES_256
+        if s.tile_elems <= DEFAULT_MAGMA_TILE_ELEMS and s.by <= max_m and s.bx <= max_n
+    ]
+    if not fits:
+        return min(BATCHED_STRATEGIES_256, key=lambda s: s.tile_elems)
+    return max(fits, key=lambda s: s.tile_elems)
+
+
+def gemm_kernel_blocks(
+    gemm: Gemm, strategy: TilingStrategy
+) -> tuple[BlockWork, ...]:
+    """One-tile-per-block launch for a single GEMM under a strategy."""
+    rows, cols = strategy.tiles_for(gemm)
+    tile = TileWork(strategy=strategy, k=gemm.k)
+    block = BlockWork(
+        threads=strategy.threads,
+        registers_per_thread=strategy.registers_per_thread,
+        shared_memory_bytes=strategy.shared_memory_bytes,
+        tiles=(tile,),
+    )
+    return (block,) * (rows * cols)

@@ -1,0 +1,54 @@
+"""The ``cublasSgemmBatched`` baseline: fused kernel, same-size only.
+
+cuBLAS's batched API fuses a batch into one kernel but requires every
+GEMM to share (M, N, K).  Its tiling is well tuned for the *fused*
+launch -- the tile-count check uses the whole batch's tile count -- but
+there is no variable-size support and no K-direction batching.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import GemmBatch
+from repro.core.tiling import SINGLE_GEMM_STRATEGIES
+from repro.baselines.common import _fitting
+from repro.gpu.costmodel import BlockWork, TileWork
+from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
+from repro.gpu.specs import DeviceSpec
+
+
+def simulate_cublas_batched(batch: GemmBatch, device: DeviceSpec) -> SimulationResult:
+    """Simulate a same-size batch through the cuBLAS batched API.
+
+    Raises ``ValueError`` for variable-size batches, mirroring the
+    API's restriction.
+    """
+    if not batch.is_uniform:
+        raise ValueError(
+            "cublasSgemmBatched requires all GEMMs to share (M, N, K); "
+            "use MAGMA vbatch or the coordinated framework for variable sizes"
+        )
+    gemm = batch[0]
+    # Tile choice accounts for the fused launch: total tiles across the
+    # whole batch must fill the machine.
+    strategy = None
+    for s in _fitting(gemm.m, gemm.n):
+        if s.num_tiles(gemm) * len(batch) >= device.num_sms:
+            strategy = s
+            break
+    if strategy is None:
+        strategy = _fitting(gemm.m, gemm.n)[-1]
+
+    tile = TileWork(strategy=strategy, k=gemm.k)
+    block = BlockWork(
+        threads=strategy.threads,
+        registers_per_thread=strategy.registers_per_thread,
+        shared_memory_bytes=strategy.shared_memory_bytes,
+        tiles=(tile,),
+    )
+    n_blocks = strategy.num_tiles(gemm) * len(batch)
+    launch = KernelLaunch(
+        name=f"cublas_batched({strategy.name})",
+        blocks=(block,) * n_blocks,
+        compulsory_ab_bytes=float(batch.compulsory_ab_bytes),
+    )
+    return simulate_kernel(device, launch)

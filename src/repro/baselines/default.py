@@ -1,0 +1,34 @@
+"""Default execution mode: one kernel per GEMM, strictly serial.
+
+Every GEMM pays a full host launch latency and runs alone on the
+device with its own single-GEMM-optimal tiling.  For batches of small
+GEMMs this leaves most SMs idle most of the time -- the motivating
+pathology of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import GemmBatch
+from repro.baselines.common import gemm_kernel_blocks, select_single_gemm_strategy
+from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_stream_serial
+from repro.gpu.specs import DeviceSpec
+
+
+def default_kernels(batch: GemmBatch, device: DeviceSpec) -> list[KernelLaunch]:
+    """One kernel launch per GEMM with its own Table 1 strategy."""
+    kernels = []
+    for i, gemm in enumerate(batch):
+        strategy = select_single_gemm_strategy(gemm, device)
+        kernels.append(
+            KernelLaunch(
+                name=f"gemm{i}[{gemm.m}x{gemm.n}x{gemm.k}]({strategy.name})",
+                blocks=gemm_kernel_blocks(gemm, strategy),
+                compulsory_ab_bytes=float((gemm.m * gemm.k + gemm.k * gemm.n) * 4),
+            )
+        )
+    return kernels
+
+
+def simulate_default(batch: GemmBatch, device: DeviceSpec) -> SimulationResult:
+    """Simulate serial one-kernel-per-GEMM execution of the batch."""
+    return simulate_stream_serial(device, default_kernels(batch, device))

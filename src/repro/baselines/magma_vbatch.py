@@ -1,0 +1,115 @@
+"""The MAGMA vbatch baseline (paper Section 3, Figure 3(a)).
+
+MAGMA fuses variable-size GEMMs into one kernel by expanding the grid's
+Z dimension: ``gridDim.z`` equals the batch size and every Z slice is
+sized for the *largest* GEMM's tile grid.  Three structural
+consequences, all modeled here:
+
+* one uniform tiling strategy for the whole batch, chosen the
+  single-GEMM way (blind to batch-level TLP);
+* *bubble blocks*: slices for smaller GEMMs contain blocks with no
+  tile to compute, which still cost a dispatch;
+* strictly one tile per block -- no instruction-level batching along
+  K, so small-K tiles never amortize their pipeline-fill prologue.
+
+``execute_magma`` also runs the scheme numerically so correctness
+tests can compare all execution paths.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.problem import GemmBatch, validate_operands
+from repro.core.tiling import TilingStrategy
+from repro.baselines.common import magma_uniform_strategy
+from repro.gpu.costmodel import BlockWork, TileWork
+from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
+from repro.gpu.specs import DeviceSpec
+from repro.kernels.tiled import compute_tile
+
+
+def magma_grid(batch: GemmBatch, strategy: TilingStrategy) -> tuple[int, int, int]:
+    """The rectangular launch grid ``(grid_y, grid_x, grid_z)``.
+
+    The 2-D slice is sized by the maximum tile grid over all GEMMs
+    ("the size of the 2D slice is determined by the maximum matrix
+    multiplication"); Z indexes the GEMMs.
+    """
+    rows = [strategy.tiles_for(g)[0] for g in batch]
+    cols = [strategy.tiles_for(g)[1] for g in batch]
+    return max(rows), max(cols), len(batch)
+
+
+def magma_blocks(
+    batch: GemmBatch, strategy: TilingStrategy
+) -> tuple[BlockWork, ...]:
+    """All blocks of the vbatch launch, bubbles included, in grid order."""
+    grid_y, grid_x, _ = magma_grid(batch, strategy)
+    footprint = dict(
+        threads=strategy.threads,
+        registers_per_thread=strategy.registers_per_thread,
+        shared_memory_bytes=strategy.shared_memory_bytes,
+    )
+    blocks: list[BlockWork] = []
+    for gemm in batch:  # z dimension
+        rows, cols = strategy.tiles_for(gemm)
+        for y in range(grid_y):
+            for x in range(grid_x):
+                if y < rows and x < cols:
+                    tile = TileWork(strategy=strategy, k=gemm.k)
+                    blocks.append(BlockWork(tiles=(tile,), **footprint))
+                else:
+                    blocks.append(BlockWork(tiles=(), **footprint))  # bubble
+    return tuple(blocks)
+
+
+def simulate_magma_vbatch(
+    batch: GemmBatch,
+    device: DeviceSpec,
+    strategy: TilingStrategy | None = None,
+) -> SimulationResult:
+    """Simulate the batch through MAGMA's vbatch scheme.
+
+    ``strategy`` overrides the uniform tiling (used by ablations);
+    by default MAGMA's own single-GEMM-style choice applies.
+    """
+    strat = strategy or magma_uniform_strategy(batch)
+    launch = KernelLaunch(
+        name=f"magma_vbatch({strat.name})",
+        blocks=magma_blocks(batch, strat),
+        compulsory_ab_bytes=float(batch.compulsory_ab_bytes),
+    )
+    return simulate_kernel(device, launch)
+
+
+def execute_magma(
+    batch: GemmBatch,
+    operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    strategy: TilingStrategy | None = None,
+) -> list[np.ndarray]:
+    """Numerically execute the vbatch scheme (bubbles skip, as on GPU)."""
+    validate_operands(batch, operands)
+    strat = strategy or magma_uniform_strategy(batch)
+    grid_y, grid_x, _ = magma_grid(batch, strat)
+    outputs = []
+    for gemm, (a, b, c) in zip(batch, operands):
+        a, b = gemm.op_a(a), gemm.op_b(b)
+        out = np.empty((gemm.m, gemm.n), dtype=c.dtype)
+        rows, cols = strat.tiles_for(gemm)
+        for y in range(grid_y):
+            for x in range(grid_x):
+                if y >= rows or x >= cols:
+                    continue  # bubble block: exits immediately
+                y0, x0 = y * strat.by, x * strat.bx
+                acc = compute_tile(a, b, y0, x0, strat.by, strat.bx, strat.bk)
+                y_hi = min(y0 + strat.by, gemm.m)
+                x_hi = min(x0 + strat.bx, gemm.n)
+                out[y0:y_hi, x0:x_hi] = (
+                    gemm.alpha * acc[: y_hi - y0, : x_hi - x0]
+                    + gemm.beta * c[y0:y_hi, x0:x_hi].astype(np.float64)
+                ).astype(c.dtype)
+        outputs.append(out)
+    return outputs

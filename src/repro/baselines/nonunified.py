@@ -1,0 +1,60 @@
+"""Per-GEMM tiling *without* the unified thread structure (Figure 3(b)).
+
+The ablation baseline that motivates Table 2's redesign: allow each
+GEMM its own tile size, drawn from the single-GEMM table (Table 1,
+where thread counts differ per strategy), and fuse everything into one
+kernel.  CUDA forces one block size for the whole kernel -- the maximum
+over the strategies used -- so blocks running smaller tiles leave
+threads idle, and the fused footprint is the maximum over all
+strategies.  The cost model charges the idle threads through the
+``active_threads`` field of each tile.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import GemmBatch
+from repro.core.tiling import SINGLE_GEMM_STRATEGIES, TilingStrategy, select_tiling
+from repro.gpu.costmodel import BlockWork, TileWork
+from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
+from repro.gpu.specs import DeviceSpec
+
+
+def _single_table_equivalent(strategy: TilingStrategy) -> TilingStrategy:
+    """Map a batched (Table 2) strategy to its Table 1 namesake."""
+    for s in SINGLE_GEMM_STRATEGIES:
+        if s.name == strategy.name:
+            return s
+    raise KeyError(f"no Table 1 strategy named {strategy.name!r}")
+
+
+def simulate_nonunified(batch: GemmBatch, device: DeviceSpec) -> SimulationResult:
+    """Fused kernel with per-GEMM Table 1 tiles and idle threads.
+
+    Uses the same per-GEMM tile *sizes* the coordinated tiling engine
+    would choose, but with Table 1's per-strategy thread counts; the
+    kernel's block size is the maximum, so smaller-strategy tiles run
+    with idle threads.  One tile per block (no K batching).
+    """
+    decision = select_tiling(batch, tlp_threshold=device.tlp_threshold)
+    table1 = [_single_table_equivalent(s) for s in decision.strategies]
+    block_threads = max(s.threads for s in table1)
+    smem = max(s.shared_memory_bytes for s in table1)
+    regs = max(s.registers_per_thread for s in table1)
+
+    blocks: list[BlockWork] = []
+    for gemm, strat in zip(batch, table1):
+        rows, cols = strat.tiles_for(gemm)
+        tile = TileWork(strategy=strat, k=gemm.k, active_threads=strat.threads)
+        block = BlockWork(
+            threads=block_threads,
+            registers_per_thread=regs,
+            shared_memory_bytes=smem,
+            tiles=(tile,),
+        )
+        blocks.extend([block] * (rows * cols))
+    launch = KernelLaunch(
+        name="nonunified",
+        blocks=tuple(blocks),
+        compulsory_ab_bytes=float(batch.compulsory_ab_bytes),
+    )
+    return simulate_kernel(device, launch)

@@ -1,0 +1,272 @@
+"""The batching engine (paper Section 5).
+
+After the tiling phase the batch of GEMMs becomes a batch of tiles;
+the batching engine assigns tiles to thread blocks.  Assigning more
+than one tile to a block raises the block's total K-depth, which
+amortizes the pipeline-fill prologue and improves instruction-level
+parallelism -- valuable exactly when K is small -- at the cost of
+reducing the block count (thread-level parallelism).
+
+Two heuristics, both parameterized by the architecture-dependent
+K-depth threshold ``theta`` (256 on V100):
+
+* **Threshold batching** (TLP priority).  Tiles are consumed in order;
+  before opening a new block, the prospective TLP -- (remaining tiles
+  + blocks already formed) x threads per block -- is compared against
+  half the tiling engine's TLP threshold.  While TLP is plentiful, the
+  new block accumulates tiles until their summed K exceeds theta;
+  once TLP becomes scarce, every remaining tile gets its own block.
+* **Binary batching** (ILP priority).  Tiles are sorted by K ascending
+  and paired min-with-max, at most two per block, approximating the
+  paper's objective ``minimize | sum_pairs (K_i + K_j - theta) |``.
+
+The online choice between the two is made by the random-forest
+selector in :mod:`repro.core.selector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.problem import Tile
+
+
+@dataclass(frozen=True)
+class BatchingResult:
+    """Blocks produced by a batching heuristic.
+
+    ``blocks[i]`` is the ordered tuple of tiles thread block ``i``
+    executes.  Every input tile appears in exactly one block (an
+    invariant the property tests enforce).
+    """
+
+    blocks: tuple[tuple[Tile, ...], ...]
+    heuristic: str
+    theta: int
+
+    def __post_init__(self) -> None:
+        if any(len(b) == 0 for b in self.blocks):
+            raise ValueError("batching produced an empty thread block")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    @property
+    def max_tiles_per_block(self) -> int:
+        return max(len(b) for b in self.blocks)
+
+    @property
+    def mean_k_per_block(self) -> float:
+        return sum(sum(t.k for t in b) for b in self.blocks) / len(self.blocks)
+
+
+def threshold_batching(
+    tiles: Sequence[Tile],
+    threads_per_block: int,
+    theta: int = 256,
+    tlp_threshold: int = 65536,
+) -> BatchingResult:
+    """TLP-first batching (Section 5, "Threshold Batching").
+
+    Parameters
+    ----------
+    tiles:
+        The tiles produced by the tiling engine, in natural order.
+    threads_per_block:
+        The unified block size chosen by the tiling engine.
+    theta:
+        K-depth target per block; a block stops accumulating tiles once
+        its summed K exceeds this.
+    tlp_threshold:
+        The tiling engine's TLP threshold; batching continues only
+        while prospective TLP stays above half of it.
+    """
+    _validate_batching_args(tiles, threads_per_block, theta)
+    blocks: list[tuple[Tile, ...]] = []
+    remaining = list(tiles)
+    while remaining:
+        prospective_tlp = (len(remaining) + len(blocks)) * threads_per_block
+        if prospective_tlp > tlp_threshold // 2:
+            # "We make sure the workload of each block is not less than
+            # theta": accumulate until the summed K reaches theta.
+            current: list[Tile] = []
+            k_sum = 0
+            while remaining and k_sum < theta:
+                tile = remaining.pop(0)
+                current.append(tile)
+                k_sum += tile.k
+            blocks.append(tuple(current))
+        else:
+            blocks.extend((t,) for t in remaining)
+            remaining.clear()
+    return BatchingResult(blocks=tuple(blocks), heuristic="threshold", theta=theta)
+
+
+def binary_batching(
+    tiles: Sequence[Tile],
+    threads_per_block: int,
+    theta: int = 256,
+) -> BatchingResult:
+    """ILP-first batching (Section 5, "Binary Batching").
+
+    Sorts tiles by K ascending and pairs the smallest-K tile with the
+    largest-K tile, at most two tiles per block.  An odd tile count
+    leaves the median tile alone in its block.
+    """
+    _validate_batching_args(tiles, threads_per_block, theta)
+    ordered = sorted(tiles, key=lambda t: t.k)
+    blocks: list[tuple[Tile, ...]] = []
+    lo, hi = 0, len(ordered) - 1
+    while lo < hi:
+        blocks.append((ordered[lo], ordered[hi]))
+        lo += 1
+        hi -= 1
+    if lo == hi:
+        blocks.append((ordered[lo],))
+    return BatchingResult(blocks=tuple(blocks), heuristic="binary", theta=theta)
+
+
+def one_tile_per_block(
+    tiles: Sequence[Tile],
+    threads_per_block: int,
+    theta: int = 256,
+) -> BatchingResult:
+    """The classic one-tile-per-block assignment (no ILP batching).
+
+    Used by the ablation benchmarks to isolate the batching engine's
+    contribution, and by baselines that predate the batching idea.
+    """
+    _validate_batching_args(tiles, threads_per_block, theta)
+    return BatchingResult(
+        blocks=tuple((t,) for t in tiles), heuristic="one-per-block", theta=theta
+    )
+
+
+def greedy_packing_batching(
+    tiles: Sequence[Tile],
+    threads_per_block: int,
+    theta: int = 256,
+) -> BatchingResult:
+    """First-fit-decreasing bin packing of tiles toward theta.
+
+    An *extension* beyond the paper's two heuristics (Section 5 closes
+    with "it is possible to use other algorithms; we leave a more
+    thorough investigation for future work").  Tiles are sorted by K
+    descending and placed into the first open block whose summed K
+    stays below theta; a tile with K >= theta gets its own block.
+    Compared to threshold batching this balances block depths instead
+    of building monster blocks from runs of tiny-K tiles.
+    """
+    _validate_batching_args(tiles, threads_per_block, theta)
+    ordered = sorted(tiles, key=lambda t: t.k, reverse=True)
+    bins: list[list[Tile]] = []
+    loads: list[int] = []
+    for tile in ordered:
+        placed = False
+        if tile.k < theta:
+            for i, load in enumerate(loads):
+                if load + tile.k <= theta:
+                    bins[i].append(tile)
+                    loads[i] += tile.k
+                    placed = True
+                    break
+        if not placed:
+            bins.append([tile])
+            loads.append(tile.k)
+    return BatchingResult(
+        blocks=tuple(tuple(b) for b in bins), heuristic="greedy-packing", theta=theta
+    )
+
+
+def balanced_batching(
+    tiles: Sequence[Tile],
+    threads_per_block: int,
+    theta: int = 256,
+    tlp_threshold: int = 65536,
+) -> BatchingResult:
+    """Longest-processing-time balancing onto a TLP-derived block count.
+
+    Another future-work extension: choose the block count that keeps
+    TLP at half the tiling threshold (the same budget threshold
+    batching protects), then distribute tiles LPT-style so every block
+    carries a similar total K -- minimizing the makespan imbalance
+    that hurts the simpler heuristics on mixed-K batches.
+    """
+    _validate_batching_args(tiles, threads_per_block, theta)
+    total_k = sum(t.k for t in tiles)
+    # Blocks needed to keep TLP at half the threshold, but never more
+    # than one per tile and always enough that blocks average >= theta
+    # when the workload allows it.
+    tlp_blocks = max(1, (tlp_threshold // 2) // threads_per_block)
+    depth_blocks = max(1, total_k // theta)
+    n_blocks = min(len(tiles), max(tlp_blocks, min(depth_blocks, len(tiles))))
+    n_blocks = min(n_blocks, len(tiles))
+
+    import heapq
+
+    heap = [(0, i) for i in range(n_blocks)]
+    heapq.heapify(heap)
+    bins: list[list[Tile]] = [[] for _ in range(n_blocks)]
+    for tile in sorted(tiles, key=lambda t: t.k, reverse=True):
+        load, i = heapq.heappop(heap)
+        bins[i].append(tile)
+        heapq.heappush(heap, (load + tile.k, i))
+    return BatchingResult(
+        blocks=tuple(tuple(b) for b in bins if b),
+        heuristic="balanced",
+        theta=theta,
+    )
+
+
+#: The paper's own heuristics.
+PAPER_HEURISTICS = ("threshold", "binary")
+
+#: Everything this library ships, including the future-work extensions.
+ALL_HEURISTICS = ("threshold", "binary", "one-per-block", "greedy-packing", "balanced")
+
+_HEURISTICS = {
+    "threshold": threshold_batching,
+    "binary": binary_batching,
+    "one-per-block": one_tile_per_block,
+    "greedy-packing": greedy_packing_batching,
+    "balanced": balanced_batching,
+}
+
+
+def batch_tiles(
+    tiles: Sequence[Tile],
+    threads_per_block: int,
+    heuristic: str,
+    theta: int = 256,
+    tlp_threshold: int = 65536,
+) -> BatchingResult:
+    """Dispatch to a batching heuristic by name.
+
+    ``heuristic`` is one of ``"threshold"``, ``"binary"``,
+    ``"one-per-block"``, ``"greedy-packing"`` or ``"balanced"`` (the
+    last two are this library's future-work extensions).
+    """
+    if heuristic in ("threshold", "balanced"):
+        return _HEURISTICS[heuristic](tiles, threads_per_block, theta, tlp_threshold)
+    if heuristic in ("binary", "one-per-block", "greedy-packing"):
+        return _HEURISTICS[heuristic](tiles, threads_per_block, theta)
+    raise ValueError(
+        f"unknown batching heuristic {heuristic!r}; known: {sorted(_HEURISTICS)}"
+    )
+
+
+def _validate_batching_args(
+    tiles: Sequence[Tile], threads_per_block: int, theta: int
+) -> None:
+    if not tiles:
+        raise ValueError("no tiles to batch")
+    if threads_per_block <= 0:
+        raise ValueError(f"threads_per_block must be positive, got {threads_per_block}")
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")

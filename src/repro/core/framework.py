@@ -1,0 +1,259 @@
+"""The coordinated tiling-and-batching framework facade (Figure 4).
+
+:class:`CoordinatedFramework` ties the two engines together:
+
+1. the **tiling engine** selects a strategy per GEMM under the
+   device's TLP threshold (Section 4),
+2. the **batching engine** assigns tiles to thread blocks with one of
+   the two heuristics -- chosen explicitly, by exhaustive trial
+   (``"best"``, the paper's offline mode for fixed workloads), or by
+   the random-forest selector (``"auto"``, the online mode),
+3. the plan is lowered to the five auxiliary arrays of the
+   programming interface (Section 6),
+
+after which the plan can be *simulated* (execution time on the device
+model) or *executed* (numerically, via the persistent-threads NumPy
+executor).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.batching import BatchingResult, batch_tiles
+from repro.core.problem import GemmBatch
+from repro.core.schedule import BatchSchedule, build_schedule, enumerate_tiles
+from repro.core.selector import HeuristicSelector
+from repro.core.tiling import TilingDecision, select_tiling
+from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
+from repro.gpu.specs import DeviceSpec, VOLTA_V100
+
+logger = logging.getLogger("repro.framework")
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Everything the framework decided for one batch."""
+
+    batch: GemmBatch
+    decision: TilingDecision
+    batching: BatchingResult
+    schedule: BatchSchedule
+    heuristic_requested: str
+    heuristic_used: str
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description of the plan."""
+        lines = [
+            f"batch of {len(self.batch)} GEMMs, "
+            f"{self.schedule.num_tiles} tiles -> {self.schedule.num_blocks} blocks",
+            f"unified block size: {self.schedule.threads_per_block} threads",
+            f"tiling TLP (Eq.1): {self.decision.tlp}",
+            f"batching heuristic: {self.heuristic_used} "
+            f"(requested {self.heuristic_requested!r})",
+            "strategies: "
+            + ", ".join(
+                f"GEMM{i}({g.m}x{g.n}x{g.k})->{s}"
+                for i, (g, s) in enumerate(zip(self.batch, self.decision.strategies))
+            ),
+        ]
+        return "\n".join(lines)
+
+
+class CoordinatedFramework:
+    """Public entry point of the reproduction.
+
+    Parameters
+    ----------
+    device:
+        The device model to plan for; defaults to Volta V100, the
+        paper's primary platform.  The TLP threshold and theta come
+        from the device spec.
+    selector:
+        An optional fitted :class:`HeuristicSelector` used when
+        ``heuristic="auto"``.  Without one, ``"auto"`` falls back to
+        ``"best"`` (exhaustive trial) with a warning in the report.
+    precision:
+        ``"fp32"`` (default) or ``"fp16"`` -- the latter prices the
+        simulated kernels at half the traffic and at Tensor-Core FMA
+        rates where the device has them (the Volta capability the
+        paper's introduction highlights).  Numerical execution is
+        precision-agnostic (operand dtype decides).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = VOLTA_V100,
+        selector: Optional[HeuristicSelector] = None,
+        precision: str = "fp32",
+    ):
+        if precision not in ("fp32", "fp16"):
+            raise ValueError(f"precision must be 'fp32' or 'fp16', got {precision!r}")
+        self.device = device
+        self.selector = selector
+        self.precision = precision
+
+    # -- planning ----------------------------------------------------
+
+    def plan(self, batch: GemmBatch, heuristic: str = "best") -> PlanReport:
+        """Run both engines and build the auxiliary-array schedule.
+
+        ``heuristic`` is ``"threshold"``, ``"binary"``,
+        ``"one-per-block"``, ``"greedy-packing"``, ``"balanced"``,
+        ``"best"`` (simulate both paper heuristics, keep the faster --
+        the offline mode for fixed workloads), ``"best-extended"``
+        (also try this library's future-work heuristics), or ``"auto"``
+        (random-forest selection -- the online mode).
+        """
+        decision = select_tiling(batch, tlp_threshold=self.device.tlp_threshold)
+        tiles = enumerate_tiles(batch, decision)
+
+        requested = heuristic
+        if heuristic == "auto":
+            heuristic = self.selector.predict(batch) if self.selector else "best"
+        if heuristic in ("best", "best-extended"):
+            names = ("threshold", "binary")
+            if heuristic == "best-extended":
+                names = ("threshold", "binary", "greedy-packing", "balanced")
+            candidates = []
+            for name in names:
+                report = self._assemble(batch, decision, tiles, name, requested)
+                time_ms = self.simulate_plan(report).time_ms
+                candidates.append((time_ms, name, report))
+            candidates.sort(key=lambda c: c[0])
+            logger.debug(
+                "plan(%s): %s -> %s (candidates: %s)",
+                requested,
+                decision.threads,
+                candidates[0][1],
+                ", ".join(f"{n}={t:.4f}ms" for t, n, _ in candidates),
+            )
+            return candidates[0][2]
+        report = self._assemble(batch, decision, tiles, heuristic, requested)
+        logger.debug(
+            "plan(%s): %d GEMMs -> %d tiles -> %d blocks (%d threads, TLP %d)",
+            heuristic,
+            len(batch),
+            report.schedule.num_tiles,
+            report.schedule.num_blocks,
+            decision.threads,
+            decision.tlp,
+        )
+        return report
+
+    def _assemble(
+        self, batch: GemmBatch, decision: TilingDecision, tiles, heuristic: str, requested: str
+    ) -> PlanReport:
+        batching = batch_tiles(
+            tiles,
+            threads_per_block=decision.threads,
+            heuristic=heuristic,
+            theta=self.device.batching_theta,
+            tlp_threshold=self.device.tlp_threshold,
+        )
+        schedule = build_schedule(batch, decision, batching)
+        return PlanReport(
+            batch=batch,
+            decision=decision,
+            batching=batching,
+            schedule=schedule,
+            heuristic_requested=requested,
+            heuristic_used=heuristic,
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def explain_plan(self, report: PlanReport, top: int = 5) -> str:
+        """A human-readable cost breakdown of a plan.
+
+        Prices every block under the launch's converged context and
+        reports the kernel-level picture (occupancy, concurrency,
+        L2 hit fraction) plus the ``top`` most expensive blocks --
+        the diagnostic view a performance engineer wants before
+        accepting a schedule.
+        """
+        from repro.gpu.occupancy import occupancy
+        from repro.gpu.simulator import _converge_kernel
+
+        blocks = report.schedule.block_works(report.batch, precision=self.precision)
+        occ = occupancy(
+            self.device,
+            blocks[0].threads,
+            blocks[0].registers_per_thread,
+            blocks[0].shared_memory_bytes,
+        )
+        durations, makespan, concurrency, ctx = _converge_kernel(
+            self.device,
+            blocks,
+            occ.blocks_per_sm,
+            float(report.batch.compulsory_ab_bytes),
+        )
+        order = sorted(range(len(durations)), key=lambda i: -durations[i])
+        lines = [
+            f"kernel: {len(blocks)} blocks x {blocks[0].threads} threads, "
+            f"occupancy {occ.blocks_per_sm}/SM (limited by {occ.limited_by})",
+            f"converged concurrency {concurrency:.0f} blocks, "
+            f"L2 hit fraction {ctx.l2_hit_fraction:.2f}, "
+            f"makespan {self.device.cycles_to_ms(makespan) * 1e3:.1f} us",
+            f"critical blocks (of {len(blocks)}):",
+        ]
+        for i in order[:top]:
+            tiles = blocks[i].tiles
+            ks = "+".join(str(t.k) for t in tiles)
+            lines.append(
+                f"  block {i}: {len(tiles)} tile(s) "
+                f"[{tiles[0].strategy.name if tiles else 'bubble'}, K={ks}] "
+                f"-> {self.device.cycles_to_ms(durations[i]) * 1e3:.1f} us"
+            )
+        return "\n".join(lines)
+
+    # -- timing ------------------------------------------------------
+
+    def simulate_plan(self, report: PlanReport) -> SimulationResult:
+        """Execution time of an existing plan on the device model."""
+        compulsory = float(report.batch.compulsory_ab_bytes)
+        if self.precision == "fp16":
+            compulsory /= 2.0
+        launch = KernelLaunch(
+            name="coordinated",
+            blocks=report.schedule.block_works(report.batch, precision=self.precision),
+            compulsory_ab_bytes=compulsory,
+        )
+        return simulate_kernel(self.device, launch)
+
+    def simulate(self, batch: GemmBatch, heuristic: str = "best") -> SimulationResult:
+        """Plan and time a batch in one call."""
+        return self.simulate_plan(self.plan(batch, heuristic=heuristic))
+
+    def tiling_only_simulate(self, batch: GemmBatch) -> SimulationResult:
+        """Time the *tiling engine alone* (one tile per block).
+
+        This is the "tiling" configuration of the paper's artifact --
+        the Figure 8 experiment isolates it against MAGMA.
+        """
+        report = self.plan(batch, heuristic="one-per-block")
+        return self.simulate_plan(report)
+
+    # -- numerical execution ------------------------------------------
+
+    def execute(
+        self,
+        batch: GemmBatch,
+        operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        heuristic: str = "best",
+    ) -> list[np.ndarray]:
+        """Numerically execute the batch via the persistent executor.
+
+        Returns the list of C result matrices (inputs are not
+        modified).  The computation follows the planned schedule
+        block-by-block, tile-by-tile, so a planning bug shows up as a
+        wrong numerical answer, not just a wrong time.
+        """
+        from repro.kernels.persistent import execute_schedule
+
+        report = self.plan(batch, heuristic=heuristic)
+        return execute_schedule(report.schedule, batch, operands)

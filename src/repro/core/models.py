@@ -1,0 +1,73 @@
+"""Analytic models from Section 4.2 of the paper.
+
+* Equation 1 -- thread-level parallelism of a tiling selection:
+  ``TLP = sum_i (M_i * N_i) / (BY_i * BX_i) * T``.
+* Equation 2 -- per-thread load instructions per main-loop iteration:
+  ``Num_Load = (BY*BK + BK*BX) / (Load_width * T)``.
+* Equation 3 -- per-thread FMA instructions per iteration:
+  ``Num_FMA ~= BY*BX*BK / T``.
+* Equation 4 -- arithmetic intensity (their ratio, with the 16-byte /
+  4-float load width the paper assumes):
+  ``Num_FMA / Num_Load = 4*BY*BX / (BY + BX)``.
+
+The tiling algorithm consumes Eq. 1 directly; the cost model uses the
+same per-iteration instruction counts so the simulated machine rewards
+exactly the quantities the models predict.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.problem import Gemm, GemmBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.tiling import TilingStrategy
+
+#: Floats moved by one 16-byte vector load (the paper's Load_width).
+LOAD_WIDTH_FLOATS = 4
+
+
+def gemm_tile_count(gemm: Gemm, strategy: "TilingStrategy") -> int:
+    """Number of C tiles a strategy induces on a GEMM (ceil division).
+
+    Note Eq. 1 as printed uses exact division; real matrices need the
+    ceiling, which reduces to the paper's formula whenever the tile
+    divides the matrix (all of the paper's examples).
+    """
+    rows = -(-gemm.m // strategy.by)
+    cols = -(-gemm.n // strategy.bx)
+    return rows * cols
+
+
+def tlp_of_selection(batch: GemmBatch, selection: Sequence["TilingStrategy"]) -> int:
+    """Equation 1: total threads across all tiles of all GEMMs."""
+    if len(selection) != len(batch):
+        raise ValueError(
+            f"selection length {len(selection)} != batch size {len(batch)}"
+        )
+    return sum(
+        gemm_tile_count(gemm, strat) * strat.threads
+        for gemm, strat in zip(batch, selection)
+    )
+
+
+def num_load_per_iteration(strategy: "TilingStrategy") -> float:
+    """Equation 2: load instructions per thread per main-loop iteration."""
+    return (strategy.by * strategy.bk + strategy.bk * strategy.bx) / (
+        LOAD_WIDTH_FLOATS * strategy.threads
+    )
+
+
+def num_fma_per_iteration(strategy: "TilingStrategy") -> float:
+    """Equation 3: FMA instructions per thread per main-loop iteration."""
+    return strategy.by * strategy.bx * strategy.bk / strategy.threads
+
+
+def arithmetic_intensity(strategy: "TilingStrategy") -> float:
+    """Equation 4: FMA-to-load ratio, ``4*BY*BX / (BY + BX)``.
+
+    Independent of T and BK -- both cancel -- so it ranks tile *sizes*
+    by data reuse.
+    """
+    return 4.0 * strategy.by * strategy.bx / (strategy.by + strategy.bx)

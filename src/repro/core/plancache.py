@@ -1,0 +1,99 @@
+"""Plan caching for repeated workloads.
+
+The paper's motivating scenarios (DNN training/inference) call the
+same batched-GEMM configurations thousands of times.  "For the case
+where the batch size and the size of each matrix are fixed ... we can
+try both two batching heuristics and choose the better one" (Section
+5) -- i.e. spend planning effort once and reuse the winning schedule.
+:class:`PlanCache` provides that memoization: plans are keyed by the
+batch *signature* (shapes, transposes and the requested heuristic --
+not the operand data) with LRU eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.framework import CoordinatedFramework, PlanReport
+from repro.core.problem import GemmBatch
+
+
+def batch_signature(batch: GemmBatch) -> tuple:
+    """A hashable identity of a batch's planning-relevant content.
+
+    Two batches with the same signature receive identical plans
+    (planning never looks at operand values).  alpha/beta are excluded:
+    they only affect the epilogue arithmetic, not the schedule.
+    """
+    return tuple((g.m, g.n, g.k, g.trans_a, g.trans_b) for g in batch)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """An LRU cache of :class:`PlanReport` keyed by batch signature.
+
+    Parameters
+    ----------
+    framework:
+        The planner to consult on a miss.
+    capacity:
+        Maximum cached plans; least-recently-used entries evict first.
+    """
+
+    def __init__(self, framework: CoordinatedFramework, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.framework = framework
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, PlanReport] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def plan(self, batch: GemmBatch, heuristic: str = "best") -> PlanReport:
+        """Return a cached plan for the batch, planning on first sight.
+
+        The cached plan's schedule is reused verbatim -- safe because a
+        signature pins every quantity planning consumes.  Note the
+        returned report's ``batch`` is the one that *first* produced
+        the plan; use the schedule, not the report's batch, with new
+        operand data.
+        """
+        key = (heuristic, batch_signature(batch))
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        report = self.framework.plan(batch, heuristic=heuristic)
+        self._entries[key] = report
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return report
+
+    def execute(self, batch: GemmBatch, operands, heuristic: str = "best"):
+        """Numerically execute a batch through its cached plan."""
+        from repro.kernels.persistent import execute_schedule
+
+        report = self.plan(batch, heuristic=heuristic)
+        return execute_schedule(report.schedule, batch, operands)
+
+    def clear(self) -> None:
+        """Drop every cached plan (statistics are kept)."""
+        self._entries.clear()

@@ -1,0 +1,271 @@
+"""The programming interface's auxiliary arrays (paper Section 6).
+
+A batching scheme -- any batching scheme -- is described by five
+arrays (Figure 6):
+
+* ``tile_offsets`` ("Tile"): length ``num_blocks + 1``; block ``b``
+  executes the tile slots ``[tile_offsets[b], tile_offsets[b+1])``.
+* ``gemm_ids`` ("GEMM"): per tile slot, which GEMM the tile belongs to.
+* ``strategy_ids`` ("Tiling strategy"): per tile slot, the 0-11 index
+  into the twelve batched tiling strategies of Table 2.
+* ``y_coords`` / ``x_coords``: per tile slot, the tile's coordinates
+  within its GEMM's tile grid.
+
+The persistent-threads kernel (Figure 7) walks these arrays; our
+functional executor :mod:`repro.kernels.persistent` does the same walk
+in NumPy, and the cost model consumes the schedule via
+:meth:`BatchSchedule.block_works`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batching import BatchingResult
+from repro.core.problem import GemmBatch, Tile
+from repro.core.tiling import TilingDecision, strategy_by_index
+from repro.gpu.costmodel import BlockWork, TileWork
+
+
+@dataclass(frozen=True)
+class BatchSchedule:
+    """The five auxiliary arrays plus the kernel's unified footprint.
+
+    Arrays are NumPy ``int32`` (mirroring what would be uploaded to the
+    device).  ``threads_per_block`` is the unified block size;
+    ``shared_memory_bytes`` and ``registers_per_thread`` are the maxima
+    over every strategy the schedule uses -- a fused CUDA kernel has a
+    single static footprint.
+    """
+
+    tile_offsets: np.ndarray
+    gemm_ids: np.ndarray
+    strategy_ids: np.ndarray
+    y_coords: np.ndarray
+    x_coords: np.ndarray
+    threads_per_block: int
+    shared_memory_bytes: int
+    registers_per_thread: int
+
+    def __post_init__(self) -> None:
+        offsets = self.tile_offsets
+        if offsets.ndim != 1 or len(offsets) < 2:
+            raise ValueError("tile_offsets must be a 1-D array of length >= 2")
+        if offsets[0] != 0:
+            raise ValueError("tile_offsets must start at 0")
+        if np.any(np.diff(offsets) <= 0):
+            raise ValueError("tile_offsets must be strictly increasing (no empty blocks)")
+        n_tiles = int(offsets[-1])
+        for name, arr in (
+            ("gemm_ids", self.gemm_ids),
+            ("strategy_ids", self.strategy_ids),
+            ("y_coords", self.y_coords),
+            ("x_coords", self.x_coords),
+        ):
+            if arr.shape != (n_tiles,):
+                raise ValueError(
+                    f"{name} has shape {arr.shape}, expected ({n_tiles},) to match "
+                    "tile_offsets"
+                )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.tile_offsets) - 1
+
+    @property
+    def num_tiles(self) -> int:
+        return int(self.tile_offsets[-1])
+
+    def tiles_of_block(self, block_id: int) -> list[Tile]:
+        """Decode the tiles assigned to one block (the Figure 7 walk)."""
+        if not 0 <= block_id < self.num_blocks:
+            raise IndexError(f"block_id {block_id} out of range 0-{self.num_blocks - 1}")
+        begin = int(self.tile_offsets[block_id])
+        end = int(self.tile_offsets[block_id + 1])
+        out = []
+        for slot in range(begin, end):
+            strat_id = int(self.strategy_ids[slot])
+            out.append(
+                Tile(
+                    gemm_index=int(self.gemm_ids[slot]),
+                    y=int(self.y_coords[slot]),
+                    x=int(self.x_coords[slot]),
+                    strategy_index=strat_id,
+                    k=self._tile_k(slot),
+                )
+            )
+        return out
+
+    def _tile_k(self, slot: int) -> int:
+        # K is not stored in the device arrays (the kernel reads it from
+        # the GEMM size array, Figure 7 line 10); we stash the per-slot
+        # K alongside for host-side consumers.
+        return int(self._slot_k[slot])
+
+    # Populated by build_schedule via object.__setattr__ (frozen dataclass).
+    _slot_k: np.ndarray = None  # type: ignore[assignment]
+
+    def to_dict(self) -> dict:
+        """Serialize the schedule (JSON-compatible).
+
+        Real deployments cache plans keyed by batch signature; this is
+        the persistence format (five arrays + the fused footprint +
+        the per-slot K values the host keeps alongside).
+        """
+        return {
+            "tile_offsets": self.tile_offsets.tolist(),
+            "gemm_ids": self.gemm_ids.tolist(),
+            "strategy_ids": self.strategy_ids.tolist(),
+            "y_coords": self.y_coords.tolist(),
+            "x_coords": self.x_coords.tolist(),
+            "threads_per_block": self.threads_per_block,
+            "shared_memory_bytes": self.shared_memory_bytes,
+            "registers_per_thread": self.registers_per_thread,
+            "slot_k": self._slot_k.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchSchedule":
+        """Rebuild a schedule serialized by :meth:`to_dict`."""
+        try:
+            schedule = cls(
+                tile_offsets=np.asarray(data["tile_offsets"], dtype=np.int32),
+                gemm_ids=np.asarray(data["gemm_ids"], dtype=np.int32),
+                strategy_ids=np.asarray(data["strategy_ids"], dtype=np.int32),
+                y_coords=np.asarray(data["y_coords"], dtype=np.int32),
+                x_coords=np.asarray(data["x_coords"], dtype=np.int32),
+                threads_per_block=int(data["threads_per_block"]),
+                shared_memory_bytes=int(data["shared_memory_bytes"]),
+                registers_per_thread=int(data["registers_per_thread"]),
+            )
+        except KeyError as exc:
+            raise ValueError(f"serialized schedule missing field {exc}") from exc
+        slot_k = np.asarray(data["slot_k"], dtype=np.int64)
+        if slot_k.shape != (schedule.num_tiles,):
+            raise ValueError("serialized slot_k does not match the tile count")
+        object.__setattr__(schedule, "_slot_k", slot_k)
+        return schedule
+
+    def block_works(
+        self, batch: GemmBatch, precision: str = "fp32"
+    ) -> tuple[BlockWork, ...]:
+        """Lower the schedule to cost-model blocks.
+
+        Every tile runs with the full unified thread count (the unified
+        thread structure leaves no idle threads); the block footprint is
+        the schedule's fused-kernel footprint.  ``precision`` prices the
+        kernel at FP32 (default) or FP16/Tensor-Core rates.
+        """
+        works = []
+        for b in range(self.num_blocks):
+            tiles = []
+            begin = int(self.tile_offsets[b])
+            end = int(self.tile_offsets[b + 1])
+            for slot in range(begin, end):
+                strat = strategy_by_index(int(self.strategy_ids[slot]))
+                tiles.append(
+                    TileWork(
+                        strategy=strat,
+                        k=self._tile_k(slot),
+                        active_threads=self.threads_per_block,
+                        precision=precision,
+                    )
+                )
+            works.append(
+                BlockWork(
+                    threads=self.threads_per_block,
+                    registers_per_thread=self.registers_per_thread,
+                    shared_memory_bytes=self.shared_memory_bytes,
+                    tiles=tuple(tiles),
+                )
+            )
+        return tuple(works)
+
+
+def enumerate_tiles(batch: GemmBatch, decision: TilingDecision) -> list[Tile]:
+    """Expand a tiling decision into the flat tile list, natural order.
+
+    GEMMs in batch order; within a GEMM, tiles row-major over the tile
+    grid.  This is the order threshold batching consumes.
+    """
+    tiles: list[Tile] = []
+    for gi, (gemm, strat) in enumerate(zip(batch, decision.strategies)):
+        rows, cols = strat.tiles_for(gemm)
+        for y in range(rows):
+            for x in range(cols):
+                tiles.append(
+                    Tile(
+                        gemm_index=gi,
+                        y=y,
+                        x=x,
+                        strategy_index=strat.index,
+                        k=gemm.k,
+                    )
+                )
+    return tiles
+
+
+def build_schedule(
+    batch: GemmBatch,
+    decision: TilingDecision,
+    batching: BatchingResult,
+) -> BatchSchedule:
+    """Assemble the five auxiliary arrays from a batching result.
+
+    Validates that the batching covers exactly the tiles the tiling
+    decision induces (every tile once, none invented).
+    """
+    expected = {
+        (t.gemm_index, t.y, t.x): t for t in enumerate_tiles(batch, decision)
+    }
+    seen: set[tuple[int, int, int]] = set()
+
+    offsets = [0]
+    gemm_ids: list[int] = []
+    strategy_ids: list[int] = []
+    ys: list[int] = []
+    xs: list[int] = []
+    ks: list[int] = []
+    for block in batching.blocks:
+        for tile in block:
+            key = (tile.gemm_index, tile.y, tile.x)
+            if key not in expected:
+                raise ValueError(f"batching refers to a tile not produced by tiling: {tile}")
+            if key in seen:
+                raise ValueError(f"batching assigns tile {tile} to more than one block")
+            seen.add(key)
+            gemm_ids.append(tile.gemm_index)
+            strategy_ids.append(tile.strategy_index)
+            ys.append(tile.y)
+            xs.append(tile.x)
+            ks.append(tile.k)
+        offsets.append(len(gemm_ids))
+    if len(seen) != len(expected):
+        missing = len(expected) - len(seen)
+        raise ValueError(f"batching leaves {missing} tiles unassigned")
+
+    strategies = [strategy_by_index(s) for s in set(strategy_ids)]
+    threads = decision.threads
+    for s in strategies:
+        if s.threads != threads:
+            raise ValueError(
+                f"strategy {s} violates the unified thread structure "
+                f"({s.threads} != {threads} threads)"
+            )
+    smem = max(s.shared_memory_bytes for s in strategies)
+    regs = max(s.registers_per_thread for s in strategies)
+
+    schedule = BatchSchedule(
+        tile_offsets=np.asarray(offsets, dtype=np.int32),
+        gemm_ids=np.asarray(gemm_ids, dtype=np.int32),
+        strategy_ids=np.asarray(strategy_ids, dtype=np.int32),
+        y_coords=np.asarray(ys, dtype=np.int32),
+        x_coords=np.asarray(xs, dtype=np.int32),
+        threads_per_block=threads,
+        shared_memory_bytes=smem,
+        registers_per_thread=regs,
+    )
+    object.__setattr__(schedule, "_slot_k", np.asarray(ks, dtype=np.int64))
+    return schedule

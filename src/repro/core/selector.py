@@ -1,0 +1,90 @@
+"""Online batching-heuristic selection via random forest (Section 5).
+
+For workloads whose batch composition varies call-to-call (so trying
+both heuristics offline is impossible), the paper trains a random
+forest to pick between threshold and binary batching from the features
+(average M, average N, average K, batch size).  The forest here is the
+from-scratch implementation in :mod:`repro.ml`.
+
+As an extension of the paper's future work, the selector generalizes
+to any candidate set: train with
+``train_default_selector(heuristics=("threshold", "binary",
+"greedy-packing", "balanced"))`` for a four-way policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import GemmBatch
+from repro.ml.random_forest import RandomForestClassifier
+
+#: The paper's class convention: 0 = threshold, 1 = binary.
+HEURISTIC_LABELS: tuple[str, str] = ("threshold", "binary")
+
+
+@dataclass
+class HeuristicSelector:
+    """A fitted forest plus the label decoding.
+
+    ``predict`` maps a batch to a heuristic name;
+    ``predict_proba`` exposes the summed leaf probabilities for
+    inspection and tests.  ``labels`` names the classes (defaults to
+    the paper's two heuristics).
+    """
+
+    forest: RandomForestClassifier
+    labels: tuple[str, ...] = HEURISTIC_LABELS
+
+    def predict(self, batch: GemmBatch) -> str:
+        """Choose a batching heuristic for the batch."""
+        label = int(self.forest.predict(batch.features()[None, :])[0])
+        return self.labels[label]
+
+    def predict_proba(self, batch: GemmBatch) -> np.ndarray:
+        """Per-heuristic probabilities, index-aligned with ``labels``."""
+        return self.forest.predict_proba(batch.features()[None, :])[0]
+
+    def mean_comparisons(self, batches: list[GemmBatch]) -> float:
+        """Average decision-path length over batches (paper: 7-8)."""
+        x = np.stack([b.features() for b in batches])
+        return self.forest.mean_decision_path_length(x)
+
+
+def train_default_selector(
+    device=None,
+    n_samples: int = 400,
+    seed: int = 0,
+    n_estimators: int = 16,
+    heuristics: tuple[str, ...] = HEURISTIC_LABELS,
+) -> HeuristicSelector:
+    """Train a selector the way the paper does.
+
+    Generates ``n_samples`` random batched-GEMM cases, times every
+    candidate heuristic on the simulated device, labels each sample
+    with the winner, and fits a random forest.  The paper used >400
+    samples and two candidates; both are the defaults here.
+    """
+    # Local import: ml.training needs the framework, which needs this
+    # module -- the lazy import breaks the cycle.
+    from repro.ml.training import generate_training_set
+    from repro.gpu.specs import VOLTA_V100
+
+    device = device or VOLTA_V100
+    x, y, _samples = generate_training_set(
+        device, n_samples=n_samples, seed=seed, heuristics=heuristics
+    )
+    forest = RandomForestClassifier(n_estimators=n_estimators, max_depth=8, seed=seed)
+    forest.fit(x, y)
+    if forest.n_classes_ < len(heuristics):
+        # One candidate never won in this sample; pad the forest's
+        # class count so every label stays addressable.
+        forest.n_classes_ = len(heuristics)
+        from repro.ml.random_forest import _pad_leaves
+
+        for tree in forest.trees_:
+            tree.n_classes_ = len(heuristics)
+            _pad_leaves(tree.root, len(heuristics))
+    return HeuristicSelector(forest=forest, labels=tuple(heuristics))

@@ -1,0 +1,138 @@
+"""Standalone schedule validation (linting without execution).
+
+``build_schedule`` guarantees its own output, but schedules also
+arrive from outside -- deserialized from :meth:`BatchSchedule.to_dict`
+payloads, or hand-constructed through the programming interface
+(Section 6 promises it can describe *any* scheme, which includes
+broken ones).  ``validate_schedule`` checks a schedule against a batch
+the way the device-side asserts of a debug kernel build would:
+coverage, bounds, footprint consistency -- and reports every problem,
+not just the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import GemmBatch
+from repro.core.schedule import BatchSchedule
+from repro.core.tiling import ALL_BATCHED_STRATEGIES, strategy_by_index
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one schedule against one batch."""
+
+    errors: tuple[str, ...]
+    warnings: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise ``ValueError`` listing every error, if any."""
+        if self.errors:
+            raise ValueError(
+                "invalid schedule:\n" + "\n".join(f"- {e}" for e in self.errors)
+            )
+
+
+def validate_schedule(schedule: BatchSchedule, batch: GemmBatch) -> ValidationReport:
+    """Check a schedule fully and safely against a batch.
+
+    Errors (schedule must not run): out-of-range GEMM or strategy ids,
+    coordinates outside the tile grid, K mismatches, thread-structure
+    violations, incomplete or duplicated output coverage, understated
+    fused footprint.  Warnings (legal but suspicious): bubble-free
+    invariants that hint at waste, e.g. blocks with very many tiles.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    n_gemms = len(batch)
+    seen: dict[tuple[int, int, int], int] = {}
+
+    for slot in range(schedule.num_tiles):
+        gi = int(schedule.gemm_ids[slot])
+        if not 0 <= gi < n_gemms:
+            errors.append(f"slot {slot}: gemm id {gi} out of range 0-{n_gemms - 1}")
+            continue
+        sid = int(schedule.strategy_ids[slot])
+        if not 0 <= sid < len(ALL_BATCHED_STRATEGIES):
+            errors.append(f"slot {slot}: strategy id {sid} out of range 0-11")
+            continue
+        strat = strategy_by_index(sid)
+        if strat.threads != schedule.threads_per_block:
+            errors.append(
+                f"slot {slot}: strategy {strat} breaks the unified thread "
+                f"structure ({strat.threads} != {schedule.threads_per_block})"
+            )
+        if strat.shared_memory_bytes > schedule.shared_memory_bytes:
+            errors.append(
+                f"slot {slot}: fused shared-memory footprint "
+                f"{schedule.shared_memory_bytes} understates strategy {strat} "
+                f"({strat.shared_memory_bytes})"
+            )
+        if strat.registers_per_thread > schedule.registers_per_thread:
+            errors.append(
+                f"slot {slot}: fused register footprint understates strategy {strat}"
+            )
+        gemm = batch[gi]
+        rows, cols = strat.tiles_for(gemm)
+        y, x = int(schedule.y_coords[slot]), int(schedule.x_coords[slot])
+        if not (0 <= y < rows and 0 <= x < cols):
+            errors.append(
+                f"slot {slot}: tile ({y},{x}) outside GEMM {gi}'s {rows}x{cols} grid"
+            )
+            continue
+        if schedule._tile_k(slot) != gemm.k:
+            errors.append(
+                f"slot {slot}: stored K {schedule._tile_k(slot)} != GEMM {gi}'s "
+                f"K {gemm.k}"
+            )
+        key = (gi, y, x)
+        if key in seen:
+            errors.append(
+                f"slot {slot}: tile {key} already computed by slot {seen[key]}"
+            )
+        else:
+            seen[key] = slot
+
+    # Full-coverage check: with consistent per-GEMM strategies, every
+    # grid cell must appear exactly once.
+    if not errors:
+        per_gemm_strats: dict[int, set[int]] = {}
+        for slot in range(schedule.num_tiles):
+            per_gemm_strats.setdefault(int(schedule.gemm_ids[slot]), set()).add(
+                int(schedule.strategy_ids[slot])
+            )
+        for gi, strat_ids in per_gemm_strats.items():
+            if len(strat_ids) > 1:
+                errors.append(
+                    f"GEMM {gi}: mixed strategies {sorted(strat_ids)} within one GEMM"
+                )
+        for gi in range(n_gemms):
+            if gi not in per_gemm_strats:
+                errors.append(f"GEMM {gi}: no tiles scheduled")
+                continue
+            if len(per_gemm_strats[gi]) != 1:
+                continue
+            strat = strategy_by_index(next(iter(per_gemm_strats[gi])))
+            rows, cols = strat.tiles_for(batch[gi])
+            have = sum(1 for (g, _y, _x) in seen if g == gi)
+            if have != rows * cols:
+                errors.append(
+                    f"GEMM {gi}: {have} tiles scheduled, grid needs {rows * cols}"
+                )
+
+    # Heuristic warnings.
+    sizes = np.diff(schedule.tile_offsets)
+    if sizes.max(initial=0) >= 32:
+        warnings.append(
+            f"a block carries {int(sizes.max())} tiles; such monster blocks "
+            "serialize badly (see the threshold-batching ablation)"
+        )
+    return ValidationReport(errors=tuple(errors), warnings=tuple(warnings))

@@ -1,0 +1,35 @@
+"""Experiment drivers, one per table/figure of the paper's Section 7.
+
+Each driver exposes a ``run_*`` function returning structured results
+(consumed by the benchmark suite and EXPERIMENTS.md) and a ``main``
+that prints the same rows/series the paper reports.  The CLI entry
+point ``repro-experiments`` (see :mod:`repro.experiments.runner`) runs
+any of them by name.
+"""
+
+from repro.experiments.fig8_tiling import run_fig8, Fig8Cell
+from repro.experiments.fig9_batching import run_fig9, Fig9Cell
+from repro.experiments.fig10_googlenet import run_fig10, Fig10Result
+from repro.experiments.fig11_arch import run_fig11, Fig11Result
+from repro.experiments.ablations import run_ablations
+from repro.experiments.robustness import run_robustness, RobustnessRow
+from repro.experiments.fanstudy import run_fanstudy, FanResult
+from repro.experiments.batchsize_study import run_batchsize_study, BatchSizeRow
+
+__all__ = [
+    "run_fig8",
+    "Fig8Cell",
+    "run_fig9",
+    "Fig9Cell",
+    "run_fig10",
+    "Fig10Result",
+    "run_fig11",
+    "Fig11Result",
+    "run_ablations",
+    "run_robustness",
+    "RobustnessRow",
+    "run_fanstudy",
+    "FanResult",
+    "run_batchsize_study",
+    "BatchSizeRow",
+]

@@ -1,0 +1,95 @@
+"""DNN batch-size sensitivity of the GoogleNet case study.
+
+The paper's introduction argues batching the *network's* batch
+dimension does not rescue small GEMMs: "even though we increase batch
+size, M and K is still small" (N grows, M and K stay fixed).  This
+study sweeps the inference batch size and measures (a) whether the
+framework's advantage over MAGMA persists and (b) how per-GEMM
+efficiency evolves -- quantifying the introduction's claim on the
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import achieved_tflops, geomean
+from repro.analysis.report import format_table
+from repro.baselines.magma_vbatch import simulate_magma_vbatch
+from repro.core.framework import CoordinatedFramework
+from repro.gpu.specs import DeviceSpec, VOLTA_V100
+from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+
+
+@dataclass(frozen=True)
+class BatchSizeRow:
+    """One (module, batch size) measurement."""
+
+    module: str
+    batch_size: int
+    ours_ms: float
+    magma_ms: float
+    tflops: float
+
+    @property
+    def speedup(self) -> float:
+        return self.magma_ms / self.ours_ms
+
+
+def run_batchsize_study(
+    device: DeviceSpec = VOLTA_V100,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    modules: tuple[str, ...] = ("inception3a", "inception4a", "inception5b"),
+) -> list[BatchSizeRow]:
+    """Sweep inference batch sizes over selected inception modules."""
+    framework = CoordinatedFramework(device=device)
+    by_name = {m.name: m for m in GOOGLENET_INCEPTIONS}
+    rows = []
+    for name in modules:
+        module = by_name[name]
+        for bs in batch_sizes:
+            batch = inception_branch_batch(module, batch_size=bs)
+            ours = framework.simulate(batch, heuristic="best")
+            magma = simulate_magma_vbatch(batch, device)
+            rows.append(
+                BatchSizeRow(
+                    module=name,
+                    batch_size=bs,
+                    ours_ms=ours.time_ms,
+                    magma_ms=magma.time_ms,
+                    tflops=achieved_tflops(batch, ours.time_ms),
+                )
+            )
+    return rows
+
+
+def print_report(rows: list[BatchSizeRow]) -> str:
+    """Render the sweep as a table plus per-batch-size geomeans."""
+    lines = ["GoogleNet inference batch-size sensitivity", ""]
+    lines.append(
+        format_table(
+            ["module", "batch", "ours (ms)", "speedup vs MAGMA", "TFlops"],
+            [[r.module, r.batch_size, r.ours_ms, r.speedup, r.tflops] for r in rows],
+        )
+    )
+    lines.append("")
+    per_bs = {}
+    for r in rows:
+        per_bs.setdefault(r.batch_size, []).append(r.speedup)
+    for bs in sorted(per_bs):
+        lines.append(f"batch {bs:3d}: geomean speedup {geomean(per_bs[bs]):.2f}X")
+    lines.append(
+        "\nThe paper's point: growing the DNN batch grows only N; the GEMMs "
+        "stay skinny (M fixed at the filter counts), so batching them "
+        "remains profitable."
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print this experiment's report (the CLI entry body)."""
+    print(print_report(run_batchsize_study()))
+
+
+if __name__ == "__main__":
+    main()

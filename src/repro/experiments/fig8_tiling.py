@@ -1,0 +1,123 @@
+"""Figure 8: contribution of the tiling engine alone.
+
+The paper's Figure 8 is a 2-D array of histograms -- one per
+(batch size, M=N) pair, K on the X axis -- showing the speedup of the
+tiling engine (one tile per block, no batching) over MAGMA vbatch.
+Reported result: about 1.20X on average, with the benefit shrinking as
+the batch size or M=N grow, and the K-sensitivity shrinking as M, N
+and B grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import geomean, summarize_speedups
+from repro.analysis.report import format_histogram_row
+from repro.baselines.magma_vbatch import simulate_magma_vbatch
+from repro.core.framework import CoordinatedFramework
+from repro.gpu.specs import DeviceSpec, VOLTA_V100
+from repro.workloads.synthetic import (
+    FIG8_BATCH_SIZES,
+    FIG8_K_VALUES,
+    FIG8_MN_VALUES,
+    fig8_grid,
+)
+
+
+@dataclass(frozen=True)
+class Fig8Cell:
+    """One grid cell: a (M=N, K, B) case and both timings."""
+
+    mn: int
+    k: int
+    batch_size: int
+    ours_ms: float
+    magma_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.magma_ms / self.ours_ms
+
+
+def run_fig8(
+    device: DeviceSpec = VOLTA_V100,
+    batch_sizes: tuple[int, ...] = FIG8_BATCH_SIZES,
+    mn_values: tuple[int, ...] = FIG8_MN_VALUES,
+    k_values: tuple[int, ...] = FIG8_K_VALUES,
+) -> list[Fig8Cell]:
+    """Run the tiling-engine-only comparison over the grid."""
+    framework = CoordinatedFramework(device=device)
+    cells = []
+    for case in fig8_grid(batch_sizes, mn_values, k_values):
+        ours = framework.tiling_only_simulate(case.batch)
+        magma = simulate_magma_vbatch(case.batch, device)
+        cells.append(
+            Fig8Cell(
+                mn=case.mn,
+                k=case.k,
+                batch_size=case.batch_size,
+                ours_ms=ours.time_ms,
+                magma_ms=magma.time_ms,
+            )
+        )
+    return cells
+
+
+def print_report(cells: list[Fig8Cell]) -> str:
+    """Render the histogram grid and the summary the paper quotes."""
+    lines = ["Figure 8 -- tiling engine speedup over MAGMA vbatch", ""]
+    mns = sorted({c.mn for c in cells})
+    bs = sorted({c.batch_size for c in cells})
+    for mn in mns:
+        for b in bs:
+            row = {c.k: c.speedup for c in cells if c.mn == mn and c.batch_size == b}
+            lines.append(format_histogram_row(f"[M=N={mn}, B={b}]", row))
+            lines.append("")
+    summary = summarize_speedups([c.speedup for c in cells])
+    lines.append(f"overall: {summary}")
+    lines.append(f"paper reports: about 1.20X on average")
+    return "\n".join(lines)
+
+
+def trend_checks(cells: list[Fig8Cell]) -> dict[str, bool]:
+    """The paper's two observations, as checkable predicates.
+
+    1. With M, N, K fixed, the benefit decreases as batch size grows.
+    2. With B fixed, the benefit decreases as M and N grow.
+    Checked on geomeans over K (monotone in the aggregate, not cellwise).
+    """
+    mns = sorted({c.mn for c in cells})
+    bs = sorted({c.batch_size for c in cells})
+
+    def gm(mn=None, b=None):
+        sel = [
+            c.speedup
+            for c in cells
+            if (mn is None or c.mn == mn) and (b is None or c.batch_size == b)
+        ]
+        return geomean(sel)
+
+    by_batch = [gm(b=b) for b in bs]
+    by_mn = [gm(mn=mn) for mn in mns]
+    return {
+        "benefit_decreases_with_batch": all(
+            by_batch[i] >= by_batch[i + 1] - 1e-9 for i in range(len(by_batch) - 1)
+        ),
+        "benefit_decreases_with_mn": all(
+            by_mn[i] >= by_mn[i + 1] - 1e-9 for i in range(len(by_mn) - 1)
+        ),
+    }
+
+
+def main() -> None:
+    """Print this experiment's report (the CLI entry body)."""
+    cells = run_fig8()
+    print(print_report(cells))
+    print()
+    for name, ok in trend_checks(cells).items():
+        print(f"trend {name}: {'PASS' if ok else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

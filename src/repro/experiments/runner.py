@@ -1,0 +1,64 @@
+"""CLI entry point: ``repro-experiments <name>``.
+
+Runs one experiment driver (or all of them) and prints the same
+rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    batchsize_study,
+    fanstudy,
+    fig8_tiling,
+    fig9_batching,
+    fig10_googlenet,
+    fig11_arch,
+    robustness,
+)
+
+_EXPERIMENTS = {
+    "fig8": (fig8_tiling.main, "Figure 8: tiling engine vs MAGMA"),
+    "fig9": (fig9_batching.main, "Figure 9: full framework vs MAGMA"),
+    "fig10": (fig10_googlenet.main, "Figure 10 / Section 7.3: GoogleNet"),
+    "fig11": (fig11_arch.main, "Figure 11: architecture sensitivity"),
+    "ablations": (ablations.main, "AB1-AB6 design-choice ablations"),
+    "robustness": (robustness.main, "cost-model perturbation study"),
+    "fanstudy": (fanstudy.main, "fan structures across CNN families"),
+    "batchsize": (batchsize_study.main, "DNN batch-size sensitivity"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse the CLI arguments and run the selected experiment(s)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's evaluation tables and figures.",
+        epilog="experiments: "
+        + "; ".join(f"{k} = {desc}" for k, (_f, desc) in sorted(_EXPERIMENTS.items())),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('list' prints the catalogue)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(f"{name:12s} {_EXPERIMENTS[name][1]}")
+        return 0
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name}: {_EXPERIMENTS[name][1]} ===")
+        _EXPERIMENTS[name][0]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

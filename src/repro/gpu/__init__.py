@@ -1,0 +1,66 @@
+"""GPU execution substrate: device specs, occupancy, cost model, simulator.
+
+This subpackage replaces the physical GPUs used in the paper (NVIDIA
+Volta V100, three Pascal parts, and two Maxwell parts) with an
+analytical execution model.  It provides:
+
+* :mod:`repro.gpu.specs` -- per-architecture device descriptions,
+* :mod:`repro.gpu.occupancy` -- the CUDA occupancy calculation
+  (resident blocks per SM limited by registers, shared memory,
+  threads, and the block slot count),
+* :mod:`repro.gpu.costmodel` -- a per-thread-block cycle cost model
+  capturing the mechanisms the paper's framework exploits (TLP-driven
+  latency hiding, ILP-driven pipeline fill, idle-thread waste, bubble
+  blocks),
+* :mod:`repro.gpu.simulator` -- a wave-based scheduler that places
+  blocks onto SMs and returns kernel execution time,
+* :mod:`repro.gpu.calibration` -- the offline TLP-threshold procedure
+  described in Section 4.2.3 of the paper.
+"""
+
+from repro.gpu.specs import (
+    DeviceSpec,
+    get_device,
+    list_devices,
+    VOLTA_V100,
+    PASCAL_P100,
+    PASCAL_1080TI,
+    PASCAL_TITANXP,
+    MAXWELL_M60,
+    MAXWELL_TITANX,
+)
+from repro.gpu.occupancy import OccupancyResult, occupancy
+from repro.gpu.costmodel import BlockWork, SmContext, TileWork, block_cycles
+from repro.gpu.simulator import (
+    KernelLaunch,
+    SimulationResult,
+    simulate_kernel,
+    simulate_stream_serial,
+    simulate_streams_concurrent,
+)
+from repro.gpu.calibration import calibrate_tlp_threshold, validation_calibrate_tlp_threshold
+
+__all__ = [
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "VOLTA_V100",
+    "PASCAL_P100",
+    "PASCAL_1080TI",
+    "PASCAL_TITANXP",
+    "MAXWELL_M60",
+    "MAXWELL_TITANX",
+    "OccupancyResult",
+    "occupancy",
+    "BlockWork",
+    "SmContext",
+    "TileWork",
+    "block_cycles",
+    "KernelLaunch",
+    "SimulationResult",
+    "simulate_kernel",
+    "simulate_stream_serial",
+    "simulate_streams_concurrent",
+    "calibrate_tlp_threshold",
+    "validation_calibrate_tlp_threshold",
+]

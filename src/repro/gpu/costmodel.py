@@ -1,0 +1,381 @@
+"""Per-thread-block cycle cost model.
+
+This is the analytic stand-in for GPU silicon.  It prices one thread
+block's execution in SM cycles given the *context* the block runs in
+(how many blocks share each SM and what slice of DRAM bandwidth the
+block gets).  The model captures exactly the mechanisms the paper's
+framework trades against each other:
+
+* **Throughput terms.**  Each main-loop iteration (Figure 2) moves
+  ``(BY*BK + BK*BX)*4`` bytes through DRAM and performs ``BY*BX*BK``
+  FMAs; with ``R`` co-resident blocks, the block's fair share of FMA
+  lanes and issue slots shrinks by ``R``; bandwidth is shared across
+  every concurrently running block on the device.
+* **Memory-level parallelism (Little's law).**  A block cannot consume
+  more bandwidth than its in-flight requests sustain: ``warps x
+  loads-in-flight-per-warp x request size / latency``.  A sparse
+  launch therefore cannot saturate DRAM no matter how large its fair
+  share -- the low-TLP pathology the tiling engine's threshold guards
+  against.
+* **Pipeline-fill (ILP).**  The first A/B tile load of a block is
+  fully exposed (software pipelining has nothing to overlap with);
+  later tiles of the *same* block prefetch under the previous tile's
+  main loop and pay only a small switch cost.  This is the mechanism
+  the batching engine exploits for small-K tiles, amortizing one
+  exposed round trip plus one dispatch across several tiles.
+* **Idle threads.**  A tile computed by fewer threads than the block
+  allocates (the non-unified thread structure of Figure 3(b)) issues
+  work and sustains memory traffic from its active warps only, while
+  the block's full footprint still counts against occupancy.
+* **Bubble blocks** (MAGMA's rectangular ``gridDim.z`` expansion)
+  carry no tiles and cost one dispatch.
+
+All constants are per-device (:class:`repro.gpu.specs.DeviceSpec`) or
+module-level and documented; ``repro.gpu.calibration`` ties them to
+the paper's offline threshold procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tiling import TilingStrategy
+from repro.gpu.specs import DeviceSpec
+
+#: Cycles to switch a persistent block from one tile to the next when
+#: the next tile's first loads were prefetched under the current tile.
+TILE_SWITCH_CYCLES = 32
+
+#: Fixed epilogue drain cycles per tile (C writeback bookkeeping).
+EPILOGUE_CONST_CYCLES = 24
+
+#: Auxiliary (address/loop) instructions per thread per iteration.
+AUX_INSTS_PER_ITER = 4
+
+#: Floats per vectorized shared-memory load.
+SMEM_VECTOR_WIDTH = 4
+
+#: Floats per vectorized global load (the paper's 16-byte Load_width).
+GMEM_VECTOR_WIDTH = 4
+
+#: Pipeline fill cost of a block's first tile, in units of one
+#: steady-state iteration.  The Figure 2 kernel is a 3-4 stage
+#: software pipeline (global->shared, shared->register, compute, each
+#: double-buffered); the ramp until every stage is busy costs a few
+#: iterations beyond the exposed memory round trip.  Subsequent tiles
+#: of the same block prefetch under the previous tile's main loop and
+#: skip the ramp -- the ILP the batching engine recovers for small-K
+#: tiles (calibrated against the paper's batching-engine contribution,
+#: Figure 9).
+PIPELINE_FILL_ITERS = 4.0
+
+#: Instruction-count compression of FP16 tensor-core math: one HMMA
+#: instruction covers many scalar FMAs, shrinking issue pressure.
+TENSOR_CORE_ISSUE_COMPRESSION = 8.0
+
+
+@dataclass(frozen=True)
+class TileWork:
+    """One tile's workload as seen by the cost model.
+
+    ``strategy`` fixes the tile geometry; ``k`` is the reduction depth
+    (the tile's GEMM's K); ``active_threads`` is how many of the
+    block's threads participate -- fewer than the block allocation
+    models the idle-thread pathology of a non-unified thread structure.
+    """
+
+    strategy: TilingStrategy
+    k: int
+    active_threads: int = 0  # 0 means "strategy.threads"
+    precision: str = "fp32"
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"tile depth k must be positive, got {self.k}")
+        if self.active_threads < 0:
+            raise ValueError("active_threads must be non-negative")
+        if self.precision not in ("fp32", "fp16"):
+            raise ValueError(f"precision must be 'fp32' or 'fp16', got {self.precision!r}")
+
+    @property
+    def threads(self) -> int:
+        return self.active_threads or self.strategy.threads
+
+    @property
+    def n_iterations(self) -> int:
+        """Main-loop trip count: ceil(K / BK)."""
+        return -(-self.k // self.strategy.bk)
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes per matrix element for the tile's precision."""
+        return 2 if self.precision == "fp16" else 4
+
+    @property
+    def bytes_per_iteration(self) -> int:
+        """DRAM bytes staged per iteration (A tile + B tile)."""
+        s = self.strategy
+        return (s.by * s.bk + s.bk * s.bx) * self.element_bytes
+
+    @property
+    def fmas_per_iteration(self) -> int:
+        """FMA operations per iteration for the whole tile."""
+        s = self.strategy
+        return s.by * s.bx * s.bk
+
+    @property
+    def gmem_loads_per_thread_per_iteration(self) -> float:
+        """Equation 2: vectorized global loads per thread per iteration."""
+        s = self.strategy
+        return (s.by * s.bk + s.bk * s.bx) / (GMEM_VECTOR_WIDTH * self.threads)
+
+    @property
+    def insts_per_thread_per_iteration(self) -> float:
+        """Per-thread instruction count of one main-loop iteration.
+
+        FMAs (Eq. 3 per iteration), vectorized shared-memory fragment
+        loads, vectorized global loads (Eq. 2), and auxiliary
+        arithmetic.
+        """
+        s = self.strategy
+        t = self.threads
+        fma = s.by * s.bx * s.bk / t
+        smem = (s.by * s.bk + s.bk * s.bx) / (SMEM_VECTOR_WIDTH * t)
+        return fma + smem + self.gmem_loads_per_thread_per_iteration + AUX_INSTS_PER_ITER
+
+    @property
+    def active_warps(self) -> int:
+        return -(-self.threads // 32)
+
+    @property
+    def epilogue_bytes(self) -> int:
+        """C-tile writeback traffic."""
+        s = self.strategy
+        return s.by * s.bx * self.element_bytes
+
+    def little_bw_bytes_per_cycle(self, device: DeviceSpec) -> float:
+        """Little's-law bandwidth ceiling of this tile's memory stream.
+
+        Each active warp keeps about ``device.mlp_bytes_per_warp``
+        bytes in flight (issue serialization, iteration barriers and
+        address dependencies keep this well below the architectural
+        maximum), scaled up when a thread issues several independent
+        global loads per iteration (heavier sub-tiles expose more
+        memory-level parallelism per warp -- the per-thread ILP the
+        128-thread strategy pool trades threads for).  Dividing by the
+        round-trip latency gives the bandwidth this block can sustain
+        on its own.  A sparse launch is therefore bandwidth-starved no
+        matter how large its fair share -- the low-TLP pathology the
+        framework fights.
+        """
+        ilp_scale = 0.5 + 0.5 * self.gmem_loads_per_thread_per_iteration
+        in_flight = self.active_warps * device.mlp_bytes_per_warp * ilp_scale
+        return in_flight / device.mem_latency_cycles
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """One thread block: its resource footprint plus the tiles it runs.
+
+    ``threads`` / ``registers_per_thread`` / ``shared_memory_bytes``
+    describe the *allocated* footprint used for occupancy (in a fused
+    kernel these are the maxima over every strategy the kernel may
+    execute).  An empty ``tiles`` tuple is a bubble block.
+    """
+
+    threads: int
+    registers_per_thread: int
+    shared_memory_bytes: int
+    tiles: tuple[TileWork, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError(f"threads must be positive, got {self.threads}")
+        if self.registers_per_thread <= 0:
+            raise ValueError("registers_per_thread must be positive")
+        if self.shared_memory_bytes < 0:
+            raise ValueError("shared_memory_bytes must be non-negative")
+
+    @property
+    def is_bubble(self) -> bool:
+        return not self.tiles
+
+    @property
+    def warps(self) -> int:
+        return -(-self.threads // 32)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(t.n_iterations for t in self.tiles)
+
+    @property
+    def total_fmas(self) -> int:
+        return sum(t.fmas_per_iteration * t.n_iterations for t in self.tiles)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(
+            t.bytes_per_iteration * t.n_iterations + t.epilogue_bytes for t in self.tiles
+        )
+
+
+@dataclass(frozen=True)
+class SmContext:
+    """The sharing context a block executes under.
+
+    ``resident_blocks`` -- blocks co-resident on the SM (>= 1); scales
+    the block's FMA-lane and issue-slot shares.
+    ``bw_bytes_per_cycle`` -- the block's fair share of device DRAM
+    bandwidth given how many blocks run concurrently device-wide.
+    ``l2_bw_bytes_per_cycle`` -- the block's fair share of L2
+    bandwidth.
+    ``l2_hit_fraction`` -- fraction of the kernel's A/B tile traffic
+    served from L2 (redundant re-loads of a working set that fits);
+    computed per launch by the simulator from the batch footprint.
+    """
+
+    resident_blocks: int
+    bw_bytes_per_cycle: float
+    l2_bw_bytes_per_cycle: float = 1.0
+    l2_hit_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resident_blocks < 1:
+            raise ValueError("resident_blocks must be >= 1")
+        if self.bw_bytes_per_cycle <= 0:
+            raise ValueError("bw_bytes_per_cycle must be positive")
+        if self.l2_bw_bytes_per_cycle <= 0:
+            raise ValueError("l2_bw_bytes_per_cycle must be positive")
+        if not 0.0 <= self.l2_hit_fraction <= 1.0:
+            raise ValueError("l2_hit_fraction must be within [0, 1]")
+
+
+def effective_dram_bandwidth(
+    device: DeviceSpec, tile: TileWork, ctx: SmContext
+) -> float:
+    """DRAM bandwidth this tile's stream actually sustains.
+
+    The smaller of the fair share (contention) and the Little's-law
+    ceiling (a lone block cannot keep DRAM busy).
+    """
+    return min(ctx.bw_bytes_per_cycle, tile.little_bw_bytes_per_cycle(device))
+
+
+def effective_l2_bandwidth(device: DeviceSpec, tile: TileWork, ctx: SmContext) -> float:
+    """L2 bandwidth this tile's stream sustains (same MLP, lower latency)."""
+    little = (
+        tile.little_bw_bytes_per_cycle(device)
+        * device.mem_latency_cycles
+        / device.l2_latency_cycles
+    )
+    return min(ctx.l2_bw_bytes_per_cycle, little)
+
+
+def memory_cycles_per_iteration(
+    device: DeviceSpec, tile: TileWork, ctx: SmContext, include_stores: bool = True
+) -> float:
+    """Cycles the memory system needs per main-loop iteration.
+
+    The iteration's A/B traffic splits into an L2-served fraction and
+    a DRAM-served remainder; the two streams pipeline, so the slower
+    one bounds the iteration.  The C writeback is fire-and-forget
+    streaming DRAM traffic: it does not serialize the block (the SM
+    retires the block while stores drain) but its bandwidth demand is
+    spread over the tile's iterations.
+    """
+    hit = ctx.l2_hit_fraction
+    store_bytes = (tile.epilogue_bytes / tile.n_iterations) if include_stores else 0.0
+    dram_bytes = (1.0 - hit) * tile.bytes_per_iteration + store_bytes
+    l2_bytes = hit * tile.bytes_per_iteration
+    dram = dram_bytes / effective_dram_bandwidth(device, tile, ctx)
+    l2 = l2_bytes / effective_l2_bandwidth(device, tile, ctx)
+    return max(dram, l2)
+
+
+def iteration_cycles(
+    device: DeviceSpec, tile: TileWork, ctx: SmContext, include_stores: bool = True
+) -> float:
+    """Steady-state cycles per main-loop iteration of one tile.
+
+    Bound by the slowest of three resources: the block's FMA-lane
+    share, its achievable memory bandwidth, and its warp-issue demand.
+    ``include_stores=False`` prices the A/B pipeline alone (used for
+    the pipeline-fill prologue, which the C writeback is not part of).
+    """
+    r = ctx.resident_blocks
+    lanes = (
+        device.fp16_fma_per_sm if tile.precision == "fp16" else device.fma_lanes_per_sm
+    )
+    compute = tile.fmas_per_iteration / (lanes / r)
+    memory = memory_cycles_per_iteration(device, tile, ctx, include_stores=include_stores)
+    # Warps issue roughly one instruction per scheduler slot per cycle;
+    # R blocks share the SM's schedulers.  Tensor-core FP16 math packs
+    # many FMAs per instruction, shrinking issue pressure.
+    issue = (
+        tile.active_warps
+        * tile.insts_per_thread_per_iteration
+        * r
+        / device.warp_schedulers_per_sm
+    )
+    if tile.precision == "fp16" and device.tensor_core_fp16_fma_per_sm > 0:
+        issue /= TENSOR_CORE_ISSUE_COMPRESSION
+    return max(compute, memory, issue)
+
+
+def tile_cycles(
+    device: DeviceSpec, tile: TileWork, ctx: SmContext, first_in_block: bool
+) -> float:
+    """Cycles for one tile: prologue + main loop + epilogue.
+
+    The first tile of a block pays a fully exposed prologue -- one
+    memory round trip plus roughly one iteration of pipeline ramp.
+    Subsequent tiles were prefetched under the previous tile's main
+    loop and pay only the switch cost -- the ILP benefit the batching
+    engine buys, largest exactly when K is small and the ramp is a big
+    fraction of the tile's work.
+    """
+    t_iter = iteration_cycles(device, tile, ctx)
+    if first_in_block:
+        ramp = iteration_cycles(device, tile, ctx, include_stores=False)
+        prologue = device.mem_latency_cycles + PIPELINE_FILL_ITERS * ramp
+    else:
+        prologue = TILE_SWITCH_CYCLES
+    main = tile.n_iterations * t_iter
+    # Store *time* is folded into the iteration stream (see
+    # memory_cycles_per_iteration); only the bookkeeping drain is
+    # serial here.
+    return float(prologue + main + EPILOGUE_CONST_CYCLES)
+
+
+def l2_hit_fraction(
+    device: DeviceSpec,
+    compulsory_ab_bytes: float | None,
+    traffic_ab_bytes: float,
+) -> float:
+    """Fraction of a kernel's A/B traffic served from L2.
+
+    ``compulsory_ab_bytes`` is the batch's unique A/B footprint (each
+    operand read once from DRAM no matter the tiling);
+    ``traffic_ab_bytes`` the total tile traffic the chosen tiling
+    induces.  The redundant fraction ``1 - compulsory/traffic`` hits L2
+    to the extent the footprint fits (``l2_size / compulsory``, capped
+    at 1).  ``None`` footprint (unknown workload) disables L2 credit.
+    """
+    if compulsory_ab_bytes is None or compulsory_ab_bytes <= 0 or traffic_ab_bytes <= 0:
+        return 0.0
+    redundant = max(0.0, 1.0 - compulsory_ab_bytes / traffic_ab_bytes)
+    coverage = min(1.0, device.l2_size_bytes / compulsory_ab_bytes)
+    return redundant * coverage
+
+
+def block_cycles(device: DeviceSpec, block: BlockWork, ctx: SmContext) -> float:
+    """Total cycles one block occupies its SM slot.
+
+    A bubble block costs one dispatch.  A working block costs dispatch
+    plus the sum of its tiles' costs, the first tile paying the exposed
+    pipeline-fill prologue.
+    """
+    total = float(device.block_dispatch_cycles)
+    for i, tile in enumerate(block.tiles):
+        total += tile_cycles(device, tile, ctx, first_in_block=(i == 0))
+    return total

@@ -1,0 +1,139 @@
+"""CUDA occupancy calculation.
+
+How many thread blocks of a given resource footprint can be resident on
+one SM simultaneously?  Residency is the minimum over four architectural
+limits: registers, shared memory, threads, and block slots.  The answer
+feeds the cost model's latency-hiding term (more resident warps hide
+more memory latency) and its bandwidth-sharing term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import DeviceSpec
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency of one block shape on one SM.
+
+    ``blocks_per_sm`` is the headline number.  The ``limited_by`` field
+    names the binding constraint, which the ablation benchmarks use to
+    explain *why* a tiling strategy saturates.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    limited_by: str
+    register_limit: int
+    shared_memory_limit: int
+    thread_limit: int
+    block_slot_limit: int
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Resident threads as a fraction of the device maximum (0 if none)."""
+        return self.threads_per_sm / self._max_threads if self._max_threads else 0.0
+
+    # Stashed by occupancy(); frozen dataclass workaround via object.__setattr__.
+    _max_threads: int = 0
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_memory_per_block: int,
+) -> OccupancyResult:
+    """Compute how many blocks of the given shape fit on one SM.
+
+    Parameters
+    ----------
+    device:
+        The target device specification.
+    threads_per_block:
+        Number of threads in the block (must be a positive multiple of
+        nothing in particular -- partial warps round up to whole warps).
+    registers_per_thread:
+        32-bit registers each thread uses.  Values above the
+        architectural cap raise ``ValueError`` (real compilers spill; the
+        kernels modeled here never exceed the cap).
+    shared_memory_per_block:
+        Bytes of shared memory the block allocates.
+
+    Returns
+    -------
+    OccupancyResult
+        With ``blocks_per_sm == 0`` when a single block exceeds an SM's
+        resources (an unlaunchable configuration).
+    """
+    if threads_per_block <= 0:
+        raise ValueError(f"threads_per_block must be positive, got {threads_per_block}")
+    if registers_per_thread <= 0:
+        raise ValueError(f"registers_per_thread must be positive, got {registers_per_thread}")
+    if registers_per_thread > device.max_registers_per_thread:
+        raise ValueError(
+            f"registers_per_thread={registers_per_thread} exceeds the device cap "
+            f"of {device.max_registers_per_thread}"
+        )
+    if shared_memory_per_block < 0:
+        raise ValueError("shared_memory_per_block must be non-negative")
+    if shared_memory_per_block > device.max_shared_memory_per_block:
+        # One block asking for more shared memory than the per-block cap
+        # can never launch.
+        return _zero_result(device, limited_by="shared_memory")
+
+    warps_per_block = -(-threads_per_block // device.warp_size)
+    # Register allocation granularity: whole warps.
+    regs_per_block = warps_per_block * device.warp_size * registers_per_thread
+
+    register_limit = device.registers_per_sm // regs_per_block if regs_per_block else device.max_blocks_per_sm
+    if shared_memory_per_block > 0:
+        shared_limit = device.shared_memory_per_sm // shared_memory_per_block
+    else:
+        # No shared memory requested: cannot be the binding constraint.
+        shared_limit = device.max_blocks_per_sm + 1
+    thread_limit = device.max_threads_per_sm // (warps_per_block * device.warp_size)
+    slot_limit = device.max_blocks_per_sm
+
+    limits = {
+        "registers": register_limit,
+        "shared_memory": shared_limit,
+        "threads": thread_limit,
+        "block_slots": slot_limit,
+    }
+    blocks = min(limits.values())
+    if blocks <= 0:
+        binding = min(limits, key=limits.get)  # type: ignore[arg-type]
+        return _zero_result(device, limited_by=binding)
+
+    binding = min(limits, key=limits.get)  # type: ignore[arg-type]
+    result = OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=blocks * warps_per_block,
+        threads_per_sm=blocks * warps_per_block * device.warp_size,
+        limited_by=binding,
+        register_limit=register_limit,
+        shared_memory_limit=shared_limit,
+        thread_limit=thread_limit,
+        block_slot_limit=slot_limit,
+    )
+    object.__setattr__(result, "_max_threads", device.max_threads_per_sm)
+    return result
+
+
+def _zero_result(device: DeviceSpec, limited_by: str) -> OccupancyResult:
+    result = OccupancyResult(
+        blocks_per_sm=0,
+        warps_per_sm=0,
+        threads_per_sm=0,
+        limited_by=limited_by,
+        register_limit=0,
+        shared_memory_limit=0,
+        thread_limit=0,
+        block_slot_limit=device.max_blocks_per_sm,
+    )
+    object.__setattr__(result, "_max_threads", device.max_threads_per_sm)
+    return result

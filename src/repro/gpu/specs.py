@@ -1,0 +1,306 @@
+"""Device specifications for the GPU architectures evaluated in the paper.
+
+The paper evaluates on six NVIDIA GPUs: Volta V100 (the primary
+platform), Tesla P100, GTX 1080 Ti, Titan Xp (Pascal), and Tesla M60 and
+GTX Titan X (Maxwell).  A :class:`DeviceSpec` captures everything the
+occupancy calculator, the cost model, and the tiling/batching algorithms
+need to know about a device.
+
+Numbers follow the public CUDA programming guide / vendor datasheets.
+The latency and overhead figures are cost-model parameters, chosen so
+that the simulated device exhibits the qualitative behaviour the paper
+relies on (a huge GEMM approaches peak FLOPS, small kernels are
+launch/latency bound).  Absolute cycle counts are not meant to match
+silicon; ratios between execution strategies are what the reproduction
+preserves (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A GPU device description used by the simulator and the framework.
+
+    Attributes mirror the CUDA hardware model:
+
+    * ``num_sms`` -- number of streaming multiprocessors.
+    * ``clock_ghz`` -- SM clock in GHz; converts cycles to seconds.
+    * ``fma_lanes_per_sm`` -- FP32 FMA lanes per SM (CUDA "cores").
+    * ``tensor_core_fp16_fma_per_sm`` -- FP16 FMA throughput per SM per
+      cycle through Tensor Cores (0 on pre-Volta parts); devices
+      without Tensor Cores still run FP16 at 2x the FP32 rate (half2
+      math).
+    * ``registers_per_sm`` -- 32-bit registers per SM.
+    * ``max_registers_per_thread`` -- architectural per-thread cap.
+    * ``shared_memory_per_sm`` -- bytes of shared memory per SM.
+    * ``max_shared_memory_per_block`` -- bytes one block may allocate.
+    * ``max_threads_per_sm`` / ``max_blocks_per_sm`` -- residency caps.
+    * ``warp_size`` -- threads per warp (32 on all NVIDIA parts).
+    * ``warp_schedulers_per_sm`` -- dual-issue scheduler count.
+    * ``mem_bandwidth_gbps`` -- device-memory bandwidth in GB/s.
+    * ``mem_latency_cycles`` -- global-memory round-trip latency.
+    * ``mlp_bytes_per_warp`` -- DRAM bytes one warp keeps in flight on
+      average (its memory-level parallelism); with latency L, a warp
+      sustains ``mlp_bytes_per_warp / L`` bytes/cycle, so roughly
+      ``bandwidth_per_sm * L / mlp_bytes_per_warp`` warps saturate an
+      SM's bandwidth share (about 13 on V100 with the default).
+    * ``l2_size_bytes`` / ``l2_bandwidth_gbps`` / ``l2_latency_cycles``
+      -- the shared L2 cache.  Redundant A/B tile loads of a batch
+      whose working set fits in L2 are served from it at L2 bandwidth
+      instead of DRAM, which is why small-tile strategies do not pay
+      their full nominal traffic on real silicon.
+    * ``smem_latency_cycles`` -- shared-memory latency.
+    * ``kernel_launch_us`` -- host-side launch latency of one kernel.
+    * ``block_dispatch_cycles`` -- GigaThread-engine cost of scheduling
+      one block onto an SM (also the cost a *bubble* block pays).
+    * ``tlp_threshold`` -- the architecture-dependent TLP threshold of
+      the tiling algorithm (Section 4.2.3).  V100 carries the paper's
+      published 65536; the other devices carry values produced by
+      re-running the paper's offline procedure against this model
+      (smallest threshold within 5% of the best validation-workload
+      geomean -- see ``repro.gpu.calibration``).
+    * ``batching_theta`` -- the K-depth threshold of the batching
+      engine (Section 5; 256 on V100).
+    """
+
+    name: str
+    architecture: str
+    num_sms: int
+    clock_ghz: float
+    fma_lanes_per_sm: int
+    tensor_core_fp16_fma_per_sm: int = 0
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    shared_memory_per_sm: int = 96 * 1024
+    max_shared_memory_per_block: int = 48 * 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    warp_size: int = 32
+    warp_schedulers_per_sm: int = 4
+    mem_bandwidth_gbps: float = 900.0
+    mem_latency_cycles: int = 400
+    mlp_bytes_per_warp: int = 232
+    l2_size_bytes: int = 6 * 1024 * 1024
+    l2_bandwidth_gbps: float = 2500.0
+    l2_latency_cycles: int = 190
+    smem_latency_cycles: int = 24
+    kernel_launch_us: float = 5.0
+    block_dispatch_cycles: int = 300
+    tlp_threshold: int = 65536
+    batching_theta: int = 256
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError(f"num_sms must be positive, got {self.num_sms}")
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.warp_size <= 0:
+            raise ValueError(f"warp_size must be positive, got {self.warp_size}")
+        if self.mem_bandwidth_gbps <= 0:
+            raise ValueError("mem_bandwidth_gbps must be positive")
+
+    @property
+    def peak_fp32_tflops(self) -> float:
+        """Peak FP32 throughput in TFLOP/s (2 flops per FMA)."""
+        return 2.0 * self.num_sms * self.fma_lanes_per_sm * self.clock_ghz / 1e3
+
+    @property
+    def fp16_fma_per_sm(self) -> int:
+        """FP16 FMA throughput per SM per cycle.
+
+        Tensor Cores where present, otherwise packed half2 math at
+        twice the FP32 rate.
+        """
+        return max(self.tensor_core_fp16_fma_per_sm, 2 * self.fma_lanes_per_sm)
+
+    @property
+    def peak_fp16_tflops(self) -> float:
+        """Peak FP16 throughput in TFLOP/s (125 on V100's Tensor Cores)."""
+        return 2.0 * self.num_sms * self.fp16_fma_per_sm * self.clock_ghz / 1e3
+
+    @property
+    def bytes_per_cycle_per_device(self) -> float:
+        """Device-memory bytes deliverable per SM clock cycle."""
+        return self.mem_bandwidth_gbps / self.clock_ghz
+
+    @property
+    def bytes_per_cycle_per_sm(self) -> float:
+        """Fair-share memory bytes per cycle for one SM."""
+        return self.bytes_per_cycle_per_device / self.num_sms
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert SM cycles to seconds."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert SM cycles to milliseconds."""
+        return self.cycles_to_seconds(cycles) * 1e3
+
+    def to_dict(self) -> dict:
+        """Serialize the spec (JSON-compatible), for custom devices."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceSpec":
+        """Rebuild a spec serialized by :meth:`to_dict`.
+
+        Unknown keys are rejected so typos in hand-written device files
+        fail loudly instead of silently keeping a default.
+        """
+        import dataclasses
+
+        known = {f.name for f in dataclasses.fields(cls)}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown DeviceSpec fields: {sorted(extra)}")
+        return cls(**data)
+
+
+# --- The six devices from the paper's evaluation (Section 7.4). ---
+
+VOLTA_V100 = DeviceSpec(
+    name="Tesla V100",
+    architecture="volta",
+    num_sms=80,
+    clock_ghz=1.53,
+    fma_lanes_per_sm=64,
+    tensor_core_fp16_fma_per_sm=512,
+    shared_memory_per_sm=96 * 1024,
+    max_shared_memory_per_block=96 * 1024,
+    mem_bandwidth_gbps=900.0,
+    mem_latency_cycles=400,
+    tlp_threshold=65536,
+    batching_theta=256,
+)
+
+PASCAL_P100 = DeviceSpec(
+    name="Tesla P100",
+    architecture="pascal",
+    num_sms=56,
+    clock_ghz=1.48,
+    fma_lanes_per_sm=64,
+    shared_memory_per_sm=64 * 1024,
+    max_shared_memory_per_block=48 * 1024,
+    mem_bandwidth_gbps=732.0,
+    mem_latency_cycles=440,
+    l2_size_bytes=4 * 1024 * 1024,
+    l2_bandwidth_gbps=1600.0,
+    warp_schedulers_per_sm=2,
+    tlp_threshold=98304,
+    batching_theta=256,
+)
+
+PASCAL_1080TI = DeviceSpec(
+    name="GTX 1080 Ti",
+    architecture="pascal",
+    num_sms=28,
+    clock_ghz=1.58,
+    fma_lanes_per_sm=128,
+    shared_memory_per_sm=96 * 1024,
+    max_shared_memory_per_block=48 * 1024,
+    mem_bandwidth_gbps=484.0,
+    mem_latency_cycles=460,
+    l2_size_bytes=2816 * 1024,
+    l2_bandwidth_gbps=1300.0,
+    tlp_threshold=81920,
+    batching_theta=256,
+)
+
+PASCAL_TITANXP = DeviceSpec(
+    name="Titan Xp",
+    architecture="pascal",
+    num_sms=30,
+    clock_ghz=1.58,
+    fma_lanes_per_sm=128,
+    shared_memory_per_sm=96 * 1024,
+    max_shared_memory_per_block=48 * 1024,
+    mem_bandwidth_gbps=547.0,
+    mem_latency_cycles=460,
+    l2_size_bytes=3 * 1024 * 1024,
+    l2_bandwidth_gbps=1400.0,
+    tlp_threshold=98304,
+    batching_theta=256,
+)
+
+MAXWELL_M60 = DeviceSpec(
+    name="Tesla M60",
+    architecture="maxwell",
+    num_sms=16,
+    clock_ghz=1.18,
+    fma_lanes_per_sm=128,
+    shared_memory_per_sm=96 * 1024,
+    max_shared_memory_per_block=48 * 1024,
+    mem_bandwidth_gbps=160.0,
+    mem_latency_cycles=368,
+    l2_size_bytes=2 * 1024 * 1024,
+    l2_bandwidth_gbps=600.0,
+    tlp_threshold=65536,
+    batching_theta=192,
+)
+
+MAXWELL_TITANX = DeviceSpec(
+    name="GTX Titan X",
+    architecture="maxwell",
+    num_sms=24,
+    clock_ghz=1.08,
+    fma_lanes_per_sm=128,
+    shared_memory_per_sm=96 * 1024,
+    max_shared_memory_per_block=48 * 1024,
+    mem_bandwidth_gbps=336.0,
+    mem_latency_cycles=368,
+    l2_size_bytes=3 * 1024 * 1024,
+    l2_bandwidth_gbps=800.0,
+    tlp_threshold=98304,
+    batching_theta=192,
+)
+
+_DEVICES = {
+    spec.name: spec
+    for spec in (
+        VOLTA_V100,
+        PASCAL_P100,
+        PASCAL_1080TI,
+        PASCAL_TITANXP,
+        MAXWELL_M60,
+        MAXWELL_TITANX,
+    )
+}
+
+# Short aliases accepted by get_device().
+_ALIASES = {
+    "v100": VOLTA_V100,
+    "volta": VOLTA_V100,
+    "p100": PASCAL_P100,
+    "1080ti": PASCAL_1080TI,
+    "gtx1080ti": PASCAL_1080TI,
+    "titanxp": PASCAL_TITANXP,
+    "m60": MAXWELL_M60,
+    "titanx": MAXWELL_TITANX,
+    "gtxtitanx": MAXWELL_TITANX,
+}
+
+
+def list_devices() -> list[str]:
+    """Names of all devices the reproduction models."""
+    return sorted(_DEVICES)
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by full name or a short alias (e.g. ``"v100"``).
+
+    Raises :class:`KeyError` with the available names when unknown.
+    """
+    if name in _DEVICES:
+        return _DEVICES[name]
+    key = name.lower().replace(" ", "").replace("-", "").replace("_", "")
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise KeyError(
+        f"unknown device {name!r}; available: {list_devices()} "
+        f"(aliases: {sorted(_ALIASES)})"
+    )

@@ -1,0 +1,27 @@
+"""Functional GEMM executors.
+
+These mirror the CUDA kernels of the paper in NumPy so that every
+schedule the framework emits can be executed *numerically* and checked
+against a reference -- a planning or indexing bug becomes a wrong
+answer, not just a wrong simulated time.
+
+* :mod:`repro.kernels.reference` -- plain NumPy GEMM / batched GEMM.
+* :mod:`repro.kernels.tiled` -- the single-GEMM tiled kernel of
+  Figure 2 (staging buffers standing in for shared memory, per-thread
+  register sub-tiles).
+* :mod:`repro.kernels.persistent` -- the persistent-threads batched
+  kernel of Figure 7, driven by the five auxiliary arrays.
+"""
+
+from repro.kernels.reference import reference_gemm, reference_batched_gemm
+from repro.kernels.tiled import tiled_gemm, compute_tile, thread_level_tile
+from repro.kernels.persistent import execute_schedule
+
+__all__ = [
+    "reference_gemm",
+    "reference_batched_gemm",
+    "tiled_gemm",
+    "compute_tile",
+    "thread_level_tile",
+    "execute_schedule",
+]

@@ -1,0 +1,46 @@
+"""Reference GEMM implementations every executor is checked against."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.problem import GemmBatch, validate_operands
+
+
+def reference_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """``alpha * A @ B + beta * C`` without modifying the inputs.
+
+    Accumulation happens in float64 and is cast back to C's dtype,
+    giving the executors a numerically tighter target than they need.
+    """
+    if a.ndim != 2 or b.ndim != 2 or c.ndim != 2:
+        raise ValueError("A, B, C must be 2-D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: A is {a.shape}, B is {b.shape}")
+    if c.shape != (a.shape[0], b.shape[1]):
+        raise ValueError(
+            f"C shape {c.shape} does not match product shape {(a.shape[0], b.shape[1])}"
+        )
+    acc = a.astype(np.float64) @ b.astype(np.float64)
+    out = alpha * acc + beta * c.astype(np.float64)
+    return out.astype(c.dtype)
+
+
+def reference_batched_gemm(
+    batch: GemmBatch,
+    operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> list[np.ndarray]:
+    """Reference result for every GEMM of a batch."""
+    validate_operands(batch, operands)
+    return [
+        reference_gemm(g.op_a(a), g.op_b(b), c, alpha=g.alpha, beta=g.beta)
+        for g, (a, b, c) in zip(batch, operands)
+    ]

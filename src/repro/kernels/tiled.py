@@ -1,0 +1,145 @@
+"""The single-GEMM tiled kernel of Figure 2, functionally in NumPy.
+
+The CUDA kernel partitions C into ``BY x BX`` tiles, and each block
+marches along the K dimension ``BK`` elements at a time: stage an A
+tile and a B tile into shared memory, multiply-accumulate into register
+sub-tiles, repeat, write back.  ``compute_tile`` reproduces that walk
+exactly -- including the staging buffers (zero-padded to the full tile
+shape, like a shared-memory buffer with bounds-checked loads) -- and
+``thread_level_tile`` additionally decomposes a tile into the
+per-thread register sub-tiles of Figure 5, validating the thread
+mapping the tiling strategies define.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tiling import TilingStrategy
+
+
+def compute_tile(
+    a: np.ndarray,
+    b: np.ndarray,
+    y0: int,
+    x0: int,
+    by: int,
+    bx: int,
+    bk: int,
+    k_limit: int | None = None,
+) -> np.ndarray:
+    """Accumulate one C tile along K, BK elements per step.
+
+    Returns the ``by x bx`` accumulator (zero-padded past the matrix
+    edge, as the predicated CUDA kernel leaves those lanes at zero).
+    ``k_limit`` truncates the reduction (used by tests that split the
+    K walk).
+    """
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions differ: A is {a.shape}, B is {b.shape}")
+    if y0 < 0 or x0 < 0:
+        raise ValueError("tile origin must be non-negative")
+    if y0 >= m or x0 >= n:
+        raise ValueError(f"tile origin ({y0},{x0}) outside matrix {m}x{n}")
+    k_stop = k if k_limit is None else min(k, k_limit)
+
+    acc = np.zeros((by, bx), dtype=np.float64)
+    y_hi = min(y0 + by, m)
+    x_hi = min(x0 + bx, n)
+    # Main loop along the K dimension (Figure 2, lines 12-24).
+    for k0 in range(0, k_stop, bk):
+        k_hi = min(k0 + bk, k_stop)
+        # Stage A and B tiles into "shared memory" buffers, zero-padded
+        # to the full tile shape (bounds-checked loads).
+        sh_a = np.zeros((by, k_hi - k0), dtype=np.float64)
+        sh_b = np.zeros((k_hi - k0, bx), dtype=np.float64)
+        sh_a[: y_hi - y0, :] = a[y0:y_hi, k0:k_hi]
+        sh_b[:, : x_hi - x0] = b[k0:k_hi, x0:x_hi]
+        acc += sh_a @ sh_b
+    return acc
+
+
+def thread_level_tile(
+    a: np.ndarray,
+    b: np.ndarray,
+    y0: int,
+    x0: int,
+    strategy: TilingStrategy,
+    k_limit: int | None = None,
+) -> np.ndarray:
+    """Compute one tile thread-by-thread, sub-tile-by-sub-tile.
+
+    Each of the strategy's ``threads`` threads owns a ``sub_y x sub_x``
+    register sub-tile; threads are laid out row-major over the
+    ``(BY/sub_y) x (BX/sub_x)`` sub-tile grid (Figure 5).  The result
+    must equal :func:`compute_tile` exactly -- the equality is a unit
+    test of the strategy tables' internal consistency.
+    """
+    s = strategy
+    rows = s.by // s.sub_y
+    cols = s.bx // s.sub_x
+    if rows * cols != s.threads:
+        raise ValueError(f"strategy {s} sub-tile grid does not cover the tile")
+    acc = np.zeros((s.by, s.bx), dtype=np.float64)
+    m, k = a.shape
+    _, n = b.shape
+    k_stop = k if k_limit is None else min(k, k_limit)
+    y_hi = min(y0 + s.by, m)
+    x_hi = min(x0 + s.bx, n)
+
+    for k0 in range(0, k_stop, s.bk):
+        k_hi = min(k0 + s.bk, k_stop)
+        sh_a = np.zeros((s.by, k_hi - k0), dtype=np.float64)
+        sh_b = np.zeros((k_hi - k0, s.bx), dtype=np.float64)
+        sh_a[: y_hi - y0, :] = a[y0:y_hi, k0:k_hi]
+        sh_b[:, : x_hi - x0] = b[k0:k_hi, x0:x_hi]
+        for tid in range(s.threads):
+            ty, tx = divmod(tid, cols)
+            ry = ty * s.sub_y
+            rx = tx * s.sub_x
+            # reg_C += reg_A @ reg_B (Figure 2 line 17, FMA loop).
+            acc[ry : ry + s.sub_y, rx : rx + s.sub_x] += (
+                sh_a[ry : ry + s.sub_y, :] @ sh_b[:, rx : rx + s.sub_x]
+            )
+    return acc
+
+
+def tiled_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    strategy: TilingStrategy,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    thread_level: bool = False,
+) -> np.ndarray:
+    """Full single-GEMM execution with one tiling strategy.
+
+    Walks every tile of the grid (each standing for one thread block),
+    computes it with :func:`compute_tile` (or the slower
+    :func:`thread_level_tile` when ``thread_level`` is set), and
+    applies the alpha/beta epilogue.  Inputs are not modified.
+    """
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2 or c.shape != (m, n):
+        raise ValueError(
+            f"shape mismatch: A {a.shape}, B {b.shape}, C {c.shape}"
+        )
+    out = np.empty_like(c)
+    s = strategy
+    for y0 in range(0, m, s.by):
+        for x0 in range(0, n, s.bx):
+            if thread_level:
+                acc = thread_level_tile(a, b, y0, x0, s)
+            else:
+                acc = compute_tile(a, b, y0, x0, s.by, s.bx, s.bk)
+            y_hi = min(y0 + s.by, m)
+            x_hi = min(x0 + s.bx, n)
+            valid = acc[: y_hi - y0, : x_hi - x0]
+            out[y0:y_hi, x0:x_hi] = (
+                alpha * valid + beta * c[y0:y_hi, x0:x_hi].astype(np.float64)
+            ).astype(c.dtype)
+    return out

@@ -1,0 +1,30 @@
+"""A small from-scratch ensemble-learning library.
+
+The paper's batching engine picks between its two heuristics online
+with a random forest over the features (average M, N, K, batch size).
+No ML dependency is available offline, so this subpackage implements
+CART decision trees (:mod:`repro.ml.decision_tree`), bootstrap-
+aggregated random forests (:mod:`repro.ml.random_forest`), and the
+training-set generation procedure of Section 5
+(:mod:`repro.ml.training`).
+"""
+
+from repro.ml.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.importance import FEATURE_NAMES, permutation_importance
+from repro.ml.training import (
+    TrainingSample,
+    generate_training_set,
+    label_with_best_heuristic,
+)
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "TreeNode",
+    "RandomForestClassifier",
+    "TrainingSample",
+    "generate_training_set",
+    "label_with_best_heuristic",
+    "FEATURE_NAMES",
+    "permutation_importance",
+]

@@ -1,0 +1,83 @@
+"""The GoogleNet real-world case study (paper Section 7.3).
+
+Modern CNNs compute convolutions as GEMMs (im2col); inception modules
+spawn four independent branches whose leading 1x1 convolutions are
+small GEMMs of different M -- exactly the variable-size batched-GEMM
+scenario.  This subpackage provides:
+
+* :mod:`repro.nn.layers` -- convolution layer descriptions and the
+  conv -> GEMM shape mapping,
+* :mod:`repro.nn.im2col` -- the functional im2col transform and
+  GEMM-based convolution (numerically checked against direct
+  convolution in the tests),
+* :mod:`repro.nn.googlenet` -- the full GoogLeNet convolution
+  inventory (57 convs: 3 stem + 9 inception modules x 6),
+* :mod:`repro.nn.inference` -- inference-pass timing under the four
+  execution modes the paper compares (cuDNN-style serial, streams,
+  MAGMA-batched inceptions, coordinated-framework-batched inceptions).
+"""
+
+from repro.nn.layers import ConvLayer, conv_to_gemm
+from repro.nn.im2col import (
+    im2col,
+    im2col_batched,
+    conv2d_im2col,
+    conv2d_im2col_batched,
+    conv2d_direct,
+)
+from repro.nn.implicit_gemm import (
+    conv2d_implicit_gemm,
+    execute_schedule_implicit,
+    gather_b_tile,
+)
+from repro.nn.googlenet import (
+    InceptionModule,
+    GOOGLENET_STEM,
+    GOOGLENET_INCEPTIONS,
+    all_convolutions,
+    inception_branch_batch,
+)
+from repro.nn.inference import (
+    InferenceResult,
+    simulate_inference,
+    inception_layer_speedups,
+)
+from repro.nn.resnet import (
+    BottleneckBlock,
+    RESNET50_PROJECTION_BLOCKS,
+    bottleneck_fan_batch,
+)
+from repro.nn.squeezenet import (
+    FireModule,
+    SQUEEZENET_FIRES,
+    all_fire_convolutions,
+    fire_expand_batch,
+)
+
+__all__ = [
+    "ConvLayer",
+    "conv_to_gemm",
+    "im2col",
+    "im2col_batched",
+    "conv2d_im2col",
+    "conv2d_im2col_batched",
+    "conv2d_direct",
+    "conv2d_implicit_gemm",
+    "execute_schedule_implicit",
+    "gather_b_tile",
+    "InceptionModule",
+    "GOOGLENET_STEM",
+    "GOOGLENET_INCEPTIONS",
+    "all_convolutions",
+    "inception_branch_batch",
+    "InferenceResult",
+    "simulate_inference",
+    "inception_layer_speedups",
+    "BottleneckBlock",
+    "RESNET50_PROJECTION_BLOCKS",
+    "bottleneck_fan_batch",
+    "FireModule",
+    "SQUEEZENET_FIRES",
+    "all_fire_convolutions",
+    "fire_expand_batch",
+]

@@ -1,0 +1,114 @@
+"""The GoogLeNet convolution inventory (Szegedy et al., 2014).
+
+GoogLeNet v1 contains 57 convolution operators: three in the stem and
+six in each of the nine inception modules (1x1, 3x3reduce, 3x3,
+5x5reduce, 5x5, pool_proj).  The four *batchable* GEMMs per module --
+the ones the paper fuses with its framework -- are the 1x1 branch
+convolutions (1x1, 3x3reduce, 5x5reduce, pool_proj): all 1x1 convs on
+the same input tensor, so they share N (feature map x batch) and K
+(input channels) while their M (filter counts) differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import GemmBatch
+from repro.nn.layers import ConvLayer, conv_to_gemm
+
+
+@dataclass(frozen=True)
+class InceptionModule:
+    """One inception module: input tensor shape plus branch widths."""
+
+    name: str
+    in_channels: int
+    spatial: int  # square feature map edge
+    n1x1: int
+    n3x3_reduce: int
+    n3x3: int
+    n5x5_reduce: int
+    n5x5: int
+    pool_proj: int
+
+    @property
+    def out_channels(self) -> int:
+        return self.n1x1 + self.n3x3 + self.n5x5 + self.pool_proj
+
+    def branch_convs(self) -> list[ConvLayer]:
+        """The four leading 1x1 convolutions (the batchable GEMMs)."""
+        common = dict(in_channels=self.in_channels, kernel=1, in_h=self.spatial, in_w=self.spatial)
+        return [
+            ConvLayer(name=f"{self.name}/1x1", out_channels=self.n1x1, **common),
+            ConvLayer(name=f"{self.name}/3x3reduce", out_channels=self.n3x3_reduce, **common),
+            ConvLayer(name=f"{self.name}/5x5reduce", out_channels=self.n5x5_reduce, **common),
+            ConvLayer(name=f"{self.name}/pool_proj", out_channels=self.pool_proj, **common),
+        ]
+
+    def inner_convs(self) -> list[ConvLayer]:
+        """The 3x3 and 5x5 convolutions that consume the reduces."""
+        return [
+            ConvLayer(
+                name=f"{self.name}/3x3",
+                in_channels=self.n3x3_reduce,
+                out_channels=self.n3x3,
+                kernel=3,
+                in_h=self.spatial,
+                in_w=self.spatial,
+                padding=1,
+            ),
+            ConvLayer(
+                name=f"{self.name}/5x5",
+                in_channels=self.n5x5_reduce,
+                out_channels=self.n5x5,
+                kernel=5,
+                in_h=self.spatial,
+                in_w=self.spatial,
+                padding=2,
+            ),
+        ]
+
+    def all_convs(self) -> list[ConvLayer]:
+        """All six convolutions of the module, branches first."""
+        return self.branch_convs() + self.inner_convs()
+
+
+#: Stem convolutions (input 224x224x3).
+GOOGLENET_STEM: tuple[ConvLayer, ...] = (
+    ConvLayer(name="conv1/7x7_s2", in_channels=3, out_channels=64, kernel=7, in_h=224, in_w=224, stride=2, padding=3),
+    ConvLayer(name="conv2/3x3_reduce", in_channels=64, out_channels=64, kernel=1, in_h=56, in_w=56),
+    ConvLayer(name="conv2/3x3", in_channels=64, out_channels=192, kernel=3, in_h=56, in_w=56, padding=1),
+)
+
+#: The nine inception modules, in network order.
+GOOGLENET_INCEPTIONS: tuple[InceptionModule, ...] = (
+    InceptionModule("inception3a", 192, 28, 64, 96, 128, 16, 32, 32),
+    InceptionModule("inception3b", 256, 28, 128, 128, 192, 32, 96, 64),
+    InceptionModule("inception4a", 480, 14, 192, 96, 208, 16, 48, 64),
+    InceptionModule("inception4b", 512, 14, 160, 112, 224, 24, 64, 64),
+    InceptionModule("inception4c", 512, 14, 128, 128, 256, 24, 64, 64),
+    InceptionModule("inception4d", 512, 14, 112, 144, 288, 32, 64, 64),
+    InceptionModule("inception4e", 528, 14, 256, 160, 320, 32, 128, 128),
+    InceptionModule("inception5a", 832, 7, 256, 160, 320, 32, 128, 128),
+    InceptionModule("inception5b", 832, 7, 384, 192, 384, 48, 128, 128),
+)
+
+
+def all_convolutions() -> list[ConvLayer]:
+    """All 57 convolutions of GoogLeNet in network order."""
+    convs = list(GOOGLENET_STEM)
+    for module in GOOGLENET_INCEPTIONS:
+        convs.extend(module.all_convs())
+    return convs
+
+
+def inception_branch_batch(
+    module: InceptionModule, batch_size: int = 1
+) -> GemmBatch:
+    """The four-GEMM batch of one inception module's 1x1 branches.
+
+    This is the batch the paper feeds to its framework; for
+    inception3a with batch 1, the 5x5reduce member is the paper's
+    16 x 784 x 192 running example.
+    """
+    return GemmBatch(conv_to_gemm(c, batch_size) for c in module.branch_convs())

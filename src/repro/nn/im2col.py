@@ -1,0 +1,131 @@
+"""Functional im2col convolution.
+
+The "common algorithm to compute convolution is to transform it to
+GEMM" (paper Section 1).  ``im2col`` unrolls input patches into the B
+matrix of the GEMM; ``conv2d_im2col`` runs the whole convolution
+through any GEMM executor; ``conv2d_direct`` is the sliding-window
+reference the tests compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.layers import ConvLayer
+
+
+def im2col(x: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Unroll input patches into a (C*kh*kw, out_h*out_w) matrix.
+
+    ``x`` has shape ``(in_channels, in_h, in_w)``.  Column ``j`` holds
+    the receptive field of output pixel ``j`` (row-major over the
+    output map), flattened channel-major -- matching the weight
+    matrix layout ``(out_channels, in_channels*kh*kw)``.
+    """
+    c, h, w = x.shape
+    if c != layer.in_channels or h != layer.in_h or w != layer.in_w:
+        raise ValueError(
+            f"input shape {x.shape} does not match layer "
+            f"({layer.in_channels}, {layer.in_h}, {layer.in_w})"
+        )
+    kh = kw = layer.kernel
+    p, s = layer.padding, layer.stride
+    oh, ow = layer.out_h, layer.out_w
+
+    padded = np.pad(x, ((0, 0), (p, p), (p, p)))
+    cols = np.empty((c * kh * kw, oh * ow), dtype=x.dtype)
+    idx = 0
+    for ci in range(c):
+        for dy in range(kh):
+            for dx in range(kw):
+                patch = padded[ci, dy : dy + oh * s : s, dx : dx + ow * s : s]
+                cols[idx] = patch.reshape(-1)
+                idx += 1
+    return cols
+
+
+def conv2d_direct(x: np.ndarray, weights: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Sliding-window reference convolution.
+
+    ``weights`` has shape ``(out_channels, in_channels, kh, kw)``;
+    returns ``(out_channels, out_h, out_w)``.
+    """
+    if weights.shape != (layer.out_channels, layer.in_channels, layer.kernel, layer.kernel):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match layer {layer.name}"
+        )
+    p, s = layer.padding, layer.stride
+    padded = np.pad(x, ((0, 0), (p, p), (p, p))).astype(np.float64)
+    oh, ow = layer.out_h, layer.out_w
+    out = np.zeros((layer.out_channels, oh, ow), dtype=np.float64)
+    for oc in range(layer.out_channels):
+        for oy in range(oh):
+            for ox in range(ow):
+                field = padded[:, oy * s : oy * s + layer.kernel, ox * s : ox * s + layer.kernel]
+                out[oc, oy, ox] = np.sum(field * weights[oc].astype(np.float64))
+    return out.astype(x.dtype)
+
+
+def im2col_batched(x: np.ndarray, layer: ConvLayer) -> np.ndarray:
+    """Batched im2col: ``(B, C, H, W)`` -> ``(C*kh*kw, out_h*out_w*B)``.
+
+    Columns are ordered image-major (all pixels of image 0, then image
+    1, ...), matching the conv -> GEMM mapping where N = out pixels x
+    batch (the paper's Section 1 description).
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected (B, C, H, W) input, got shape {x.shape}")
+    cols = [im2col(img, layer) for img in x]
+    return np.concatenate(cols, axis=1)
+
+
+def conv2d_im2col_batched(
+    x: np.ndarray,
+    weights: np.ndarray,
+    layer: ConvLayer,
+    gemm: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+) -> np.ndarray:
+    """Batched convolution via one GEMM: ``(B, C, H, W)`` in,
+    ``(B, out_channels, out_h, out_w)`` out.
+
+    This is the single-GEMM formulation whose N grows with the DNN
+    batch -- the reason increasing batch size alone does not rescue
+    skinny GEMMs (M stays at the filter count).
+    """
+    if weights.shape != (layer.out_channels, layer.in_channels, layer.kernel, layer.kernel):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match layer {layer.name}"
+        )
+    n_batch = x.shape[0]
+    a = weights.reshape(layer.out_channels, -1)
+    b = im2col_batched(x, layer)
+    product = np.asarray(gemm(a, b) if gemm is not None else a @ b)
+    per_image = layer.out_h * layer.out_w
+    out = product.reshape(layer.out_channels, n_batch, per_image)
+    return out.transpose(1, 0, 2).reshape(
+        n_batch, layer.out_channels, layer.out_h, layer.out_w
+    )
+
+
+def conv2d_im2col(
+    x: np.ndarray,
+    weights: np.ndarray,
+    layer: ConvLayer,
+    gemm: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
+) -> np.ndarray:
+    """Convolution via im2col + GEMM.
+
+    ``gemm(a, b)`` computes ``a @ b``; defaults to NumPy matmul.  Pass
+    a tiled executor to exercise the framework's kernels on real
+    convolution data.
+    """
+    if weights.shape != (layer.out_channels, layer.in_channels, layer.kernel, layer.kernel):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match layer {layer.name}"
+        )
+    a = weights.reshape(layer.out_channels, -1)
+    b = im2col(x, layer)
+    product = gemm(a, b) if gemm is not None else a @ b
+    return np.asarray(product).reshape(layer.out_channels, layer.out_h, layer.out_w)

@@ -1,0 +1,84 @@
+"""Convolution layer descriptions and the conv -> GEMM mapping.
+
+The paper (Section 1): "for convolution based GEMM, M refers to the
+number of filters, K refers to the size of filter and the number of
+channels, and N refers to the feature map and batch size."  The
+inception3a/5x5reduce example maps to 16 x 784 x 192 exactly as
+:func:`conv_to_gemm` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import Gemm
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One 2-D convolution layer.
+
+    ``in_h`` / ``in_w`` are the input spatial dimensions; ``stride``
+    and ``padding`` are symmetric.  ``name`` identifies the layer in
+    reports (e.g. ``"inception3a/5x5reduce"``).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    in_h: int
+    in_w: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name, value in (
+            ("in_channels", self.in_channels),
+            ("out_channels", self.out_channels),
+            ("kernel", self.kernel),
+            ("in_h", self.in_h),
+            ("in_w", self.in_w),
+            ("stride", self.stride),
+        ):
+            if value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        if self.padding < 0:
+            raise ValueError(f"padding must be non-negative, got {self.padding}")
+        if self.out_h <= 0 or self.out_w <= 0:
+            raise ValueError(f"layer {self.name} produces an empty output")
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def flops(self) -> int:
+        """Multiply-add FLOPs of the convolution (counted as 2 each)."""
+        return (
+            2
+            * self.out_channels
+            * self.out_h
+            * self.out_w
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+        )
+
+
+def conv_to_gemm(layer: ConvLayer, batch_size: int = 1) -> Gemm:
+    """Map a convolution to its im2col GEMM.
+
+    M = filters, N = output feature map x batch, K = channels x
+    filter area.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    m = layer.out_channels
+    n = layer.out_h * layer.out_w * batch_size
+    k = layer.in_channels * layer.kernel * layer.kernel
+    return Gemm(m, n, k)

@@ -1,0 +1,111 @@
+"""ResNet bottleneck blocks as the third fan-structure case study.
+
+The paper (Section 7.3): the fan-structure "is popular in other
+state-of-the-art CNN models such as Squeeze-Net and Res-Net".  In a
+ResNet *downsampling* bottleneck, two convolutions consume the same
+input tensor in parallel: the block's leading 1x1 reduce and the
+projection shortcut's 1x1 -- a two-GEMM fan with shared N and K but
+different M, batchable exactly like the inception branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import GemmBatch
+from repro.nn.layers import ConvLayer, conv_to_gemm
+
+
+@dataclass(frozen=True)
+class BottleneckBlock:
+    """One ResNet-50-style bottleneck with optional projection shortcut."""
+
+    name: str
+    in_channels: int
+    spatial: int
+    width: int  # the bottleneck's inner width
+    stride: int = 1
+    projection: bool = False
+
+    @property
+    def out_channels(self) -> int:
+        return 4 * self.width
+
+    def entry_convs(self) -> list[ConvLayer]:
+        """Convolutions reading the block's input tensor.
+
+        With a projection shortcut this is a two-conv fan (reduce +
+        shortcut); identity blocks have a single entry conv.
+        """
+        convs = [
+            ConvLayer(
+                name=f"{self.name}/reduce1x1",
+                in_channels=self.in_channels,
+                out_channels=self.width,
+                kernel=1,
+                in_h=self.spatial,
+                in_w=self.spatial,
+                stride=self.stride,
+            )
+        ]
+        if self.projection:
+            convs.append(
+                ConvLayer(
+                    name=f"{self.name}/shortcut1x1",
+                    in_channels=self.in_channels,
+                    out_channels=self.out_channels,
+                    kernel=1,
+                    in_h=self.spatial,
+                    in_w=self.spatial,
+                    stride=self.stride,
+                )
+            )
+        return convs
+
+    def inner_convs(self) -> list[ConvLayer]:
+        """The 3x3 and expanding 1x1 convs after the entry fan."""
+        out_spatial = self.entry_convs()[0].out_h
+        return [
+            ConvLayer(
+                name=f"{self.name}/conv3x3",
+                in_channels=self.width,
+                out_channels=self.width,
+                kernel=3,
+                in_h=out_spatial,
+                in_w=out_spatial,
+                padding=1,
+            ),
+            ConvLayer(
+                name=f"{self.name}/expand1x1",
+                in_channels=self.width,
+                out_channels=self.out_channels,
+                kernel=1,
+                in_h=out_spatial,
+                in_w=out_spatial,
+            ),
+        ]
+
+
+#: The four downsampling (projection) bottlenecks of ResNet-50 -- the
+#: blocks whose entry is a batchable fan.
+RESNET50_PROJECTION_BLOCKS: tuple[BottleneckBlock, ...] = (
+    BottleneckBlock("conv2_1", 64, 56, 64, stride=1, projection=True),
+    BottleneckBlock("conv3_1", 256, 56, 128, stride=2, projection=True),
+    BottleneckBlock("conv4_1", 512, 28, 256, stride=2, projection=True),
+    BottleneckBlock("conv5_1", 1024, 14, 512, stride=2, projection=True),
+)
+
+
+def bottleneck_fan_batch(block: BottleneckBlock, batch_size: int = 1) -> GemmBatch:
+    """The batchable entry fan of one projection bottleneck.
+
+    Raises ``ValueError`` for identity blocks (their entry is a single
+    GEMM -- nothing to batch).
+    """
+    convs = block.entry_convs()
+    if len(convs) < 2:
+        raise ValueError(
+            f"block {block.name} has no projection shortcut; its entry is a "
+            "single GEMM"
+        )
+    return GemmBatch(conv_to_gemm(c, batch_size) for c in convs)

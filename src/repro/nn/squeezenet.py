@@ -1,0 +1,104 @@
+"""SqueezeNet fire modules as a second batched-GEMM case study.
+
+The paper (Section 7.3): "The fan-structure is popular in other
+state-of-the-art CNN models such as Squeeze-Net and Res-Net."  A
+SqueezeNet *fire module* squeezes with a 1x1 convolution, then fans
+out into two parallel expand convolutions (1x1 and 3x3) over the same
+squeezed tensor.  The two expand convolutions are independent GEMMs on
+a shared input -- batchable exactly like the inception branches --
+and, because consecutive fire modules at the same spatial resolution
+are independent *across* the expand stage's inputs only, each module
+contributes one two-GEMM batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import GemmBatch
+from repro.nn.layers import ConvLayer, conv_to_gemm
+
+
+@dataclass(frozen=True)
+class FireModule:
+    """One fire module: squeeze width plus the two expand widths."""
+
+    name: str
+    in_channels: int
+    spatial: int
+    squeeze: int
+    expand1x1: int
+    expand3x3: int
+
+    @property
+    def out_channels(self) -> int:
+        return self.expand1x1 + self.expand3x3
+
+    def squeeze_conv(self) -> ConvLayer:
+        """The module's leading 1x1 squeeze convolution."""
+        return ConvLayer(
+            name=f"{self.name}/squeeze1x1",
+            in_channels=self.in_channels,
+            out_channels=self.squeeze,
+            kernel=1,
+            in_h=self.spatial,
+            in_w=self.spatial,
+        )
+
+    def expand_convs(self) -> list[ConvLayer]:
+        """The fan: two independent convolutions on the squeezed tensor."""
+        return [
+            ConvLayer(
+                name=f"{self.name}/expand1x1",
+                in_channels=self.squeeze,
+                out_channels=self.expand1x1,
+                kernel=1,
+                in_h=self.spatial,
+                in_w=self.spatial,
+            ),
+            ConvLayer(
+                name=f"{self.name}/expand3x3",
+                in_channels=self.squeeze,
+                out_channels=self.expand3x3,
+                kernel=3,
+                in_h=self.spatial,
+                in_w=self.spatial,
+                padding=1,
+            ),
+        ]
+
+    def all_convs(self) -> list[ConvLayer]:
+        """All three convolutions of the module, squeeze first."""
+        return [self.squeeze_conv()] + self.expand_convs()
+
+
+#: SqueezeNet v1.0 fire modules (input 224x224; after conv1 + pool the
+#: feature map is 55x55).
+SQUEEZENET_FIRES: tuple[FireModule, ...] = (
+    FireModule("fire2", 96, 55, 16, 64, 64),
+    FireModule("fire3", 128, 55, 16, 64, 64),
+    FireModule("fire4", 128, 55, 32, 128, 128),
+    FireModule("fire5", 256, 27, 32, 128, 128),
+    FireModule("fire6", 256, 27, 48, 192, 192),
+    FireModule("fire7", 384, 27, 48, 192, 192),
+    FireModule("fire8", 384, 27, 64, 256, 256),
+    FireModule("fire9", 512, 13, 64, 256, 256),
+)
+
+
+def fire_expand_batch(module: FireModule, batch_size: int = 1) -> GemmBatch:
+    """The batchable two-GEMM fan of one fire module.
+
+    Both expand GEMMs share N (feature map x batch); K differs by the
+    3x3 filter area -- the variable-K scenario the batching engine's
+    binary heuristic targets (pair small-K with large-K).
+    """
+    return GemmBatch(conv_to_gemm(c, batch_size) for c in module.expand_convs())
+
+
+def all_fire_convolutions() -> list[ConvLayer]:
+    """All 24 fire-module convolutions in network order."""
+    convs: list[ConvLayer] = []
+    for module in SQUEEZENET_FIRES:
+        convs.extend(module.all_convs())
+    return convs

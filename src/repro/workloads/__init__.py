@@ -1,0 +1,31 @@
+"""Workload generators for the evaluation (paper Section 7)."""
+
+from repro.workloads.io import (
+    batch_from_dict,
+    batch_to_dict,
+    load_workload,
+    save_workload,
+)
+from repro.workloads.synthetic import (
+    FIG8_BATCH_SIZES,
+    FIG8_MN_VALUES,
+    FIG8_K_VALUES,
+    fig8_grid,
+    uniform_case,
+    random_cases,
+    deep_learning_like_cases,
+)
+
+__all__ = [
+    "FIG8_BATCH_SIZES",
+    "FIG8_MN_VALUES",
+    "FIG8_K_VALUES",
+    "fig8_grid",
+    "uniform_case",
+    "random_cases",
+    "deep_learning_like_cases",
+    "batch_from_dict",
+    "batch_to_dict",
+    "load_workload",
+    "save_workload",
+]

@@ -1,0 +1,88 @@
+"""Workload serialization: save and load batched-GEMM case suites.
+
+The paper's artifact ships a ``gen_data`` binary producing the
+evaluation data set; this module is the equivalent persistence layer:
+JSON files holding named batched-GEMM cases, so experiment inputs can
+be pinned, shared and replayed byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.problem import Gemm, GemmBatch
+
+#: Format marker written into every file.
+FORMAT_VERSION = 1
+
+
+def batch_to_dict(batch: GemmBatch) -> list[dict]:
+    """One batch as a list of GEMM descriptors."""
+    return [
+        {
+            "m": g.m,
+            "n": g.n,
+            "k": g.k,
+            "alpha": g.alpha,
+            "beta": g.beta,
+            "trans_a": g.trans_a,
+            "trans_b": g.trans_b,
+        }
+        for g in batch
+    ]
+
+
+def batch_from_dict(data: Sequence[Mapping]) -> GemmBatch:
+    """Rebuild a batch from descriptors (unknown keys rejected)."""
+    gemms = []
+    for i, entry in enumerate(data):
+        extra = set(entry) - {"m", "n", "k", "alpha", "beta", "trans_a", "trans_b"}
+        if extra:
+            raise ValueError(f"GEMM {i}: unknown fields {sorted(extra)}")
+        try:
+            gemms.append(
+                Gemm(
+                    int(entry["m"]),
+                    int(entry["n"]),
+                    int(entry["k"]),
+                    alpha=float(entry.get("alpha", 1.0)),
+                    beta=float(entry.get("beta", 0.0)),
+                    trans_a=bool(entry.get("trans_a", False)),
+                    trans_b=bool(entry.get("trans_b", False)),
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(f"GEMM {i}: missing field {exc}") from exc
+    return GemmBatch(gemms)
+
+
+def save_workload(
+    path: str | Path, cases: Mapping[str, GemmBatch], description: str = ""
+) -> None:
+    """Write a named suite of batches to a JSON file."""
+    if not cases:
+        raise ValueError("no cases to save")
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "description": description,
+        "cases": {name: batch_to_dict(batch) for name, batch in cases.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_workload(path: str | Path) -> dict[str, GemmBatch]:
+    """Read a suite saved by :func:`save_workload`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported workload format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    return {
+        name: batch_from_dict(entries)
+        for name, entries in payload.get("cases", {}).items()
+    }

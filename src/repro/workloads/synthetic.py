@@ -1,0 +1,122 @@
+"""Synthetic batched-GEMM workloads.
+
+Figures 8 and 9 use a 2-D grid of histograms: one histogram per
+(batch size, M=N) pair, with K sweeping 16..2048 in logarithmic steps
+inside each histogram.  Figure 11 uses 100 randomly generated batched
+cases per architecture.  The generators here produce both, plus a
+deep-learning-flavoured mix for the selector's training set and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.problem import Gemm, GemmBatch
+
+#: Figure 8/9 grid axes: columns are batch sizes, rows are M=N, the
+#: histogram X axis is K, "from 16 to 2048 in logarithmic coordinate".
+FIG8_BATCH_SIZES: tuple[int, ...] = (1, 4, 16, 64)
+FIG8_MN_VALUES: tuple[int, ...] = (128, 256, 512)
+FIG8_K_VALUES: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class GridCase:
+    """One cell of the Figure 8/9 grid."""
+
+    mn: int
+    k: int
+    batch_size: int
+    batch: GemmBatch
+
+    @property
+    def label(self) -> str:
+        return f"M=N={self.mn} K={self.k} B={self.batch_size}"
+
+
+def uniform_case(mn: int, k: int, batch_size: int) -> GridCase:
+    """A same-size batch of ``batch_size`` GEMMs of ``mn x mn x k``."""
+    return GridCase(
+        mn=mn, k=k, batch_size=batch_size, batch=GemmBatch.uniform(mn, mn, k, batch_size)
+    )
+
+
+def fig8_grid(
+    batch_sizes: tuple[int, ...] = FIG8_BATCH_SIZES,
+    mn_values: tuple[int, ...] = FIG8_MN_VALUES,
+    k_values: tuple[int, ...] = FIG8_K_VALUES,
+) -> Iterator[GridCase]:
+    """All cells of the Figure 8/9 grid, row-major (M=N, then B, then K)."""
+    for mn in mn_values:
+        for b in batch_sizes:
+            for k in k_values:
+                yield uniform_case(mn, k, b)
+
+
+def random_cases(
+    n_cases: int = 100,
+    seed: int = 0,
+    max_mn: int = 512,
+    max_k: int = 1024,
+    max_batch: int = 16,
+) -> list[GemmBatch]:
+    """Randomly generated batched-GEMM cases (the Figure 11 workload).
+
+    Sizes are drawn log-uniformly within the small-matrix domain the
+    paper targets (Section 1: "all of these matrices' M, N and K are
+    less than 1000, and even half of these matrices' M are less than
+    100"); each batch mixes GEMMs of different sizes, matching the
+    variable-size scenario MAGMA vbatch targets.  Larger ``max_k`` /
+    ``max_batch`` values leave the paper's domain: batches dominated
+    by one very deep-K GEMM become critical-path-bound and the
+    framework's large-tile choices can lose to MAGMA there (see the
+    ablation discussion in EXPERIMENTS.md).
+    """
+    if n_cases < 1:
+        raise ValueError(f"n_cases must be >= 1, got {n_cases}")
+    rng = np.random.default_rng(seed)
+
+    def log_uniform(lo: int, hi: int) -> int:
+        return int(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+    cases = []
+    for _ in range(n_cases):
+        b = int(rng.integers(2, max_batch + 1))
+        gemms = [
+            Gemm(
+                max(8, log_uniform(16, max_mn)),
+                max(8, log_uniform(16, max_mn)),
+                max(8, log_uniform(16, max_k)),
+            )
+            for _ in range(b)
+        ]
+        cases.append(GemmBatch(gemms))
+    return cases
+
+
+def deep_learning_like_cases(seed: int = 0, n_cases: int = 20) -> list[GemmBatch]:
+    """Batches shaped like CNN branch convolutions.
+
+    Small M (filter counts), N = feature-map pixels, K = channel x
+    filter-area products -- the skew the paper's introduction
+    motivates.
+    """
+    rng = np.random.default_rng(seed)
+    filter_counts = (16, 32, 48, 64, 96, 128, 160, 192, 256)
+    spatials = (7, 14, 28, 56)
+    channels = (64, 128, 192, 256, 480, 512, 832)
+    cases = []
+    for _ in range(n_cases):
+        n_branches = int(rng.integers(2, 7))
+        spatial = int(rng.choice(spatials))
+        in_ch = int(rng.choice(channels))
+        gemms = [
+            Gemm(int(rng.choice(filter_counts)), spatial * spatial, in_ch)
+            for _ in range(n_branches)
+        ]
+        cases.append(GemmBatch(gemms))
+    return cases

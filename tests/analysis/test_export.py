@@ -1,0 +1,56 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import fig_cells_to_csv, rows_to_csv
+from repro.experiments.fig9_batching import run_fig9
+
+
+class TestRowsToCsv:
+    def test_dataclass_rows(self, tmp_path):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Row:
+            name: str
+            value: float
+
+        path = tmp_path / "rows.csv"
+        rows_to_csv(path, [Row("a", 1.5), Row("b", 2.5)])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["name", "value"]
+        assert rows[1] == ["a", "1.5"]
+
+    def test_dict_rows_with_field_selection(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(path, [{"a": 1, "b": 2}], fields=["b"])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["b"], ["2"]]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            rows_to_csv(tmp_path / "x.csv", [])
+
+    def test_composite_cell_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            rows_to_csv(tmp_path / "x.csv", [{"a": [1, 2]}])
+
+    def test_uninferable_rows_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            rows_to_csv(tmp_path / "x.csv", [object()])
+
+
+class TestFigExport:
+    def test_fig9_cells_export(self, tmp_path):
+        cells = run_fig9(batch_sizes=(4,), mn_values=(128,), k_values=(16, 64))
+        path = tmp_path / "fig9.csv"
+        fig_cells_to_csv(path, cells)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert "batching_contribution" in rows[0]
+        assert float(rows[0]["speedup"]) > 0

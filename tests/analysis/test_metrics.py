@@ -1,0 +1,66 @@
+"""Tests for the analysis metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    achieved_tflops,
+    geomean,
+    speedup,
+    summarize_speedups,
+)
+from repro.core.problem import GemmBatch
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(2.0, 1.0) == 2.0
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(1.0, -1.0)
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_invariant_to_order(self):
+        assert geomean([3, 1, 2]) == pytest.approx(geomean([2, 3, 1]))
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestTflops:
+    def test_known_value(self):
+        batch = GemmBatch.uniform(1000, 1000, 1000, 1)
+        # 2e9 flops in 1 ms = 2 TFlops.
+        assert achieved_tflops(batch, 1.0) == pytest.approx(2.0)
+
+    def test_rejects_bad_time(self):
+        with pytest.raises(ValueError):
+            achieved_tflops(GemmBatch.uniform(8, 8, 8, 1), 0.0)
+
+
+class TestSummary:
+    def test_statistics(self):
+        s = summarize_speedups([0.5, 1.0, 2.0, 4.0])
+        assert s.count == 4
+        assert s.minimum == 0.5 and s.maximum == 4.0
+        assert s.wins == 2
+        assert s.win_rate == 0.5
+        assert s.geomean == pytest.approx((0.5 * 1 * 2 * 4) ** 0.25)
+
+    def test_str(self):
+        text = str(summarize_speedups([1.5]))
+        assert "1 cases" in text and "1.50X" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_speedups([])

@@ -1,0 +1,50 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.analysis.report import format_grid, format_histogram_row, format_table
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        text = format_table(["a", "bb"], [["x", 1.234], ["yy", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "1.23" in text and "2.00" in text
+
+    def test_title(self):
+        assert format_table(["h"], [], title="T").splitlines()[0] == "T"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestHistogramRow:
+    def test_bars_scale_with_speedup(self):
+        text = format_histogram_row("lbl", {16: 1.0, 32: 1.5, 64: 2.0})
+        lines = text.splitlines()
+        assert lines[0] == "lbl"
+        bars = [line.split("|")[1] for line in lines[1:]]
+        assert len(bars[0]) == 0
+        assert len(bars[2]) > len(bars[1]) > 0
+
+    def test_sorted_by_k(self):
+        text = format_histogram_row("l", {64: 1.0, 16: 1.0})
+        assert text.splitlines()[1].startswith("  K=16")
+
+
+class TestGrid:
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            format_grid(["a"], [], columns=1)
+        with pytest.raises(ValueError):
+            format_grid([], [], columns=0)
+
+    def test_joins_cells(self):
+        out = format_grid(["a", "b"], ["cell-a", "cell-b"], columns=2)
+        assert "cell-a" in out and "cell-b" in out

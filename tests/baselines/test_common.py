@@ -1,0 +1,67 @@
+"""Tests for baseline tiling heuristics."""
+
+import pytest
+
+from repro.baselines.common import (
+    gemm_kernel_blocks,
+    magma_uniform_strategy,
+    select_single_gemm_strategy,
+)
+from repro.core.problem import Gemm, GemmBatch
+from repro.gpu.specs import VOLTA_V100 as V100
+
+
+class TestSingleGemmStrategy:
+    def test_huge_gemm_gets_huge_tile(self):
+        s = select_single_gemm_strategy(Gemm(5120, 5120, 5120), V100)
+        assert s.name == "huge"
+
+    def test_small_gemm_gets_small_tile(self):
+        """The paper's 16x784x192 example: no strategy fills the
+        machine, so the smallest (max TLP) wins."""
+        s = select_single_gemm_strategy(Gemm(16, 784, 192), V100)
+        assert s.name == "small"
+
+    def test_medium_gemm_steps_down_from_huge(self):
+        """1024^3: huge yields only 64 tiles (< 80 SMs), so a smaller
+        tile is chosen -- the example Section 4.2 discusses."""
+        s = select_single_gemm_strategy(Gemm(1024, 1024, 1024), V100)
+        assert s.name != "huge"
+        assert s.num_tiles(Gemm(1024, 1024, 1024)) >= V100.num_sms
+
+    def test_tile_always_fits_or_is_smallest(self):
+        s = select_single_gemm_strategy(Gemm(8, 8, 8), V100)
+        assert s.name == "small"
+
+
+class TestMagmaStrategy:
+    def test_fixed_64x64_for_big_batches(self):
+        batch = GemmBatch.uniform(512, 512, 64, 4)
+        s = magma_uniform_strategy(batch)
+        assert (s.by, s.bx, s.threads) == (64, 64, 256)
+
+    def test_never_larger_than_64x64(self):
+        batch = GemmBatch.uniform(4096, 4096, 64, 2)
+        assert magma_uniform_strategy(batch).tile_elems <= 64 * 64
+
+    def test_steps_down_for_tiny_batches(self):
+        batch = GemmBatch.uniform(16, 16, 64, 4)
+        assert magma_uniform_strategy(batch).name == "small"
+
+    def test_sized_by_largest_gemm(self):
+        batch = GemmBatch.from_shapes([(16, 16, 8), (128, 128, 8)])
+        assert magma_uniform_strategy(batch).name == "large"
+
+    def test_uses_256_thread_blocks(self):
+        batch = GemmBatch.uniform(100, 100, 100, 3)
+        assert magma_uniform_strategy(batch).threads == 256
+
+
+class TestKernelBlocks:
+    def test_one_block_per_tile(self):
+        g = Gemm(128, 128, 64)
+        s = select_single_gemm_strategy(g, V100)
+        blocks = gemm_kernel_blocks(g, s)
+        assert len(blocks) == s.num_tiles(g)
+        assert all(len(b.tiles) == 1 for b in blocks)
+        assert all(b.tiles[0].k == 64 for b in blocks)

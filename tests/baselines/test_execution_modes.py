@@ -1,0 +1,79 @@
+"""Tests for the default, CKE and cuBLAS-batched baselines."""
+
+import pytest
+
+from repro.baselines.cke import simulate_cke
+from repro.baselines.cublas_batched import simulate_cublas_batched
+from repro.baselines.default import default_kernels, simulate_default
+from repro.baselines.nonunified import simulate_nonunified
+from repro.core.problem import GemmBatch
+from repro.gpu.specs import VOLTA_V100 as V100
+
+
+class TestDefault:
+    def test_one_kernel_per_gemm(self, small_batch):
+        kernels = default_kernels(small_batch, V100)
+        assert len(kernels) == len(small_batch)
+
+    def test_serial_time_is_sum_plus_launches(self, small_batch):
+        r = simulate_default(small_batch, V100)
+        assert r.time_ms > len(small_batch) * V100.kernel_launch_us / 1e3
+
+    def test_kernel_names_describe_gemms(self, small_batch):
+        names = [k.name for k in default_kernels(small_batch, V100)]
+        assert "16x32x24" in names[0]
+
+
+class TestCke:
+    def test_faster_than_default_for_batches(self, uniform_batch):
+        default = simulate_default(uniform_batch, V100).time_ms
+        cke = simulate_cke(uniform_batch, V100).time_ms
+        assert cke < default
+
+    def test_single_gemm_no_benefit(self):
+        batch = GemmBatch.uniform(256, 256, 256, 1)
+        default = simulate_default(batch, V100).time_ms
+        cke = simulate_cke(batch, V100).time_ms
+        assert cke == pytest.approx(default, rel=0.5)
+
+    def test_launch_gap_parameter(self, uniform_batch):
+        fast = simulate_cke(uniform_batch, V100, launch_gap_us=0.5).time_ms
+        slow = simulate_cke(uniform_batch, V100, launch_gap_us=30.0).time_ms
+        assert slow > fast
+
+
+class TestCublasBatched:
+    def test_requires_uniform_batch(self, small_batch):
+        with pytest.raises(ValueError, match="share"):
+            simulate_cublas_batched(small_batch, V100)
+
+    def test_uniform_batch_runs(self, uniform_batch):
+        r = simulate_cublas_batched(uniform_batch, V100)
+        assert r.time_ms > 0
+
+    def test_beats_default_on_small_gemms(self):
+        batch = GemmBatch.uniform(64, 64, 64, 32)
+        fused = simulate_cublas_batched(batch, V100).time_ms
+        serial = simulate_default(batch, V100).time_ms
+        assert fused < serial
+
+    def test_tiny_batch_tile_choice_falls_back(self):
+        batch = GemmBatch.uniform(32, 32, 32, 2)
+        r = simulate_cublas_batched(batch, V100)
+        assert r.num_blocks >= 2
+
+
+class TestNonUnified:
+    def test_runs_on_mixed_batch(self, small_batch):
+        r = simulate_nonunified(small_batch, V100)
+        assert r.time_ms > 0
+
+    def test_unified_wins_on_mixed_small_batch(self, framework):
+        """The Figure 3(b) pathology: per-GEMM Table 1 tiles with idle
+        threads lose to the unified thread structure."""
+        batch = GemmBatch.from_shapes(
+            [(16, 256, 64), (32, 256, 64), (64, 256, 64), (256, 256, 64)] * 4
+        )
+        unified = framework.tiling_only_simulate(batch).time_ms
+        nonunified = simulate_nonunified(batch, V100).time_ms
+        assert unified < nonunified

@@ -1,0 +1,92 @@
+"""Tests for the MAGMA vbatch baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import magma_uniform_strategy
+from repro.baselines.magma_vbatch import (
+    execute_magma,
+    magma_blocks,
+    magma_grid,
+    simulate_magma_vbatch,
+)
+from repro.core.problem import GemmBatch
+from repro.core.tiling import strategy_by_name
+from repro.kernels.reference import reference_batched_gemm
+from repro.gpu.specs import VOLTA_V100 as V100
+
+
+class TestGrid:
+    def test_figure3a_shape(self):
+        """The Figure 3(a) example: three GEMMs 16x32x128, 64x48x64,
+        64x64x128 with 16x16 tiles give a 4x4x3 grid."""
+        batch = GemmBatch.from_shapes([(16, 32, 128), (64, 48, 64), (64, 64, 128)])
+        small = strategy_by_name("small", 256)
+        assert magma_grid(batch, small) == (4, 4, 3)
+
+    def test_slice_sized_by_maximum(self):
+        batch = GemmBatch.from_shapes([(64, 256, 8), (256, 64, 8)])
+        small = strategy_by_name("small", 256)
+        grid_y, grid_x, grid_z = magma_grid(batch, small)
+        assert (grid_y, grid_x, grid_z) == (16, 16, 2)
+
+
+class TestBlocks:
+    def test_figure3a_bubble_count(self):
+        batch = GemmBatch.from_shapes([(16, 32, 128), (64, 48, 64), (64, 64, 128)])
+        small = strategy_by_name("small", 256)
+        blocks = magma_blocks(batch, small)
+        assert len(blocks) == 4 * 4 * 3
+        bubbles = sum(1 for b in blocks if b.is_bubble)
+        # GEMM0 uses 1x2=2 of 16, GEMM1 4x3=12 of 16, GEMM2 4x4=16.
+        assert bubbles == (16 - 2) + (16 - 12) + 0
+
+    def test_no_bubbles_for_uniform_batch(self, uniform_batch):
+        strat = magma_uniform_strategy(uniform_batch)
+        assert all(not b.is_bubble for b in magma_blocks(uniform_batch, strat))
+
+    def test_one_tile_per_real_block(self, small_batch):
+        strat = magma_uniform_strategy(small_batch)
+        for b in magma_blocks(small_batch, strat):
+            assert len(b.tiles) <= 1
+
+    def test_tiles_carry_their_gemm_k(self, small_batch):
+        strat = magma_uniform_strategy(small_batch)
+        ks = {t.k for b in magma_blocks(small_batch, strat) for t in b.tiles}
+        assert ks == {g.k for g in small_batch}
+
+
+class TestSimulate:
+    def test_positive_time(self, small_batch):
+        assert simulate_magma_vbatch(small_batch, V100).time_ms > 0
+
+    def test_strategy_override(self, uniform_batch):
+        small = strategy_by_name("small", 256)
+        r = simulate_magma_vbatch(uniform_batch, V100, strategy=small)
+        assert r.num_blocks == sum(small.num_tiles(g) for g in uniform_batch)
+
+    def test_bubbles_cost_something(self):
+        """A skewed batch (one big, many small GEMMs) launches many
+        bubbles; the launch must still complete and count them."""
+        batch = GemmBatch.from_shapes([(512, 512, 64)] + [(16, 16, 64)] * 7)
+        strat = magma_uniform_strategy(batch)
+        blocks = magma_blocks(batch, strat)
+        r = simulate_magma_vbatch(batch, V100)
+        assert r.num_blocks == len(blocks)
+        assert sum(1 for b in blocks if b.is_bubble) > 0
+
+
+class TestExecuteMagma:
+    def test_matches_reference(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        outs = execute_magma(small_batch, ops)
+        expected = reference_batched_gemm(small_batch, ops)
+        for got, want in zip(outs, expected):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_respects_strategy_override(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        outs = execute_magma(small_batch, ops, strategy=strategy_by_name("small", 256))
+        expected = reference_batched_gemm(small_batch, ops)
+        for got, want in zip(outs, expected):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)

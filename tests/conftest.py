@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import Gemm, GemmBatch
+from repro.gpu.specs import VOLTA_V100
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def v100():
+    return VOLTA_V100
+
+
+@pytest.fixture
+def framework() -> CoordinatedFramework:
+    return CoordinatedFramework(device=VOLTA_V100)
+
+
+@pytest.fixture
+def small_batch() -> GemmBatch:
+    """A small variable-size batch that exercises partial tiles."""
+    return GemmBatch.from_shapes([(16, 32, 24), (40, 40, 40), (65, 33, 17)])
+
+
+@pytest.fixture
+def paper_example_batch() -> GemmBatch:
+    """The Section 4.2.3 worked example: three GEMMs."""
+    return GemmBatch.from_shapes([(16, 32, 128), (64, 64, 64), (256, 256, 64)])
+
+
+@pytest.fixture
+def uniform_batch() -> GemmBatch:
+    return GemmBatch.uniform(128, 128, 64, 8)

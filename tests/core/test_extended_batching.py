@@ -1,0 +1,107 @@
+"""Tests for the future-work batching heuristics (library extensions)."""
+
+import pytest
+
+from repro.core.batching import (
+    ALL_HEURISTICS,
+    PAPER_HEURISTICS,
+    balanced_batching,
+    batch_tiles,
+    greedy_packing_batching,
+)
+from repro.core.problem import GemmBatch, Tile
+
+
+def make_tiles(ks):
+    return [Tile(gemm_index=0, y=0, x=i, strategy_index=0, k=k) for i, k in enumerate(ks)]
+
+
+class TestGreedyPacking:
+    def test_partition(self):
+        tiles = make_tiles([100, 200, 50, 300, 10])
+        r = greedy_packing_batching(tiles, 256, theta=256)
+        flat = sorted(t.k for b in r.blocks for t in b)
+        assert flat == [10, 50, 100, 200, 300]
+
+    def test_respects_theta_capacity(self):
+        tiles = make_tiles([100, 100, 100, 100])
+        r = greedy_packing_batching(tiles, 256, theta=256)
+        for b in r.blocks:
+            # Bins never exceed theta except for single oversized tiles.
+            if len(b) > 1:
+                assert sum(t.k for t in b) <= 256
+
+    def test_oversized_tile_isolated(self):
+        tiles = make_tiles([1000, 50, 50])
+        r = greedy_packing_batching(tiles, 256, theta=256)
+        big_block = next(b for b in r.blocks if any(t.k == 1000 for t in b))
+        assert len(big_block) == 1
+
+    def test_fewer_blocks_than_one_per_tile(self):
+        tiles = make_tiles([32] * 16)
+        r = greedy_packing_batching(tiles, 256, theta=256)
+        assert r.num_blocks < 16
+
+    def test_heuristic_name(self):
+        assert greedy_packing_batching(make_tiles([8]), 256).heuristic == "greedy-packing"
+
+
+class TestBalanced:
+    def test_partition(self):
+        tiles = make_tiles(list(range(8, 8 * 21, 8)))
+        r = balanced_batching(tiles, 256, theta=256, tlp_threshold=65536)
+        assert r.num_tiles == 20
+
+    def test_loads_are_balanced(self):
+        tiles = make_tiles([64] * 32)
+        r = balanced_batching(tiles, 256, theta=256, tlp_threshold=8 * 2 * 256)
+        loads = [sum(t.k for t in b) for b in r.blocks]
+        assert max(loads) - min(loads) <= 64  # within one tile
+
+    def test_block_count_tracks_tlp_budget(self):
+        tiles = make_tiles([16] * 100)
+        generous = balanced_batching(tiles, 256, tlp_threshold=200 * 2 * 256)
+        tight = balanced_batching(tiles, 256, tlp_threshold=10 * 2 * 256)
+        assert generous.num_blocks >= tight.num_blocks
+
+    def test_never_more_blocks_than_tiles(self):
+        tiles = make_tiles([8, 8])
+        r = balanced_batching(tiles, 256, tlp_threshold=10**9)
+        assert r.num_blocks <= 2
+
+
+class TestDispatchAndFramework:
+    def test_all_heuristics_registered(self):
+        assert set(PAPER_HEURISTICS) < set(ALL_HEURISTICS)
+        for name in ALL_HEURISTICS:
+            r = batch_tiles(make_tiles([16, 32, 64]), 256, heuristic=name)
+            assert r.num_tiles == 3
+
+    def test_best_extended_never_worse_than_best(self, framework):
+        batch = GemmBatch.from_shapes([(64, 64, 48), (128, 96, 200), (32, 32, 16)] * 3)
+        best = framework.simulate(batch, heuristic="best").time_ms
+        extended = framework.simulate(batch, heuristic="best-extended").time_ms
+        assert extended <= best + 1e-12
+
+    def test_best_extended_can_pick_extensions(self, framework):
+        """Across a mixed workload, the extended pool gets used."""
+        from repro.workloads.synthetic import random_cases
+
+        used = {
+            framework.plan(b, heuristic="best-extended").heuristic_used
+            for b in random_cases(n_cases=12, seed=2)
+        }
+        assert used & {"greedy-packing", "balanced"}
+
+    def test_extended_heuristics_execute_correctly(self, framework, rng):
+        import numpy as np
+
+        from repro.kernels.reference import reference_batched_gemm
+
+        batch = GemmBatch.from_shapes([(20, 30, 40), (50, 20, 10)])
+        ops = batch.random_operands(rng)
+        for h in ("greedy-packing", "balanced"):
+            got = framework.execute(batch, ops, heuristic=h)
+            want = reference_batched_gemm(batch, ops)
+            for g, w in zip(got, want):
+                np.testing.assert_allclose(g, w, rtol=1e-4, atol=1e-4)

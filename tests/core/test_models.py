@@ -1,0 +1,98 @@
+"""Tests for the analytic models (paper Equations 1-4)."""
+
+import pytest
+
+from repro.core.models import (
+    arithmetic_intensity,
+    gemm_tile_count,
+    num_fma_per_iteration,
+    num_load_per_iteration,
+    tlp_of_selection,
+)
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.tiling import BATCHED_STRATEGIES_256, strategy_by_name
+
+
+class TestEquation1:
+    def test_paper_initial_tlp(self, paper_example_batch):
+        """The worked example's first TLP value: 70144 with all-small."""
+        small = strategy_by_name("small", 256)
+        tlp = tlp_of_selection(paper_example_batch, [small] * 3)
+        assert tlp == 70144
+
+    def test_paper_second_tlp(self, paper_example_batch):
+        """(small, medium, medium) gives 17920."""
+        small = strategy_by_name("small", 256)
+        medium = strategy_by_name("medium", 256)
+        assert tlp_of_selection(paper_example_batch, [small, medium, medium]) == 17920
+
+    def test_single_gemm(self):
+        batch = GemmBatch([Gemm(64, 64, 8)])
+        medium = strategy_by_name("medium", 256)
+        # 2x2 tiles, 256 threads each.
+        assert tlp_of_selection(batch, [medium]) == 4 * 256
+
+    def test_length_mismatch_rejected(self, paper_example_batch):
+        small = strategy_by_name("small", 256)
+        with pytest.raises(ValueError):
+            tlp_of_selection(paper_example_batch, [small])
+
+    def test_tlp_scales_with_threads(self):
+        batch = GemmBatch([Gemm(128, 128, 8)])
+        l256 = strategy_by_name("large", 256)
+        l128 = strategy_by_name("large", 128)
+        assert tlp_of_selection(batch, [l256]) == 2 * tlp_of_selection(batch, [l128])
+
+
+class TestTileCount:
+    def test_exact_division(self):
+        assert gemm_tile_count(Gemm(64, 64, 8), strategy_by_name("small", 256)) == 16
+
+    def test_ceiling_division(self):
+        assert gemm_tile_count(Gemm(17, 17, 8), strategy_by_name("small", 256)) == 4
+
+
+class TestEquation2:
+    def test_matches_formula(self):
+        s = strategy_by_name("large", 256)
+        expected = (s.by * s.bk + s.bk * s.bx) / (4 * s.threads)
+        assert num_load_per_iteration(s) == expected
+
+    def test_small_256_value(self):
+        # (16*8 + 8*16) / (4*256) = 0.25 load instructions per thread.
+        assert num_load_per_iteration(strategy_by_name("small", 256)) == 0.25
+
+
+class TestEquation3:
+    def test_matches_formula(self):
+        s = strategy_by_name("huge", 256)
+        assert num_fma_per_iteration(s) == s.by * s.bx * s.bk / s.threads
+
+    def test_equals_subtile_times_bk(self):
+        for s in BATCHED_STRATEGIES_256:
+            assert num_fma_per_iteration(s) == s.sub_y * s.sub_x * s.bk
+
+
+class TestEquation4:
+    @pytest.mark.parametrize("strat", BATCHED_STRATEGIES_256, ids=lambda s: s.name)
+    def test_ratio_identity(self, strat):
+        """Eq.4 must equal Eq.3 / Eq.2 (the derivation in the paper)."""
+        ratio = num_fma_per_iteration(strat) / num_load_per_iteration(strat)
+        assert ratio == pytest.approx(arithmetic_intensity(strat))
+
+    def test_closed_form(self):
+        s = strategy_by_name("tall", 256)
+        assert arithmetic_intensity(s) == pytest.approx(4 * 128 * 64 / (128 + 64))
+
+    def test_independent_of_thread_count(self):
+        for name in ("small", "medium", "large", "tall", "wide", "huge"):
+            assert arithmetic_intensity(strategy_by_name(name, 128)) == pytest.approx(
+                arithmetic_intensity(strategy_by_name(name, 256))
+            )
+
+    def test_monotone_in_tile_size(self):
+        """Larger square tiles have strictly higher intensity."""
+        names = ("small", "medium", "large", "huge")
+        values = [arithmetic_intensity(strategy_by_name(n, 256)) for n in names]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)

@@ -1,0 +1,92 @@
+"""Tests for the multi-class selector extension (future work, Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.selector import train_default_selector
+from repro.ml.training import TrainingSample, generate_training_set, label_with_best_heuristic
+from repro.core.problem import GemmBatch
+from repro.gpu.specs import VOLTA_V100
+
+EXTENDED = ("threshold", "binary", "greedy-packing", "balanced")
+
+
+@pytest.fixture(scope="module")
+def selector4():
+    return train_default_selector(
+        n_samples=40, seed=1, n_estimators=8, heuristics=EXTENDED
+    )
+
+
+class TestMultiClassTraining:
+    def test_sample_times_all_candidates(self):
+        batch = GemmBatch.uniform(96, 96, 48, 8)
+        sample = label_with_best_heuristic(VOLTA_V100, batch, EXTENDED)
+        assert set(sample.times_ms) == set(EXTENDED)
+        assert sample.heuristics == EXTENDED
+
+    def test_label_is_argmin(self):
+        sample = TrainingSample(
+            batch=GemmBatch.uniform(8, 8, 8, 2),
+            times_ms={"threshold": 3.0, "binary": 1.0, "greedy-packing": 2.0, "balanced": 4.0},
+            heuristics=EXTENDED,
+        )
+        assert sample.label == 1
+
+    def test_backward_compatible_accessors(self):
+        sample = TrainingSample(
+            batch=GemmBatch.uniform(8, 8, 8, 2),
+            times_ms={"threshold": 3.0, "binary": 1.0},
+        )
+        assert sample.threshold_ms == 3.0 and sample.binary_ms == 1.0
+        assert sample.label == 1
+
+    def test_labels_within_range(self):
+        _x, y, _ = generate_training_set(
+            VOLTA_V100, n_samples=15, seed=2, heuristics=EXTENDED
+        )
+        assert set(np.unique(y)) <= set(range(4))
+
+    def test_too_few_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            label_with_best_heuristic(
+                VOLTA_V100, GemmBatch.uniform(8, 8, 8, 2), ("threshold",)
+            )
+
+
+class TestMultiClassSelector:
+    def test_predicts_from_the_extended_set(self, selector4):
+        batch = GemmBatch.uniform(128, 128, 32, 16)
+        assert selector4.predict(batch) in EXTENDED
+
+    def test_proba_width(self, selector4):
+        proba = selector4.predict_proba(GemmBatch.uniform(64, 64, 64, 4))
+        assert proba.shape == (4,)
+        assert proba.sum() == pytest.approx(1.0)
+
+    def test_auto_mode_with_extended_selector(self, selector4, rng):
+        from repro.kernels.reference import reference_batched_gemm
+
+        fw = CoordinatedFramework(VOLTA_V100, selector=selector4)
+        batch = GemmBatch.uniform(96, 96, 24, 8)
+        report = fw.plan(batch, heuristic="auto")
+        assert report.heuristic_used in EXTENDED
+        ops = batch.random_operands(rng)
+        got = fw.execute(batch, ops, heuristic="auto")
+        want = reference_batched_gemm(batch, ops)
+        for a, b in zip(got, want):
+            np.testing.assert_allclose(a, b, rtol=1e-3, atol=1e-3)
+
+    def test_regret_bounded(self, selector4):
+        """The learned 4-way policy stays within a reasonable factor of
+        exhaustive search over the same candidates."""
+        from repro.workloads.synthetic import random_cases
+
+        fw = CoordinatedFramework(VOLTA_V100, selector=selector4)
+        regrets = []
+        for batch in random_cases(n_cases=8, seed=21):
+            auto = fw.simulate(batch, heuristic="auto").time_ms
+            best = fw.simulate(batch, heuristic="best-extended").time_ms
+            regrets.append(auto / best)
+        assert float(np.mean(regrets)) < 1.6

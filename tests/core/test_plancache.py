@@ -1,0 +1,89 @@
+"""Tests for the plan cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.plancache import PlanCache, batch_signature
+from repro.core.problem import Gemm, GemmBatch
+from repro.kernels.reference import reference_batched_gemm
+
+
+class TestSignature:
+    def test_same_shapes_same_signature(self):
+        b1 = GemmBatch.from_shapes([(2, 3, 4), (5, 6, 7)])
+        b2 = GemmBatch.from_shapes([(2, 3, 4), (5, 6, 7)])
+        assert batch_signature(b1) == batch_signature(b2)
+
+    def test_alpha_beta_excluded(self):
+        b1 = GemmBatch([Gemm(2, 3, 4, alpha=1.0)])
+        b2 = GemmBatch([Gemm(2, 3, 4, alpha=9.0)])
+        assert batch_signature(b1) == batch_signature(b2)
+
+    def test_transposes_included(self):
+        b1 = GemmBatch([Gemm(2, 3, 4)])
+        b2 = GemmBatch([Gemm(2, 3, 4, trans_a=True)])
+        assert batch_signature(b1) != batch_signature(b2)
+
+    def test_order_matters(self):
+        b1 = GemmBatch.from_shapes([(2, 3, 4), (5, 6, 7)])
+        b2 = GemmBatch.from_shapes([(5, 6, 7), (2, 3, 4)])
+        assert batch_signature(b1) != batch_signature(b2)
+
+
+class TestPlanCache:
+    def test_hit_on_repeat(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        first = cache.plan(uniform_batch)
+        second = cache.plan(uniform_batch)
+        assert first is second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_signature_equality_hits_across_instances(self, framework):
+        cache = PlanCache(framework)
+        cache.plan(GemmBatch.uniform(64, 64, 32, 4))
+        cache.plan(GemmBatch.uniform(64, 64, 32, 4))
+        assert cache.stats.hit_rate == 0.5
+
+    def test_different_heuristics_cached_separately(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        a = cache.plan(uniform_batch, heuristic="threshold")
+        b = cache.plan(uniform_batch, heuristic="binary")
+        assert a is not b
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self, framework):
+        cache = PlanCache(framework, capacity=2)
+        batches = [GemmBatch.uniform(16 * i, 16, 16, 2) for i in (1, 2, 3)]
+        for b in batches:
+            cache.plan(b)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest entry (batches[0]) was evicted: replanning misses.
+        cache.plan(batches[0])
+        assert cache.stats.misses == 4
+
+    def test_execute_through_cache(self, framework, small_batch, rng):
+        cache = PlanCache(framework)
+        ops = small_batch.random_operands(rng)
+        got = cache.execute(small_batch, ops, heuristic="binary")
+        want = reference_batched_gemm(small_batch, ops)
+        for a, b in zip(got, want):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-4)
+        # Fresh operands, cached plan.
+        ops2 = small_batch.random_operands(rng)
+        got2 = cache.execute(small_batch, ops2, heuristic="binary")
+        want2 = reference_batched_gemm(small_batch, ops2)
+        for a, b in zip(got2, want2):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-4)
+        assert cache.stats.hits == 1
+
+    def test_clear_keeps_stats(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        cache.plan(uniform_batch)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_invalid_capacity(self, framework):
+        with pytest.raises(ValueError):
+            PlanCache(framework, capacity=0)

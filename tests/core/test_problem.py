@@ -1,0 +1,140 @@
+"""Unit tests for the GEMM problem model."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Gemm, GemmBatch, Tile, validate_operands
+
+
+class TestGemm:
+    def test_basic_construction(self):
+        g = Gemm(4, 5, 6)
+        assert g.shape == (4, 5, 6)
+        assert g.alpha == 1.0 and g.beta == 0.0
+
+    def test_flops_counts_multiply_and_add(self):
+        assert Gemm(2, 3, 4).flops == 2 * 2 * 3 * 4
+
+    @pytest.mark.parametrize("m,n,k", [(0, 1, 1), (1, 0, 1), (1, 1, 0), (-2, 3, 4)])
+    def test_rejects_nonpositive_dims(self, m, n, k):
+        with pytest.raises(ValueError):
+            Gemm(m, n, k)
+
+    def test_rejects_non_integer_dims(self):
+        with pytest.raises(TypeError):
+            Gemm(2.5, 3, 4)
+
+    def test_accepts_numpy_integers(self):
+        g = Gemm(np.int64(4), np.int32(5), np.int16(6))
+        assert g.shape == (4, 5, 6)
+
+    def test_random_operands_shapes_and_dtype(self, rng):
+        g = Gemm(3, 7, 5)
+        a, b, c = g.random_operands(rng)
+        assert a.shape == (3, 5) and b.shape == (5, 7) and c.shape == (3, 7)
+        assert a.dtype == np.float32
+
+    def test_random_operands_reproducible(self):
+        g = Gemm(4, 4, 4)
+        a1, _, _ = g.random_operands(np.random.default_rng(7))
+        a2, _, _ = g.random_operands(np.random.default_rng(7))
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_str(self):
+        assert str(Gemm(1, 2, 3)) == "Gemm(1x2x3)"
+
+
+class TestGemmBatch:
+    def test_from_shapes(self):
+        b = GemmBatch.from_shapes([(1, 2, 3), (4, 5, 6)])
+        assert len(b) == 2
+        assert b[1].shape == (4, 5, 6)
+
+    def test_uniform(self):
+        b = GemmBatch.uniform(8, 8, 8, 5)
+        assert len(b) == 5 and b.is_uniform
+
+    def test_uniform_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            GemmBatch.uniform(8, 8, 8, 0)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            GemmBatch([])
+
+    def test_non_gemm_rejected(self):
+        with pytest.raises(TypeError):
+            GemmBatch([Gemm(1, 1, 1), "not a gemm"])
+
+    def test_is_uniform_false_for_mixed(self, small_batch):
+        assert not small_batch.is_uniform
+
+    def test_iteration_and_indexing(self, small_batch):
+        gemms = list(small_batch)
+        assert gemms[0] is small_batch[0]
+        assert len(gemms) == 3
+
+    def test_total_flops(self):
+        b = GemmBatch.from_shapes([(2, 2, 2), (3, 3, 3)])
+        assert b.total_flops == 2 * 8 + 2 * 27
+
+    def test_means(self):
+        b = GemmBatch.from_shapes([(10, 20, 30), (30, 40, 50)])
+        assert b.mean_m == 20 and b.mean_n == 30 and b.mean_k == 40
+
+    def test_features_vector(self):
+        b = GemmBatch.from_shapes([(10, 20, 30), (30, 40, 50)])
+        np.testing.assert_allclose(b.features(), [20.0, 30.0, 40.0, 2.0])
+
+    def test_compulsory_ab_bytes(self):
+        b = GemmBatch.from_shapes([(2, 3, 4)])
+        assert b.compulsory_ab_bytes == (2 * 4 + 4 * 3) * 4
+
+    def test_repr_truncates_long_batches(self):
+        b = GemmBatch.uniform(4, 4, 4, 10)
+        assert "10 GEMMs" in repr(b)
+
+    def test_random_operands_per_gemm(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        assert len(ops) == 3
+        for gemm, (a, b, c) in zip(small_batch, ops):
+            assert a.shape == (gemm.m, gemm.k)
+
+
+class TestTile:
+    def test_valid_tile(self):
+        t = Tile(gemm_index=0, y=1, x=2, strategy_index=3, k=64)
+        assert t.k == 64
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(gemm_index=-1, y=0, x=0, strategy_index=0, k=8),
+            dict(gemm_index=0, y=-1, x=0, strategy_index=0, k=8),
+            dict(gemm_index=0, y=0, x=-2, strategy_index=0, k=8),
+            dict(gemm_index=0, y=0, x=0, strategy_index=0, k=0),
+        ],
+    )
+    def test_invalid_tiles_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Tile(**kwargs)
+
+
+class TestValidateOperands:
+    def test_accepts_matching(self, small_batch, rng):
+        validate_operands(small_batch, small_batch.random_operands(rng))
+
+    def test_rejects_wrong_count(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        with pytest.raises(ValueError, match="operand count"):
+            validate_operands(small_batch, ops[:-1])
+
+    @pytest.mark.parametrize("which", [0, 1, 2])
+    def test_rejects_wrong_shapes(self, small_batch, rng, which):
+        ops = small_batch.random_operands(rng)
+        a, b, c = ops[1]
+        bad = [a, b, c]
+        bad[which] = np.zeros((99, 99), dtype=np.float32)
+        ops[1] = tuple(bad)
+        with pytest.raises(ValueError, match="GEMM 1"):
+            validate_operands(small_batch, ops)

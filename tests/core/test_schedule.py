@@ -1,0 +1,174 @@
+"""Tests for the auxiliary-array schedule (Section 6 / Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import batch_tiles, BatchingResult
+from repro.core.problem import Gemm, GemmBatch, Tile
+from repro.core.schedule import BatchSchedule, build_schedule, enumerate_tiles
+from repro.core.tiling import select_tiling, strategy_by_index
+
+
+def plan(batch, heuristic="one-per-block", threshold=65536):
+    decision = select_tiling(batch, threshold)
+    tiles = enumerate_tiles(batch, decision)
+    batching = batch_tiles(tiles, decision.threads, heuristic)
+    return decision, batching, build_schedule(batch, decision, batching)
+
+
+class TestFigure6WorkedExample:
+    """Two GEMMs: two 128x128 tiles and eight 128x64 tiles; six blocks,
+    the third block running two tiles of GEMM 1 at coordinates (0,0),
+    (0,1) -- the exact structure of the paper's Figure 6."""
+
+    @pytest.fixture
+    def schedule(self):
+        from repro.core.tiling import TilingDecision, strategy_by_name
+
+        batch = GemmBatch.from_shapes([(128, 256, 512), (128, 512, 512)])
+        # The figure's solution is hand-constructed in the paper ("a
+        # possible tiling and batching solution"): huge tiles for GEMM0,
+        # tall (128x64) tiles for GEMM1 -- the interface must describe
+        # any scheme, not only the tiling algorithm's output.
+        huge = strategy_by_name("huge", 256)
+        tall = strategy_by_name("tall", 256)
+        decision = TilingDecision(
+            strategies=(huge, tall), threads=256, tlp=0, trace=()
+        )
+        tiles = enumerate_tiles(batch, decision)
+        t0 = [t for t in tiles if t.gemm_index == 0]
+        t1 = [t for t in tiles if t.gemm_index == 1]
+        blocks = [(t,) for t in t0] + [
+            tuple(t1[i : i + 2]) for i in range(0, len(t1), 2)
+        ]
+        batching = BatchingResult(blocks=tuple(blocks), heuristic="manual", theta=256)
+        return batch, decision, build_schedule(batch, decision, batching)
+
+    def test_block_structure(self, schedule):
+        batch, decision, sched = schedule
+        # GEMM0: huge tiles 128x128 -> 1x2 grid = 2 tiles; GEMM1:
+        # tall tiles 128x64 -> 1x8 grid = 8 tiles; 2 + 4 blocks.
+        assert decision.strategies[0].name == "huge"
+        assert decision.strategies[1].name == "tall"
+        assert sched.num_blocks == 6
+        assert sched.num_tiles == 10
+
+    def test_tile_offsets(self, schedule):
+        _, _, sched = schedule
+        np.testing.assert_array_equal(sched.tile_offsets, [0, 1, 2, 4, 6, 8, 10])
+
+    def test_third_block_decodes_like_the_paper(self, schedule):
+        """Block 2 runs tiles [2,4) of GEMM 1 at (0,0) and (0,1)."""
+        _, _, sched = schedule
+        tiles = sched.tiles_of_block(2)
+        assert len(tiles) == 2
+        assert all(t.gemm_index == 1 for t in tiles)
+        assert [(t.y, t.x) for t in tiles] == [(0, 0), (0, 1)]
+
+    def test_gemm_array(self, schedule):
+        _, _, sched = schedule
+        np.testing.assert_array_equal(sched.gemm_ids, [0, 0] + [1] * 8)
+
+    def test_strategy_ids_decode(self, schedule):
+        _, decision, sched = schedule
+        for slot in range(sched.num_tiles):
+            strat = strategy_by_index(int(sched.strategy_ids[slot]))
+            gemm = int(sched.gemm_ids[slot])
+            assert strat == decision.strategies[gemm]
+
+
+class TestEnumerateTiles:
+    def test_row_major_order(self):
+        batch = GemmBatch([Gemm(32, 48, 8)])
+        decision = select_tiling(batch, 65536)  # small tiles
+        tiles = enumerate_tiles(batch, decision)
+        assert [(t.y, t.x) for t in tiles] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_tiles_carry_gemm_k(self, small_batch):
+        decision = select_tiling(small_batch, 65536)
+        for t in enumerate_tiles(small_batch, decision):
+            assert t.k == small_batch[t.gemm_index].k
+
+    def test_counts_match_strategy(self, paper_example_batch):
+        decision = select_tiling(paper_example_batch, 65536)
+        tiles = enumerate_tiles(paper_example_batch, decision)
+        expected = sum(
+            s.num_tiles(g) for g, s in zip(paper_example_batch, decision.strategies)
+        )
+        assert len(tiles) == expected
+
+
+class TestBuildScheduleValidation:
+    def test_missing_tile_rejected(self, uniform_batch):
+        decision = select_tiling(uniform_batch, 65536)
+        tiles = enumerate_tiles(uniform_batch, decision)
+        bad = BatchingResult(blocks=tuple((t,) for t in tiles[:-1]), heuristic="x", theta=1)
+        with pytest.raises(ValueError, match="unassigned"):
+            build_schedule(uniform_batch, decision, bad)
+
+    def test_duplicate_tile_rejected(self, uniform_batch):
+        decision = select_tiling(uniform_batch, 65536)
+        tiles = enumerate_tiles(uniform_batch, decision)
+        blocks = tuple((t,) for t in tiles) + ((tiles[0],),)
+        bad = BatchingResult(blocks=blocks, heuristic="x", theta=1)
+        with pytest.raises(ValueError, match="more than one block"):
+            build_schedule(uniform_batch, decision, bad)
+
+    def test_invented_tile_rejected(self, uniform_batch):
+        decision = select_tiling(uniform_batch, 65536)
+        tiles = enumerate_tiles(uniform_batch, decision)
+        alien = Tile(gemm_index=0, y=99, x=99, strategy_index=tiles[0].strategy_index, k=64)
+        bad = BatchingResult(blocks=tuple((t,) for t in tiles) + ((alien,),), heuristic="x", theta=1)
+        with pytest.raises(ValueError, match="not produced by tiling"):
+            build_schedule(uniform_batch, decision, bad)
+
+
+class TestBatchScheduleInvariants:
+    def test_arrays_are_int32(self, uniform_batch):
+        _, _, sched = plan(uniform_batch)
+        for arr in (sched.tile_offsets, sched.gemm_ids, sched.strategy_ids,
+                    sched.y_coords, sched.x_coords):
+            assert arr.dtype == np.int32
+
+    def test_fused_footprint_is_max_over_strategies(self, small_batch):
+        decision, _, sched = plan(small_batch)
+        used = {s for s in decision.strategies}
+        assert sched.shared_memory_bytes == max(s.shared_memory_bytes for s in used)
+        assert sched.registers_per_thread == max(s.registers_per_thread for s in used)
+        assert sched.threads_per_block == decision.threads
+
+    def test_tiles_of_block_bounds(self, uniform_batch):
+        _, _, sched = plan(uniform_batch)
+        with pytest.raises(IndexError):
+            sched.tiles_of_block(sched.num_blocks)
+        with pytest.raises(IndexError):
+            sched.tiles_of_block(-1)
+
+    def test_block_works_lowering(self, uniform_batch):
+        _, batching, sched = plan(uniform_batch, heuristic="binary")
+        works = sched.block_works(uniform_batch)
+        assert len(works) == sched.num_blocks
+        assert sum(len(w.tiles) for w in works) == sched.num_tiles
+        for w in works:
+            assert w.threads == sched.threads_per_block
+            for t in w.tiles:
+                assert t.active_threads == sched.threads_per_block
+
+    def test_constructor_validation(self):
+        good = dict(
+            gemm_ids=np.zeros(2, np.int32),
+            strategy_ids=np.zeros(2, np.int32),
+            y_coords=np.zeros(2, np.int32),
+            x_coords=np.zeros(2, np.int32),
+            threads_per_block=256,
+            shared_memory_bytes=1024,
+            registers_per_thread=32,
+        )
+        with pytest.raises(ValueError, match="start at 0"):
+            BatchSchedule(tile_offsets=np.array([1, 2], np.int32), **good)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            BatchSchedule(tile_offsets=np.array([0, 0, 2], np.int32), **good)
+        with pytest.raises(ValueError, match="expected"):
+            BatchSchedule(tile_offsets=np.array([0, 3], np.int32), **good)

@@ -1,0 +1,59 @@
+"""Tests for the random-forest batching-heuristic selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import GemmBatch
+from repro.core.selector import HEURISTIC_LABELS, HeuristicSelector, train_default_selector
+from repro.ml.random_forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def trained_selector():
+    # Small but real training run (the paper uses >400 samples; tests
+    # use fewer for speed -- the full-size run is a benchmark).
+    return train_default_selector(n_samples=40, seed=0, n_estimators=8)
+
+
+class TestSelector:
+    def test_labels(self):
+        assert HEURISTIC_LABELS == ("threshold", "binary")
+
+    def test_predicts_known_heuristic(self, trained_selector, uniform_batch):
+        assert trained_selector.predict(uniform_batch) in HEURISTIC_LABELS
+
+    def test_proba_sums_to_one(self, trained_selector, uniform_batch):
+        proba = trained_selector.predict_proba(uniform_batch)
+        assert proba.shape == (2,)
+        assert proba.sum() == pytest.approx(1.0)
+
+    def test_prediction_matches_argmax_proba(self, trained_selector, small_batch):
+        proba = trained_selector.predict_proba(small_batch)
+        assert trained_selector.predict(small_batch) == HEURISTIC_LABELS[int(np.argmax(proba))]
+
+    def test_mean_comparisons_is_small(self, trained_selector):
+        """The paper quotes 7-8 comparisons on average; with shallow
+        trees ours must stay in the single digits."""
+        batches = [GemmBatch.uniform(64 * (i % 4 + 1), 64, 32 * (i % 8 + 1), i % 6 + 2) for i in range(12)]
+        assert 1 <= trained_selector.mean_comparisons(batches) <= 10
+
+    def test_auto_mode_end_to_end(self, trained_selector, uniform_batch):
+        fw = CoordinatedFramework(selector=trained_selector)
+        report = fw.plan(uniform_batch, heuristic="auto")
+        assert report.heuristic_used in HEURISTIC_LABELS
+
+    def test_training_accuracy_beats_chance(self, trained_selector):
+        """On its own training distribution, the forest must beat the
+        majority-class baseline materially on average."""
+        from repro.ml.training import generate_training_set
+        from repro.gpu.specs import VOLTA_V100
+
+        x, y, _ = generate_training_set(VOLTA_V100, n_samples=40, seed=0)
+        assert trained_selector.forest.score(x, y) >= 0.8  # training fit
+
+    def test_selector_wraps_forest(self):
+        forest = RandomForestClassifier(n_estimators=2, seed=0)
+        forest.fit(np.array([[0.0, 0, 0, 0], [1.0, 1, 1, 1]] * 4), np.array([0, 1] * 4))
+        sel = HeuristicSelector(forest=forest)
+        assert sel.predict(GemmBatch.uniform(8, 8, 8, 2)) in HEURISTIC_LABELS

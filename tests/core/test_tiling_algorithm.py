@@ -1,0 +1,111 @@
+"""Tests for the tiling-strategy selection algorithm (Section 4.2.3)."""
+
+import pytest
+
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.tiling import select_tiling
+
+
+class TestPaperWorkedExample:
+    """Reproduce the Section 4.2.3 trace exactly."""
+
+    def test_final_selection(self, paper_example_batch):
+        d = select_tiling(paper_example_batch, tlp_threshold=65536)
+        assert [s.name for s in d.strategies] == ["small", "medium", "medium"]
+        assert d.threads == 256
+
+    def test_final_tlp(self, paper_example_batch):
+        assert select_tiling(paper_example_batch, 65536).tlp == 17920
+
+    def test_trace(self, paper_example_batch):
+        d = select_tiling(paper_example_batch, tlp_threshold=65536)
+        tlps = [t for _sel, t in d.trace]
+        assert tlps == [70144, 17920]
+        first_names = [s.split("/")[0] for s in d.trace[0][0]]
+        assert first_names == ["small", "small", "small"]
+
+    def test_pinned_gemm_keeps_small(self, paper_example_batch):
+        """The 16x32 GEMM has a single available strategy and must
+        keep it while the others advance."""
+        d = select_tiling(paper_example_batch, 65536)
+        assert d.strategies[0].name == "small"
+
+
+class TestAlgorithmBehaviour:
+    def test_low_tlp_batch_keeps_smallest(self):
+        """A tiny batch is under the threshold immediately: every GEMM
+        keeps its smallest (highest-TLP) strategy."""
+        batch = GemmBatch.from_shapes([(32, 32, 64)])
+        d = select_tiling(batch, tlp_threshold=65536)
+        assert [s.name for s in d.strategies] == ["small"]
+        assert d.threads == 256
+
+    def test_huge_batch_advances_to_larger_tiles(self):
+        batch = GemmBatch.uniform(512, 512, 64, 16)
+        d = select_tiling(batch, tlp_threshold=65536)
+        assert d.strategies[0].tile_elems > 16 * 16
+
+    def test_unified_threads_across_mixed_batch(self):
+        batch = GemmBatch.from_shapes([(16, 16, 8), (512, 512, 512), (64, 256, 32)])
+        d = select_tiling(batch, 65536)
+        assert len({s.threads for s in d.strategies}) == 1
+
+    def test_fallback_to_128_pool(self):
+        """When TLP exceeds the threshold even at the largest tiles,
+        the algorithm switches to the 128-thread pool and re-advances
+        from the smallest strategies."""
+        batch = GemmBatch.uniform(24, 24, 64, 600)  # only small available
+        d = select_tiling(batch, tlp_threshold=65536)
+        # 600 GEMMs x 4 tiles x 256 threads = 614400 > threshold; pinned
+        # at small -> 128-thread pool -> still pinned at small/128.
+        assert d.threads == 128
+        assert all(s.name == "small" for s in d.strategies)
+
+    def test_fallback_restarts_from_smallest(self):
+        """After the pool switch, advancement restarts: a batch that is
+        under the threshold at e.g. medium/128 must not jump to huge."""
+        batch = GemmBatch.uniform(512, 512, 64, 40)
+        d = select_tiling(batch, tlp_threshold=65536)
+        if d.threads == 128:
+            # TLP of the final selection respects the stopping rule:
+            # either at most one advancement step past the threshold or
+            # pinned at the largest strategy.
+            assert d.tlp <= 65536 or all(
+                s.name == "huge" for s in d.strategies
+            )
+
+    def test_trace_is_nonempty_and_monotone_nonincreasing_in_pool(self):
+        batch = GemmBatch.uniform(256, 256, 64, 8)
+        d = select_tiling(batch, 65536)
+        assert len(d.trace) >= 1
+        tlps = [t for _s, t in d.trace]
+        # TLP strictly decreases while the same pool advances.
+        assert all(tlps[i] > tlps[i + 1] for i in range(len(tlps) - 1))
+
+    def test_strategies_respect_fit_rule_or_fallback(self):
+        batch = GemmBatch.from_shapes([(16, 512, 64), (512, 16, 64)])
+        d = select_tiling(batch, 65536)
+        g0, g1 = batch[0], batch[1]
+        s0, s1 = d.strategies
+        assert s0.by <= max(g0.m, 16) and s0.bx <= max(g0.n, 16)
+        assert s1.by <= max(g1.m, 16) and s1.bx <= max(g1.n, 16)
+
+    def test_invalid_threshold_rejected(self, paper_example_batch):
+        with pytest.raises(ValueError):
+            select_tiling(paper_example_batch, tlp_threshold=0)
+
+    def test_decision_strategy_for_accessor(self, paper_example_batch):
+        d = select_tiling(paper_example_batch, 65536)
+        assert d.strategy_for(1) is d.strategies[1]
+
+    def test_threshold_controls_aggressiveness(self):
+        """A lower threshold lets the algorithm advance further
+        (larger tiles, less TLP)."""
+        batch = GemmBatch.uniform(256, 256, 128, 8)
+        aggressive = select_tiling(batch, tlp_threshold=4096)
+        conservative = select_tiling(batch, tlp_threshold=10_000_000)
+        assert (
+            aggressive.strategies[0].tile_elems
+            >= conservative.strategies[0].tile_elems
+        )
+        assert conservative.strategies[0].name == "small"

@@ -1,0 +1,158 @@
+"""Tests pinning Tables 1 and 2 of the paper exactly."""
+
+import pytest
+
+from repro.core.tiling import (
+    ALL_BATCHED_STRATEGIES,
+    BATCHED_STRATEGIES_128,
+    BATCHED_STRATEGIES_256,
+    SINGLE_GEMM_STRATEGIES,
+    TilingStrategy,
+    available_strategies,
+    strategy_by_index,
+    strategy_by_name,
+)
+from repro.core.problem import Gemm
+
+# Table 1 rows: (name, BY, BX, BK, threads, sub_y, sub_x)
+TABLE1 = [
+    ("small", 16, 16, 8, 32, 4, 2),
+    ("medium", 32, 32, 8, 64, 4, 4),
+    ("large", 64, 64, 8, 64, 8, 8),
+    ("tall", 128, 64, 8, 128, 8, 8),
+    ("wide", 64, 128, 8, 128, 8, 8),
+    ("huge", 128, 128, 8, 256, 8, 8),
+]
+
+# Table 2 sub-tile columns: name -> (sub at 128 threads, sub at 256 threads)
+TABLE2_SUBTILES = {
+    "small": ((2, 1), (1, 1)),
+    "medium": ((4, 2), (2, 2)),
+    "large": ((8, 4), (4, 4)),
+    "tall": ((8, 8), (8, 4)),
+    "wide": ((8, 8), (8, 4)),
+    "huge": ((16, 8), (8, 8)),
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("row", TABLE1, ids=[r[0] for r in TABLE1])
+    def test_exact_contents(self, row):
+        name, by, bx, bk, threads, sy, sx = row
+        strat = next(s for s in SINGLE_GEMM_STRATEGIES if s.name == name)
+        assert (strat.by, strat.bx, strat.bk) == (by, bx, bk)
+        assert strat.threads == threads
+        assert (strat.sub_y, strat.sub_x) == (sy, sx)
+
+    def test_six_strategies(self):
+        assert len(SINGLE_GEMM_STRATEGIES) == 6
+
+    def test_small_needs_32_threads(self):
+        # The paper's own arithmetic: 16*16 / (4*2) = 32.
+        small = SINGLE_GEMM_STRATEGIES[0]
+        assert small.tile_elems // small.sub_tile_elems == 32
+
+
+class TestTable2:
+    def test_twelve_strategies_total(self):
+        assert len(ALL_BATCHED_STRATEGIES) == 12
+
+    def test_unified_thread_structure(self):
+        assert all(s.threads == 256 for s in BATCHED_STRATEGIES_256)
+        assert all(s.threads == 128 for s in BATCHED_STRATEGIES_128)
+
+    @pytest.mark.parametrize("name", TABLE2_SUBTILES)
+    def test_sub_tiles(self, name):
+        sub128, sub256 = TABLE2_SUBTILES[name]
+        s128 = strategy_by_name(name, 128)
+        s256 = strategy_by_name(name, 256)
+        assert (s128.sub_y, s128.sub_x) == sub128
+        assert (s256.sub_y, s256.sub_x) == sub256
+
+    def test_same_tile_sizes_as_table1(self):
+        for s1, s2 in zip(SINGLE_GEMM_STRATEGIES, BATCHED_STRATEGIES_256):
+            assert (s1.by, s1.bx, s1.bk) == (s2.by, s2.bx, s2.bk)
+
+    def test_index_layout(self):
+        # 0-5 are the 256-thread pool, 6-11 the 128-thread pool.
+        for i in range(6):
+            assert strategy_by_index(i).threads == 256
+            assert strategy_by_index(i + 6).threads == 128
+            assert strategy_by_index(i).name == strategy_by_index(i + 6).name
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            strategy_by_index(12)
+        with pytest.raises(IndexError):
+            strategy_by_index(-1)
+
+
+class TestStrategyInvariants:
+    @pytest.mark.parametrize(
+        "strat",
+        list(SINGLE_GEMM_STRATEGIES) + list(ALL_BATCHED_STRATEGIES),
+        ids=lambda s: str(s),
+    )
+    def test_threads_cover_tile_exactly(self, strat):
+        assert strat.by * strat.bx == strat.threads * strat.sub_y * strat.sub_x
+
+    @pytest.mark.parametrize("strat", ALL_BATCHED_STRATEGIES, ids=lambda s: str(s))
+    def test_register_estimate_under_architectural_cap(self, strat):
+        assert strat.registers_per_thread <= 255
+
+    @pytest.mark.parametrize("strat", ALL_BATCHED_STRATEGIES, ids=lambda s: str(s))
+    def test_shared_memory_is_double_buffered(self, strat):
+        assert strat.shared_memory_bytes == 2 * (strat.by + strat.bx) * strat.bk * 4
+
+    def test_inconsistent_strategy_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            TilingStrategy(name="bad", by=16, bx=16, bk=8, threads=100, sub_y=1, sub_x=1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(by=0, bx=16, bk=8, threads=32, sub_y=4, sub_x=2),
+            dict(by=16, bx=16, bk=8, threads=0, sub_y=4, sub_x=2),
+        ],
+    )
+    def test_nonpositive_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TilingStrategy(name="bad", **kwargs)
+
+    def test_tiles_for_uses_ceiling(self):
+        strat = strategy_by_name("small", 256)
+        assert strat.tiles_for(Gemm(17, 31, 8)) == (2, 2)
+        assert strat.tiles_for(Gemm(16, 16, 8)) == (1, 1)
+
+    def test_num_tiles(self):
+        strat = strategy_by_name("medium", 256)
+        assert strat.num_tiles(Gemm(64, 96, 8)) == 2 * 3
+
+
+class TestAvailability:
+    def test_rule_by_le_m_and_bx_le_n(self):
+        names = [s.name for s in available_strategies(Gemm(64, 64, 8))]
+        assert names == ["small", "medium", "large"]
+
+    def test_paper_first_gemm_has_only_small(self):
+        # 16x32: medium (32x32) violates BY <= M, so only small fits --
+        # the rule the paper's worked-example TLP trace implies.
+        names = [s.name for s in available_strategies(Gemm(16, 32, 128))]
+        assert names == ["small"]
+
+    def test_tiny_gemm_falls_back_to_smallest(self):
+        names = [s.name for s in available_strategies(Gemm(4, 4, 8))]
+        assert names == ["small"]
+
+    def test_large_gemm_gets_all_six(self):
+        assert len(available_strategies(Gemm(256, 256, 64))) == 6
+
+    def test_sorted_smallest_first(self):
+        sizes = [s.tile_elems for s in available_strategies(Gemm(512, 512, 8))]
+        assert sizes == sorted(sizes)
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError):
+            strategy_by_name("gigantic", 256)
+        with pytest.raises(ValueError):
+            strategy_by_name("small", 64)

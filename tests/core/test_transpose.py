@@ -1,0 +1,82 @@
+"""Tests for transposed-operand (BLAS op) support."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.magma_vbatch import execute_magma
+from repro.core.problem import Gemm, GemmBatch, validate_operands
+from repro.kernels.reference import reference_batched_gemm
+
+
+class TestGemmTranspose:
+    def test_operand_shapes(self):
+        g = Gemm(3, 5, 7, trans_a=True, trans_b=True)
+        assert g.a_shape == (7, 3)
+        assert g.b_shape == (5, 7)
+
+    def test_default_is_nn(self):
+        g = Gemm(3, 5, 7)
+        assert g.a_shape == (3, 7) and g.b_shape == (7, 5)
+        assert "TN" not in str(g)
+
+    def test_str_shows_ops(self):
+        assert str(Gemm(1, 2, 3, trans_a=True)) == "Gemm(1x2x3,TN)"
+        assert str(Gemm(1, 2, 3, trans_b=True)) == "Gemm(1x2x3,NT)"
+        assert str(Gemm(1, 2, 3, trans_a=True, trans_b=True)) == "Gemm(1x2x3,TT)"
+
+    def test_op_views(self, rng):
+        g = Gemm(4, 6, 8, trans_a=True)
+        a = rng.standard_normal(g.a_shape).astype(np.float32)
+        assert g.op_a(a).shape == (4, 8)
+        assert g.op_a(a).base is a  # a view, no copy
+
+    def test_random_operands_honour_layout(self, rng):
+        g = Gemm(4, 6, 8, trans_a=True, trans_b=True)
+        a, b, c = g.random_operands(rng)
+        assert a.shape == (8, 4) and b.shape == (6, 8) and c.shape == (4, 6)
+
+    def test_validate_operands_checks_stored_layout(self, rng):
+        batch = GemmBatch([Gemm(4, 6, 8, trans_a=True)])
+        good = batch.random_operands(rng)
+        validate_operands(batch, good)
+        # The non-transposed layout must now be rejected.
+        bad = [(good[0][0].T.copy(), good[0][1], good[0][2])]
+        with pytest.raises(ValueError, match="A has shape"):
+            validate_operands(batch, bad)
+
+
+@pytest.mark.parametrize(
+    "ta,tb", [(False, False), (True, False), (False, True), (True, True)]
+)
+class TestTransposedExecution:
+    def _batch(self, ta, tb):
+        return GemmBatch(
+            [
+                Gemm(17, 23, 11, alpha=1.5, beta=-0.5, trans_a=ta, trans_b=tb),
+                Gemm(40, 8, 30, trans_a=ta, trans_b=tb),
+            ]
+        )
+
+    def test_reference_matches_numpy(self, rng, ta, tb):
+        batch = self._batch(ta, tb)
+        ops = batch.random_operands(rng)
+        outs = reference_batched_gemm(batch, ops)
+        for g, (a, b, c), out in zip(batch, ops, outs):
+            expected = g.alpha * (g.op_a(a).astype(np.float64) @ g.op_b(b).astype(np.float64)) + g.beta * c
+            np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-4)
+
+    def test_framework_execute(self, framework, rng, ta, tb):
+        batch = self._batch(ta, tb)
+        ops = batch.random_operands(rng)
+        got = framework.execute(batch, ops, heuristic="threshold")
+        want = reference_batched_gemm(batch, ops)
+        for a, b in zip(got, want):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-4)
+
+    def test_magma_execute(self, rng, ta, tb):
+        batch = self._batch(ta, tb)
+        ops = batch.random_operands(rng)
+        got = execute_magma(batch, ops)
+        want = reference_batched_gemm(batch, ops)
+        for a, b in zip(got, want):
+            np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-4)

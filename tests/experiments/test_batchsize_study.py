@@ -1,0 +1,50 @@
+"""Tests for the DNN batch-size sensitivity study."""
+
+import pytest
+
+from repro.analysis.metrics import geomean
+from repro.experiments.batchsize_study import (
+    BatchSizeRow,
+    print_report,
+    run_batchsize_study,
+)
+
+
+class TestBatchSizeStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_batchsize_study(batch_sizes=(1, 4, 16), modules=("inception3a", "inception4a"))
+
+    def test_row_grid(self, rows):
+        assert len(rows) == 2 * 3
+        assert {r.module for r in rows} == {"inception3a", "inception4a"}
+
+    def test_gemms_stay_skinny(self, rows):
+        """The paper's structural point: M never grows with the DNN
+        batch (only N does), so the GEMMs remain batching candidates."""
+        from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+
+        module = GOOGLENET_INCEPTIONS[0]
+        b1 = inception_branch_batch(module, 1)
+        b16 = inception_branch_batch(module, 16)
+        assert [g.m for g in b1] == [g.m for g in b16]
+        assert all(g16.n == 16 * g1.n for g1, g16 in zip(b1, b16))
+
+    def test_advantage_persists_at_small_batches(self, rows):
+        small = [r.speedup for r in rows if r.batch_size <= 4]
+        assert geomean(small) > 1.05
+
+    def test_never_materially_worse(self, rows):
+        assert all(r.speedup > 0.8 for r in rows)
+
+    def test_throughput_grows_with_batch(self, rows):
+        """Bigger N means better utilization in absolute terms."""
+        for module in {r.module for r in rows}:
+            series = sorted(
+                (r for r in rows if r.module == module), key=lambda r: r.batch_size
+            )
+            assert series[-1].tflops > series[0].tflops
+
+    def test_report_renders(self, rows):
+        text = print_report(rows)
+        assert "batch-size" in text and "inception4a" in text

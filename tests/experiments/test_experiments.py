@@ -1,0 +1,126 @@
+"""Tests for the experiment drivers (small grids for speed)."""
+
+import pytest
+
+from repro.analysis.metrics import geomean
+from repro.experiments.ablations import (
+    ab1_unified_threads,
+    ab2_tlp_threshold,
+    ab3_theta,
+    ab4_heuristics,
+    ab5_thread_pools,
+)
+from repro.experiments.fig8_tiling import print_report as fig8_report
+from repro.experiments.fig8_tiling import run_fig8, trend_checks as fig8_trends
+from repro.experiments.fig9_batching import print_report as fig9_report
+from repro.experiments.fig9_batching import run_fig9, trend_checks as fig9_trends
+from repro.experiments.fig10_googlenet import print_report as fig10_report
+from repro.experiments.fig10_googlenet import run_fig10
+from repro.experiments.fig11_arch import FIG11_DEVICES, print_report as fig11_report
+from repro.experiments.fig11_arch import run_fig11
+
+QUICK = dict(batch_sizes=(4, 16), mn_values=(128, 256), k_values=(16, 64, 256))
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_fig8(**QUICK)
+
+    def test_grid_complete(self, cells):
+        assert len(cells) == 2 * 2 * 3
+
+    def test_average_speedup_positive(self, cells):
+        assert geomean([c.speedup for c in cells]) > 1.0
+
+    def test_trends(self, cells):
+        assert all(fig8_trends(cells).values())
+
+    def test_report_renders(self, cells):
+        text = fig8_report(cells)
+        assert "Figure 8" in text and "1.20X" in text
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return run_fig9(**QUICK)
+
+    def test_beats_fig8(self, cells):
+        """The full framework is at least as good as tiling alone."""
+        full = geomean([c.speedup for c in cells])
+        tiling = geomean([c.magma_ms / c.tiling_only_ms for c in cells])
+        assert full >= tiling * 0.98
+
+    def test_heuristic_recorded(self, cells):
+        assert all(c.heuristic in ("threshold", "binary") for c in cells)
+
+    def test_trends(self, cells):
+        checks = fig9_trends(cells)
+        assert checks["batching_contribution_higher_at_small_k"]
+
+    def test_report_renders(self, cells):
+        assert "1.40X" in fig9_report(cells)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10()
+
+    def test_mode_ordering(self, result):
+        assert result.coordinated.total_ms < result.streams.total_ms < result.default.total_ms
+
+    def test_speedups(self, result):
+        assert result.speedup_over_default > 1.3
+        assert 1.05 < result.speedup_over_streams < 1.5
+        assert result.mean_layer_speedup > 1.1
+
+    def test_report_renders(self, result):
+        text = fig10_report(result)
+        assert "GoogleNet" in text and "inception5b" in text
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fig11(n_cases=12, seed=0)
+
+    def test_all_five_devices(self, results):
+        assert len(results) == len(FIG11_DEVICES) == 5
+
+    def test_consistent_wins(self, results):
+        """The portability claim: a material mean speedup everywhere."""
+        for r in results:
+            assert r.mean_speedup > 1.0, r.device_name
+
+    def test_report_renders(self, results):
+        assert "Tesla P100" in fig11_report(results)
+
+
+class TestAblations:
+    def test_ab1_unified_wins(self):
+        rows = ab1_unified_threads(quick=True)
+        unified = next(r for r in rows if "unified (" in r.configuration)
+        nonunified = next(r for r in rows if "non-unified" in r.configuration)
+        assert unified.geomean_time_ms < nonunified.geomean_time_ms
+
+    def test_ab2_threshold_matters(self):
+        rows = ab2_tlp_threshold(thresholds=(4096, 65536), quick=True)
+        times = [r.geomean_time_ms for r in rows]
+        assert len(set(round(t, 9) for t in times)) > 1
+
+    def test_ab3_theta_rows(self):
+        rows = ab3_theta(thetas=(64, 256), quick=True)
+        assert len(rows) == 2 and all(r.geomean_time_ms > 0 for r in rows)
+
+    def test_ab4_best_is_best(self):
+        rows = ab4_heuristics(quick=True)
+        by_name = {r.configuration: r.geomean_time_ms for r in rows}
+        assert by_name["best"] <= min(by_name["threshold"], by_name["binary"]) + 1e-12
+
+    def test_ab5_adaptive_beats_fixed(self):
+        rows = ab5_thread_pools(quick=True)
+        by_name = {r.configuration: r.geomean_time_ms for r in rows}
+        adaptive = by_name["adaptive (selection algorithm)"]
+        assert adaptive <= min(v for k, v in by_name.items() if k != "adaptive (selection algorithm)")

@@ -1,0 +1,44 @@
+"""Tests for the robustness experiment."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    PERTURBED_FIELDS,
+    RobustnessRow,
+    print_report,
+    run_robustness,
+)
+from repro.gpu.specs import VOLTA_V100
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_robustness(device=VOLTA_V100, quick=True)
+
+    def test_row_count(self, rows):
+        # One baseline + two perturbations per field.
+        assert len(rows) == 1 + 2 * len(PERTURBED_FIELDS)
+
+    def test_baseline_first(self, rows):
+        assert rows[0].parameter == "baseline"
+        assert rows[0].scale == 1.0
+
+    def test_headline_survives_every_perturbation(self, rows):
+        assert min(r.mean_speedup for r in rows) > 1.0
+
+    def test_perturbations_change_something(self, rows):
+        """At least one parameter moves the result: the experiment is
+        not vacuous."""
+        values = {round(r.mean_speedup, 6) for r in rows}
+        assert len(values) > 1
+
+    def test_report_renders(self, rows):
+        text = print_report(rows)
+        assert "mem_latency_cycles" in text
+        assert "baseline" in text
+
+    def test_custom_scales(self):
+        rows = run_robustness(scales=(0.9,), quick=True)
+        assert len(rows) == 1 + len(PERTURBED_FIELDS)
+        assert all(isinstance(r, RobustnessRow) for r in rows)

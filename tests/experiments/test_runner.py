@@ -1,0 +1,49 @@
+"""Tests for the CLI runner and the fan study."""
+
+import pytest
+
+from repro.experiments.fanstudy import FanResult, print_report, run_fanstudy
+from repro.experiments.runner import _EXPERIMENTS, main
+
+
+class TestRunner:
+    def test_catalogue_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in _EXPERIMENTS:
+            assert name in out
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "GoogleNet" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_registered_experiment_is_callable(self):
+        for name, (fn, desc) in _EXPERIMENTS.items():
+            assert callable(fn), name
+            assert desc
+
+
+class TestFanStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fanstudy()
+
+    def test_covers_three_families(self, results):
+        networks = {r.network for r in results}
+        assert networks == {"googlenet", "squeezenet", "resnet50"}
+        assert len(results) == 9 + 8 + 4
+
+    def test_every_fan_profitable_vs_serial(self, results):
+        assert all(r.speedup_vs_serial > 1.0 for r in results)
+
+    def test_no_fan_materially_loses_to_magma(self, results):
+        assert all(r.speedup_vs_magma > 0.9 for r in results)
+
+    def test_report_renders(self, results):
+        text = print_report(results)
+        assert "squeezenet" in text and "conv5_1" in text

@@ -1,0 +1,56 @@
+"""Tests for the TLP-threshold calibration procedure."""
+
+import pytest
+
+from repro.core.tiling import strategy_by_name
+from repro.gpu.calibration import calibrate_tlp_threshold
+from repro.gpu.specs import MAXWELL_M60, VOLTA_V100
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return calibrate_tlp_threshold(VOLTA_V100)
+
+    def test_points_cover_a_wide_tlp_range(self, result):
+        tlps = [p.tlp for p in result.points]
+        assert min(tlps) == 256  # a single block
+        assert max(tlps) >= VOLTA_V100.num_sms * VOLTA_V100.max_blocks_per_sm * 256
+
+    def test_throughput_degrades_at_low_tlp(self, result):
+        """The paper's inflection: few blocks cannot feed the machine."""
+        lo = min(result.points, key=lambda p: p.tlp)
+        hi = max(result.points, key=lambda p: p.tlp)
+        assert lo.tflops < 0.5 * hi.tflops
+
+    def test_plateau_near_peak(self, result):
+        assert result.plateau_tflops >= 0.85 * VOLTA_V100.peak_fp32_tflops
+
+    def test_threshold_within_sampled_range(self, result):
+        tlps = [p.tlp for p in result.points]
+        assert min(tlps) <= result.threshold <= max(tlps)
+
+    def test_threshold_is_first_point_at_degradation(self, result):
+        below = [p for p in result.points if p.tlp < result.threshold]
+        assert all(p.tflops < 0.90 * result.plateau_tflops for p in below)
+
+    def test_probe_strategy_override(self):
+        r = calibrate_tlp_threshold(VOLTA_V100, strategy=strategy_by_name("medium", 256))
+        assert r.threshold > 0
+
+    def test_memory_bound_probe_needs_more_tlp(self):
+        """Memory-bound tiles need more concurrent warps than
+        compute-dense ones -- the small probe's threshold is at least
+        the huge probe's."""
+        huge = calibrate_tlp_threshold(VOLTA_V100)
+        small = calibrate_tlp_threshold(VOLTA_V100, strategy=strategy_by_name("small", 256))
+        assert small.threshold >= huge.threshold
+
+    def test_degradation_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_tlp_threshold(VOLTA_V100, degradation=1.5)
+
+    def test_runs_on_small_device(self):
+        r = calibrate_tlp_threshold(MAXWELL_M60)
+        assert r.threshold > 0
+        assert r.plateau_tflops > 0

@@ -1,0 +1,206 @@
+"""Tests for the per-block cycle cost model."""
+
+import pytest
+
+from repro.core.tiling import strategy_by_name
+from repro.gpu.costmodel import (
+    BlockWork,
+    EPILOGUE_CONST_CYCLES,
+    SmContext,
+    TILE_SWITCH_CYCLES,
+    TileWork,
+    block_cycles,
+    effective_dram_bandwidth,
+    iteration_cycles,
+    l2_hit_fraction,
+    memory_cycles_per_iteration,
+    tile_cycles,
+)
+from repro.gpu.specs import VOLTA_V100 as V100
+
+SMALL = strategy_by_name("small", 256)
+MEDIUM = strategy_by_name("medium", 256)
+LARGE = strategy_by_name("large", 256)
+HUGE = strategy_by_name("huge", 256)
+
+
+def ctx(resident=4, bw=2.0, l2_bw=8.0, hit=0.0):
+    return SmContext(
+        resident_blocks=resident,
+        bw_bytes_per_cycle=bw,
+        l2_bw_bytes_per_cycle=l2_bw,
+        l2_hit_fraction=hit,
+    )
+
+
+def block_of(*tiles, strategy=MEDIUM):
+    return BlockWork(
+        threads=strategy.threads,
+        registers_per_thread=strategy.registers_per_thread,
+        shared_memory_bytes=strategy.shared_memory_bytes,
+        tiles=tiles,
+    )
+
+
+class TestTileWork:
+    def test_iteration_count_is_ceiling(self):
+        assert TileWork(MEDIUM, k=8).n_iterations == 1
+        assert TileWork(MEDIUM, k=9).n_iterations == 2
+        assert TileWork(MEDIUM, k=64).n_iterations == 8
+
+    def test_bytes_per_iteration(self):
+        t = TileWork(MEDIUM, k=64)
+        assert t.bytes_per_iteration == (32 * 8 + 8 * 32) * 4
+
+    def test_fmas_per_iteration(self):
+        assert TileWork(HUGE, k=8).fmas_per_iteration == 128 * 128 * 8
+
+    def test_epilogue_bytes(self):
+        assert TileWork(LARGE, k=8).epilogue_bytes == 64 * 64 * 4
+
+    def test_active_threads_default(self):
+        assert TileWork(MEDIUM, k=8).threads == 256
+        assert TileWork(MEDIUM, k=8, active_threads=128).threads == 128
+
+    def test_idle_threads_reduce_warps(self):
+        full = TileWork(MEDIUM, k=8)
+        idle = TileWork(MEDIUM, k=8, active_threads=64)
+        assert idle.active_warps < full.active_warps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileWork(MEDIUM, k=0)
+        with pytest.raises(ValueError):
+            TileWork(MEDIUM, k=8, active_threads=-1)
+
+    def test_little_bandwidth_scales_with_warps(self):
+        t256 = TileWork(LARGE, k=64)
+        t128 = TileWork(LARGE, k=64, active_threads=128)
+        assert t256.little_bw_bytes_per_cycle(V100) > t128.little_bw_bytes_per_cycle(V100)
+
+
+class TestSmContext:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmContext(resident_blocks=0, bw_bytes_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            SmContext(resident_blocks=1, bw_bytes_per_cycle=0.0)
+        with pytest.raises(ValueError):
+            SmContext(resident_blocks=1, bw_bytes_per_cycle=1.0, l2_hit_fraction=1.5)
+
+
+class TestIterationCycles:
+    def test_compute_bound_huge_tile(self):
+        """A huge tile with generous bandwidth is FMA-lane bound."""
+        t = TileWork(HUGE, k=2048)
+        c = ctx(resident=2, bw=100.0, l2_bw=400.0)
+        expected_compute = t.fmas_per_iteration / (V100.fma_lanes_per_sm / 2)
+        assert iteration_cycles(V100, t, c) == pytest.approx(expected_compute)
+
+    def test_memory_bound_small_tile(self):
+        """A small tile under a starved bandwidth share is memory bound."""
+        t = TileWork(SMALL, k=64)
+        c = ctx(resident=1, bw=0.5, l2_bw=2.0)
+        assert iteration_cycles(V100, t, c) == pytest.approx(
+            memory_cycles_per_iteration(V100, t, c)
+        )
+
+    def test_more_residents_slow_compute_share(self):
+        t = TileWork(HUGE, k=64)
+        fast = iteration_cycles(V100, t, ctx(resident=1, bw=100, l2_bw=400))
+        slow = iteration_cycles(V100, t, ctx(resident=4, bw=100, l2_bw=400))
+        assert slow > fast
+
+    def test_more_bandwidth_never_slower(self):
+        t = TileWork(MEDIUM, k=64)
+        slow = iteration_cycles(V100, t, ctx(bw=0.5))
+        fast = iteration_cycles(V100, t, ctx(bw=5.0))
+        assert fast <= slow
+
+    def test_little_law_caps_bandwidth(self):
+        """With an enormous fair share, the tile's own MLP bounds it."""
+        t = TileWork(SMALL, k=64)
+        c = ctx(resident=1, bw=1e9, l2_bw=1e9)
+        assert effective_dram_bandwidth(V100, t, c) == t.little_bw_bytes_per_cycle(V100)
+
+
+class TestL2:
+    def test_hit_fraction_zero_without_footprint(self):
+        assert l2_hit_fraction(V100, None, 1000.0) == 0.0
+        assert l2_hit_fraction(V100, 0, 1000.0) == 0.0
+
+    def test_no_redundancy_no_hits(self):
+        assert l2_hit_fraction(V100, 1000.0, 1000.0) == 0.0
+
+    def test_fitting_working_set_serves_redundancy(self):
+        # 1 MB footprint read 4x over: 75% of traffic is redundant and
+        # the footprint fits V100's 6MB L2 entirely.
+        assert l2_hit_fraction(V100, 2**20, 4 * 2**20) == pytest.approx(0.75)
+
+    def test_oversized_working_set_scales_down(self):
+        big = 12 * 2**20  # 2x the L2
+        hit = l2_hit_fraction(V100, big, 4 * big)
+        assert hit == pytest.approx(0.75 * 0.5)
+
+    def test_l2_hits_speed_up_memory(self):
+        t = TileWork(MEDIUM, k=64)
+        cold = memory_cycles_per_iteration(V100, t, ctx(bw=0.5, l2_bw=8.0, hit=0.0))
+        warm = memory_cycles_per_iteration(V100, t, ctx(bw=0.5, l2_bw=8.0, hit=0.9))
+        assert warm < cold
+
+
+class TestTileCycles:
+    def test_first_tile_pays_fill(self):
+        t = TileWork(MEDIUM, k=64)
+        c = ctx()
+        first = tile_cycles(V100, t, c, first_in_block=True)
+        later = tile_cycles(V100, t, c, first_in_block=False)
+        assert first > later
+        assert later - t.n_iterations * iteration_cycles(V100, t, c) == pytest.approx(
+            TILE_SWITCH_CYCLES + EPILOGUE_CONST_CYCLES
+        )
+
+    def test_fill_saving_grows_when_k_small(self):
+        """The batching engine's win: the fill is a larger fraction of
+        a short-K tile."""
+        c = ctx()
+
+        def fill_fraction(k):
+            t = TileWork(MEDIUM, k=k)
+            first = tile_cycles(V100, t, c, True)
+            later = tile_cycles(V100, t, c, False)
+            return (first - later) / first
+
+        assert fill_fraction(16) > fill_fraction(2048)
+
+
+class TestBlockCycles:
+    def test_bubble_costs_one_dispatch(self):
+        bubble = block_of(strategy=LARGE)
+        assert block_cycles(V100, bubble, ctx()) == V100.block_dispatch_cycles
+
+    def test_two_tile_block_cheaper_than_two_blocks(self):
+        """Fill amortization: one block running two tiles costs less
+        than two blocks of one tile each."""
+        t = TileWork(MEDIUM, k=32)
+        c = ctx()
+        batched = block_cycles(V100, block_of(t, t), c)
+        two_separate = 2 * block_cycles(V100, block_of(t), c)
+        assert batched < two_separate
+
+    def test_block_aggregates(self):
+        t1 = TileWork(MEDIUM, k=32)
+        t2 = TileWork(MEDIUM, k=64)
+        b = block_of(t1, t2)
+        assert b.total_iterations == 4 + 8
+        assert b.total_fmas == t1.fmas_per_iteration * 4 + t2.fmas_per_iteration * 8
+        assert not b.is_bubble
+        assert b.warps == 8
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            BlockWork(threads=0, registers_per_thread=32, shared_memory_bytes=0)
+        with pytest.raises(ValueError):
+            BlockWork(threads=32, registers_per_thread=0, shared_memory_bytes=0)
+        with pytest.raises(ValueError):
+            BlockWork(threads=32, registers_per_thread=32, shared_memory_bytes=-1)

@@ -1,0 +1,65 @@
+"""Cross-device behaviour of the substrate."""
+
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import Gemm, GemmBatch
+from repro.gpu.calibration import calibrate_tlp_threshold
+from repro.gpu.specs import get_device, list_devices
+
+
+ALL_DEVICES = [get_device(n) for n in list_devices()]
+
+
+class TestPeakAnchorsPerDevice:
+    @pytest.mark.parametrize("device", ALL_DEVICES, ids=lambda d: d.name)
+    def test_huge_gemm_approaches_peak(self, device):
+        """Every modeled device reaches >=80% of its FP32 peak on a
+        device-sized dense GEMM."""
+        fw = CoordinatedFramework(device)
+        g = Gemm(4096, 4096, 4096)
+        r = fw.simulate(GemmBatch([g]), heuristic="one-per-block")
+        tflops = g.flops / (r.time_ms * 1e-3) / 1e12
+        assert tflops >= 0.8 * device.peak_fp32_tflops, device.name
+
+    @pytest.mark.parametrize("device", ALL_DEVICES, ids=lambda d: d.name)
+    def test_small_gemm_underutilizes(self, device):
+        """And every device is badly underutilized on the paper's
+        small-GEMM example -- the motivation is architecture-wide."""
+        fw = CoordinatedFramework(device)
+        g = Gemm(16, 784, 192)
+        r = fw.simulate(GemmBatch([g]), heuristic="one-per-block")
+        tflops = g.flops / (r.time_ms * 1e-3) / 1e12
+        assert tflops <= 0.25 * device.peak_fp32_tflops, device.name
+
+
+class TestCalibrationPerDevice:
+    @pytest.mark.parametrize("device", ALL_DEVICES, ids=lambda d: d.name)
+    def test_calibration_runs_and_shows_inflection(self, device):
+        result = calibrate_tlp_threshold(device)
+        assert result.threshold > 0
+        lo = min(result.points, key=lambda p: p.tlp)
+        assert lo.tflops < result.plateau_tflops
+
+
+class TestRelativeDeviceSpeed:
+    def test_devices_rank_by_capability_on_big_gemms(self):
+        """A compute-bound workload finishes fastest on the V100 and
+        slowest on the M60 -- the device table is internally ordered."""
+        g = GemmBatch([Gemm(4096, 4096, 4096)])
+        times = {}
+        for device in ALL_DEVICES:
+            fw = CoordinatedFramework(device)
+            times[device.name] = fw.simulate(g, heuristic="one-per-block").time_ms
+        assert min(times, key=times.get) == "Tesla V100"
+        assert max(times, key=times.get) == "Tesla M60"
+
+    def test_bandwidth_bound_ranking(self):
+        """A memory-bound small-tile workload ranks by bandwidth:
+        the V100's HBM2 beats every GDDR part."""
+        batch = GemmBatch.uniform(64, 64, 16, 64)
+        times = {}
+        for device in ALL_DEVICES:
+            fw = CoordinatedFramework(device)
+            times[device.name] = fw.simulate(batch, heuristic="best").time_ms
+        assert min(times, key=times.get) == "Tesla V100"

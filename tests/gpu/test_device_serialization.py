@@ -1,0 +1,57 @@
+"""Tests for DeviceSpec serialization (custom devices)."""
+
+import json
+
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import GemmBatch
+from repro.gpu.specs import DeviceSpec, VOLTA_V100
+
+
+class TestDeviceSerialization:
+    def test_round_trip(self):
+        rebuilt = DeviceSpec.from_dict(VOLTA_V100.to_dict())
+        assert rebuilt == VOLTA_V100
+
+    def test_json_compatible(self):
+        blob = json.dumps(VOLTA_V100.to_dict())
+        rebuilt = DeviceSpec.from_dict(json.loads(blob))
+        assert rebuilt.peak_fp32_tflops == VOLTA_V100.peak_fp32_tflops
+
+    def test_unknown_field_rejected(self):
+        data = VOLTA_V100.to_dict()
+        data["tensor_cores_per_sm"] = 8  # typo'd field name
+        with pytest.raises(ValueError, match="unknown DeviceSpec fields"):
+            DeviceSpec.from_dict(data)
+
+    def test_custom_device_usable_end_to_end(self):
+        """A hand-written hypothetical device drives the whole stack."""
+        data = VOLTA_V100.to_dict()
+        data.update(name="Hypothetical H0", num_sms=120, mem_bandwidth_gbps=2000.0)
+        custom = DeviceSpec.from_dict(data)
+        fw = CoordinatedFramework(device=custom)
+        r = fw.simulate(GemmBatch.uniform(128, 128, 64, 8), heuristic="best")
+        assert r.time_ms > 0
+
+    def test_validation_still_applies(self):
+        data = VOLTA_V100.to_dict()
+        data["num_sms"] = 0
+        with pytest.raises(ValueError):
+            DeviceSpec.from_dict(data)
+
+
+class TestFrameworkLogging:
+    def test_plan_emits_debug_logs(self, caplog, framework, uniform_batch):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.framework"):
+            framework.plan(uniform_batch, heuristic="binary")
+        assert any("blocks" in rec.message for rec in caplog.records)
+
+    def test_best_mode_logs_candidates(self, caplog, framework, uniform_batch):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.framework"):
+            framework.plan(uniform_batch, heuristic="best")
+        assert any("candidates" in rec.message for rec in caplog.records)

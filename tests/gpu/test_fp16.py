@@ -1,0 +1,85 @@
+"""Tests for the FP16 / Tensor-Core extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.tiling import strategy_by_name
+from repro.gpu.costmodel import TileWork
+from repro.gpu.specs import MAXWELL_M60, VOLTA_V100
+
+
+class TestDeviceCapabilities:
+    def test_v100_tensor_core_peak(self):
+        """The paper's intro: Volta's Tensor Cores deliver much higher
+        FP16 GEMM throughput (125 TFlops on V100)."""
+        assert VOLTA_V100.peak_fp16_tflops == pytest.approx(125.3, abs=1.0)
+
+    def test_pre_volta_runs_fp16_at_2x(self):
+        assert MAXWELL_M60.tensor_core_fp16_fma_per_sm == 0
+        assert MAXWELL_M60.fp16_fma_per_sm == 2 * MAXWELL_M60.fma_lanes_per_sm
+
+
+class TestTileWorkPrecision:
+    def test_fp16_halves_traffic(self):
+        strat = strategy_by_name("large", 256)
+        t32 = TileWork(strat, k=64)
+        t16 = TileWork(strat, k=64, precision="fp16")
+        assert t16.bytes_per_iteration == t32.bytes_per_iteration // 2
+        assert t16.epilogue_bytes == t32.epilogue_bytes // 2
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            TileWork(strategy_by_name("small", 256), k=8, precision="fp64")
+
+
+class TestFrameworkPrecision:
+    def test_fp16_faster_on_v100(self):
+        g = Gemm(5120, 5120, 5120)
+        batch = GemmBatch([g])
+        t32 = CoordinatedFramework(VOLTA_V100, precision="fp32").simulate(
+            batch, heuristic="one-per-block"
+        )
+        t16 = CoordinatedFramework(VOLTA_V100, precision="fp16").simulate(
+            batch, heuristic="one-per-block"
+        )
+        assert t16.time_ms < t32.time_ms / 2
+
+    def test_fp16_tflops_band(self):
+        """Memory-bound FP16 on V100 lands far above FP32 peak but
+        below the Tensor-Core ceiling (our kernels are not
+        layout-optimized for TC feeding)."""
+        g = Gemm(5120, 5120, 5120)
+        fw = CoordinatedFramework(VOLTA_V100, precision="fp16")
+        r = fw.simulate(GemmBatch([g]), heuristic="one-per-block")
+        tflops = g.flops / (r.time_ms * 1e-3) / 1e12
+        assert 25 <= tflops <= VOLTA_V100.peak_fp16_tflops
+
+    def test_small_batches_gain_less(self):
+        """Launch- and fill-dominated small batches cannot ride the
+        Tensor Cores."""
+        batch = GemmBatch.uniform(64, 64, 16, 4)
+        t32 = CoordinatedFramework(VOLTA_V100, precision="fp32").simulate(batch)
+        t16 = CoordinatedFramework(VOLTA_V100, precision="fp16").simulate(batch)
+        assert t16.time_ms <= t32.time_ms
+        assert t16.time_ms > t32.time_ms / 3
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinatedFramework(VOLTA_V100, precision="int8")
+
+    def test_fp16_numerics_via_operand_dtype(self, rng):
+        """Numerical execution is precision-agnostic: float16 operands
+        flow through the executors with float64 accumulation."""
+        from repro.kernels.reference import reference_batched_gemm
+
+        batch = GemmBatch.from_shapes([(24, 20, 16)])
+        fw = CoordinatedFramework(VOLTA_V100, precision="fp16")
+        ops = batch.random_operands(rng, dtype=np.float16)
+        got = fw.execute(batch, ops, heuristic="binary")
+        want = reference_batched_gemm(batch, ops)
+        assert got[0].dtype == np.float16
+        np.testing.assert_allclose(
+            got[0].astype(np.float32), want[0].astype(np.float32), rtol=2e-2, atol=2e-2
+        )

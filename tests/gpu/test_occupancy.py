@@ -1,0 +1,92 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.gpu.occupancy import occupancy
+from repro.gpu.specs import VOLTA_V100 as V100
+
+
+class TestLimits:
+    def test_thread_limited(self):
+        """256-thread blocks with tiny footprint: 2048/256 = 8 blocks."""
+        r = occupancy(V100, threads_per_block=256, registers_per_thread=16, shared_memory_per_block=0)
+        assert r.blocks_per_sm == 8
+        assert r.limited_by == "threads"
+        assert r.threads_per_sm == 2048
+
+    def test_register_limited(self):
+        # 128 regs x 256 threads = 32768 regs/block -> 2 blocks.
+        r = occupancy(V100, 256, 128, 0)
+        assert r.blocks_per_sm == 2
+        assert r.limited_by == "registers"
+
+    def test_shared_memory_limited(self):
+        r = occupancy(V100, 64, 16, 40 * 1024)
+        assert r.blocks_per_sm == 96 // 40
+        assert r.limited_by == "shared_memory"
+
+    def test_block_slot_limited(self):
+        r = occupancy(V100, 32, 16, 0)
+        assert r.blocks_per_sm == 32
+        assert r.limited_by == "block_slots"
+
+    def test_partial_warps_round_up(self):
+        """A 33-thread block consumes 2 warps of resources."""
+        r33 = occupancy(V100, 33, 32, 0)
+        r64 = occupancy(V100, 64, 32, 0)
+        assert r33.blocks_per_sm == r64.blocks_per_sm
+
+    def test_warps_and_threads_consistent(self):
+        r = occupancy(V100, 128, 32, 8 * 1024)
+        assert r.warps_per_sm == r.blocks_per_sm * 4
+        assert r.threads_per_sm == r.warps_per_sm * 32
+
+
+class TestUnlaunchable:
+    def test_over_limit_shared_memory(self):
+        r = occupancy(V100, 256, 32, V100.max_shared_memory_per_block + 1)
+        assert r.blocks_per_sm == 0
+        assert r.limited_by == "shared_memory"
+
+    def test_more_threads_than_sm_capacity(self):
+        r = occupancy(V100, 4096, 16, 0)
+        assert r.blocks_per_sm == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("threads", [0, -1])
+    def test_bad_threads(self, threads):
+        with pytest.raises(ValueError):
+            occupancy(V100, threads, 32, 0)
+
+    def test_bad_registers(self):
+        with pytest.raises(ValueError):
+            occupancy(V100, 256, 0, 0)
+
+    def test_registers_over_architectural_cap(self):
+        with pytest.raises(ValueError, match="exceeds the device cap"):
+            occupancy(V100, 256, 256, 0)
+
+    def test_negative_shared_memory(self):
+        with pytest.raises(ValueError):
+            occupancy(V100, 256, 32, -1)
+
+
+class TestOccupancyFraction:
+    def test_full_occupancy(self):
+        r = occupancy(V100, 256, 16, 0)
+        assert r.occupancy_fraction == pytest.approx(1.0)
+
+    def test_half_occupancy(self):
+        r = occupancy(V100, 256, 64, 0)  # 4 blocks = 1024 threads
+        assert r.occupancy_fraction == pytest.approx(0.5)
+
+    def test_strategy_footprints_all_launchable(self):
+        """Every Table 2 strategy must be launchable on every device."""
+        from repro.core.tiling import ALL_BATCHED_STRATEGIES
+        from repro.gpu.specs import MAXWELL_M60
+
+        for dev in (V100, MAXWELL_M60):
+            for s in ALL_BATCHED_STRATEGIES:
+                r = occupancy(dev, s.threads, s.registers_per_thread, s.shared_memory_bytes)
+                assert r.blocks_per_sm >= 1, f"{s} unlaunchable on {dev.name}"

@@ -1,0 +1,142 @@
+"""Tests for the wave-based kernel simulator."""
+
+import pytest
+
+from repro.core.tiling import strategy_by_name
+from repro.gpu.costmodel import BlockWork, TileWork
+from repro.gpu.simulator import (
+    KernelLaunch,
+    simulate_kernel,
+    simulate_stream_serial,
+    simulate_streams_concurrent,
+)
+from repro.gpu.specs import VOLTA_V100 as V100
+
+MEDIUM = strategy_by_name("medium", 256)
+LARGE = strategy_by_name("large", 256)
+
+
+def blocks_of(n, strategy=MEDIUM, k=64, tiles_per_block=1):
+    tile = TileWork(strategy, k=k)
+    block = BlockWork(
+        threads=strategy.threads,
+        registers_per_thread=strategy.registers_per_thread,
+        shared_memory_bytes=strategy.shared_memory_bytes,
+        tiles=(tile,) * tiles_per_block,
+    )
+    return (block,) * n
+
+
+class TestKernelLaunch:
+    def test_empty_launch_rejected(self):
+        with pytest.raises(ValueError, match="launches no blocks"):
+            KernelLaunch(name="empty", blocks=())
+
+    def test_mixed_footprints_rejected(self):
+        b1 = blocks_of(1, MEDIUM)[0]
+        b2 = blocks_of(1, LARGE)[0]
+        with pytest.raises(ValueError, match="mixes block footprints"):
+            KernelLaunch(name="mixed", blocks=(b1, b2))
+
+
+class TestSimulateKernel:
+    def test_positive_time(self):
+        r = simulate_kernel(V100, KernelLaunch("k", blocks_of(100)))
+        assert r.time_ms > 0 and r.cycles > 0
+
+    def test_launch_overhead_toggle(self):
+        launch = KernelLaunch("k", blocks_of(10))
+        with_oh = simulate_kernel(V100, launch, include_launch_overhead=True)
+        without = simulate_kernel(V100, launch, include_launch_overhead=False)
+        assert with_oh.time_ms - without.time_ms == pytest.approx(
+            V100.kernel_launch_us / 1e3
+        )
+        assert with_oh.cycles == without.cycles
+
+    def test_more_blocks_take_longer_beyond_capacity(self):
+        small = simulate_kernel(V100, KernelLaunch("s", blocks_of(100)))
+        big = simulate_kernel(V100, KernelLaunch("b", blocks_of(10_000)))
+        assert big.cycles > small.cycles
+
+    def test_single_wave_is_flat(self):
+        """Below one wave, adding blocks barely changes the makespan."""
+        few = simulate_kernel(V100, KernelLaunch("f", blocks_of(8)))
+        more = simulate_kernel(V100, KernelLaunch("m", blocks_of(64)))
+        assert more.cycles <= few.cycles * 2.0
+
+    def test_throughput_scales_with_waves(self):
+        """Deep launches approach linear scaling in block count."""
+        n1, n2 = 4000, 8000
+        r1 = simulate_kernel(V100, KernelLaunch("a", blocks_of(n1)))
+        r2 = simulate_kernel(V100, KernelLaunch("b", blocks_of(n2)))
+        assert r2.cycles / r1.cycles == pytest.approx(2.0, rel=0.15)
+
+    def test_concurrency_bounded_by_slots(self):
+        r = simulate_kernel(V100, KernelLaunch("k", blocks_of(100_0)))
+        assert r.concurrency <= V100.num_sms * r.blocks_per_sm + 1e-9
+
+    def test_unlaunchable_kernel_raises(self):
+        block = BlockWork(
+            threads=256,
+            registers_per_thread=32,
+            shared_memory_bytes=V100.max_shared_memory_per_block + 4096,
+            tiles=(TileWork(MEDIUM, k=8),),
+        )
+        with pytest.raises(ValueError, match="cannot launch"):
+            simulate_kernel(V100, KernelLaunch("bad", (block,)))
+
+    def test_result_metadata(self):
+        r = simulate_kernel(V100, KernelLaunch("meta", blocks_of(320)))
+        assert r.num_blocks == 320
+        assert r.active_sms == 80
+        assert r.waves == pytest.approx(320 / (80 * r.blocks_per_sm))
+        assert r.time_us == pytest.approx(r.time_ms * 1e3)
+
+    def test_l2_credit_speeds_up_redundant_traffic(self):
+        """Passing the compulsory footprint enables the L2 model."""
+        blocks = blocks_of(400, MEDIUM, k=256)
+        cold = simulate_kernel(V100, KernelLaunch("cold", blocks))
+        warm = simulate_kernel(
+            V100, KernelLaunch("warm", blocks, compulsory_ab_bytes=64 * 1024.0)
+        )
+        assert warm.cycles < cold.cycles
+
+    def test_bubbles_add_little(self):
+        real = blocks_of(160, LARGE, k=256)
+        bubble = BlockWork(
+            threads=LARGE.threads,
+            registers_per_thread=LARGE.registers_per_thread,
+            shared_memory_bytes=LARGE.shared_memory_bytes,
+            tiles=(),
+        )
+        with_bubbles = simulate_kernel(V100, KernelLaunch("wb", real + (bubble,) * 160))
+        without = simulate_kernel(V100, KernelLaunch("wo", real))
+        assert with_bubbles.cycles < without.cycles * 1.5
+
+
+class TestSerialAndStreams:
+    def test_serial_sums_kernels(self):
+        k = KernelLaunch("k", blocks_of(80))
+        one = simulate_kernel(V100, k).time_ms
+        three = simulate_stream_serial(V100, [k, k, k]).time_ms
+        assert three == pytest.approx(3 * one)
+
+    def test_serial_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_stream_serial(V100, [])
+
+    def test_streams_beat_serial_for_small_kernels(self):
+        kernels = [KernelLaunch(f"k{i}", blocks_of(8)) for i in range(12)]
+        serial = simulate_stream_serial(V100, kernels).time_ms
+        streams = simulate_streams_concurrent(V100, kernels).time_ms
+        assert streams < serial
+
+    def test_streams_launch_gap_serializes(self):
+        kernels = [KernelLaunch(f"k{i}", blocks_of(4)) for i in range(8)]
+        tight = simulate_streams_concurrent(V100, kernels, launch_gap_us=0.5).time_ms
+        loose = simulate_streams_concurrent(V100, kernels, launch_gap_us=20.0).time_ms
+        assert loose > tight
+
+    def test_streams_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_streams_concurrent(V100, [])

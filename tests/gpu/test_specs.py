@@ -1,0 +1,95 @@
+"""Tests for the device specification table."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.specs import (
+    DeviceSpec,
+    MAXWELL_M60,
+    MAXWELL_TITANX,
+    PASCAL_1080TI,
+    PASCAL_P100,
+    PASCAL_TITANXP,
+    VOLTA_V100,
+    get_device,
+    list_devices,
+)
+
+ALL = (VOLTA_V100, PASCAL_P100, PASCAL_1080TI, PASCAL_TITANXP, MAXWELL_M60, MAXWELL_TITANX)
+
+
+class TestDeviceTable:
+    def test_six_devices(self):
+        assert len(list_devices()) == 6
+
+    def test_v100_headline_numbers(self):
+        assert VOLTA_V100.num_sms == 80
+        assert VOLTA_V100.peak_fp32_tflops == pytest.approx(15.7, abs=0.2)
+        assert VOLTA_V100.tlp_threshold == 65536  # the paper's value
+        assert VOLTA_V100.batching_theta == 256  # the paper's value
+
+    def test_v100_register_file_matches_paper(self):
+        """Section 2.1: 64k 32-bit registers, max 255 per thread,
+        up to 96KB shared memory per SM."""
+        assert VOLTA_V100.registers_per_sm == 65536
+        assert VOLTA_V100.max_registers_per_thread == 255
+        assert VOLTA_V100.shared_memory_per_sm == 96 * 1024
+
+    @pytest.mark.parametrize("spec", ALL, ids=lambda s: s.name)
+    def test_all_devices_sane(self, spec):
+        assert spec.peak_fp32_tflops > 0
+        assert spec.bytes_per_cycle_per_sm > 0
+        assert spec.warp_size == 32
+        assert spec.l2_size_bytes > 0
+
+    def test_architectures(self):
+        archs = {s.architecture for s in ALL}
+        assert archs == {"volta", "pascal", "maxwell"}
+
+    def test_peak_ordering(self):
+        """V100 is the fastest device, M60 the slowest."""
+        peaks = {s.name: s.peak_fp32_tflops for s in ALL}
+        assert max(peaks, key=peaks.get) == "Tesla V100"
+        assert min(peaks, key=peaks.get) == "Tesla M60"
+
+
+class TestLookup:
+    def test_by_full_name(self):
+        assert get_device("Tesla V100") is VOLTA_V100
+
+    @pytest.mark.parametrize(
+        "alias,spec",
+        [("v100", VOLTA_V100), ("V100", VOLTA_V100), ("p100", PASCAL_P100),
+         ("1080ti", PASCAL_1080TI), ("Titan-Xp", PASCAL_TITANXP),
+         ("m60", MAXWELL_M60), ("titanx", MAXWELL_TITANX)],
+    )
+    def test_aliases(self, alias, spec):
+        assert get_device(alias) is spec
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("RTX 9090")
+
+
+class TestValidationAndConversions:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(VOLTA_V100, num_sms=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(VOLTA_V100, clock_ghz=-1)
+        with pytest.raises(ValueError):
+            dataclasses.replace(VOLTA_V100, mem_bandwidth_gbps=0)
+
+    def test_cycle_conversions(self):
+        cycles = VOLTA_V100.clock_ghz * 1e9  # one second of cycles
+        assert VOLTA_V100.cycles_to_seconds(cycles) == pytest.approx(1.0)
+        assert VOLTA_V100.cycles_to_ms(cycles) == pytest.approx(1000.0)
+
+    def test_bandwidth_per_cycle(self):
+        assert VOLTA_V100.bytes_per_cycle_per_device == pytest.approx(900.0 / 1.53)
+        assert VOLTA_V100.bytes_per_cycle_per_sm == pytest.approx(900.0 / 1.53 / 80)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            VOLTA_V100.num_sms = 1  # type: ignore[misc]

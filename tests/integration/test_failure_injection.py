@@ -1,0 +1,96 @@
+"""Failure injection: misuse and hostile configurations fail loudly.
+
+A library a downstream user adopts must turn every misuse into a clear
+error, never a silent wrong answer.  These tests poke the system with
+broken devices, mismatched data, and corrupted plans.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import Gemm, GemmBatch
+from repro.gpu.specs import VOLTA_V100
+from repro.workloads.io import load_workload
+
+
+class TestHostileDevices:
+    def test_device_with_tiny_shared_memory_cannot_launch(self):
+        """A device whose per-block shared memory cap is below every
+        strategy's footprint must raise at simulation, not mis-time."""
+        crippled = dataclasses.replace(
+            VOLTA_V100, max_shared_memory_per_block=512, shared_memory_per_sm=512
+        )
+        fw = CoordinatedFramework(crippled)
+        with pytest.raises(ValueError, match="cannot launch"):
+            fw.simulate(GemmBatch.uniform(64, 64, 64, 4))
+
+    def test_device_with_one_sm_still_works(self):
+        tiny = dataclasses.replace(VOLTA_V100, num_sms=1)
+        fw = CoordinatedFramework(tiny)
+        r = fw.simulate(GemmBatch.uniform(64, 64, 64, 4), heuristic="best")
+        big = CoordinatedFramework(VOLTA_V100).simulate(
+            GemmBatch.uniform(64, 64, 64, 4), heuristic="best"
+        )
+        assert r.time_ms > big.time_ms  # fewer SMs, slower
+
+    def test_extreme_clock_still_finite(self):
+        slow = dataclasses.replace(VOLTA_V100, clock_ghz=0.01)
+        fw = CoordinatedFramework(slow)
+        r = fw.simulate(GemmBatch.uniform(32, 32, 32, 2))
+        assert np.isfinite(r.time_ms) and r.time_ms > 0
+
+
+class TestDataMisuse:
+    def test_swapped_operands_rejected(self, framework, rng):
+        batch = GemmBatch([Gemm(16, 32, 48)])
+        a, b, c = batch.random_operands(rng)[0]
+        with pytest.raises(ValueError):
+            framework.execute(batch, [(b, a, c)])
+
+    def test_operands_from_other_batch_rejected(self, framework, rng):
+        batch = GemmBatch.uniform(32, 32, 32, 2)
+        other = GemmBatch.uniform(48, 48, 48, 2)
+        with pytest.raises(ValueError):
+            framework.execute(batch, other.random_operands(rng))
+
+    def test_plan_cache_wrong_operands_rejected(self, framework, rng):
+        from repro.core.plancache import PlanCache
+
+        cache = PlanCache(framework)
+        batch = GemmBatch.uniform(24, 24, 24, 2)
+        cache.plan(batch)
+        with pytest.raises(ValueError):
+            cache.execute(batch, GemmBatch.uniform(25, 25, 25, 2).random_operands(rng))
+
+
+class TestCorruptedArtifacts:
+    def test_corrupted_schedule_caught_before_wrong_answer(self, framework, rng):
+        """A corrupted deserialized plan must be detected either by the
+        validator or by the executor's coverage check."""
+        from repro.core.schedule import BatchSchedule
+        from repro.core.validation import validate_schedule
+        from repro.kernels.persistent import execute_schedule
+
+        batch = GemmBatch.uniform(48, 48, 32, 3)
+        data = framework.plan(batch, heuristic="binary").schedule.to_dict()
+        data["y_coords"][0] = 7  # out of the tile grid
+        schedule = BatchSchedule.from_dict(data)
+        report = validate_schedule(schedule, batch)
+        assert not report.ok
+        with pytest.raises((ValueError, IndexError)):
+            execute_schedule(schedule, batch, batch.random_operands(rng))
+
+    def test_truncated_workload_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"format_version": 1, "cases": {"x": [{"m": 1}]}}')
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_non_json_workload_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all {")
+        with pytest.raises(Exception):
+            load_workload(path)

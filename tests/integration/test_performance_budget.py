@@ -1,0 +1,58 @@
+"""Performance smoke guards for the library's own hot paths.
+
+The guides' rule — measure, don't guess — applied to ourselves: the
+framework's planning overhead must stay negligible next to what it
+plans (the paper stresses its online decisions are cheap).  Bounds are
+deliberately loose (10x headroom) so they catch algorithmic
+regressions, not machine noise.
+"""
+
+import time
+
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import GemmBatch
+from repro.gpu.specs import VOLTA_V100
+from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+
+
+def timed(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestPlanningBudget:
+    def test_single_plan_under_50ms(self, framework):
+        batch = inception_branch_batch(GOOGLENET_INCEPTIONS[0])
+        assert timed(lambda: framework.plan(batch, heuristic="threshold")) < 0.05
+
+    def test_best_mode_under_200ms(self, framework):
+        batch = GemmBatch.uniform(256, 256, 128, 16)
+        assert timed(lambda: framework.plan(batch, heuristic="best")) < 0.2
+
+    def test_simulation_under_200ms_for_thousand_blocks(self, framework):
+        batch = GemmBatch.uniform(512, 512, 64, 64)
+        plan = framework.plan(batch, heuristic="one-per-block")
+        assert plan.schedule.num_blocks >= 512
+        assert timed(lambda: framework.simulate_plan(plan)) < 0.2
+
+    def test_selector_prediction_under_5ms(self):
+        from repro.core.selector import train_default_selector
+
+        selector = train_default_selector(n_samples=20, seed=0, n_estimators=8)
+        batch = GemmBatch.uniform(96, 96, 48, 8)
+        selector.predict(batch)  # warm
+        assert timed(lambda: selector.predict(batch)) < 0.005
+
+    def test_plan_cache_hit_under_1ms(self, framework):
+        from repro.core.plancache import PlanCache
+
+        cache = PlanCache(framework)
+        batch = GemmBatch.uniform(128, 128, 64, 8)
+        cache.plan(batch)  # miss
+        assert timed(lambda: cache.plan(batch)) < 0.001

@@ -1,0 +1,110 @@
+"""Numerical edge cases across the executors."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import Gemm, GemmBatch
+from repro.kernels.reference import reference_batched_gemm, reference_gemm
+from repro.kernels.tiled import tiled_gemm
+from repro.core.tiling import strategy_by_name
+
+
+class TestScalars:
+    def test_alpha_zero_keeps_only_beta_c(self, rng):
+        batch = GemmBatch([Gemm(12, 12, 12, alpha=0.0, beta=2.0)])
+        ops = batch.random_operands(rng)
+        out = CoordinatedFramework().execute(batch, ops)[0]
+        np.testing.assert_allclose(out, 2.0 * ops[0][2], rtol=1e-5)
+
+    def test_beta_zero_ignores_c_contents(self, rng):
+        gemm = Gemm(10, 10, 10, beta=0.0)
+        batch = GemmBatch([gemm])
+        a, b, c = batch.random_operands(rng)[0]
+        nasty_c = np.full_like(c, np.nan)
+        # beta=0 must not propagate NaNs from C (BLAS semantics: C is
+        # write-only when beta == 0).
+        out = reference_gemm(a, b, np.zeros_like(c), alpha=1.0, beta=0.0)
+        fw_out = CoordinatedFramework().execute(batch, [(a, b, np.zeros_like(c))])[0]
+        np.testing.assert_allclose(fw_out, out, rtol=1e-4, atol=1e-4)
+
+    def test_negative_scalars(self, rng):
+        batch = GemmBatch([Gemm(9, 7, 5, alpha=-1.5, beta=-0.25)])
+        ops = batch.random_operands(rng)
+        got = CoordinatedFramework().execute(batch, ops)[0]
+        want = reference_batched_gemm(batch, ops)[0]
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.float16])
+    def test_dtype_preserved_end_to_end(self, rng, dtype):
+        batch = GemmBatch([Gemm(16, 18, 20)])
+        ops = batch.random_operands(rng, dtype=dtype)
+        out = CoordinatedFramework().execute(batch, ops)[0]
+        assert out.dtype == dtype
+
+    def test_float64_precision(self, rng):
+        batch = GemmBatch([Gemm(32, 32, 64)])
+        ops = batch.random_operands(rng, dtype=np.float64)
+        got = CoordinatedFramework().execute(batch, ops)[0]
+        a, b, _c = ops[0]
+        np.testing.assert_allclose(got, a @ b, rtol=1e-12)
+
+
+class TestLayouts:
+    def test_non_contiguous_inputs(self, rng):
+        """Strided views (e.g. slices of a bigger tensor) must work."""
+        big_a = rng.standard_normal((40, 60)).astype(np.float32)
+        big_b = rng.standard_normal((60, 80)).astype(np.float32)
+        a = big_a[::2, ::2]  # 20 x 30, non-contiguous
+        b = big_b[::2, ::2]  # 30 x 40
+        c = np.zeros((20, 40), dtype=np.float32)
+        batch = GemmBatch([Gemm(20, 40, 30)])
+        got = CoordinatedFramework().execute(batch, [(a, b, c)])[0]
+        np.testing.assert_allclose(got, a @ b, rtol=1e-4, atol=1e-4)
+
+    def test_fortran_order_inputs(self, rng):
+        a = np.asfortranarray(rng.standard_normal((24, 16)).astype(np.float32))
+        b = np.asfortranarray(rng.standard_normal((16, 24)).astype(np.float32))
+        c = np.zeros((24, 24), dtype=np.float32)
+        batch = GemmBatch([Gemm(24, 24, 16)])
+        got = CoordinatedFramework().execute(batch, [(a, b, c)])[0]
+        np.testing.assert_allclose(got, a @ b, rtol=1e-4, atol=1e-4)
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (1, 200, 1), (200, 1, 200), (1, 1, 512)])
+    def test_extreme_aspect_ratios(self, rng, shape):
+        batch = GemmBatch([Gemm(*shape)])
+        ops = batch.random_operands(rng)
+        got = CoordinatedFramework().execute(batch, ops)[0]
+        want = reference_batched_gemm(batch, ops)[0]
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_single_element_everything(self):
+        batch = GemmBatch([Gemm(1, 1, 1)])
+        a = np.array([[3.0]], dtype=np.float32)
+        b = np.array([[4.0]], dtype=np.float32)
+        c = np.array([[5.0]], dtype=np.float32)
+        got = CoordinatedFramework().execute(batch, [(a, b, c)])[0]
+        assert got[0, 0] == pytest.approx(12.0)
+
+    def test_tile_larger_than_matrix(self, rng):
+        """Forcing a huge tile onto a tiny matrix still computes
+        correctly (predicated partial tile)."""
+        a = rng.standard_normal((5, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 6)).astype(np.float32)
+        c = np.zeros((5, 6), dtype=np.float32)
+        out = tiled_gemm(a, b, c, strategy_by_name("huge", 256))
+        np.testing.assert_allclose(out, a @ b, rtol=1e-4, atol=1e-4)
+
+
+class TestLargeBatch:
+    def test_many_tiny_gemms(self, rng):
+        batch = GemmBatch.uniform(8, 8, 8, 64)
+        ops = batch.random_operands(rng)
+        outs = CoordinatedFramework().execute(batch, ops, heuristic="threshold")
+        wants = reference_batched_gemm(batch, ops)
+        for got, want in zip(outs, wants):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)

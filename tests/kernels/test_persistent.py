@@ -1,0 +1,74 @@
+"""Tests for the persistent-threads executor (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import batch_tiles
+from repro.core.problem import GemmBatch
+from repro.core.schedule import build_schedule, enumerate_tiles
+from repro.core.tiling import select_tiling
+from repro.kernels.persistent import execute_schedule
+from repro.kernels.reference import reference_batched_gemm
+
+
+def make_schedule(batch, heuristic="threshold", threshold=65536):
+    decision = select_tiling(batch, threshold)
+    tiles = enumerate_tiles(batch, decision)
+    batching = batch_tiles(tiles, decision.threads, heuristic)
+    return build_schedule(batch, decision, batching)
+
+
+class TestExecuteSchedule:
+    @pytest.mark.parametrize("heuristic", ["one-per-block", "threshold", "binary"])
+    def test_matches_reference(self, small_batch, rng, heuristic):
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch, heuristic)
+        outs = execute_schedule(sched, small_batch, ops)
+        expected = reference_batched_gemm(small_batch, ops)
+        for got, want in zip(outs, expected):
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_thread_level_mode_agrees(self, rng):
+        batch = GemmBatch.from_shapes([(18, 20, 10), (33, 17, 9)])
+        ops = batch.random_operands(rng)
+        sched = make_schedule(batch, "binary")
+        fast = execute_schedule(sched, batch, ops)
+        slow = execute_schedule(sched, batch, ops, thread_level=True)
+        for f, s in zip(fast, slow):
+            np.testing.assert_allclose(f, s, rtol=1e-6)
+
+    def test_uniform_batch(self, uniform_batch, rng):
+        ops = uniform_batch.random_operands(rng)
+        sched = make_schedule(uniform_batch, "threshold")
+        outs = execute_schedule(sched, uniform_batch, ops)
+        expected = reference_batched_gemm(uniform_batch, ops)
+        for got, want in zip(outs, expected):
+            np.testing.assert_allclose(got, want, rtol=1e-3, atol=1e-3)
+
+    def test_operand_mismatch_rejected(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)[:-1]
+        sched = make_schedule(small_batch)
+        with pytest.raises(ValueError):
+            execute_schedule(sched, small_batch, ops)
+
+    def test_broken_coverage_detected(self, small_batch, rng):
+        """A schedule computing one tile twice and another never must
+        be caught by the coverage check, not silently produce zeros."""
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch, "one-per-block")
+        # Redirect the second tile slot onto the first tile's
+        # coordinates (the constructor cannot see this; the executor's
+        # coverage check must).
+        sched.y_coords[1] = sched.y_coords[0]
+        sched.x_coords[1] = sched.x_coords[0]
+        sched.gemm_ids[1] = sched.gemm_ids[0]
+        sched.strategy_ids[1] = sched.strategy_ids[0]
+        with pytest.raises(ValueError, match="exactly once"):
+            execute_schedule(sched, small_batch, ops)
+
+    def test_outputs_fresh_arrays(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch)
+        outs = execute_schedule(sched, small_batch, ops)
+        for out, (_, _, c) in zip(outs, ops):
+            assert out is not c

@@ -1,0 +1,60 @@
+"""Tests for the reference GEMM."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Gemm, GemmBatch
+from repro.kernels.reference import reference_batched_gemm, reference_gemm
+
+
+class TestReferenceGemm:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((7, 5)).astype(np.float32)
+        b = rng.standard_normal((5, 9)).astype(np.float32)
+        c = rng.standard_normal((7, 9)).astype(np.float32)
+        out = reference_gemm(a, b, c, alpha=1.0, beta=0.0)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_alpha_beta(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        c = rng.standard_normal((4, 4)).astype(np.float32)
+        out = reference_gemm(a, b, c, alpha=2.0, beta=3.0)
+        np.testing.assert_allclose(out, 2.0 * (a @ b) + 3.0 * c, rtol=1e-4, atol=1e-4)
+
+    def test_inputs_untouched(self, rng):
+        a = rng.standard_normal((3, 3)).astype(np.float32)
+        b = rng.standard_normal((3, 3)).astype(np.float32)
+        c = rng.standard_normal((3, 3)).astype(np.float32)
+        c_copy = c.copy()
+        reference_gemm(a, b, c, beta=5.0)
+        np.testing.assert_array_equal(c, c_copy)
+
+    def test_preserves_dtype(self, rng):
+        a = rng.standard_normal((3, 3)).astype(np.float32)
+        out = reference_gemm(a, a, a)
+        assert out.dtype == np.float32
+
+    @pytest.mark.parametrize(
+        "shapes",
+        [((2, 3), (4, 5), (2, 5)), ((2, 3), (3, 5), (3, 5)), ((2,), (3, 5), (2, 5))],
+    )
+    def test_shape_errors(self, shapes, rng):
+        arrs = [rng.standard_normal(s).astype(np.float32) for s in shapes]
+        with pytest.raises(ValueError):
+            reference_gemm(*arrs)
+
+
+class TestReferenceBatched:
+    def test_per_gemm_results(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        outs = reference_batched_gemm(small_batch, ops)
+        assert len(outs) == len(small_batch)
+        for gemm, (a, b, c), out in zip(small_batch, ops, outs):
+            assert out.shape == (gemm.m, gemm.n)
+
+    def test_respects_per_gemm_scalars(self, rng):
+        batch = GemmBatch([Gemm(3, 3, 3, alpha=0.0, beta=1.0)])
+        ops = batch.random_operands(rng)
+        outs = reference_batched_gemm(batch, ops)
+        np.testing.assert_allclose(outs[0], ops[0][2], rtol=1e-6)

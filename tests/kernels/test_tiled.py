@@ -1,0 +1,117 @@
+"""Tests for the functional tiled GEMM (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiling import (
+    ALL_BATCHED_STRATEGIES,
+    SINGLE_GEMM_STRATEGIES,
+    strategy_by_name,
+)
+from repro.kernels.tiled import compute_tile, thread_level_tile, tiled_gemm
+
+
+@pytest.fixture
+def operands(rng):
+    a = rng.standard_normal((50, 40)).astype(np.float32)
+    b = rng.standard_normal((40, 70)).astype(np.float32)
+    c = rng.standard_normal((50, 70)).astype(np.float32)
+    return a, b, c
+
+
+class TestComputeTile:
+    def test_interior_tile(self, operands):
+        a, b, _ = operands
+        acc = compute_tile(a, b, 0, 0, by=16, bx=16, bk=8)
+        expected = a[:16].astype(np.float64) @ b[:, :16].astype(np.float64)
+        np.testing.assert_allclose(acc, expected, rtol=1e-10)
+
+    def test_partial_edge_tile_zero_padded(self, operands):
+        a, b, _ = operands
+        acc = compute_tile(a, b, 48, 64, by=16, bx=16, bk=8)
+        # Valid region matches; padding stays zero.
+        expected = a[48:50].astype(np.float64) @ b[:, 64:70].astype(np.float64)
+        np.testing.assert_allclose(acc[:2, :6], expected, rtol=1e-10)
+        assert np.all(acc[2:, :] == 0) and np.all(acc[:, 6:] == 0)
+
+    def test_bk_does_not_change_result(self, operands):
+        a, b, _ = operands
+        r8 = compute_tile(a, b, 16, 16, 16, 16, bk=8)
+        r16 = compute_tile(a, b, 16, 16, 16, 16, bk=16)
+        r3 = compute_tile(a, b, 16, 16, 16, 16, bk=3)
+        np.testing.assert_allclose(r8, r16, rtol=1e-10)
+        np.testing.assert_allclose(r8, r3, rtol=1e-10)
+
+    def test_k_limit_truncates(self, operands):
+        a, b, _ = operands
+        partial = compute_tile(a, b, 0, 0, 16, 16, 8, k_limit=16)
+        expected = a[:16, :16].astype(np.float64) @ b[:16, :16].astype(np.float64)
+        np.testing.assert_allclose(partial, expected, rtol=1e-10)
+
+    def test_origin_validation(self, operands):
+        a, b, _ = operands
+        with pytest.raises(ValueError):
+            compute_tile(a, b, -1, 0, 16, 16, 8)
+        with pytest.raises(ValueError):
+            compute_tile(a, b, 0, 999, 16, 16, 8)
+
+    def test_inner_dim_mismatch(self, rng):
+        a = rng.standard_normal((4, 5)).astype(np.float32)
+        b = rng.standard_normal((6, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            compute_tile(a, b, 0, 0, 4, 4, 2)
+
+
+class TestThreadLevelTile:
+    @pytest.mark.parametrize(
+        "strat",
+        list(SINGLE_GEMM_STRATEGIES[:3]) + [s for s in ALL_BATCHED_STRATEGIES if s.name in ("small", "medium")],
+        ids=lambda s: str(s),
+    )
+    def test_equals_compute_tile(self, rng, strat):
+        """The per-thread sub-tile decomposition (Figure 5) must give
+        exactly the same numbers as the whole-tile compute."""
+        a = rng.standard_normal((strat.by + 3, 24)).astype(np.float32)
+        b = rng.standard_normal((24, strat.bx + 5)).astype(np.float32)
+        whole = compute_tile(a, b, 0, 0, strat.by, strat.bx, strat.bk)
+        threaded = thread_level_tile(a, b, 0, 0, strat)
+        np.testing.assert_allclose(threaded, whole, rtol=1e-10)
+
+    def test_partial_tile(self, rng):
+        strat = strategy_by_name("small", 256)
+        a = rng.standard_normal((10, 12)).astype(np.float32)
+        b = rng.standard_normal((12, 9)).astype(np.float32)
+        whole = compute_tile(a, b, 0, 0, strat.by, strat.bx, strat.bk)
+        threaded = thread_level_tile(a, b, 0, 0, strat)
+        np.testing.assert_allclose(threaded, whole, rtol=1e-10)
+
+
+class TestTiledGemm:
+    @pytest.mark.parametrize("name", ["small", "medium", "large"])
+    def test_matches_numpy_all_strategies(self, operands, name):
+        a, b, c = operands
+        strat = strategy_by_name(name, 256)
+        out = tiled_gemm(a, b, c, strat, alpha=1.5, beta=0.5)
+        expected = 1.5 * (a.astype(np.float64) @ b.astype(np.float64)) + 0.5 * c
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-4)
+
+    def test_thread_level_mode(self, rng):
+        a = rng.standard_normal((20, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 20)).astype(np.float32)
+        c = np.zeros((20, 20), dtype=np.float32)
+        strat = strategy_by_name("small", 128)
+        fast = tiled_gemm(a, b, c, strat)
+        slow = tiled_gemm(a, b, c, strat, thread_level=True)
+        np.testing.assert_allclose(fast, slow, rtol=1e-6)
+
+    def test_shape_mismatch(self, rng):
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        c = rng.standard_normal((5, 5)).astype(np.float32)
+        with pytest.raises(ValueError):
+            tiled_gemm(a, a, c, strategy_by_name("small", 256))
+
+    def test_inputs_untouched(self, operands):
+        a, b, c = operands
+        c_copy = c.copy()
+        tiled_gemm(a, b, c, strategy_by_name("medium", 256), beta=2.0)
+        np.testing.assert_array_equal(c, c_copy)

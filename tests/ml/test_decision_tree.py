@@ -1,0 +1,128 @@
+"""Tests for the from-scratch CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.decision_tree import DecisionTreeClassifier, TreeNode, _gini
+
+
+class TestGini:
+    def test_pure_node_is_zero(self):
+        assert _gini(np.array([10, 0])) == 0.0
+
+    def test_even_split_is_half(self):
+        assert _gini(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert _gini(np.array([0, 0])) == 0.0
+
+
+def separable_data(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, size=(n, 3))
+    y = (x[:, 1] > 5.0).astype(np.int64)
+    return x, y
+
+
+class TestFitPredict:
+    def test_perfectly_separable(self):
+        x, y = separable_data()
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert np.all(tree.predict(x) == y)
+
+    def test_finds_the_right_feature(self):
+        x, y = separable_data()
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.root.feature == 1
+        assert 4.0 < tree.root.threshold < 6.0
+
+    def test_xor_needs_depth_two(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.root.depth() >= 2
+        assert np.mean(tree.predict(x) == y) > 0.95
+
+    def test_max_depth_cap(self):
+        x, y = separable_data()
+        tree = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        assert tree.root.depth() <= 1
+
+    def test_min_samples_split(self):
+        x, y = separable_data(n=10)
+        tree = DecisionTreeClassifier(min_samples_split=100).fit(x, y)
+        assert tree.root.is_leaf
+
+    def test_predict_proba_shape_and_normalization(self):
+        x, y = separable_data()
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        proba = tree.predict_proba(x[:7])
+        assert proba.shape == (7, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 3, size=(300, 1))
+        y = np.floor(x[:, 0]).astype(np.int64)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.n_classes_ == 3
+        assert np.mean(tree.predict(x) == y) > 0.98
+
+    def test_constant_features_yield_leaf(self):
+        x = np.ones((20, 2))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.root.is_leaf
+        np.testing.assert_allclose(tree.root.proba, [0.5, 0.5])
+
+    def test_max_features_subsampling(self):
+        x, y = separable_data()
+        tree = DecisionTreeClassifier(max_features=1, rng=np.random.default_rng(0)).fit(x, y)
+        assert np.mean(tree.predict(x) == y) > 0.6  # still learns something
+
+    def test_decision_path_length(self):
+        x, y = separable_data()
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        lengths = tree.decision_path_length(x[:5])
+        assert np.all(lengths >= 1) and np.all(lengths <= 4)
+
+
+class TestValidation:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4, dtype=np.int64))
+
+    def test_empty_dataset(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0, dtype=np.int64))
+
+    def test_negative_labels(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((2, 1)), np.array([-1, 0]))
+
+    def test_feature_count_mismatch_at_predict(self):
+        x, y = separable_data()
+        tree = DecisionTreeClassifier().fit(x, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((1, 5)))
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+
+class TestTreeNode:
+    def test_count_nodes(self):
+        leaf = TreeNode(proba=np.array([1.0]))
+        parent = TreeNode(feature=0, threshold=0.5, left=leaf, right=TreeNode(proba=np.array([1.0])))
+        assert parent.count_nodes() == 3
+        assert parent.depth() == 1

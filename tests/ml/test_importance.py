@@ -1,0 +1,71 @@
+"""Tests for permutation feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml.importance import FEATURE_NAMES, permutation_importance
+from repro.ml.random_forest import RandomForestClassifier
+
+
+def synthetic_selector_data(n=400, seed=0):
+    """A labeled set where only mean_k drives the label."""
+    rng = np.random.default_rng(seed)
+    x = np.column_stack(
+        [
+            rng.uniform(16, 512, n),  # mean_m (irrelevant)
+            rng.uniform(16, 512, n),  # mean_n (irrelevant)
+            rng.uniform(16, 2048, n),  # mean_k (the signal)
+            rng.integers(2, 64, n),  # batch size (irrelevant)
+        ]
+    )
+    y = (x[:, 2] < 256).astype(np.int64)
+    return x, y
+
+
+class TestPermutationImportance:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        x, y = synthetic_selector_data()
+        forest = RandomForestClassifier(n_estimators=12, seed=0).fit(x, y)
+        return forest, x, y
+
+    def test_returns_all_features(self, fitted):
+        forest, x, y = fitted
+        imp = permutation_importance(forest, x, y)
+        assert set(imp) == set(FEATURE_NAMES)
+
+    def test_signal_feature_dominates(self, fitted):
+        forest, x, y = fitted
+        imp = permutation_importance(forest, x, y)
+        assert imp["mean_k"] == max(imp.values())
+        assert imp["mean_k"] > 0.2
+
+    def test_irrelevant_features_near_zero(self, fitted):
+        forest, x, y = fitted
+        imp = permutation_importance(forest, x, y)
+        for name in ("mean_m", "mean_n", "batch_size"):
+            assert abs(imp[name]) < 0.1
+
+    def test_deterministic_with_seed(self, fitted):
+        forest, x, y = fitted
+        a = permutation_importance(forest, x, y, seed=7)
+        b = permutation_importance(forest, x, y, seed=7)
+        assert a == b
+
+    def test_validation(self, fitted):
+        forest, x, y = fitted
+        with pytest.raises(ValueError):
+            permutation_importance(forest, x[:, :2], y)
+        with pytest.raises(ValueError):
+            permutation_importance(forest, x, y, n_repeats=0)
+
+    def test_on_real_selector_training_set(self):
+        """On the real training distribution, at least one feature
+        carries measurable signal."""
+        from repro.gpu.specs import VOLTA_V100
+        from repro.ml.training import generate_training_set
+
+        x, y, _ = generate_training_set(VOLTA_V100, n_samples=60, seed=0)
+        forest = RandomForestClassifier(n_estimators=12, seed=0).fit(x, y)
+        imp = permutation_importance(forest, x, y)
+        assert max(imp.values()) > 0.02

@@ -1,0 +1,86 @@
+"""Tests for the from-scratch random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.random_forest import RandomForestClassifier
+
+
+def noisy_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, size=(n, 4))
+    y = ((x[:, 0] + x[:, 2] > 10) | (x[:, 1] < 2)).astype(np.int64)
+    flip = rng.random(n) < 0.05
+    y[flip] = 1 - y[flip]
+    return x, y
+
+
+class TestForest:
+    def test_learns_noisy_rule(self):
+        x, y = noisy_data()
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(x, y)
+        assert forest.score(x, y) > 0.9
+
+    def test_generalizes(self):
+        x, y = noisy_data(seed=0)
+        xt, yt = noisy_data(seed=1)
+        forest = RandomForestClassifier(n_estimators=20, seed=0).fit(x, y)
+        assert forest.score(xt, yt) > 0.85
+
+    def test_proba_is_mean_of_trees(self):
+        x, y = noisy_data(n=100)
+        forest = RandomForestClassifier(n_estimators=5, seed=0).fit(x, y)
+        manual = np.mean([t.predict_proba(x[:3]) for t in forest.trees_], axis=0)
+        np.testing.assert_allclose(forest.predict_proba(x[:3]), manual)
+
+    def test_paper_prediction_rule(self):
+        """Prediction = argmax of the summed leaf vectors (Section 5)."""
+        x, y = noisy_data(n=100)
+        forest = RandomForestClassifier(n_estimators=7, seed=1).fit(x, y)
+        proba = forest.predict_proba(x)
+        np.testing.assert_array_equal(forest.predict(x), np.argmax(proba, axis=1))
+
+    def test_deterministic_with_seed(self):
+        x, y = noisy_data()
+        p1 = RandomForestClassifier(n_estimators=5, seed=42).fit(x, y).predict(x)
+        p2 = RandomForestClassifier(n_estimators=5, seed=42).fit(x, y).predict(x)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_bootstrap_off_reduces_variance_to_feature_sampling(self):
+        x, y = noisy_data()
+        forest = RandomForestClassifier(n_estimators=3, bootstrap=False, seed=0).fit(x, y)
+        assert forest.score(x, y) > 0.85
+
+    def test_single_tree_forest(self):
+        x, y = noisy_data()
+        forest = RandomForestClassifier(n_estimators=1, seed=0).fit(x, y)
+        assert forest.predict(x).shape == (len(x),)
+
+    def test_class_padding_for_unlucky_bootstrap(self):
+        """A bootstrap sample may miss the rare class entirely; the
+        forest must still emit full-width probability vectors."""
+        x = np.vstack([np.zeros((50, 2)), np.ones((1, 2))])
+        y = np.array([0] * 50 + [1])
+        forest = RandomForestClassifier(n_estimators=10, seed=3).fit(x, y)
+        proba = forest.predict_proba(x[:2])
+        assert proba.shape == (2, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_mean_decision_path_length_small(self):
+        x, y = noisy_data()
+        forest = RandomForestClassifier(n_estimators=8, max_depth=8, seed=0).fit(x, y)
+        assert 1.0 <= forest.mean_decision_path_length(x) <= 8.0
+
+
+class TestValidation:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_bad_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros(5), np.zeros(5, dtype=np.int64))

@@ -1,0 +1,60 @@
+"""Tests for the selector training-set generation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.specs import VOLTA_V100
+from repro.ml.training import (
+    TrainingSample,
+    generate_training_set,
+    label_with_best_heuristic,
+    random_batch,
+)
+
+
+class TestRandomBatch:
+    def test_uniform_flag(self):
+        rng = np.random.default_rng(0)
+        assert random_batch(rng, uniform=True).is_uniform
+
+    def test_variable_batches_usually_vary(self):
+        rng = np.random.default_rng(1)
+        batches = [random_batch(rng, uniform=False) for _ in range(10)]
+        assert any(not b.is_uniform for b in batches)
+
+    def test_reproducible(self):
+        b1 = random_batch(np.random.default_rng(5))
+        b2 = random_batch(np.random.default_rng(5))
+        assert [g.shape for g in b1] == [g.shape for g in b2]
+
+
+class TestLabeling:
+    def test_label_is_winner(self):
+        rng = np.random.default_rng(2)
+        sample = label_with_best_heuristic(VOLTA_V100, random_batch(rng))
+        assert sample.label == (0 if sample.threshold_ms <= sample.binary_ms else 1)
+        assert sample.threshold_ms > 0 and sample.binary_ms > 0
+
+
+class TestGenerate:
+    def test_shapes(self):
+        x, y, samples = generate_training_set(VOLTA_V100, n_samples=6, seed=0)
+        assert x.shape == (6, 4)
+        assert y.shape == (6,)
+        assert len(samples) == 6
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_features_match_batches(self):
+        x, _y, samples = generate_training_set(VOLTA_V100, n_samples=3, seed=1)
+        for row, s in zip(x, samples):
+            np.testing.assert_allclose(row, s.batch.features())
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_training_set(VOLTA_V100, n_samples=0)
+
+    def test_both_labels_appear_at_scale(self):
+        """Neither heuristic dominates everywhere -- the selection
+        problem the paper trains a forest for is non-trivial."""
+        _x, y, _ = generate_training_set(VOLTA_V100, n_samples=40, seed=0)
+        assert len(set(y.tolist())) == 2

@@ -1,0 +1,72 @@
+"""Tests for batched (multi-image) im2col convolution."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import (
+    conv2d_direct,
+    conv2d_im2col_batched,
+    im2col,
+    im2col_batched,
+)
+from repro.nn.layers import ConvLayer, conv_to_gemm
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("t", in_channels=3, out_channels=4, kernel=3, in_h=6, in_w=6, padding=1)
+
+
+class TestIm2colBatched:
+    def test_shape_matches_gemm_mapping(self, layer, rng):
+        """N = out pixels x batch, exactly conv_to_gemm's N."""
+        x = rng.standard_normal((5, 3, 6, 6)).astype(np.float32)
+        cols = im2col_batched(x, layer)
+        gemm = conv_to_gemm(layer, batch_size=5)
+        assert cols.shape == (gemm.k, gemm.n)
+
+    def test_single_image_consistency(self, layer, rng):
+        x = rng.standard_normal((1, 3, 6, 6)).astype(np.float32)
+        np.testing.assert_array_equal(im2col_batched(x, layer), im2col(x[0], layer))
+
+    def test_image_major_column_order(self, layer, rng):
+        x = rng.standard_normal((3, 3, 6, 6)).astype(np.float32)
+        cols = im2col_batched(x, layer)
+        per_image = layer.out_h * layer.out_w
+        np.testing.assert_array_equal(cols[:, per_image : 2 * per_image], im2col(x[1], layer))
+
+    def test_3d_input_rejected(self, layer, rng):
+        with pytest.raises(ValueError, match=r"\(B, C, H, W\)"):
+            im2col_batched(rng.standard_normal((3, 6, 6)).astype(np.float32), layer)
+
+
+class TestConvBatched:
+    def test_matches_per_image_direct(self, layer, rng):
+        x = rng.standard_normal((4, 3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        out = conv2d_im2col_batched(x, w, layer)
+        assert out.shape == (4, 4, 6, 6)
+        for i in range(4):
+            np.testing.assert_allclose(
+                out[i], conv2d_direct(x[i], w, layer), rtol=1e-4, atol=1e-4
+            )
+
+    def test_custom_gemm_backend(self, layer, rng):
+        from repro.core.tiling import strategy_by_name
+        from repro.kernels.tiled import tiled_gemm
+
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        strat = strategy_by_name("small", 256)
+
+        def gemm(a, b):
+            return tiled_gemm(a, b, np.zeros((a.shape[0], b.shape[1]), np.float32), strat)
+
+        out = conv2d_im2col_batched(x, w, layer, gemm=gemm)
+        plain = conv2d_im2col_batched(x, w, layer)
+        np.testing.assert_allclose(out, plain, rtol=1e-3, atol=1e-3)
+
+    def test_weight_validation(self, layer, rng):
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        with pytest.raises(ValueError):
+            conv2d_im2col_batched(x, rng.standard_normal((4, 3, 2, 2)).astype(np.float32), layer)

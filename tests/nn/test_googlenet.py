@@ -1,0 +1,76 @@
+"""Tests for the GoogLeNet inventory."""
+
+import pytest
+
+from repro.nn.googlenet import (
+    GOOGLENET_INCEPTIONS,
+    GOOGLENET_STEM,
+    all_convolutions,
+    inception_branch_batch,
+)
+
+
+class TestInventory:
+    def test_57_convolutions(self):
+        """The paper: GoogleNet contains 57 convolution operators."""
+        assert len(all_convolutions()) == 57
+
+    def test_nine_inception_modules(self):
+        assert len(GOOGLENET_INCEPTIONS) == 9
+        names = [m.name for m in GOOGLENET_INCEPTIONS]
+        assert names[0] == "inception3a" and names[-1] == "inception5b"
+
+    def test_three_stem_convs(self):
+        assert len(GOOGLENET_STEM) == 3
+
+    def test_output_channels_chain(self):
+        """Each module's input channel count equals the previous
+        module's output (within a stage; pooling keeps channels)."""
+        m = {mod.name: mod for mod in GOOGLENET_INCEPTIONS}
+        assert m["inception3a"].out_channels == 256
+        assert m["inception3b"].in_channels == 256
+        assert m["inception3b"].out_channels == 480
+        assert m["inception4a"].in_channels == 480
+        assert m["inception5b"].out_channels == 1024
+
+    def test_spatial_sizes(self):
+        spatials = {m.name: m.spatial for m in GOOGLENET_INCEPTIONS}
+        assert spatials["inception3a"] == 28
+        assert spatials["inception4a"] == 14
+        assert spatials["inception5b"] == 7
+
+    def test_branch_convs_are_all_1x1(self):
+        for module in GOOGLENET_INCEPTIONS:
+            for conv in module.branch_convs():
+                assert conv.kernel == 1
+                assert conv.in_channels == module.in_channels
+
+    def test_inner_convs(self):
+        m = GOOGLENET_INCEPTIONS[0]
+        k3, k5 = m.inner_convs()
+        assert k3.kernel == 3 and k3.in_channels == m.n3x3_reduce
+        assert k5.kernel == 5 and k5.in_channels == m.n5x5_reduce
+        assert (k3.out_h, k5.out_h) == (m.spatial, m.spatial)
+
+
+class TestBranchBatch:
+    def test_inception3a_contains_paper_example(self):
+        """The four-GEMM batch of inception3a includes 16x784x192."""
+        batch = inception_branch_batch(GOOGLENET_INCEPTIONS[0])
+        shapes = [g.shape for g in batch]
+        assert (16, 784, 192) in shapes
+        assert len(batch) == 4
+
+    def test_shared_n_and_k(self):
+        """All four branch GEMMs share N (feature map) and K (input
+        channels); only M differs -- the variable-size scenario."""
+        for module in GOOGLENET_INCEPTIONS:
+            batch = inception_branch_batch(module)
+            assert len({g.n for g in batch}) == 1
+            assert len({g.k for g in batch}) == 1
+            assert len({g.m for g in batch}) >= 3
+
+    def test_batch_size_scales_n(self):
+        b1 = inception_branch_batch(GOOGLENET_INCEPTIONS[0], batch_size=1)
+        b4 = inception_branch_batch(GOOGLENET_INCEPTIONS[0], batch_size=4)
+        assert b4[0].n == 4 * b1[0].n

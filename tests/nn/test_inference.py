@@ -1,0 +1,79 @@
+"""Tests for the GoogleNet inference timing (Section 7.3)."""
+
+import pytest
+
+from repro.gpu.specs import VOLTA_V100
+from repro.nn.inference import (
+    MODES,
+    inception_layer_speedups,
+    simulate_inference,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {mode: simulate_inference(VOLTA_V100, mode) for mode in MODES}
+
+
+class TestInference:
+    def test_all_modes_run(self, results):
+        for mode, r in results.items():
+            assert r.total_ms > 0
+            assert r.mode == mode
+
+    def test_paper_ordering(self, results):
+        """The Section 7.3 ordering: ours < streams < default, and
+        ours also beats the MAGMA-batched variant."""
+        assert results["coordinated"].total_ms < results["streams"].total_ms
+        assert results["streams"].total_ms < results["default"].total_ms
+        assert results["coordinated"].total_ms < results["magma"].total_ms
+
+    def test_speedup_over_streams_near_paper(self, results):
+        """Paper: 2.41 ms -> 2.01 ms = 1.20X."""
+        speedup = results["streams"].total_ms / results["coordinated"].total_ms
+        assert 1.05 <= speedup <= 1.45
+
+    def test_module_breakdown_sums(self, results):
+        r = results["coordinated"]
+        assert r.total_ms == pytest.approx(r.stem_ms + sum(r.module_ms.values()))
+        assert set(r.module_ms) == {m for m in r.module_ms}
+        assert len(r.module_ms) == 9
+
+    def test_branch_gemms_cheaper_when_batched(self, results):
+        """Per module, the coordinated batched kernel beats serial
+        execution of the four branch GEMMs."""
+        for name in results["coordinated"].branch_gemm_ms:
+            assert (
+                results["coordinated"].branch_gemm_ms[name]
+                < results["default"].branch_gemm_ms[name]
+            )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_inference(VOLTA_V100, mode="tensorrt")
+
+    def test_str(self, results):
+        assert "GoogleNet" in str(results["default"])
+
+
+class TestLayerSpeedups:
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        return inception_layer_speedups(VOLTA_V100)
+
+    def test_nine_layers(self, speedups):
+        assert len(speedups) == 9
+
+    def test_every_layer_at_least_parity(self, speedups):
+        """Figure 10: our framework never loses to MAGMA on the
+        batched branch GEMMs."""
+        assert all(s >= 0.95 for s in speedups.values())
+
+    def test_some_layers_win_materially(self, speedups):
+        """Figure 10 shows up to ~1.40X on the best layers."""
+        assert max(speedups.values()) >= 1.25
+
+    def test_mean_in_paper_band(self, speedups):
+        from repro.analysis.metrics import geomean
+
+        assert 1.1 <= geomean(list(speedups.values())) <= 1.7

@@ -1,0 +1,53 @@
+"""Tests for convolution layers and the conv -> GEMM mapping."""
+
+import pytest
+
+from repro.core.problem import Gemm
+from repro.nn.layers import ConvLayer, conv_to_gemm
+
+
+class TestConvLayer:
+    def test_output_shape_same_padding(self):
+        l = ConvLayer("c", in_channels=3, out_channels=8, kernel=3, in_h=28, in_w=28, padding=1)
+        assert (l.out_h, l.out_w) == (28, 28)
+
+    def test_output_shape_strided(self):
+        l = ConvLayer("c", 3, 64, kernel=7, in_h=224, in_w=224, stride=2, padding=3)
+        assert (l.out_h, l.out_w) == (112, 112)
+
+    def test_flops(self):
+        l = ConvLayer("c", 2, 4, kernel=1, in_h=5, in_w=5)
+        assert l.flops == 2 * 4 * 25 * 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(in_channels=0, out_channels=1, kernel=1, in_h=4, in_w=4),
+            dict(in_channels=1, out_channels=1, kernel=1, in_h=4, in_w=4, padding=-1),
+            dict(in_channels=1, out_channels=1, kernel=9, in_h=4, in_w=4),
+        ],
+    )
+    def test_invalid_layers(self, kwargs):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", **kwargs)
+
+
+class TestConvToGemm:
+    def test_paper_inception3a_5x5reduce_example(self):
+        """Section 1: inception3a/5x5reduce maps to 16 x 784 x 192."""
+        layer = ConvLayer("inception3a/5x5reduce", in_channels=192, out_channels=16, kernel=1, in_h=28, in_w=28)
+        assert conv_to_gemm(layer) == Gemm(16, 784, 192)
+
+    def test_3x3_conv_mapping(self):
+        layer = ConvLayer("c", in_channels=64, out_channels=192, kernel=3, in_h=56, in_w=56, padding=1)
+        g = conv_to_gemm(layer)
+        assert g.shape == (192, 56 * 56, 64 * 9)
+
+    def test_batch_size_scales_n(self):
+        layer = ConvLayer("c", 8, 8, 1, 10, 10)
+        assert conv_to_gemm(layer, batch_size=4).n == 400
+
+    def test_bad_batch_size(self):
+        layer = ConvLayer("c", 8, 8, 1, 10, 10)
+        with pytest.raises(ValueError):
+            conv_to_gemm(layer, batch_size=0)

@@ -1,0 +1,64 @@
+"""Tests for the ResNet bottleneck case study."""
+
+import pytest
+
+from repro.baselines.magma_vbatch import simulate_magma_vbatch
+from repro.core.framework import CoordinatedFramework
+from repro.gpu.specs import VOLTA_V100
+from repro.nn.resnet import (
+    RESNET50_PROJECTION_BLOCKS,
+    BottleneckBlock,
+    bottleneck_fan_batch,
+)
+
+
+class TestBlocks:
+    def test_four_projection_blocks(self):
+        assert len(RESNET50_PROJECTION_BLOCKS) == 4
+        assert all(b.projection for b in RESNET50_PROJECTION_BLOCKS)
+
+    def test_channel_chaining(self):
+        blocks = RESNET50_PROJECTION_BLOCKS
+        for prev, nxt in zip(blocks, blocks[1:]):
+            assert nxt.in_channels == prev.out_channels
+
+    def test_entry_fan_shares_input(self):
+        for block in RESNET50_PROJECTION_BLOCKS:
+            reduce, shortcut = block.entry_convs()
+            assert reduce.in_channels == shortcut.in_channels
+            assert (reduce.out_h, reduce.out_w) == (shortcut.out_h, shortcut.out_w)
+            assert shortcut.out_channels == 4 * reduce.out_channels
+
+    def test_identity_block_has_single_entry(self):
+        block = BottleneckBlock("id", 256, 56, 64)
+        assert len(block.entry_convs()) == 1
+
+    def test_inner_convs_follow_reduce(self):
+        block = RESNET50_PROJECTION_BLOCKS[1]  # strided
+        c3, e1 = block.inner_convs()
+        assert c3.in_h == block.entry_convs()[0].out_h
+        assert e1.out_channels == block.out_channels
+
+
+class TestFanBatch:
+    def test_two_gemms_shared_n_and_k(self):
+        batch = bottleneck_fan_batch(RESNET50_PROJECTION_BLOCKS[0])
+        assert len(batch) == 2
+        assert batch[0].n == batch[1].n
+        assert batch[0].k == batch[1].k
+        assert batch[1].m == 4 * batch[0].m
+
+    def test_identity_block_rejected(self):
+        with pytest.raises(ValueError, match="projection"):
+            bottleneck_fan_batch(BottleneckBlock("id", 256, 56, 64))
+
+    def test_framework_never_materially_worse_than_magma(self):
+        fw = CoordinatedFramework(VOLTA_V100)
+        ratios = []
+        for block in RESNET50_PROJECTION_BLOCKS:
+            batch = bottleneck_fan_batch(block)
+            ours = fw.simulate(batch, heuristic="best").time_ms
+            magma = simulate_magma_vbatch(batch, VOLTA_V100).time_ms
+            assert ours <= magma * 1.1, block.name
+            ratios.append(magma / ours)
+        assert max(ratios) >= 1.1

@@ -1,0 +1,73 @@
+"""Property-based tests for the batching engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batching import batch_tiles
+from repro.core.problem import Tile
+
+tile_list_st = st.lists(
+    st.integers(min_value=1, max_value=2048), min_size=1, max_size=60
+).map(
+    lambda ks: [
+        Tile(gemm_index=0, y=0, x=i, strategy_index=0, k=k) for i, k in enumerate(ks)
+    ]
+)
+heuristic_st = st.sampled_from(["threshold", "binary", "one-per-block"])
+theta_st = st.integers(min_value=8, max_value=1024)
+threshold_st = st.integers(min_value=256, max_value=1 << 20)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tiles=tile_list_st, heuristic=heuristic_st, theta=theta_st, threshold=threshold_st)
+def test_batching_is_a_partition(tiles, heuristic, theta, threshold):
+    """Every heuristic assigns every tile to exactly one block."""
+    r = batch_tiles(tiles, 256, heuristic, theta=theta, tlp_threshold=threshold)
+    flat = [t for block in r.blocks for t in block]
+    assert sorted(t.x for t in flat) == sorted(t.x for t in tiles)
+    assert r.num_tiles == len(tiles)
+    assert all(len(b) >= 1 for b in r.blocks)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tiles=tile_list_st, theta=theta_st)
+def test_binary_at_most_two(tiles, theta):
+    r = batch_tiles(tiles, 256, "binary", theta=theta)
+    assert r.max_tiles_per_block <= 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(tiles=tile_list_st, theta=theta_st)
+def test_binary_pairs_extremes(tiles, theta):
+    """In every pair, the low tile is from the sorted bottom half and
+    the high tile from the top half."""
+    r = batch_tiles(tiles, 256, "binary", theta=theta)
+    ks = sorted(t.k for t in tiles)
+    n = len(ks)
+    for block in r.blocks:
+        if len(block) == 2:
+            lo, hi = sorted(t.k for t in block)
+            assert lo <= ks[(n - 1) // 2]
+            assert hi >= ks[n // 2]
+
+
+@settings(max_examples=100, deadline=None)
+@given(tiles=tile_list_st, theta=theta_st, threshold=threshold_st)
+def test_threshold_blocks_meet_theta_or_are_singletons_or_last(
+    tiles, theta, threshold
+):
+    """A multi-tile threshold block reaches theta; undersized blocks
+    can only be the final block of the batching phase or the
+    one-per-block degenerate mode."""
+    r = batch_tiles(tiles, 256, "threshold", theta=theta, tlp_threshold=threshold)
+    undersized_multi = [
+        b for b in r.blocks if len(b) > 1 and sum(t.k for t in b) < theta
+    ]
+    # At most one: the final partially-filled block.
+    assert len(undersized_multi) <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(tiles=tile_list_st, theta=theta_st)
+def test_one_per_block_identity(tiles, theta):
+    r = batch_tiles(tiles, 256, "one-per-block", theta=theta)
+    assert r.num_blocks == len(tiles)

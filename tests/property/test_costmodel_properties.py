@@ -1,0 +1,92 @@
+"""Property-based tests for the cost model's monotonicities."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tiling import ALL_BATCHED_STRATEGIES
+from repro.gpu.costmodel import BlockWork, SmContext, TileWork, block_cycles, iteration_cycles
+from repro.gpu.specs import VOLTA_V100 as V100
+
+strategy_st = st.sampled_from(ALL_BATCHED_STRATEGIES)
+k_st = st.integers(min_value=1, max_value=4096)
+bw_st = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+resident_st = st.integers(min_value=1, max_value=16)
+hit_st = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def make_ctx(resident=1, bw=10.0, l2_bw=40.0, hit=0.0):
+    return SmContext(
+        resident_blocks=resident,
+        bw_bytes_per_cycle=bw,
+        l2_bw_bytes_per_cycle=l2_bw,
+        l2_hit_fraction=hit,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(strategy=strategy_st, k=k_st, bw=bw_st, resident=resident_st, hit=hit_st)
+def test_iteration_cycles_positive(strategy, k, bw, resident, hit):
+    t = TileWork(strategy, k=k)
+    assert iteration_cycles(V100, t, make_ctx(resident, bw, 4 * bw, hit)) > 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(strategy=strategy_st, k=k_st, resident=resident_st)
+def test_more_bandwidth_never_slower(strategy, k, resident):
+    t = TileWork(strategy, k=k)
+    slow = iteration_cycles(V100, t, make_ctx(resident, 1.0, 4.0))
+    fast = iteration_cycles(V100, t, make_ctx(resident, 8.0, 32.0))
+    assert fast <= slow + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(strategy=strategy_st, k=k_st, bw=bw_st)
+def test_more_residents_never_faster(strategy, k, bw):
+    t = TileWork(strategy, k=k)
+    lone = iteration_cycles(V100, t, make_ctx(1, bw, 4 * bw))
+    crowded = iteration_cycles(V100, t, make_ctx(8, bw, 4 * bw))
+    assert crowded >= lone - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(strategy=strategy_st, k=k_st, bw=bw_st)
+def test_deeper_k_never_cheaper(strategy, k, bw):
+    ctx = make_ctx(2, bw, 4 * bw)
+
+    def cost(depth):
+        t = TileWork(strategy, k=depth)
+        block = BlockWork(
+            threads=strategy.threads,
+            registers_per_thread=strategy.registers_per_thread,
+            shared_memory_bytes=strategy.shared_memory_bytes,
+            tiles=(t,),
+        )
+        return block_cycles(V100, block, ctx)
+
+    assert cost(k + 8) >= cost(k) - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(strategy=strategy_st, k=k_st, bw=bw_st, hit=hit_st)
+def test_l2_hits_never_slow_memory(strategy, k, bw, hit):
+    t = TileWork(strategy, k=k)
+    cold = iteration_cycles(V100, t, make_ctx(1, bw, 4 * bw, 0.0))
+    warm = iteration_cycles(V100, t, make_ctx(1, bw, 4 * bw, hit))
+    assert warm <= cold + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(strategy=strategy_st, k=st.integers(min_value=1, max_value=256), bw=bw_st)
+def test_batched_block_cheaper_than_split_blocks(strategy, k, bw):
+    """Under any context, fusing two tiles into one block never costs
+    more than two one-tile blocks (the fill amortization invariant the
+    batching engine relies on)."""
+    ctx = make_ctx(2, bw, 4 * bw)
+    t = TileWork(strategy, k=k)
+    footprint = dict(
+        threads=strategy.threads,
+        registers_per_thread=strategy.registers_per_thread,
+        shared_memory_bytes=strategy.shared_memory_bytes,
+    )
+    fused = block_cycles(V100, BlockWork(tiles=(t, t), **footprint), ctx)
+    split = 2 * block_cycles(V100, BlockWork(tiles=(t,), **footprint), ctx)
+    assert fused <= split + 1e-9

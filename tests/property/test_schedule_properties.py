@@ -1,0 +1,75 @@
+"""Property-based tests for the auxiliary-array schedule."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batching import batch_tiles
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.schedule import build_schedule, enumerate_tiles
+from repro.core.tiling import select_tiling, strategy_by_index
+
+gemm_st = st.builds(
+    Gemm,
+    m=st.integers(min_value=1, max_value=300),
+    n=st.integers(min_value=1, max_value=300),
+    k=st.integers(min_value=1, max_value=512),
+)
+batch_st = st.lists(gemm_st, min_size=1, max_size=5).map(GemmBatch)
+heuristic_st = st.sampled_from(["threshold", "binary", "one-per-block"])
+
+
+def build(batch, heuristic):
+    decision = select_tiling(batch, 65536)
+    tiles = enumerate_tiles(batch, decision)
+    batching = batch_tiles(tiles, decision.threads, heuristic)
+    return decision, build_schedule(batch, decision, batching)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=batch_st, heuristic=heuristic_st)
+def test_schedule_decodes_to_exact_tile_set(batch, heuristic):
+    """Decoding every block recovers each tile exactly once."""
+    decision, sched = build(batch, heuristic)
+    decoded = []
+    for b in range(sched.num_blocks):
+        decoded.extend(sched.tiles_of_block(b))
+    keys = [(t.gemm_index, t.y, t.x) for t in decoded]
+    expected = [
+        (t.gemm_index, t.y, t.x) for t in enumerate_tiles(batch, decision)
+    ]
+    assert sorted(keys) == sorted(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=batch_st, heuristic=heuristic_st)
+def test_coordinates_inside_grid(batch, heuristic):
+    decision, sched = build(batch, heuristic)
+    for slot in range(sched.num_tiles):
+        gi = int(sched.gemm_ids[slot])
+        strat = strategy_by_index(int(sched.strategy_ids[slot]))
+        rows, cols = strat.tiles_for(batch[gi])
+        assert 0 <= sched.y_coords[slot] < rows
+        assert 0 <= sched.x_coords[slot] < cols
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=batch_st, heuristic=heuristic_st)
+def test_offsets_are_cumulative(batch, heuristic):
+    _d, sched = build(batch, heuristic)
+    diffs = np.diff(sched.tile_offsets)
+    assert np.all(diffs >= 1)
+    assert int(sched.tile_offsets[-1]) == sched.num_tiles
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=batch_st, heuristic=heuristic_st)
+def test_block_works_preserve_totals(batch, heuristic):
+    _d, sched = build(batch, heuristic)
+    works = sched.block_works(batch)
+    total_iters = sum(w.total_iterations for w in works)
+    expected = 0
+    for slot in range(sched.num_tiles):
+        strat = strategy_by_index(int(sched.strategy_ids[slot]))
+        k = batch[int(sched.gemm_ids[slot])].k
+        expected += -(-k // strat.bk)
+    assert total_iters == expected

@@ -1,0 +1,83 @@
+"""Property-based tests for the kernel simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tiling import BATCHED_STRATEGIES_256
+from repro.gpu.costmodel import BlockWork, TileWork
+from repro.gpu.simulator import KernelLaunch, simulate_kernel
+from repro.gpu.specs import VOLTA_V100 as V100
+
+strategy_st = st.sampled_from(BATCHED_STRATEGIES_256)
+
+
+@st.composite
+def launch_st(draw):
+    strat = draw(strategy_st)
+    n_blocks = draw(st.integers(min_value=1, max_value=600))
+    k = draw(st.integers(min_value=1, max_value=512))
+    tiles_per_block = draw(st.integers(min_value=1, max_value=3))
+    tile = TileWork(strat, k=k)
+    block = BlockWork(
+        threads=strat.threads,
+        registers_per_thread=strat.registers_per_thread,
+        shared_memory_bytes=strat.shared_memory_bytes,
+        tiles=(tile,) * tiles_per_block,
+    )
+    return KernelLaunch(name="prop", blocks=(block,) * n_blocks)
+
+
+@settings(max_examples=60, deadline=None)
+@given(launch=launch_st())
+def test_simulation_always_positive_and_finite(launch):
+    r = simulate_kernel(V100, launch)
+    assert 0 < r.cycles < float("inf")
+    assert r.time_ms > 0
+    assert 1 <= r.concurrency <= V100.num_sms * r.blocks_per_sm
+
+
+@settings(max_examples=40, deadline=None)
+@given(launch=launch_st())
+def test_doubling_blocks_never_speeds_up(launch):
+    base = simulate_kernel(V100, launch, include_launch_overhead=False).cycles
+    doubled = simulate_kernel(
+        V100,
+        KernelLaunch(name="x2", blocks=launch.blocks * 2),
+        include_launch_overhead=False,
+    ).cycles
+    assert doubled >= base - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(launch=launch_st())
+def test_deep_launch_scales_subadditively(launch):
+    """Quadrupling the block count at most quadruples the makespan
+    (plus rounding): no superlinear blow-up in the model."""
+    base = simulate_kernel(V100, launch, include_launch_overhead=False).cycles
+    quad = simulate_kernel(
+        V100,
+        KernelLaunch(name="x4", blocks=launch.blocks * 4),
+        include_launch_overhead=False,
+    ).cycles
+    assert quad <= 4 * base * 1.35 + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(launch=launch_st(), extra_k=st.integers(min_value=8, max_value=256))
+def test_deeper_tiles_never_faster(launch, extra_k):
+    deeper_blocks = tuple(
+        BlockWork(
+            threads=b.threads,
+            registers_per_thread=b.registers_per_thread,
+            shared_memory_bytes=b.shared_memory_bytes,
+            tiles=tuple(
+                TileWork(t.strategy, k=t.k + extra_k, active_threads=t.active_threads)
+                for t in b.tiles
+            ),
+        )
+        for b in launch.blocks
+    )
+    base = simulate_kernel(V100, launch, include_launch_overhead=False).cycles
+    deeper = simulate_kernel(
+        V100, KernelLaunch(name="deep", blocks=deeper_blocks), include_launch_overhead=False
+    ).cycles
+    assert deeper >= base - 1e-6

@@ -1,0 +1,71 @@
+"""Property-based tests for the tiling engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.models import tlp_of_selection
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.tiling import available_strategies, select_tiling
+
+gemm_st = st.builds(
+    Gemm,
+    m=st.integers(min_value=1, max_value=600),
+    n=st.integers(min_value=1, max_value=600),
+    k=st.integers(min_value=1, max_value=1024),
+)
+batch_st = st.lists(gemm_st, min_size=1, max_size=8).map(GemmBatch)
+threshold_st = st.integers(min_value=256, max_value=1 << 20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=batch_st, threshold=threshold_st)
+def test_decision_always_valid(batch, threshold):
+    """Every decision: one strategy per GEMM, unified thread count,
+    TLP consistent with Eq. 1."""
+    d = select_tiling(batch, tlp_threshold=threshold)
+    assert len(d.strategies) == len(batch)
+    assert len({s.threads for s in d.strategies}) == 1
+    assert d.threads in (128, 256)
+    assert d.tlp == tlp_of_selection(batch, d.strategies)
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=batch_st, threshold=threshold_st)
+def test_chosen_strategy_is_available(batch, threshold):
+    """Each GEMM's strategy comes from its own availability list."""
+    d = select_tiling(batch, tlp_threshold=threshold)
+    for gemm, strat in zip(batch, d.strategies):
+        pool = [
+            s
+            for s in available_strategies(gemm)
+        ]
+        names = {s.name for s in pool}
+        assert strat.name in names
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=batch_st, threshold=threshold_st)
+def test_tiles_cover_every_gemm(batch, threshold):
+    """The induced tile grid covers every C matrix completely."""
+    d = select_tiling(batch, tlp_threshold=threshold)
+    for gemm, strat in zip(batch, d.strategies):
+        rows, cols = strat.tiles_for(gemm)
+        assert rows * strat.by >= gemm.m
+        assert cols * strat.bx >= gemm.n
+        # And not excessively: removing a row/column of tiles would
+        # leave elements uncovered.
+        assert (rows - 1) * strat.by < gemm.m
+        assert (cols - 1) * strat.bx < gemm.n
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=batch_st)
+def test_trace_tlp_strictly_decreases(batch):
+    d = select_tiling(batch, tlp_threshold=65536)
+    tlps = [t for _s, t in d.trace]
+    assert all(a > b for a, b in zip(tlps, tlps[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(gemm=gemm_st)
+def test_availability_never_empty(gemm):
+    assert available_strategies(gemm)

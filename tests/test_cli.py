@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro`` ad-hoc CLI."""
+
+import pytest
+
+from repro.__main__ import main, parse_shape
+
+
+class TestParseShape:
+    def test_basic(self):
+        assert parse_shape("64x784x192") == (64, 784, 192)
+
+    def test_case_insensitive(self):
+        assert parse_shape("8X8X8") == (8, 8, 8)
+
+    @pytest.mark.parametrize("bad", ["64x784", "axbxc", "1x2x3x4", ""])
+    def test_rejects_malformed(self, bad):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_shape(bad)
+
+
+class TestMain:
+    def test_shape_list(self, capsys):
+        assert main(["32x32x32,64x64x64"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinated framework" in out
+        assert "MAGMA vbatch" in out
+
+    def test_uniform_mode(self, capsys):
+        assert main(["--uniform", "64x64x32", "--batch", "4"]) == 0
+        assert "4 GEMMs" in capsys.readouterr().out
+
+    def test_explain_flag(self, capsys):
+        assert main(["--uniform", "64x64x32", "--batch", "4", "--explain"]) == 0
+        assert "critical blocks" in capsys.readouterr().out
+
+    def test_workload_mode(self, capsys, tmp_path):
+        from repro.core.problem import GemmBatch
+        from repro.workloads.io import save_workload
+
+        path = tmp_path / "w.json"
+        save_workload(path, {"mine": GemmBatch.uniform(32, 32, 32, 3)})
+        assert main(["--workload", str(path), "--case", "mine"]) == 0
+        assert "3 GEMMs" in capsys.readouterr().out
+
+    def test_unknown_case_fails(self, tmp_path):
+        from repro.core.problem import GemmBatch
+        from repro.workloads.io import save_workload
+
+        path = tmp_path / "w.json"
+        save_workload(path, {"mine": GemmBatch.uniform(8, 8, 8, 2)})
+        with pytest.raises(SystemExit):
+            main(["--workload", str(path), "--case", "missing"])
+
+    def test_conflicting_modes_fail(self):
+        with pytest.raises(SystemExit):
+            main(["8x8x8", "--uniform", "8x8x8"])
+
+    def test_no_input_fails(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_device_alias(self, capsys):
+        assert main(["--uniform", "32x32x32", "--batch", "2", "--device", "m60"]) == 0
+        assert "Tesla M60" in capsys.readouterr().out

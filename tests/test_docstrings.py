@@ -1,0 +1,72 @@
+"""Documentation coverage: every public item carries a docstring.
+
+This test walks the installed ``repro`` package and asserts that every
+public module, class, function and method is documented -- turning the
+"doc comments on every public item" deliverable into an enforced
+invariant rather than a hope.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for mname, method in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if not (method.__doc__ and method.__doc__.strip()):
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: {undocumented}"
+    )
+
+
+def test_package_walks_completely():
+    """Every subpackage imports cleanly (no broken lazy imports)."""
+    names = {m.__name__ for m in ALL_MODULES}
+    for expected in (
+        "repro.core.framework",
+        "repro.gpu.costmodel",
+        "repro.kernels.persistent",
+        "repro.baselines.magma_vbatch",
+        "repro.ml.random_forest",
+        "repro.nn.googlenet",
+        "repro.workloads.synthetic",
+        "repro.analysis.metrics",
+        "repro.experiments.runner",
+    ):
+        assert expected in names

@@ -1,0 +1,77 @@
+"""Tests for workload serialization."""
+
+import json
+
+import pytest
+
+from repro.core.problem import Gemm, GemmBatch
+from repro.workloads.io import (
+    FORMAT_VERSION,
+    batch_from_dict,
+    batch_to_dict,
+    load_workload,
+    save_workload,
+)
+
+
+@pytest.fixture
+def suite():
+    return {
+        "inception3a": GemmBatch.from_shapes(
+            [(64, 784, 192), (96, 784, 192), (16, 784, 192), (32, 784, 192)]
+        ),
+        "transposed": GemmBatch([Gemm(8, 9, 10, alpha=2.0, beta=0.5, trans_a=True)]),
+    }
+
+
+class TestRoundTrip:
+    def test_batch_round_trip(self, suite):
+        for batch in suite.values():
+            rebuilt = batch_from_dict(batch_to_dict(batch))
+            assert [g.shape for g in rebuilt] == [g.shape for g in batch]
+            assert [(g.alpha, g.beta, g.trans_a, g.trans_b) for g in rebuilt] == [
+                (g.alpha, g.beta, g.trans_a, g.trans_b) for g in batch
+            ]
+
+    def test_file_round_trip(self, suite, tmp_path):
+        path = tmp_path / "suite.json"
+        save_workload(path, suite, description="test suite")
+        loaded = load_workload(path)
+        assert set(loaded) == set(suite)
+        for name in suite:
+            assert [g.shape for g in loaded[name]] == [g.shape for g in suite[name]]
+
+    def test_file_is_plain_json_with_version(self, suite, tmp_path):
+        path = tmp_path / "suite.json"
+        save_workload(path, suite)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert "inception3a" in payload["cases"]
+
+
+class TestValidation:
+    def test_empty_suite_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_workload(tmp_path / "x.json", {})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            batch_from_dict([{"m": 1, "n": 1, "k": 1, "color": "red"}])
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            batch_from_dict([{"m": 1, "n": 1}])
+
+    def test_wrong_version_rejected(self, suite, tmp_path):
+        path = tmp_path / "suite.json"
+        save_workload(path, suite)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_workload(path)
+
+    def test_defaults_for_optional_fields(self):
+        batch = batch_from_dict([{"m": 2, "n": 3, "k": 4}])
+        g = batch[0]
+        assert (g.alpha, g.beta, g.trans_a, g.trans_b) == (1.0, 0.0, False, False)

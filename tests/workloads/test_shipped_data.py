@@ -1,0 +1,34 @@
+"""The repository ships a pinned workload file; keep it loadable and
+consistent with the generators."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+from repro.workloads.io import load_workload
+
+DATA = Path(__file__).resolve().parents[2] / "data" / "cnn_fan_gemms.json"
+
+
+class TestShippedWorkload:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return load_workload(DATA)
+
+    def test_file_exists_and_loads(self, cases):
+        assert len(cases) == 21
+
+    def test_contains_all_three_families(self, cases):
+        families = {name.split("/")[0] for name in cases}
+        assert families == {"googlenet", "squeezenet", "resnet50"}
+
+    def test_matches_generator(self, cases):
+        for module in GOOGLENET_INCEPTIONS:
+            shipped = cases[f"googlenet/{module.name}"]
+            generated = inception_branch_batch(module)
+            assert [g.shape for g in shipped] == [g.shape for g in generated]
+
+    def test_paper_example_present(self, cases):
+        shapes = [g.shape for g in cases["googlenet/inception3a"]]
+        assert (16, 784, 192) in shapes

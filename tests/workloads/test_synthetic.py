@@ -1,0 +1,78 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads.synthetic import (
+    FIG8_BATCH_SIZES,
+    FIG8_K_VALUES,
+    FIG8_MN_VALUES,
+    deep_learning_like_cases,
+    fig8_grid,
+    random_cases,
+    uniform_case,
+)
+
+
+class TestFig8Grid:
+    def test_full_grid_size(self):
+        cells = list(fig8_grid())
+        assert len(cells) == len(FIG8_BATCH_SIZES) * len(FIG8_MN_VALUES) * len(FIG8_K_VALUES)
+
+    def test_k_axis_is_logarithmic_16_to_2048(self):
+        """Paper: K increases from 16 to 2048 in logarithmic coordinate."""
+        assert FIG8_K_VALUES[0] == 16 and FIG8_K_VALUES[-1] == 2048
+        ratios = [b / a for a, b in zip(FIG8_K_VALUES, FIG8_K_VALUES[1:])]
+        assert all(r == 2 for r in ratios)
+
+    def test_cells_are_uniform_batches(self):
+        cell = uniform_case(128, 64, 4)
+        assert cell.batch.is_uniform
+        assert len(cell.batch) == 4
+        assert cell.batch[0].shape == (128, 128, 64)
+
+    def test_label(self):
+        assert uniform_case(128, 64, 4).label == "M=N=128 K=64 B=4"
+
+    def test_custom_axes(self):
+        cells = list(fig8_grid(batch_sizes=(2,), mn_values=(64,), k_values=(8, 16)))
+        assert len(cells) == 2
+
+
+class TestRandomCases:
+    def test_count_and_reproducibility(self):
+        c1 = random_cases(n_cases=5, seed=9)
+        c2 = random_cases(n_cases=5, seed=9)
+        assert len(c1) == 5
+        for b1, b2 in zip(c1, c2):
+            assert [g.shape for g in b1] == [g.shape for g in b2]
+
+    def test_respects_bounds(self):
+        for batch in random_cases(n_cases=20, seed=0, max_mn=256, max_k=128, max_batch=8):
+            assert 2 <= len(batch) <= 8
+            for g in batch:
+                assert g.m <= 256 and g.n <= 256 and g.k <= 128
+
+    def test_paper_domain_half_of_m_below_100(self):
+        """The paper's domain claim should roughly hold under the
+        default distribution."""
+        ms = [g.m for b in random_cases(n_cases=50, seed=0) for g in b]
+        below = sum(1 for m in ms if m < 100) / len(ms)
+        assert 0.3 <= below <= 0.8
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            random_cases(n_cases=0)
+
+
+class TestDeepLearningCases:
+    def test_shapes_look_like_convs(self):
+        for batch in deep_learning_like_cases(n_cases=10):
+            ns = {g.n for g in batch}
+            assert len(ns) == 1  # shared feature map
+            n = ns.pop()
+            assert int(n**0.5) ** 2 == n  # a square spatial map
+
+    def test_reproducible(self):
+        a = deep_learning_like_cases(seed=4, n_cases=3)
+        b = deep_learning_like_cases(seed=4, n_cases=3)
+        assert [[g.shape for g in x] for x in a] == [[g.shape for g in x] for x in b]
