@@ -15,7 +15,10 @@ package provides:
 * the GoogleNet case study (:mod:`repro.nn`);
 * workload generators, analysis helpers, and one experiment driver per
   table/figure (:mod:`repro.workloads`, :mod:`repro.analysis`,
-  :mod:`repro.experiments`).
+  :mod:`repro.experiments`);
+* an observability layer (:mod:`repro.telemetry`): span tracing and
+  metrics over the whole plan/simulate/execute pipeline, free when
+  disabled, exportable to Chrome trace-event JSON.
 
 Quickstart::
 
@@ -33,6 +36,8 @@ from repro.core import (
     PlanCache,
     Gemm,
     GemmBatch,
+    Heuristic,
+    PlanOptions,
     Tile,
     TilingStrategy,
     TilingDecision,
@@ -65,6 +70,13 @@ from repro.baselines import (
     simulate_cublas_batched,
     simulate_magma_vbatch,
 )
+from repro.telemetry import (
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -73,7 +85,14 @@ __all__ = [
     "PlanCache",
     "Gemm",
     "GemmBatch",
+    "Heuristic",
+    "PlanOptions",
     "Tile",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "write_chrome_trace",
     "TilingStrategy",
     "TilingDecision",
     "PlanReport",

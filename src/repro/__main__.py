@@ -5,9 +5,14 @@ Usage::
     python -m repro 64x784x192,96x784x192,16x784x192 --device v100
     python -m repro --uniform 128x128x32 --batch 16 --heuristic best
     python -m repro --workload data/cnn_fan_gemms.json --case googlenet/inception3a
+    python -m repro 64x64x64,128x128x32 --trace /tmp/t.json
 
 Plans the batch with the coordinated framework, times it against every
 baseline on the chosen device model, and prints the plan summary.
+``--trace FILE`` records the whole run (tiling, batching, schedule
+build, simulations, baselines) and writes a Chrome trace-event file
+loadable in ``chrome://tracing`` / Perfetto; ``--trace-tree`` prints
+the span tree to stdout.
 """
 
 from __future__ import annotations
@@ -19,8 +24,10 @@ from repro.baselines.cke import simulate_cke
 from repro.baselines.default import simulate_default
 from repro.baselines.magma_vbatch import simulate_magma_vbatch
 from repro.core.framework import CoordinatedFramework
+from repro.core.options import Heuristic
 from repro.core.problem import Gemm, GemmBatch
 from repro.gpu.specs import get_device
+from repro.telemetry import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
 
 
 def parse_shape(text: str) -> tuple[int, int, int]:
@@ -81,28 +88,58 @@ def main(argv: list[str] | None = None) -> int:
         help="batching heuristic (threshold/binary/greedy-packing/balanced/best/best-extended)",
     )
     parser.add_argument("--explain", action="store_true", help="print the plan cost breakdown")
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="record the run and write a Chrome trace-event JSON file",
+    )
+    parser.add_argument(
+        "--trace-tree",
+        action="store_true",
+        help="print the recorded span tree (implies tracing)",
+    )
     args = parser.parse_args(argv)
 
     device = get_device(args.device)
     batch = build_batch(args)
     framework = CoordinatedFramework(device=device)
+    try:
+        heuristic = Heuristic.coerce(args.heuristic, warn=False)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
-    report = framework.plan(batch, heuristic=args.heuristic)
-    ours = framework.simulate_plan(report)
-    print(report.summary())
-    print()
-    rows = [
-        ("coordinated framework", ours.time_us),
-        ("MAGMA vbatch", simulate_magma_vbatch(batch, device).time_us),
-        ("streams (CKE)", simulate_cke(batch, device).time_us),
-        ("default serial", simulate_default(batch, device).time_us),
-    ]
-    print(f"simulated on {device.name}:")
-    for name, us in rows:
-        print(f"  {name:24s} {us:10.1f} us   ({us / rows[0][1]:5.2f}x ours)")
-    if args.explain:
+    tracer = Tracer() if (args.trace or args.trace_tree) else NULL_TRACER
+    previous = set_tracer(tracer)
+    try:
+        report = framework.plan(batch, heuristic)
+        ours = framework.simulate_plan(report)
+        print(report.summary())
         print()
-        print(framework.explain_plan(report))
+        rows = [
+            ("coordinated framework", ours.time_us),
+            ("MAGMA vbatch", simulate_magma_vbatch(batch, device).time_us),
+            ("streams (CKE)", simulate_cke(batch, device).time_us),
+            ("default serial", simulate_default(batch, device).time_us),
+        ]
+        print(f"simulated on {device.name}:")
+        for name, us in rows:
+            print(f"  {name:24s} {us:10.1f} us   ({us / rows[0][1]:5.2f}x ours)")
+        if args.explain:
+            print()
+            print(framework.explain_plan(report))
+    finally:
+        set_tracer(previous)
+    if args.trace_tree:
+        print()
+        print(tracer.render_tree())
+    if args.trace:
+        try:
+            write_chrome_trace(tracer, args.trace, process_name="python -m repro")
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace file: {exc}") from None
+        n_spans = sum(1 for _ in tracer.walk())
+        print(f"\nwrote {n_spans} spans to {args.trace} (chrome://tracing format)")
     return 0
 
 

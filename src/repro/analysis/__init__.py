@@ -13,7 +13,9 @@ from repro.analysis.report import (
     format_grid,
 )
 from repro.analysis.timeline import build_timeline, render_timeline
+from repro.analysis.spantree import render_plan_trace
 from repro.analysis.export import rows_to_csv, fig_cells_to_csv
+from repro.telemetry import render_span_tree
 
 __all__ = [
     "speedup",
@@ -26,6 +28,8 @@ __all__ = [
     "format_grid",
     "build_timeline",
     "render_timeline",
+    "render_plan_trace",
+    "render_span_tree",
     "rows_to_csv",
     "fig_cells_to_csv",
 ]

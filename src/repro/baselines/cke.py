@@ -15,6 +15,7 @@ from repro.core.problem import GemmBatch
 from repro.baselines.default import default_kernels
 from repro.gpu.simulator import SimulationResult, simulate_streams_concurrent
 from repro.gpu.specs import DeviceSpec
+from repro.telemetry import get_tracer
 
 
 def simulate_cke(
@@ -25,6 +26,7 @@ def simulate_cke(
     ``launch_gap_us`` is the host-side serialization between
     consecutive launches.
     """
-    return simulate_streams_concurrent(
-        device, default_kernels(batch, device), launch_gap_us=launch_gap_us
-    )
+    with get_tracer().span("baseline.cke", gemms=len(batch)):
+        return simulate_streams_concurrent(
+            device, default_kernels(batch, device), launch_gap_us=launch_gap_us
+        )

@@ -14,6 +14,7 @@ from repro.baselines.common import _fitting
 from repro.gpu.costmodel import BlockWork, TileWork
 from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
 from repro.gpu.specs import DeviceSpec
+from repro.telemetry import get_tracer
 
 
 def simulate_cublas_batched(batch: GemmBatch, device: DeviceSpec) -> SimulationResult:
@@ -22,6 +23,11 @@ def simulate_cublas_batched(batch: GemmBatch, device: DeviceSpec) -> SimulationR
     Raises ``ValueError`` for variable-size batches, mirroring the
     API's restriction.
     """
+    with get_tracer().span("baseline.cublas_batched", gemms=len(batch)):
+        return _simulate_cublas_batched(batch, device)
+
+
+def _simulate_cublas_batched(batch: GemmBatch, device: DeviceSpec) -> SimulationResult:
     if not batch.is_uniform:
         raise ValueError(
             "cublasSgemmBatched requires all GEMMs to share (M, N, K); "

@@ -12,6 +12,7 @@ from repro.core.problem import GemmBatch
 from repro.baselines.common import gemm_kernel_blocks, select_single_gemm_strategy
 from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_stream_serial
 from repro.gpu.specs import DeviceSpec
+from repro.telemetry import get_tracer
 
 
 def default_kernels(batch: GemmBatch, device: DeviceSpec) -> list[KernelLaunch]:
@@ -31,4 +32,5 @@ def default_kernels(batch: GemmBatch, device: DeviceSpec) -> list[KernelLaunch]:
 
 def simulate_default(batch: GemmBatch, device: DeviceSpec) -> SimulationResult:
     """Simulate serial one-kernel-per-GEMM execution of the batch."""
-    return simulate_stream_serial(device, default_kernels(batch, device))
+    with get_tracer().span("baseline.default", gemms=len(batch)):
+        return simulate_stream_serial(device, default_kernels(batch, device))

@@ -29,6 +29,7 @@ from repro.gpu.costmodel import BlockWork, TileWork
 from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
 from repro.gpu.specs import DeviceSpec
 from repro.kernels.tiled import compute_tile
+from repro.telemetry import get_tracer
 
 
 def magma_grid(batch: GemmBatch, strategy: TilingStrategy) -> tuple[int, int, int]:
@@ -76,13 +77,24 @@ def simulate_magma_vbatch(
     ``strategy`` overrides the uniform tiling (used by ablations);
     by default MAGMA's own single-GEMM-style choice applies.
     """
-    strat = strategy or magma_uniform_strategy(batch)
-    launch = KernelLaunch(
-        name=f"magma_vbatch({strat.name})",
-        blocks=magma_blocks(batch, strat),
-        compulsory_ab_bytes=float(batch.compulsory_ab_bytes),
-    )
-    return simulate_kernel(device, launch)
+    tracer = get_tracer()
+    with tracer.span("baseline.magma_vbatch", gemms=len(batch)) as span:
+        strat = strategy or magma_uniform_strategy(batch)
+        blocks = magma_blocks(batch, strat)
+        if span.enabled:
+            # MAGMA's rectangular grid dispatches empty Z-slice blocks
+            # for every GEMM smaller than the largest -- the structural
+            # waste the coordinated framework removes.
+            bubbles = sum(1 for b in blocks if not b.tiles)
+            span.set_attr("strategy", strat.name)
+            span.set_attr("bubble_blocks", bubbles)
+            tracer.counter("bubble_blocks", bubbles)
+        launch = KernelLaunch(
+            name=f"magma_vbatch({strat.name})",
+            blocks=blocks,
+            compulsory_ab_bytes=float(batch.compulsory_ab_bytes),
+        )
+        return simulate_kernel(device, launch)
 
 
 def execute_magma(

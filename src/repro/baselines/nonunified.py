@@ -17,6 +17,7 @@ from repro.core.tiling import SINGLE_GEMM_STRATEGIES, TilingStrategy, select_til
 from repro.gpu.costmodel import BlockWork, TileWork
 from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
 from repro.gpu.specs import DeviceSpec
+from repro.telemetry import get_tracer
 
 
 def _single_table_equivalent(strategy: TilingStrategy) -> TilingStrategy:
@@ -35,6 +36,11 @@ def simulate_nonunified(batch: GemmBatch, device: DeviceSpec) -> SimulationResul
     kernel's block size is the maximum, so smaller-strategy tiles run
     with idle threads.  One tile per block (no K batching).
     """
+    with get_tracer().span("baseline.nonunified", gemms=len(batch)):
+        return _simulate_nonunified(batch, device)
+
+
+def _simulate_nonunified(batch: GemmBatch, device: DeviceSpec) -> SimulationResult:
     decision = select_tiling(batch, tlp_threshold=device.tlp_threshold)
     table1 = [_single_table_equivalent(s) for s in decision.strategies]
     block_threads = max(s.threads for s in table1)

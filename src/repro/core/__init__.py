@@ -21,6 +21,7 @@ Layout:
 """
 
 from repro.core.problem import Gemm, GemmBatch, Tile
+from repro.core.options import Heuristic, PlanOptions
 from repro.core.tiling import (
     TilingStrategy,
     SINGLE_GEMM_STRATEGIES,
@@ -55,6 +56,8 @@ __all__ = [
     "Gemm",
     "GemmBatch",
     "Tile",
+    "Heuristic",
+    "PlanOptions",
     "TilingStrategy",
     "SINGLE_GEMM_STRATEGIES",
     "BATCHED_STRATEGIES_128",

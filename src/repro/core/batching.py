@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.problem import Tile
+from repro.telemetry import get_tracer
 
 
 @dataclass(frozen=True)
@@ -252,13 +253,31 @@ def batch_tiles(
     ``"one-per-block"``, ``"greedy-packing"`` or ``"balanced"`` (the
     last two are this library's future-work extensions).
     """
-    if heuristic in ("threshold", "balanced"):
-        return _HEURISTICS[heuristic](tiles, threads_per_block, theta, tlp_threshold)
-    if heuristic in ("binary", "one-per-block", "greedy-packing"):
-        return _HEURISTICS[heuristic](tiles, threads_per_block, theta)
-    raise ValueError(
-        f"unknown batching heuristic {heuristic!r}; known: {sorted(_HEURISTICS)}"
-    )
+    tracer = get_tracer()
+    with tracer.span("batching", heuristic=heuristic, tiles=len(tiles)) as span:
+        if heuristic in ("threshold", "balanced"):
+            result = _HEURISTICS[heuristic](
+                tiles, threads_per_block, theta, tlp_threshold
+            )
+        elif heuristic in ("binary", "one-per-block", "greedy-packing"):
+            result = _HEURISTICS[heuristic](tiles, threads_per_block, theta)
+        else:
+            raise ValueError(
+                f"unknown batching heuristic {heuristic!r}; "
+                f"known: {sorted(_HEURISTICS)}"
+            )
+        if span.enabled:
+            # Underfilled blocks (summed K below theta) keep pipeline
+            # bubbles the ILP batching exists to remove.
+            bubbles = sum(
+                1 for blk in result.blocks if sum(t.k for t in blk) < theta
+            )
+            span.set_attr("blocks", result.num_blocks)
+            span.set_attr("bubble_blocks", bubbles)
+            tracer.counter("bubble_blocks", bubbles)
+            tracer.counter("blocks_formed", result.num_blocks)
+            tracer.histogram("block_k_depth", result.mean_k_per_block)
+    return result
 
 
 def _validate_batching_args(

@@ -6,38 +6,57 @@
    device's TLP threshold (Section 4),
 2. the **batching engine** assigns tiles to thread blocks with one of
    the two heuristics -- chosen explicitly, by exhaustive trial
-   (``"best"``, the paper's offline mode for fixed workloads), or by
-   the random-forest selector (``"auto"``, the online mode),
+   (:attr:`Heuristic.BEST`, the paper's offline mode for fixed
+   workloads), or by the random-forest selector
+   (:attr:`Heuristic.AUTO`, the online mode),
 3. the plan is lowered to the five auxiliary arrays of the
    programming interface (Section 6),
 
 after which the plan can be *simulated* (execution time on the device
 model) or *executed* (numerically, via the persistent-threads NumPy
 executor).
+
+Planning is configured through :class:`~repro.core.options.PlanOptions`
+(heuristic, theta, TLP threshold, precision); bare heuristic strings
+keep working with a :class:`DeprecationWarning`.  Every entry point is
+instrumented through :func:`repro.telemetry.get_tracer` -- free until a
+recording tracer is installed.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.batching import BatchingResult, batch_tiles
+from repro.core.options import Heuristic, PlanOptions
 from repro.core.problem import GemmBatch
 from repro.core.schedule import BatchSchedule, build_schedule, enumerate_tiles
 from repro.core.selector import HeuristicSelector
 from repro.core.tiling import TilingDecision, select_tiling
 from repro.gpu.simulator import KernelLaunch, SimulationResult, simulate_kernel
 from repro.gpu.specs import DeviceSpec, VOLTA_V100
+from repro.telemetry import get_tracer
 
 logger = logging.getLogger("repro.framework")
+
+#: What the planning entry points accept as a heuristic spec.
+HeuristicLike = Union[Heuristic, PlanOptions, str, None]
 
 
 @dataclass(frozen=True)
 class PlanReport:
-    """Everything the framework decided for one batch."""
+    """Everything the framework decided for one batch.
+
+    ``options`` is the *resolved* :class:`PlanOptions` the plan was
+    built under (no ``None`` fields); ``heuristic_requested`` /
+    ``heuristic_used`` remain plain strings for backward
+    compatibility (``used`` is always concrete -- never ``best`` /
+    ``auto``).
+    """
 
     batch: GemmBatch
     decision: TilingDecision
@@ -45,6 +64,7 @@ class PlanReport:
     schedule: BatchSchedule
     heuristic_requested: str
     heuristic_used: str
+    options: Optional[PlanOptions] = None
 
     def summary(self) -> str:
         """Human-readable one-paragraph description of the plan."""
@@ -72,11 +92,13 @@ class CoordinatedFramework:
     device:
         The device model to plan for; defaults to Volta V100, the
         paper's primary platform.  The TLP threshold and theta come
-        from the device spec.
+        from the device spec (overridable per call via
+        :class:`PlanOptions`).
     selector:
         An optional fitted :class:`HeuristicSelector` used when
-        ``heuristic="auto"``.  Without one, ``"auto"`` falls back to
-        ``"best"`` (exhaustive trial) with a warning in the report.
+        planning with :attr:`Heuristic.AUTO`.  Without one, ``AUTO``
+        falls back to ``BEST`` (exhaustive trial) with a warning in the
+        report.
     precision:
         ``"fp32"`` (default) or ``"fp16"`` -- the latter prices the
         simulated kernels at half the traffic and at Tensor-Core FMA
@@ -97,46 +119,103 @@ class CoordinatedFramework:
         self.selector = selector
         self.precision = precision
 
+    # -- options -----------------------------------------------------
+
+    def resolve_options(
+        self, heuristic: HeuristicLike = None, options: Optional[PlanOptions] = None
+    ) -> PlanOptions:
+        """Normalize a planning spec to fully-resolved options.
+
+        ``heuristic`` may be a :class:`Heuristic`, a legacy string
+        (coerced with a :class:`DeprecationWarning`), a whole
+        :class:`PlanOptions`, or ``None``; alternatively pass
+        ``options`` by keyword.  Supplying both is an error.  ``None``
+        fields resolve to the device/framework defaults.
+        """
+        if options is not None:
+            if heuristic is not None:
+                raise ValueError("pass either a heuristic or options=, not both")
+            opts = PlanOptions.of(options)
+        else:
+            opts = PlanOptions.of(heuristic)
+        return opts.resolved(
+            theta=self.device.batching_theta,
+            tlp_threshold=self.device.tlp_threshold,
+            precision=self.precision,
+        )
+
     # -- planning ----------------------------------------------------
 
-    def plan(self, batch: GemmBatch, heuristic: str = "best") -> PlanReport:
+    def plan(
+        self,
+        batch: GemmBatch,
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
+    ) -> PlanReport:
         """Run both engines and build the auxiliary-array schedule.
 
-        ``heuristic`` is ``"threshold"``, ``"binary"``,
-        ``"one-per-block"``, ``"greedy-packing"``, ``"balanced"``,
-        ``"best"`` (simulate both paper heuristics, keep the faster --
-        the offline mode for fixed workloads), ``"best-extended"``
-        (also try this library's future-work heuristics), or ``"auto"``
-        (random-forest selection -- the online mode).
+        ``heuristic`` defaults to :attr:`Heuristic.BEST` (simulate both
+        paper heuristics, keep the faster -- the offline mode for fixed
+        workloads); :attr:`Heuristic.BEST_EXTENDED` also tries this
+        library's future-work heuristics; :attr:`Heuristic.AUTO` asks
+        the random-forest selector (the online mode).  Pass a full
+        :class:`PlanOptions` to also override theta, the TLP threshold
+        or the precision for this plan.
         """
-        decision = select_tiling(batch, tlp_threshold=self.device.tlp_threshold)
-        tiles = enumerate_tiles(batch, decision)
+        opts = self.resolve_options(heuristic, options)
+        tracer = get_tracer()
+        with tracer.span(
+            "plan", gemms=len(batch), heuristic=opts.heuristic.value
+        ) as span:
+            report = self._plan_resolved(batch, opts)
+            if span.enabled:
+                span.set_attr("heuristic_used", report.heuristic_used)
+                span.set_attr("blocks", report.schedule.num_blocks)
+                span.set_attr("tiles", report.schedule.num_tiles)
+        return report
 
-        requested = heuristic
-        if heuristic == "auto":
-            heuristic = self.selector.predict(batch) if self.selector else "best"
-        if heuristic in ("best", "best-extended"):
-            names = ("threshold", "binary")
-            if heuristic == "best-extended":
-                names = ("threshold", "binary", "greedy-packing", "balanced")
+    def _plan_resolved(self, batch: GemmBatch, opts: PlanOptions) -> PlanReport:
+        tracer = get_tracer()
+        decision = select_tiling(batch, tlp_threshold=opts.tlp_threshold)
+        tiles = enumerate_tiles(batch, decision)
+        tracer.counter("tiles_enumerated", len(tiles))
+
+        requested = opts.heuristic
+        heuristic = requested
+        if heuristic is Heuristic.AUTO:
+            if self.selector:
+                with tracer.span("selector.predict") as span:
+                    heuristic = Heuristic.coerce(
+                        self.selector.predict(batch), warn=False
+                    )
+                    if span.enabled:
+                        span.set_attr("predicted", heuristic.value)
+            else:
+                heuristic = Heuristic.BEST
+        if heuristic in (Heuristic.BEST, Heuristic.BEST_EXTENDED):
+            names = (Heuristic.THRESHOLD, Heuristic.BINARY)
+            if heuristic is Heuristic.BEST_EXTENDED:
+                names += (Heuristic.GREEDY_PACKING, Heuristic.BALANCED)
             candidates = []
             for name in names:
-                report = self._assemble(batch, decision, tiles, name, requested)
+                report = self._assemble(batch, decision, tiles, name, opts)
                 time_ms = self.simulate_plan(report).time_ms
                 candidates.append((time_ms, name, report))
             candidates.sort(key=lambda c: c[0])
+            tracer.counter("plan_candidates_tried", len(candidates))
             logger.debug(
                 "plan(%s): %s -> %s (candidates: %s)",
-                requested,
+                requested.value,
                 decision.threads,
-                candidates[0][1],
-                ", ".join(f"{n}={t:.4f}ms" for t, n, _ in candidates),
+                candidates[0][1].value,
+                ", ".join(f"{n.value}={t:.4f}ms" for t, n, _ in candidates),
             )
             return candidates[0][2]
-        report = self._assemble(batch, decision, tiles, heuristic, requested)
+        report = self._assemble(batch, decision, tiles, heuristic, opts)
         logger.debug(
             "plan(%s): %d GEMMs -> %d tiles -> %d blocks (%d threads, TLP %d)",
-            heuristic,
+            heuristic.value,
             len(batch),
             report.schedule.num_tiles,
             report.schedule.num_blocks,
@@ -146,23 +225,33 @@ class CoordinatedFramework:
         return report
 
     def _assemble(
-        self, batch: GemmBatch, decision: TilingDecision, tiles, heuristic: str, requested: str
+        self,
+        batch: GemmBatch,
+        decision: TilingDecision,
+        tiles,
+        heuristic: Heuristic,
+        opts: PlanOptions,
     ) -> PlanReport:
-        batching = batch_tiles(
-            tiles,
-            threads_per_block=decision.threads,
-            heuristic=heuristic,
-            theta=self.device.batching_theta,
-            tlp_threshold=self.device.tlp_threshold,
-        )
-        schedule = build_schedule(batch, decision, batching)
+        tracer = get_tracer()
+        with tracer.span("assemble", heuristic=heuristic.value) as span:
+            batching = batch_tiles(
+                tiles,
+                threads_per_block=decision.threads,
+                heuristic=heuristic.value,
+                theta=opts.theta,
+                tlp_threshold=opts.tlp_threshold,
+            )
+            schedule = build_schedule(batch, decision, batching)
+            if span.enabled:
+                span.set_attr("blocks", schedule.num_blocks)
         return PlanReport(
             batch=batch,
             decision=decision,
             batching=batching,
             schedule=schedule,
-            heuristic_requested=requested,
-            heuristic_used=heuristic,
+            heuristic_requested=opts.heuristic.value,
+            heuristic_used=heuristic.value,
+            options=replace(opts, heuristic=heuristic),
         )
 
     # -- introspection -------------------------------------------------
@@ -179,7 +268,9 @@ class CoordinatedFramework:
         from repro.gpu.occupancy import occupancy
         from repro.gpu.simulator import _converge_kernel
 
-        blocks = report.schedule.block_works(report.batch, precision=self.precision)
+        blocks = report.schedule.block_works(
+            report.batch, precision=self._plan_precision(report)
+        )
         occ = occupancy(
             self.device,
             blocks[0].threads,
@@ -213,21 +304,48 @@ class CoordinatedFramework:
 
     # -- timing ------------------------------------------------------
 
-    def simulate_plan(self, report: PlanReport) -> SimulationResult:
-        """Execution time of an existing plan on the device model."""
-        compulsory = float(report.batch.compulsory_ab_bytes)
-        if self.precision == "fp16":
-            compulsory /= 2.0
-        launch = KernelLaunch(
-            name="coordinated",
-            blocks=report.schedule.block_works(report.batch, precision=self.precision),
-            compulsory_ab_bytes=compulsory,
-        )
-        return simulate_kernel(self.device, launch)
+    def _plan_precision(self, report: PlanReport) -> str:
+        if report.options is not None and report.options.precision is not None:
+            return report.options.precision
+        return self.precision
 
-    def simulate(self, batch: GemmBatch, heuristic: str = "best") -> SimulationResult:
+    def simulate_plan(self, report: PlanReport) -> SimulationResult:
+        """Execution time of an existing plan on the device model.
+
+        When a recording tracer is installed, the returned
+        :class:`SimulationResult` carries the ``simulate`` span (with
+        the kernel-level child span) in its ``trace`` field.
+        """
+        precision = self._plan_precision(report)
+        compulsory = float(report.batch.compulsory_ab_bytes)
+        if precision == "fp16":
+            compulsory /= 2.0
+        tracer = get_tracer()
+        with tracer.span(
+            "simulate",
+            blocks=report.schedule.num_blocks,
+            heuristic=report.heuristic_used,
+        ) as span:
+            launch = KernelLaunch(
+                name="coordinated",
+                blocks=report.schedule.block_works(report.batch, precision=precision),
+                compulsory_ab_bytes=compulsory,
+            )
+            result = simulate_kernel(self.device, launch)
+            if span.enabled:
+                span.set_attr("time_ms", result.time_ms)
+                result = replace(result, trace=span)
+        return result
+
+    def simulate(
+        self,
+        batch: GemmBatch,
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
+    ) -> SimulationResult:
         """Plan and time a batch in one call."""
-        return self.simulate_plan(self.plan(batch, heuristic=heuristic))
+        return self.simulate_plan(self.plan(batch, heuristic, options=options))
 
     def tiling_only_simulate(self, batch: GemmBatch) -> SimulationResult:
         """Time the *tiling engine alone* (one tile per block).
@@ -235,7 +353,7 @@ class CoordinatedFramework:
         This is the "tiling" configuration of the paper's artifact --
         the Figure 8 experiment isolates it against MAGMA.
         """
-        report = self.plan(batch, heuristic="one-per-block")
+        report = self.plan(batch, Heuristic.ONE_PER_BLOCK)
         return self.simulate_plan(report)
 
     # -- numerical execution ------------------------------------------
@@ -244,7 +362,9 @@ class CoordinatedFramework:
         self,
         batch: GemmBatch,
         operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
-        heuristic: str = "best",
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
     ) -> list[np.ndarray]:
         """Numerically execute the batch via the persistent executor.
 
@@ -255,5 +375,6 @@ class CoordinatedFramework:
         """
         from repro.kernels.persistent import execute_schedule
 
-        report = self.plan(batch, heuristic=heuristic)
-        return execute_schedule(report.schedule, batch, operands)
+        report = self.plan(batch, heuristic, options=options)
+        with get_tracer().span("execute", gemms=len(batch)):
+            return execute_schedule(report.schedule, batch, operands)

@@ -1,0 +1,204 @@
+"""Typed planning options: the :class:`Heuristic` enum and
+:class:`PlanOptions`.
+
+Historically the planning entry points took bare strings
+(``plan(batch, heuristic="best")``) and spread the remaining knobs
+(theta, TLP threshold, precision) across the device spec and the
+framework constructor.  :class:`PlanOptions` gathers them into one
+frozen, hashable value object that :meth:`CoordinatedFramework.plan`,
+:meth:`CoordinatedFramework.simulate` and :meth:`PlanCache.plan`
+accept, and that :class:`~repro.core.framework.PlanReport` records in
+resolved form -- so a report (and a cache key) states exactly what was
+planned, under exactly which knobs.
+
+Bare strings keep working through :meth:`Heuristic.coerce`, which
+emits a :class:`DeprecationWarning` on the public entry points.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+#: Precisions the device cost model prices.
+PRECISIONS = ("fp32", "fp16")
+
+
+class Heuristic(enum.Enum):
+    """The batching-heuristic choices the planner accepts.
+
+    ``THRESHOLD``/``BINARY`` are the paper's two heuristics;
+    ``ONE_PER_BLOCK`` disables ILP batching (the Figure 8 "tiling"
+    configuration); ``GREEDY_PACKING``/``BALANCED`` are this library's
+    future-work extensions; ``BEST`` tries both paper heuristics and
+    keeps the faster (the offline mode), ``BEST_EXTENDED`` also tries
+    the extensions; ``AUTO`` asks the random-forest selector (the
+    online mode).
+    """
+
+    THRESHOLD = "threshold"
+    BINARY = "binary"
+    ONE_PER_BLOCK = "one-per-block"
+    GREEDY_PACKING = "greedy-packing"
+    BALANCED = "balanced"
+    BEST = "best"
+    BEST_EXTENDED = "best-extended"
+    AUTO = "auto"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_meta(self) -> bool:
+        """True for choices that resolve to a concrete heuristic."""
+        return self in (Heuristic.BEST, Heuristic.BEST_EXTENDED, Heuristic.AUTO)
+
+    @classmethod
+    def coerce(
+        cls, value: Union["Heuristic", str], *, warn: bool = True
+    ) -> "Heuristic":
+        """Accept an enum member or its string name.
+
+        Strings are matched case-insensitively against member values
+        (``"best"``, ``"one-per-block"``, ...).  When ``warn`` is true
+        a string triggers a :class:`DeprecationWarning` -- the typed
+        member is the supported spelling; internal call sites coerce
+        silently.  Unknown strings raise :class:`ValueError`.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                member = cls(value.strip().lower())
+            except ValueError:
+                known = ", ".join(m.value for m in cls)
+                raise ValueError(
+                    f"unknown heuristic {value!r}; known: {known}"
+                ) from None
+            if warn:
+                warnings.warn(
+                    f"passing heuristic={value!r} as a bare string is deprecated; "
+                    f"use repro.Heuristic.{member.name} or a repro.PlanOptions",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            return member
+        raise TypeError(
+            f"heuristic must be a Heuristic or str, got {type(value).__name__}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanOptions:
+    """Everything the planner is allowed to vary, in one value object.
+
+    Parameters
+    ----------
+    heuristic:
+        A :class:`Heuristic` member (strings are coerced silently --
+        the deprecation warning belongs to the *entry points*, not to
+        explicit option construction).
+    theta:
+        The batching engine's K-depth target per block; ``None`` means
+        the device's calibrated ``batching_theta``.
+    tlp_threshold:
+        The tiling engine's Eq. 1 threshold; ``None`` means the
+        device's calibrated ``tlp_threshold``.
+    precision:
+        ``"fp32"`` or ``"fp16"`` for the cost model; ``None`` means the
+        framework's configured precision.
+
+    A *resolved* options value (see :meth:`resolved`) has no ``None``
+    fields; :class:`~repro.core.framework.PlanReport` and
+    :class:`~repro.core.plancache.PlanCache` only ever hold resolved
+    options, so two plans agree on their cache key iff every knob
+    agrees.
+    """
+
+    heuristic: Heuristic = Heuristic.BEST
+    theta: Optional[int] = None
+    tlp_threshold: Optional[int] = None
+    precision: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "heuristic", Heuristic.coerce(self.heuristic, warn=False)
+        )
+        if self.theta is not None and self.theta <= 0:
+            raise ValueError(f"theta must be positive, got {self.theta}")
+        if self.tlp_threshold is not None and self.tlp_threshold <= 0:
+            raise ValueError(
+                f"tlp_threshold must be positive, got {self.tlp_threshold}"
+            )
+        if self.precision is not None and self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        value: Union["PlanOptions", Heuristic, str, None],
+        *,
+        warn_on_str: bool = True,
+    ) -> "PlanOptions":
+        """Normalize any accepted planning spec to options.
+
+        ``None`` means defaults; a :class:`Heuristic` or string selects
+        the heuristic with every other knob defaulted; an existing
+        :class:`PlanOptions` passes through.  Strings warn unless
+        ``warn_on_str`` is false (the documented back-compat path).
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(heuristic=Heuristic.coerce(value, warn=warn_on_str))
+
+    def resolved(
+        self, theta: int, tlp_threshold: int, precision: str
+    ) -> "PlanOptions":
+        """Fill every ``None`` field from the given defaults."""
+        return replace(
+            self,
+            theta=self.theta if self.theta is not None else theta,
+            tlp_threshold=(
+                self.tlp_threshold
+                if self.tlp_threshold is not None
+                else tlp_threshold
+            ),
+            precision=self.precision if self.precision is not None else precision,
+        )
+
+    @property
+    def is_resolved(self) -> bool:
+        return (
+            self.theta is not None
+            and self.tlp_threshold is not None
+            and self.precision is not None
+        )
+
+    def cache_key(self) -> tuple:
+        """The hashable identity a plan cache must key on.
+
+        Includes every knob -- the same batch planned under two
+        different heuristics (or thetas, or precisions) must not alias
+        one cache entry.
+        """
+        return (
+            self.heuristic.value,
+            self.theta,
+            self.tlp_threshold,
+            self.precision,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (used by trace attributes and reports)."""
+        return {
+            "heuristic": self.heuristic.value,
+            "theta": self.theta,
+            "tlp_threshold": self.tlp_threshold,
+            "precision": self.precision,
+        }

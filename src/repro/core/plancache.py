@@ -6,25 +6,37 @@ where the batch size and the size of each matrix are fixed ... we can
 try both two batching heuristics and choose the better one" (Section
 5) -- i.e. spend planning effort once and reuse the winning schedule.
 :class:`PlanCache` provides that memoization: plans are keyed by the
-batch *signature* (shapes, transposes and the requested heuristic --
-not the operand data) with LRU eviction.
+batch *signature* (shapes and transposes -- not the operand data)
+**and** the fully-resolved :class:`~repro.core.options.PlanOptions`
+(heuristic, theta, TLP threshold, precision), with LRU eviction.
+Keying on the options matters: the same batch planned under two
+heuristics (or two thetas) yields different schedules and must not
+alias one entry.
+
+Cache traffic is observable through ``stats`` and, when a recording
+tracer is installed, through the ``plan_cache_hit`` /
+``plan_cache_miss`` counters and per-lookup ``plancache.plan`` spans.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
-from repro.core.framework import CoordinatedFramework, PlanReport
+from repro.core.framework import CoordinatedFramework, HeuristicLike, PlanReport
+from repro.core.options import PlanOptions
 from repro.core.problem import GemmBatch
+from repro.telemetry import get_tracer
 
 
 def batch_signature(batch: GemmBatch) -> tuple:
     """A hashable identity of a batch's planning-relevant content.
 
-    Two batches with the same signature receive identical plans
-    (planning never looks at operand values).  alpha/beta are excluded:
-    they only affect the epilogue arithmetic, not the schedule.
+    Two batches with the same signature receive identical plans under
+    identical options (planning never looks at operand values).
+    alpha/beta are excluded: they only affect the epilogue arithmetic,
+    not the schedule.
     """
     return tuple((g.m, g.n, g.k, g.trans_a, g.trans_b) for g in batch)
 
@@ -44,7 +56,7 @@ class CacheStats:
 
 
 class PlanCache:
-    """An LRU cache of :class:`PlanReport` keyed by batch signature.
+    """An LRU cache of :class:`PlanReport` keyed by (options, signature).
 
     Parameters
     ----------
@@ -65,33 +77,60 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def plan(self, batch: GemmBatch, heuristic: str = "best") -> PlanReport:
+    def plan(
+        self,
+        batch: GemmBatch,
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
+    ) -> PlanReport:
         """Return a cached plan for the batch, planning on first sight.
 
-        The cached plan's schedule is reused verbatim -- safe because a
-        signature pins every quantity planning consumes.  Note the
-        returned report's ``batch`` is the one that *first* produced
-        the plan; use the schedule, not the report's batch, with new
-        operand data.
+        Accepts the same specs as :meth:`CoordinatedFramework.plan`: a
+        :class:`Heuristic`, a legacy string (deprecated), or a full
+        :class:`PlanOptions`.  The cached plan's schedule is reused
+        verbatim -- safe because the key pins every quantity planning
+        consumes.  Note the returned report's ``batch`` is the one that
+        *first* produced the plan; use the schedule, not the report's
+        batch, with new operand data.
         """
-        key = (heuristic, batch_signature(batch))
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        report = self.framework.plan(batch, heuristic=heuristic)
-        self._entries[key] = report
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return report
+        opts = self.framework.resolve_options(heuristic, options)
+        key = (opts.cache_key(), batch_signature(batch))
+        tracer = get_tracer()
+        with tracer.span(
+            "plancache.plan", heuristic=opts.heuristic.value, size=len(self._entries)
+        ) as span:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                tracer.counter("plan_cache_hit")
+                if span.enabled:
+                    span.set_attr("hit", True)
+                return self._entries[key]
+            self.stats.misses += 1
+            tracer.counter("plan_cache_miss")
+            if span.enabled:
+                span.set_attr("hit", False)
+            report = self.framework.plan(batch, options=opts)
+            self._entries[key] = report
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                tracer.counter("plan_cache_eviction")
+            return report
 
-    def execute(self, batch: GemmBatch, operands, heuristic: str = "best"):
+    def execute(
+        self,
+        batch: GemmBatch,
+        operands,
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
+    ):
         """Numerically execute a batch through its cached plan."""
         from repro.kernels.persistent import execute_schedule
 
-        report = self.plan(batch, heuristic=heuristic)
+        report = self.plan(batch, heuristic, options=options)
         return execute_schedule(report.schedule, batch, operands)
 
     def clear(self) -> None:

@@ -27,6 +27,7 @@ from repro.core.batching import BatchingResult
 from repro.core.problem import GemmBatch, Tile
 from repro.core.tiling import TilingDecision, strategy_by_index
 from repro.gpu.costmodel import BlockWork, TileWork
+from repro.telemetry import get_tracer
 
 
 @dataclass(frozen=True)
@@ -217,6 +218,17 @@ def build_schedule(
     Validates that the batching covers exactly the tiles the tiling
     decision induces (every tile once, none invented).
     """
+    with get_tracer().span(
+        "schedule.build", blocks=batching.num_blocks, tiles=batching.num_tiles
+    ):
+        return _build_schedule(batch, decision, batching)
+
+
+def _build_schedule(
+    batch: GemmBatch,
+    decision: TilingDecision,
+    batching: BatchingResult,
+) -> BatchSchedule:
     expected = {
         (t.gemm_index, t.y, t.x): t for t in enumerate_tiles(batch, decision)
     }

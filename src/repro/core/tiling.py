@@ -32,6 +32,7 @@ from typing import Sequence
 
 from repro.core.problem import Gemm, GemmBatch
 from repro.core.models import tlp_of_selection
+from repro.telemetry import get_tracer
 
 
 @dataclass(frozen=True)
@@ -238,6 +239,18 @@ def select_tiling(batch: GemmBatch, tlp_threshold: int = 65536) -> TilingDecisio
     if tlp_threshold <= 0:
         raise ValueError(f"tlp_threshold must be positive, got {tlp_threshold}")
 
+    with get_tracer().span(
+        "tiling.select", gemms=len(batch), tlp_threshold=tlp_threshold
+    ) as _span:
+        decision = _select_tiling(batch, tlp_threshold)
+        if _span.enabled:
+            _span.set_attr("tlp", decision.tlp)
+            _span.set_attr("threads", decision.threads)
+            _span.set_attr("steps", len(decision.trace))
+    return decision
+
+
+def _select_tiling(batch: GemmBatch, tlp_threshold: int) -> TilingDecision:
     queues = [available_strategies(g, BATCHED_STRATEGIES_256) for g in batch]
     cursors = [0] * len(batch)
     trace: list[tuple[tuple[str, ...], int]] = []

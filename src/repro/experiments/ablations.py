@@ -17,6 +17,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.options import Heuristic
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_table
 from repro.baselines.nonunified import simulate_nonunified
@@ -74,7 +75,7 @@ def ab2_tlp_threshold(
             AblationRow(
                 "AB2",
                 f"tlp_threshold={t}",
-                geomean([fw.simulate(b, heuristic="best").time_ms for b in cases]),
+                geomean([fw.simulate(b, heuristic=Heuristic.BEST).time_ms for b in cases]),
             )
         )
     return rows
@@ -95,7 +96,7 @@ def ab3_theta(
             AblationRow(
                 "AB3",
                 f"theta={theta}",
-                geomean([fw.simulate(b, heuristic="best").time_ms for b in cases]),
+                geomean([fw.simulate(b, heuristic=Heuristic.BEST).time_ms for b in cases]),
             )
         )
     return rows
@@ -108,11 +109,16 @@ def ab4_heuristics(
     fw = CoordinatedFramework(device=device)
     cases = _cases(quick)
     rows = []
-    for h in ("one-per-block", "threshold", "binary", "best"):
+    for h in (
+        Heuristic.ONE_PER_BLOCK,
+        Heuristic.THRESHOLD,
+        Heuristic.BINARY,
+        Heuristic.BEST,
+    ):
         rows.append(
             AblationRow(
                 "AB4",
-                h,
+                h.value,
                 geomean([fw.simulate(b, heuristic=h).time_ms for b in cases]),
             )
         )
@@ -139,7 +145,7 @@ def ab5_thread_pools(
         AblationRow(
             "AB5",
             "adaptive (selection algorithm)",
-            geomean([fw.simulate(b, heuristic="best").time_ms for b in cases]),
+            geomean([fw.simulate(b, heuristic=Heuristic.BEST).time_ms for b in cases]),
         )
     )
     for threads in (256, 128):

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import Heuristic
 from repro.analysis.metrics import achieved_tflops, geomean
 from repro.analysis.report import format_table
 from repro.baselines.magma_vbatch import simulate_magma_vbatch
@@ -49,7 +50,7 @@ def run_batchsize_study(
         module = by_name[name]
         for bs in batch_sizes:
             batch = inception_branch_batch(module, batch_size=bs)
-            ours = framework.simulate(batch, heuristic="best")
+            ours = framework.simulate(batch, heuristic=Heuristic.BEST)
             magma = simulate_magma_vbatch(batch, device)
             rows.append(
                 BatchSizeRow(

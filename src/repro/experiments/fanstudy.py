@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import Heuristic
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_table
 from repro.baselines.default import simulate_default
@@ -68,7 +69,7 @@ def run_fanstudy(
                 network=network,
                 fan=fan,
                 batch=batch,
-                ours_ms=framework.simulate(batch, heuristic="best").time_ms,
+                ours_ms=framework.simulate(batch, heuristic=Heuristic.BEST).time_ms,
                 magma_ms=simulate_magma_vbatch(batch, device).time_ms,
                 serial_ms=simulate_default(batch, device).time_ms,
             )

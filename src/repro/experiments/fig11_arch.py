@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import Heuristic
 from repro.analysis.metrics import geomean, summarize_speedups
 from repro.analysis.report import format_table
 from repro.baselines.magma_vbatch import simulate_magma_vbatch
@@ -58,7 +59,7 @@ def run_fig11(
         framework = CoordinatedFramework(device=device)
         speedups = []
         for batch in cases:
-            ours = framework.simulate(batch, heuristic="best").time_ms
+            ours = framework.simulate(batch, heuristic=Heuristic.BEST).time_ms
             magma = simulate_magma_vbatch(batch, device).time_ms
             speedups.append(magma / ours)
         results.append(

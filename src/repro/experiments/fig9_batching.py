@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import Heuristic
 from repro.analysis.metrics import geomean, summarize_speedups
 from repro.analysis.report import format_histogram_row
 from repro.baselines.magma_vbatch import simulate_magma_vbatch
@@ -57,7 +58,7 @@ def run_fig9(
     framework = CoordinatedFramework(device=device)
     cells = []
     for case in fig8_grid(batch_sizes, mn_values, k_values):
-        plan = framework.plan(case.batch, heuristic="best")
+        plan = framework.plan(case.batch, heuristic=Heuristic.BEST)
         ours = framework.simulate_plan(plan)
         tiling = framework.tiling_only_simulate(case.batch)
         magma = simulate_magma_vbatch(case.batch, device)

@@ -17,6 +17,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.options import Heuristic
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_table
 from repro.baselines.magma_vbatch import simulate_magma_vbatch
@@ -56,7 +57,7 @@ def _mean_speedup(device: DeviceSpec, cases: Sequence[GemmBatch]) -> float:
     framework = CoordinatedFramework(device=device)
     speedups = []
     for batch in cases:
-        ours = framework.simulate(batch, heuristic="best").time_ms
+        ours = framework.simulate(batch, heuristic=Heuristic.BEST).time_ms
         magma = simulate_magma_vbatch(batch, device).time_ms
         speedups.append(magma / ours)
     return geomean(speedups)

@@ -1,7 +1,9 @@
 """CLI entry point: ``repro-experiments <name>``.
 
 Runs one experiment driver (or all of them) and prints the same
-rows/series the paper's tables and figures report.
+rows/series the paper's tables and figures report.  ``--trace FILE``
+records every driver's planning/simulation pipeline under one span per
+experiment and writes a Chrome trace-event file.
 """
 
 from __future__ import annotations
@@ -9,6 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.telemetry import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
 from repro.experiments import (
     ablations,
     batchsize_study,
@@ -45,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(_EXPERIMENTS) + ["all", "list"],
         help="which experiment to run ('list' prints the catalogue)",
     )
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="record the run and write a Chrome trace-event JSON file",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -53,10 +62,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"=== {name}: {_EXPERIMENTS[name][1]} ===")
-        _EXPERIMENTS[name][0]()
-        print()
+    tracer = Tracer() if args.trace else NULL_TRACER
+    previous = set_tracer(tracer)
+    try:
+        for name in names:
+            print(f"=== {name}: {_EXPERIMENTS[name][1]} ===")
+            with tracer.span(f"experiment.{name}"):
+                _EXPERIMENTS[name][0]()
+            print()
+    finally:
+        set_tracer(previous)
+    if args.trace:
+        try:
+            write_chrome_trace(tracer, args.trace, process_name="repro-experiments")
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace file: {exc}") from None
+        n_spans = sum(1 for _ in tracer.walk())
+        print(f"wrote {n_spans} spans to {args.trace} (chrome://tracing format)")
     return 0
 
 

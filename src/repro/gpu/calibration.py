@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import Heuristic
 from repro.core.tiling import BATCHED_STRATEGIES_256, TilingStrategy
 from repro.gpu.costmodel import BlockWork, TileWork
 from repro.gpu.simulator import KernelLaunch, simulate_kernel
@@ -133,7 +134,7 @@ def validation_calibrate_tlp_threshold(
         framework = CoordinatedFramework(device=dev)
         speedups = [
             simulate_magma_vbatch(batch, dev).time_ms
-            / framework.simulate(batch, heuristic="best").time_ms
+            / framework.simulate(batch, heuristic=Heuristic.BEST).time_ms
             for batch in cases
         ]
         scores[threshold] = geomean(speedups)

@@ -24,12 +24,13 @@ stream interface does, with a per-launch host-side serialization gap
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 from repro.gpu.costmodel import BlockWork, SmContext, block_cycles, l2_hit_fraction
 from repro.gpu.occupancy import occupancy
 from repro.gpu.specs import DeviceSpec
+from repro.telemetry import get_tracer
 
 #: Fixed-point rounds for the concurrency estimate.
 _CONCURRENCY_ROUNDS = 4
@@ -78,6 +79,11 @@ class SimulationResult:
     when the simulation entry point charges one.  ``concurrency`` is
     the converged estimate of blocks running at once; ``waves`` is the
     block count over the slot count.
+
+    ``trace`` is the telemetry span recorded while simulating (a
+    :class:`repro.telemetry.Span` subtree) when a recording tracer was
+    installed, else ``None``.  It is excluded from equality so results
+    compare by their numbers alone.
     """
 
     name: str
@@ -89,6 +95,7 @@ class SimulationResult:
     active_sms: int
     waves: float
     limited_by: str
+    trace: Any = field(default=None, compare=False)
 
     @property
     def time_us(self) -> float:
@@ -156,36 +163,48 @@ def simulate_kernel(
     Raises ``ValueError`` for an unlaunchable footprint (zero
     occupancy), mirroring a CUDA launch failure.
     """
-    first = kernel.blocks[0]
-    occ = occupancy(
-        device,
-        threads_per_block=first.threads,
-        registers_per_thread=first.registers_per_thread,
-        shared_memory_per_block=first.shared_memory_bytes,
-    )
-    if occ.blocks_per_sm == 0:
-        raise ValueError(
-            f"kernel {kernel.name!r} cannot launch: footprint exceeds one SM "
-            f"(limited by {occ.limited_by})"
+    tracer = get_tracer()
+    with tracer.span(
+        "simulate.kernel", kernel=kernel.name, blocks=len(kernel.blocks)
+    ) as span:
+        first = kernel.blocks[0]
+        occ = occupancy(
+            device,
+            threads_per_block=first.threads,
+            registers_per_thread=first.registers_per_thread,
+            shared_memory_per_block=first.shared_memory_bytes,
         )
+        if occ.blocks_per_sm == 0:
+            raise ValueError(
+                f"kernel {kernel.name!r} cannot launch: footprint exceeds one SM "
+                f"(limited by {occ.limited_by})"
+            )
 
-    _durations, makespan, concurrency, ctx = _converge_kernel(
-        device, kernel.blocks, occ.blocks_per_sm, kernel.compulsory_ab_bytes
-    )
-    launch_cycles = device.kernel_launch_us * 1e-6 * device.clock_ghz * 1e9
-    total_cycles = makespan + (launch_cycles if include_launch_overhead else 0.0)
-    slots = device.num_sms * occ.blocks_per_sm
-    return SimulationResult(
-        name=kernel.name,
-        cycles=makespan,
-        time_ms=device.cycles_to_ms(total_cycles),
-        num_blocks=len(kernel.blocks),
-        blocks_per_sm=occ.blocks_per_sm,
-        concurrency=concurrency,
-        active_sms=min(device.num_sms, len(kernel.blocks)),
-        waves=len(kernel.blocks) / slots,
-        limited_by=occ.limited_by,
-    )
+        _durations, makespan, concurrency, ctx = _converge_kernel(
+            device, kernel.blocks, occ.blocks_per_sm, kernel.compulsory_ab_bytes
+        )
+        launch_cycles = device.kernel_launch_us * 1e-6 * device.clock_ghz * 1e9
+        total_cycles = makespan + (launch_cycles if include_launch_overhead else 0.0)
+        slots = device.num_sms * occ.blocks_per_sm
+        result = SimulationResult(
+            name=kernel.name,
+            cycles=makespan,
+            time_ms=device.cycles_to_ms(total_cycles),
+            num_blocks=len(kernel.blocks),
+            blocks_per_sm=occ.blocks_per_sm,
+            concurrency=concurrency,
+            active_sms=min(device.num_sms, len(kernel.blocks)),
+            waves=len(kernel.blocks) / slots,
+            limited_by=occ.limited_by,
+            trace=span if span.enabled else None,
+        )
+        if span.enabled:
+            span.set_attr("waves", result.waves)
+            span.set_attr("concurrency", result.concurrency)
+            span.set_attr("time_ms", result.time_ms)
+            tracer.gauge("waves", result.waves)
+            tracer.counter("kernels_simulated")
+    return result
 
 
 def simulate_stream_serial(
@@ -198,25 +217,27 @@ def simulate_stream_serial(
     """
     if not kernels:
         raise ValueError("no kernels to simulate")
-    total_ms = 0.0
-    total_cycles = 0.0
-    total_blocks = 0
-    for k in kernels:
-        r = simulate_kernel(device, k, include_launch_overhead=True)
-        total_ms += r.time_ms
-        total_cycles += r.cycles
-        total_blocks += r.num_blocks
-    return SimulationResult(
-        name=f"serial[{len(kernels)} kernels]",
-        cycles=total_cycles,
-        time_ms=total_ms,
-        num_blocks=total_blocks,
-        blocks_per_sm=0,
-        concurrency=1.0,
-        active_sms=device.num_sms,
-        waves=0.0,
-        limited_by="serialization",
-    )
+    with get_tracer().span("simulate.serial", kernels=len(kernels)) as span:
+        total_ms = 0.0
+        total_cycles = 0.0
+        total_blocks = 0
+        for k in kernels:
+            r = simulate_kernel(device, k, include_launch_overhead=True)
+            total_ms += r.time_ms
+            total_cycles += r.cycles
+            total_blocks += r.num_blocks
+        return SimulationResult(
+            name=f"serial[{len(kernels)} kernels]",
+            cycles=total_cycles,
+            time_ms=total_ms,
+            num_blocks=total_blocks,
+            blocks_per_sm=0,
+            concurrency=1.0,
+            active_sms=device.num_sms,
+            waves=0.0,
+            limited_by="serialization",
+            trace=span if span.enabled else None,
+        )
 
 
 def simulate_streams_concurrent(
@@ -238,41 +259,43 @@ def simulate_streams_concurrent(
         raise ValueError("no kernels to simulate")
     gap_cycles = launch_gap_us * 1e-6 * device.clock_ghz * 1e9
 
-    jobs: list[tuple[float, float]] = []  # (release_cycle, duration)
-    slot_candidates: list[int] = []
-    for i, k in enumerate(kernels):
-        first = k.blocks[0]
-        occ = occupancy(
-            device, first.threads, first.registers_per_thread, first.shared_memory_bytes
-        )
-        if occ.blocks_per_sm == 0:
-            raise ValueError(f"kernel {k.name!r} cannot launch")
-        durations, _m, _c, _ctx = _converge_kernel(
-            device, k.blocks, occ.blocks_per_sm, k.compulsory_ab_bytes
-        )
-        release = (i + 1) * gap_cycles
-        jobs.extend((release, d) for d in durations)
-        slot_candidates.append(occ.blocks_per_sm)
+    with get_tracer().span("simulate.streams", kernels=len(kernels)) as span:
+        jobs: list[tuple[float, float]] = []  # (release_cycle, duration)
+        slot_candidates: list[int] = []
+        for i, k in enumerate(kernels):
+            first = k.blocks[0]
+            occ = occupancy(
+                device, first.threads, first.registers_per_thread, first.shared_memory_bytes
+            )
+            if occ.blocks_per_sm == 0:
+                raise ValueError(f"kernel {k.name!r} cannot launch")
+            durations, _m, _c, _ctx = _converge_kernel(
+                device, k.blocks, occ.blocks_per_sm, k.compulsory_ab_bytes
+            )
+            release = (i + 1) * gap_cycles
+            jobs.extend((release, d) for d in durations)
+            slot_candidates.append(occ.blocks_per_sm)
 
-    # Shared residency pool sized by the most restrictive kernel.
-    slots = device.num_sms * max(1, min(slot_candidates))
-    heap = [0.0] * slots
-    heapq.heapify(heap)
-    makespan = 0.0
-    for release, d in jobs:  # issue order = launch order
-        start = max(heapq.heappop(heap), release)
-        end = start + d
-        makespan = max(makespan, end)
-        heapq.heappush(heap, end)
+        # Shared residency pool sized by the most restrictive kernel.
+        slots = device.num_sms * max(1, min(slot_candidates))
+        heap = [0.0] * slots
+        heapq.heapify(heap)
+        makespan = 0.0
+        for release, d in jobs:  # issue order = launch order
+            start = max(heapq.heappop(heap), release)
+            end = start + d
+            makespan = max(makespan, end)
+            heapq.heappush(heap, end)
 
-    return SimulationResult(
-        name=f"streams[{len(kernels)} kernels]",
-        cycles=makespan,
-        time_ms=device.cycles_to_ms(makespan),
-        num_blocks=len(jobs),
-        blocks_per_sm=min(slot_candidates),
-        concurrency=float(slots),
-        active_sms=device.num_sms,
-        waves=len(jobs) / slots,
-        limited_by="streams",
-    )
+        return SimulationResult(
+            name=f"streams[{len(kernels)} kernels]",
+            cycles=makespan,
+            time_ms=device.cycles_to_ms(makespan),
+            num_blocks=len(jobs),
+            blocks_per_sm=min(slot_candidates),
+            concurrency=float(slots),
+            active_sms=device.num_sms,
+            waves=len(jobs) / slots,
+            limited_by="streams",
+            trace=span if span.enabled else None,
+        )

@@ -19,6 +19,7 @@ from repro.core.problem import GemmBatch, validate_operands
 from repro.core.schedule import BatchSchedule
 from repro.core.tiling import strategy_by_index
 from repro.kernels.tiled import compute_tile, thread_level_tile
+from repro.telemetry import get_tracer
 
 
 def execute_schedule(
@@ -33,6 +34,23 @@ def execute_schedule(
     do not match the batch, or when the schedule does not cover every
     output element exactly once (a schedule-construction bug).
     """
+    tracer = get_tracer()
+    with tracer.span(
+        "execute.schedule",
+        blocks=schedule.num_blocks,
+        tiles=schedule.num_tiles,
+        thread_level=thread_level,
+    ):
+        tracer.counter("tiles_executed", schedule.num_tiles)
+        return _execute_schedule(schedule, batch, operands, thread_level)
+
+
+def _execute_schedule(
+    schedule: BatchSchedule,
+    batch: GemmBatch,
+    operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    thread_level: bool = False,
+) -> list[np.ndarray]:
     validate_operands(batch, operands)
 
     outputs = [np.zeros((g.m, g.n), dtype=op[2].dtype) for g, op in zip(batch, operands)]

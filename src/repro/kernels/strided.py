@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.problem import GemmBatch
 from repro.core.schedule import BatchSchedule
 from repro.kernels.persistent import execute_schedule
+from repro.telemetry import get_tracer
 
 
 def split_strided(
@@ -57,9 +58,10 @@ def execute_schedule_strided(
     c: np.ndarray,
 ) -> np.ndarray:
     """Run a schedule on strided-batch operands; returns ``(B, m, n)``."""
-    operands = split_strided(batch, a, b, c)
-    outputs = execute_schedule(schedule, batch, operands)
-    return np.stack(outputs)
+    with get_tracer().span("execute.strided", gemms=len(batch)):
+        operands = split_strided(batch, a, b, c)
+        outputs = execute_schedule(schedule, batch, operands)
+        return np.stack(outputs)
 
 
 def random_strided_operands(

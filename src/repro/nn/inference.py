@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.options import Heuristic
 from repro.baselines.common import gemm_kernel_blocks, select_single_gemm_strategy
 from repro.baselines.magma_vbatch import simulate_magma_vbatch
 from repro.core.framework import CoordinatedFramework
@@ -95,7 +96,7 @@ def _branch_gemms_ms(
     if mode == "magma":
         return simulate_magma_vbatch(batch, device).time_ms
     if mode == "coordinated":
-        return framework.simulate(batch, heuristic="best").time_ms
+        return framework.simulate(batch, heuristic=Heuristic.BEST).time_ms
     raise ValueError(f"unknown mode {mode!r}; known: {MODES}")
 
 
@@ -141,6 +142,6 @@ def inception_layer_speedups(
     for module in GOOGLENET_INCEPTIONS:
         batch = inception_branch_batch(module, batch_size)
         magma_ms = simulate_magma_vbatch(batch, device).time_ms
-        ours_ms = framework.simulate(batch, heuristic="best").time_ms
+        ours_ms = framework.simulate(batch, heuristic=Heuristic.BEST).time_ms
         out[module.name] = magma_ms / ours_ms
     return out

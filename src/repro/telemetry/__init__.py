@@ -1,0 +1,71 @@
+"""Observability for the plan/simulate/execute pipeline.
+
+The planning pipeline (tiling -> batching -> schedule -> simulate /
+execute) is instrumented with a span-based tracer and a metrics
+registry so that every stage's wall time, decisions, and derived
+quantities (tiles enumerated, bubble blocks, waves, cache hits) can be
+inspected, exported, and regressed against.
+
+Three pieces:
+
+* :mod:`repro.telemetry.tracer` -- nested wall-time spans with
+  attributes.  The module-level *current tracer* defaults to a no-op
+  singleton whose span entry/exit costs a couple of attribute lookups,
+  so instrumentation left in the hot path is effectively free until a
+  recording :class:`Tracer` is installed.
+* :mod:`repro.telemetry.metrics` -- counters, gauges and histograms in
+  a :class:`MetricsRegistry`; every recording tracer owns one.
+* :mod:`repro.telemetry.export` -- JSON, Chrome ``chrome://tracing``
+  trace-event format, and a human-readable span tree.
+
+Typical use::
+
+    from repro.telemetry import tracing, write_chrome_trace
+
+    with tracing() as tracer:
+        framework.plan(batch)
+    print(tracer.render_tree())
+    write_chrome_trace(tracer, "plan.json")
+"""
+
+from repro.telemetry.tracer import (
+    Span,
+    Tracer,
+    NullTracer,
+    NULL_TRACER,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.export import (
+    to_json,
+    to_chrome_trace,
+    write_chrome_trace,
+    spans_from_chrome_trace,
+    render_span_tree,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "to_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "spans_from_chrome_trace",
+    "render_span_tree",
+]

@@ -1,0 +1,189 @@
+"""Trace exporters: JSON, Chrome trace-event format, ASCII tree.
+
+The Chrome exporter targets the `Trace Event Format`_ consumed by
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_: one
+complete ("ph": "X") event per span, timestamps in microseconds
+relative to the trace start, span attributes in ``args``.  Metrics ride
+along under ``otherData`` (the format ignores unknown top-level keys).
+Each event also carries its nesting ``depth`` so
+:func:`spans_from_chrome_trace` can rebuild the exact span tree --
+containment alone cannot disambiguate zero-width spans.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Union
+
+from repro.telemetry.tracer import Span, Tracer
+
+
+def _roots(trace: Union[Tracer, Span, Iterable[Span]]) -> list[Span]:
+    """Normalize any exporter input to a list of root spans."""
+    if isinstance(trace, Tracer):
+        return list(trace.roots)
+    if isinstance(trace, Span):
+        return [trace]
+    return list(trace)
+
+
+def to_json(trace: Union[Tracer, Span, Iterable[Span]]) -> dict:
+    """Serialize a trace as nested span dicts plus metrics (if any)."""
+    roots = _roots(trace)
+    out: dict = {"spans": [r.to_dict() for r in roots]}
+    if isinstance(trace, Tracer):
+        out["metrics"] = trace.metrics.to_dict()
+    return out
+
+
+def to_chrome_trace(
+    trace: Union[Tracer, Span, Iterable[Span]],
+    process_name: str = "repro",
+) -> dict:
+    """Convert a trace to the Chrome trace-event JSON object."""
+    roots = _roots(trace)
+    t0 = min((r.start_s for r in roots), default=0.0)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+
+    def emit(span: Span, depth: int) -> None:
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": (span.start_s - t0) * 1e6,
+                "dur": (end_s - span.start_s) * 1e6,
+                "depth": depth,
+                "args": dict(span.attrs),
+            }
+        )
+        for child in span.children:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+
+    out = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(trace, Tracer):
+        out["otherData"] = {"metrics": trace.metrics.to_dict()}
+    return out
+
+
+def write_chrome_trace(
+    trace: Union[Tracer, Span, Iterable[Span]],
+    path_or_file: Union[str, IO[str]],
+    process_name: str = "repro",
+) -> None:
+    """Write the Chrome trace-event JSON to a path or open text file."""
+    data = to_chrome_trace(trace, process_name=process_name)
+    if hasattr(path_or_file, "write"):
+        json.dump(data, path_or_file, indent=1)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=1)
+
+
+def spans_from_chrome_trace(data: dict) -> list[Span]:
+    """Rebuild the span tree from a Chrome trace-event object.
+
+    The inverse of :func:`to_chrome_trace` (metadata events are
+    skipped; metrics under ``otherData`` are not restored).  Returns
+    the list of root spans with names, times, attributes and nesting
+    intact.
+    """
+    if "traceEvents" not in data:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+
+    class _Replay:
+        # Span wants a tracer for its clock and stack pop; a replayed
+        # span is born finished, so both are inert.
+        _clock = staticmethod(lambda: 0.0)
+
+        def _pop(self, span: Span) -> None:
+            pass
+
+    replay = _Replay()
+    roots: list[Span] = []
+    stack: list[Span] = []  # stack[d] = last open span at depth d
+    for event in data["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        span = Span.__new__(Span)
+        span.name = event["name"]
+        span.attrs = dict(event.get("args", {}))
+        span.start_s = event["ts"] / 1e6
+        span.end_s = (event["ts"] + event.get("dur", 0.0)) / 1e6
+        span.children = []
+        span._tracer = replay
+        depth = int(event.get("depth", 0))
+        del stack[depth:]
+        if depth == 0:
+            roots.append(span)
+        else:
+            if len(stack) < depth:
+                raise ValueError(
+                    f"trace event {span.name!r} at depth {depth} has no parent"
+                )
+            stack[-1].children.append(span)
+        stack.append(span)
+    return roots
+
+
+def render_span_tree(
+    trace: Union[Tracer, Span, Iterable[Span]],
+    max_attrs: int = 4,
+) -> str:
+    """Render a trace as an indented tree with durations.
+
+    Example output::
+
+        plan 2.514ms heuristic=best gemms=3
+        |- tiling.select 0.101ms tlp=17920 threads=256
+        |- assemble 0.803ms heuristic=threshold
+        |  |- batching 0.112ms blocks=12
+        |  `- schedule.build 0.651ms tiles=14
+
+    ``max_attrs`` caps the attributes shown per span (0 hides them).
+    """
+    lines: list[str] = []
+
+    def fmt_attrs(span: Span) -> str:
+        if not span.attrs or max_attrs <= 0:
+            return ""
+        parts = []
+        for key, value in list(span.attrs.items())[:max_attrs]:
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            parts.append(f"{key}={value}")
+        return " " + " ".join(parts)
+
+    def emit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            head, child_prefix = "", ""
+        else:
+            head = prefix + ("`- " if is_last else "|- ")
+            child_prefix = prefix + ("   " if is_last else "|  ")
+        lines.append(f"{head}{span.name} {span.duration_ms:.3f}ms{fmt_attrs(span)}")
+        for i, child in enumerate(span.children):
+            emit(child, child_prefix, i == len(span.children) - 1, False)
+
+    roots = _roots(trace)
+    if not roots:
+        return "(empty trace)"
+    for root in roots:
+        emit(root, "", True, True)
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Counters, gauges and histograms for pipeline metrics.
+
+The registry is deliberately small: planning runs are short (tens of
+spans, dozens of metric updates), so metrics store exact values rather
+than sketches.  Names are free-form dotted strings; the instrumented
+pipeline uses ``tiles_enumerated``, ``bubble_blocks``, ``waves``,
+``plan_cache_hit`` and friends (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, tiles, cache hits)."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins measurement (waves, occupancy, concurrency)."""
+
+    name: str
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the measured quantity."""
+        self.value = float(value)
+        self.updates += 1
+
+
+@dataclass
+class Histogram:
+    """A distribution of observed values (block K-depths, span times).
+
+    Keeps the raw observations -- planning-scale cardinalities are tiny
+    -- plus running aggregates so summaries never re-scan.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+    total: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self.values.append(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def summary(self) -> dict:
+        """Aggregates as a plain dict (what the exporters serialize)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Instruments fetch-or-create by name, so call sites never need to
+    pre-register anything::
+
+        registry.counter("tiles_enumerated").inc(len(tiles))
+        registry.gauge("waves").set(result.waves)
+        registry.histogram("block_k").observe(k_sum)
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def clear(self) -> None:
+        """Drop every metric."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def to_dict(self) -> dict:
+        """Serialize every metric (JSON-compatible)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }

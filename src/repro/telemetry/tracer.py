@@ -1,0 +1,270 @@
+"""Span-based tracing with a free-when-disabled default.
+
+A :class:`Span` is a named wall-clock interval with attributes and
+children; a :class:`Tracer` maintains the span stack and a
+:class:`~repro.telemetry.metrics.MetricsRegistry`.  The *current*
+tracer is module-level state read by every instrumentation point via
+:func:`get_tracer`; it defaults to :data:`NULL_TRACER`, whose ``span``
+returns a shared no-op context manager -- entering and exiting it is
+two method calls that touch no state, so instrumented code pays
+effectively nothing until someone installs a recording tracer with
+:func:`set_tracer` or the :func:`tracing` context manager.
+
+Tracers are not thread-safe: one tracer records one logical pipeline
+run.  Concurrent planners should each install their own tracer (or
+none) around their own calls.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class Span:
+    """One named, timed interval in a trace.
+
+    Created by :meth:`Tracer.span` (already started); closing it --
+    normally by leaving its ``with`` block -- records the end time and
+    pops it off the tracer's stack.  ``attrs`` carries arbitrary
+    JSON-compatible key/values; ``children`` are the spans opened while
+    this one was the innermost.
+    """
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children", "_tracer")
+
+    #: Recording spans report True so call sites can skip expensive
+    #: attribute computation when tracing is off (NullSpan says False).
+    enabled = True
+
+    def __init__(self, name: str, tracer: "Tracer", attrs: dict | None = None):
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.start_s = tracer._clock()
+        self.end_s: Optional[float] = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall time in milliseconds (0.0 while the span is open)."""
+        if self.end_s is None:
+            return 0.0
+        return (self.end_s - self.start_s) * 1e3
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def finish(self) -> None:
+        """Close the span (idempotent)."""
+        if self.end_s is None:
+            self.end_s = self._tracer._clock()
+            self._tracer._pop(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.finish()
+        return False
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """Serialize the subtree (JSON-compatible)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_ms": self.duration_ms,
+            "attrs": self.attrs,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_ms:.3f}ms" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """The shared do-nothing span the null tracer hands out."""
+
+    __slots__ = ()
+    enabled = False
+    name = ""
+    attrs: dict = {}
+    children: tuple = ()
+    duration_ms = 0.0
+    finished = True
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op.
+
+    This is the default current tracer, so instrumentation points in
+    the planning hot path cost one :func:`get_tracer` call plus a no-op
+    span enter/exit -- a few hundred nanoseconds against planning times
+    in the milliseconds (the overhead benchmark pins this below 5%).
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        """The shared no-op span (attributes are discarded)."""
+        return _NULL_SPAN
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Discard the increment."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Discard the measurement."""
+
+    def histogram(self, name: str, value: float) -> None:
+        """Discard the observation."""
+
+
+#: The shared disabled tracer (also what ``set_tracer(None)`` restores).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A recording tracer: span tree + metrics registry.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic seconds counter (default ``time.perf_counter``).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.metrics = MetricsRegistry()
+
+    # -- spans -------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open (and start) a span nested under the innermost open one."""
+        span = Span(name, self, attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        # Closing out of order (a leaked child) unwinds to the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    @property
+    def active_span(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def walk(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def clear(self) -> None:
+        """Drop all recorded spans and metrics."""
+        self.roots.clear()
+        self._stack.clear()
+        self.metrics.clear()
+
+    # -- metrics -----------------------------------------------------
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Increment the named counter."""
+        self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge."""
+        self.metrics.gauge(name).set(value)
+
+    def histogram(self, name: str, value: float) -> None:
+        """Observe one value into the named histogram."""
+        self.metrics.histogram(name).observe(value)
+
+    # -- convenience -------------------------------------------------
+
+    def render_tree(self) -> str:
+        """Human-readable span tree (see :func:`render_span_tree`)."""
+        from repro.telemetry.export import render_span_tree
+
+        return render_span_tree(self)
+
+
+_CURRENT: NullTracer | Tracer = NULL_TRACER
+
+
+def get_tracer() -> NullTracer | Tracer:
+    """The current tracer (the disabled singleton by default)."""
+    return _CURRENT
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> NullTracer | Tracer:
+    """Install ``tracer`` as current; ``None`` restores the no-op.
+
+    Returns the tracer now in effect.
+    """
+    global _CURRENT
+    _CURRENT = tracer if tracer is not None else NULL_TRACER
+    return _CURRENT
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Record everything inside the ``with`` block.
+
+    Installs ``tracer`` (a fresh :class:`Tracer` when omitted) as the
+    current tracer and restores the previous one on exit::
+
+        with tracing() as t:
+            framework.plan(batch)
+        print(t.render_tree())
+    """
+    t = tracer if tracer is not None else Tracer()
+    previous = get_tracer()
+    set_tracer(t)
+    try:
+        yield t
+    finally:
+        set_tracer(previous)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.options import Heuristic, PlanOptions
 from repro.core.plancache import PlanCache, batch_signature
 from repro.core.problem import Gemm, GemmBatch
 from repro.kernels.reference import reference_batched_gemm
@@ -50,6 +51,40 @@ class TestPlanCache:
         b = cache.plan(uniform_batch, heuristic="binary")
         assert a is not b
         assert cache.stats.misses == 2
+
+    def test_different_theta_cached_separately(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        a = cache.plan(
+            uniform_batch, options=PlanOptions(Heuristic.THRESHOLD, theta=64)
+        )
+        b = cache.plan(
+            uniform_batch, options=PlanOptions(Heuristic.THRESHOLD, theta=1024)
+        )
+        assert a is not b
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        assert len(cache) == 2
+
+    def test_default_options_alias_explicit_defaults(self, framework, uniform_batch):
+        # None knobs resolve to the device defaults before keying, so a
+        # bare plan and an explicitly-defaulted one share the entry.
+        cache = PlanCache(framework)
+        first = cache.plan(uniform_batch)
+        explicit = PlanOptions(
+            Heuristic.BEST,
+            theta=framework.device.batching_theta,
+            tlp_threshold=framework.device.tlp_threshold,
+        )
+        second = cache.plan(uniform_batch, options=explicit)
+        assert first is second
+        assert cache.stats.hits == 1
+
+    def test_enum_and_string_share_the_entry(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        first = cache.plan(uniform_batch, Heuristic.BINARY)
+        with pytest.warns(DeprecationWarning):
+            second = cache.plan(uniform_batch, "binary")
+        assert first is second
+        assert cache.stats.hits == 1
 
     def test_lru_eviction(self, framework):
         cache = PlanCache(framework, capacity=2)

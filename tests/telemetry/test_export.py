@@ -1,0 +1,153 @@
+"""Tests for the trace exporters and the Chrome-trace round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Tracer,
+    render_span_tree,
+    spans_from_chrome_trace,
+    to_chrome_trace,
+    to_json,
+    write_chrome_trace,
+)
+from tests.telemetry.test_tracer import FakeClock
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    """A recorded two-root trace with nesting, attrs and metrics."""
+    t = Tracer(clock=FakeClock(step=0.001))
+    with t.span("plan", gemms=3, heuristic="best"):
+        with t.span("tiling.select", tlp=17920):
+            pass
+        with t.span("assemble"):
+            with t.span("batching", blocks=2):
+                pass
+            with t.span("schedule.build"):
+                pass
+    with t.span("simulate"):
+        pass
+    t.counter("tiles_enumerated", 14)
+    t.gauge("waves", 2.0)
+    return t
+
+
+class TestToJson:
+    def test_nested_spans_and_metrics(self, tracer):
+        data = to_json(tracer)
+        assert [s["name"] for s in data["spans"]] == ["plan", "simulate"]
+        plan = data["spans"][0]
+        assert [c["name"] for c in plan["children"]] == ["tiling.select", "assemble"]
+        assert plan["attrs"] == {"gemms": 3, "heuristic": "best"}
+        assert data["metrics"]["counters"]["tiles_enumerated"] == 14
+        # Must be JSON-serializable as-is.
+        json.dumps(data)
+
+    def test_accepts_single_span(self, tracer):
+        data = to_json(tracer.roots[0])
+        assert len(data["spans"]) == 1
+        assert "metrics" not in data
+
+
+class TestChromeTrace:
+    def test_event_shape(self, tracer):
+        data = to_chrome_trace(tracer, process_name="unit-test")
+        events = data["traceEvents"]
+        meta = events[0]
+        assert meta["ph"] == "M" and meta["args"]["name"] == "unit-test"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in spans] == [
+            "plan",
+            "tiling.select",
+            "assemble",
+            "batching",
+            "schedule.build",
+            "simulate",
+        ]
+        for e in spans:
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+            assert e["cat"] == "repro"
+        assert data["otherData"]["metrics"]["gauges"]["waves"] == 2.0
+        json.dumps(data)
+
+    def test_round_trip_reconstructs_tree(self, tracer):
+        data = to_chrome_trace(tracer)
+        roots = spans_from_chrome_trace(data)
+        assert [r.name for r in roots] == ["plan", "simulate"]
+        plan = roots[0]
+        assert [c.name for c in plan.children] == ["tiling.select", "assemble"]
+        assert [c.name for c in plan.children[1].children] == [
+            "batching",
+            "schedule.build",
+        ]
+        assert plan.attrs == {"gemms": 3, "heuristic": "best"}
+        # Durations survive within float/µs precision.
+        original = tracer.roots[0]
+        assert plan.duration_ms == pytest.approx(original.duration_ms, rel=1e-9)
+
+    def test_round_trip_survives_json_text(self, tracer):
+        text = json.dumps(to_chrome_trace(tracer))
+        roots = spans_from_chrome_trace(json.loads(text))
+        assert [s.name for r in roots for s in r.walk()] == [
+            s.name for s in tracer.walk()
+        ]
+
+    def test_zero_width_spans_keep_nesting(self):
+        # A frozen clock makes every span zero-width: containment alone
+        # could not distinguish parent from sibling -- depth must.
+        t = Tracer(clock=lambda: 1.0)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+            with t.span("c"):
+                pass
+        roots = spans_from_chrome_trace(to_chrome_trace(t))
+        assert [r.name for r in roots] == ["a"]
+        assert [c.name for c in roots[0].children] == ["b", "c"]
+
+    def test_write_to_file_and_path(self, tracer, tmp_path):
+        buf = io.StringIO()
+        write_chrome_trace(tracer, buf)
+        assert "traceEvents" in json.loads(buf.getvalue())
+
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, str(path), process_name="p")
+        data = json.loads(path.read_text())
+        assert data["traceEvents"][0]["args"]["name"] == "p"
+
+    def test_rejects_non_trace_input(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            spans_from_chrome_trace({"spans": []})
+
+    def test_rejects_orphan_depth(self):
+        data = {
+            "traceEvents": [
+                {"name": "orphan", "ph": "X", "ts": 0, "dur": 1, "depth": 2}
+            ]
+        }
+        with pytest.raises(ValueError, match="no parent"):
+            spans_from_chrome_trace(data)
+
+
+class TestRenderTree:
+    def test_tree_layout(self, tracer):
+        text = render_span_tree(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("plan ")
+        assert "gemms=3" in lines[0]
+        assert any(line.startswith("|- tiling.select") for line in lines)
+        # assemble is plan's last child, so its subtree indents with
+        # spaces and schedule.build closes it.
+        assert any(line.startswith("`- assemble") for line in lines)
+        assert any(line.startswith("   `- schedule.build") for line in lines)
+        assert lines[-1].startswith("simulate ")
+
+    def test_max_attrs_zero_hides_attrs(self, tracer):
+        text = render_span_tree(tracer, max_attrs=0)
+        assert "gemms" not in text
+
+    def test_empty_trace(self):
+        assert render_span_tree(Tracer()) == "(empty trace)"

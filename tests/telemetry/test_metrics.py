@@ -1,0 +1,74 @@
+"""Tests for counters, gauges, histograms and the registry."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        c.inc(0)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("waves")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+        assert g.updates == 2
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram("k_depth")
+        for v in (16, 64, 256):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(112.0)
+        assert h.min == 16 and h.max == 256
+        assert h.summary() == {
+            "count": 3,
+            "total": 336.0,
+            "mean": pytest.approx(112.0),
+            "min": 16.0,
+            "max": 256.0,
+        }
+
+    def test_empty_histogram_is_well_defined(self):
+        h = Histogram("empty")
+        assert h.count == 0
+        assert h.mean == 0.0 and h.min == 0.0 and h.max == 0.0
+
+
+class TestRegistry:
+    def test_fetch_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c") is r.histogram("c")
+
+    def test_namespaces_are_independent(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.gauge("x").set(2.0)
+        r.histogram("x").observe(3.0)
+        d = r.to_dict()
+        assert d["counters"]["x"] == 1
+        assert d["gauges"]["x"] == 2.0
+        assert d["histograms"]["x"]["count"] == 1
+
+    def test_clear(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.clear()
+        assert r.to_dict() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,185 @@
+"""Tests for the span tracer: nesting, timing, and the no-op path."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.telemetry.tracer import _NULL_SPAN
+
+
+class FakeClock:
+    """A deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestSpanNesting:
+    def test_children_attach_to_innermost_open_span(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("plan"):
+            with t.span("tiling"):
+                pass
+            with t.span("assemble"):
+                with t.span("batching"):
+                    pass
+        assert [r.name for r in t.roots] == ["plan"]
+        plan = t.roots[0]
+        assert [c.name for c in plan.children] == ["tiling", "assemble"]
+        assert [c.name for c in plan.children[1].children] == ["batching"]
+
+    def test_sequential_roots(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("first"):
+            pass
+        with t.span("second"):
+            pass
+        assert [r.name for r in t.roots] == ["first", "second"]
+        assert all(not r.children for r in t.roots)
+
+    def test_walk_is_depth_first(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("a"):
+            with t.span("b"):
+                with t.span("c"):
+                    pass
+            with t.span("d"):
+                pass
+        assert [s.name for s in t.walk()] == ["a", "b", "c", "d"]
+
+    def test_active_span_tracks_the_stack(self):
+        t = Tracer(clock=FakeClock())
+        assert t.active_span is None
+        with t.span("outer") as outer:
+            assert t.active_span is outer
+            with t.span("inner") as inner:
+                assert t.active_span is inner
+            assert t.active_span is outer
+        assert t.active_span is None
+
+    def test_leaked_child_unwinds_with_parent(self):
+        t = Tracer(clock=FakeClock())
+        parent = t.span("parent")
+        t.span("leaked")  # never finished explicitly
+        parent.finish()
+        assert t.active_span is None
+        with t.span("next"):
+            pass
+        # The leaked span stays a child of parent; "next" is a new root.
+        assert [r.name for r in t.roots] == ["parent", "next"]
+
+
+class TestSpanTiming:
+    def test_duration_from_injected_clock(self):
+        t = Tracer(clock=FakeClock(step=0.5))
+        with t.span("work") as span:
+            pass
+        # One clock read at start, one at finish: 0.5 s = 500 ms.
+        assert span.duration_ms == pytest.approx(500.0)
+        assert span.finished
+
+    def test_open_span_reports_zero_duration(self):
+        t = Tracer(clock=FakeClock())
+        span = t.span("open")
+        assert span.duration_ms == 0.0
+        assert not span.finished
+        span.finish()
+
+    def test_finish_is_idempotent(self):
+        t = Tracer(clock=FakeClock(step=1.0))
+        span = t.span("once")
+        span.finish()
+        end = span.end_s
+        span.finish()
+        assert span.end_s == end
+
+    def test_attributes_and_error_capture(self):
+        t = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with t.span("boom", where="test") as span:
+                span.set_attr("extra", 7)
+                raise RuntimeError("nope")
+        assert span.attrs["where"] == "test"
+        assert span.attrs["extra"] == 7
+        assert span.attrs["error"] == "RuntimeError"
+        assert span.finished
+
+    def test_clear_resets_everything(self):
+        t = Tracer(clock=FakeClock())
+        with t.span("s"):
+            t.counter("n")
+        t.clear()
+        assert t.roots == []
+        assert t.metrics.to_dict()["counters"] == {}
+
+
+class TestMetricsOnTracer:
+    def test_counter_gauge_histogram_shortcuts(self):
+        t = Tracer(clock=FakeClock())
+        t.counter("tiles_enumerated", 5)
+        t.counter("tiles_enumerated")
+        t.gauge("waves", 3.0)
+        t.gauge("waves", 2.0)
+        t.histogram("block_k", 64)
+        t.histogram("block_k", 128)
+        d = t.metrics.to_dict()
+        assert d["counters"]["tiles_enumerated"] == 6
+        assert d["gauges"]["waves"] == 2.0
+        assert d["histograms"]["block_k"]["count"] == 2
+        assert d["histograms"]["block_k"]["mean"] == pytest.approx(96.0)
+
+
+class TestNoOpPath:
+    def test_default_tracer_is_the_null_singleton(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_shared_and_inert(self):
+        a = NULL_TRACER.span("anything", key="value")
+        b = NULL_TRACER.span("other")
+        assert a is b is _NULL_SPAN
+        assert not a.enabled
+        with a as span:
+            span.set_attr("dropped", 1)
+        assert span.attrs == {}
+        # Metrics are discarded without error.
+        NULL_TRACER.counter("n", 3)
+        NULL_TRACER.gauge("g", 1.0)
+        NULL_TRACER.histogram("h", 2.0)
+
+    def test_set_tracer_installs_and_none_restores_null(self):
+        t = Tracer()
+        assert set_tracer(t) is t
+        assert get_tracer() is t
+        assert set_tracer(None) is NULL_TRACER
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_context_restores_previous(self):
+        outer = Tracer()
+        set_tracer(outer)
+        try:
+            with tracing() as inner:
+                assert get_tracer() is inner
+                assert inner is not outer
+            assert get_tracer() is outer
+        finally:
+            set_tracer(None)
+
+    def test_tracing_accepts_existing_tracer(self):
+        mine = Tracer(clock=FakeClock())
+        with tracing(mine) as t:
+            assert t is mine
+            with t.span("s"):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [r.name for r in mine.roots] == ["s"]
