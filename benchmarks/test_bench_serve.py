@@ -1,0 +1,89 @@
+"""Serving benchmarks: throughput and tail latency under Poisson load.
+
+Replays a fixed synthetic Poisson trace through the virtual-time serve
+driver (:func:`repro.serve.driver.replay_trace`) at two arrival rates —
+one comfortably below saturation and one near it — and records
+throughput, p99 latency, batch occupancy, and the plan-cache hit rate.
+The replay is deterministic, so the recorded numbers are stable for a
+given seed/config and comparable across machines and commits.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.options import Heuristic
+from repro.gpu.specs import VOLTA_V100
+from repro.serve import AdmissionConfig, BatcherConfig, ServeConfig
+from repro.serve.driver import replay_trace
+from repro.serve.loadgen import poisson_trace
+
+RATES = (500.0, 2000.0)
+TRACE_SEED = 7
+TRACE_DURATION_S = 0.2
+DEADLINE_US = 50_000.0
+
+
+def _serve_once(rate_rps: float):
+    trace = poisson_trace(
+        rate_rps,
+        duration_s=TRACE_DURATION_S,
+        seed=TRACE_SEED,
+        deadline_us=DEADLINE_US,
+    )
+    framework = CoordinatedFramework(device=VOLTA_V100)
+    config = ServeConfig(
+        workers=2,
+        batcher=BatcherConfig(max_batch_size=16, max_wait_us=2000.0),
+        admission=AdmissionConfig(queue_capacity=64),
+        heuristic=Heuristic.THRESHOLD,
+    )
+    report = replay_trace(trace, framework, config)
+    return rate_rps, report
+
+
+def _record(benchmark, rate_rps: float, report) -> None:
+    benchmark.extra_info["offered_rps"] = rate_rps
+    benchmark.extra_info["throughput_rps"] = round(report.throughput_rps, 1)
+    benchmark.extra_info["p50_latency_us"] = round(report.latency.p50_us, 1)
+    benchmark.extra_info["p99_latency_us"] = round(report.latency.p99_us, 1)
+    benchmark.extra_info["mean_occupancy"] = round(report.mean_occupancy, 2)
+    benchmark.extra_info["cache_hit_rate"] = round(report.cache.hit_rate, 3)
+    benchmark.extra_info["shed"] = report.n_shed_deadline
+    benchmark.extra_info["timed_out"] = report.n_timed_out
+
+
+def test_serve_low_rate(benchmark):
+    rate, report = benchmark.pedantic(
+        functools.partial(_serve_once, RATES[0]), rounds=1, iterations=1
+    )
+    _record(benchmark, rate, report)
+    settled = (
+        report.n_completed
+        + report.n_rejected_queue
+        + report.n_shed_deadline
+        + report.n_rejected_other
+        + report.n_timed_out
+    )
+    assert settled == report.n_requests
+    assert report.n_completed > 0
+    assert report.latency.p99_us >= report.latency.p50_us
+
+
+def test_serve_high_rate(benchmark):
+    rate, report = benchmark.pedantic(
+        functools.partial(_serve_once, RATES[1]), rounds=1, iterations=1
+    )
+    _record(benchmark, rate, report)
+    settled = (
+        report.n_completed
+        + report.n_rejected_queue
+        + report.n_shed_deadline
+        + report.n_rejected_other
+        + report.n_timed_out
+    )
+    assert settled == report.n_requests
+    assert report.n_completed > 0
+    # Higher offered load packs batches at least as full on average.
+    assert report.mean_occupancy >= 1.0

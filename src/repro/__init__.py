@@ -18,7 +18,11 @@ package provides:
   :mod:`repro.experiments`);
 * an observability layer (:mod:`repro.telemetry`): span tracing and
   metrics over the whole plan/simulate/execute pipeline, free when
-  disabled, exportable to Chrome trace-event JSON.
+  disabled, exportable to Chrome trace-event JSON;
+* an online serving layer (:mod:`repro.serve`): a dynamic batcher,
+  admission control, and a worker pool over a shared plan cache, with
+  a deterministic virtual-time replay driver and the ``repro-serve``
+  CLI.
 
 Quickstart::
 

@@ -13,6 +13,10 @@ baseline on the chosen device model, and prints the plan summary.
 build, simulations, baselines) and writes a Chrome trace-event file
 loadable in ``chrome://tracing`` / Perfetto; ``--trace-tree`` prints
 the span tree to stdout.
+
+For *online* traffic (individual GEMMs arriving continuously, batched
+dynamically, served by a worker pool) use ``repro-serve`` /
+``python -m repro.serve`` instead -- see :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -70,6 +74,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Plan and time a batched GEMM against every baseline.",
+        epilog="For online arrival-driven serving, see repro-serve "
+        "(python -m repro.serve).",
     )
     parser.add_argument(
         "shapes",

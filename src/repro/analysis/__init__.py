@@ -12,6 +12,11 @@ from repro.analysis.report import (
     format_histogram_row,
     format_grid,
 )
+from repro.analysis.latency import (
+    LatencyStats,
+    percentile_us,
+    render_serve_report,
+)
 from repro.analysis.timeline import build_timeline, render_timeline
 from repro.analysis.spantree import render_plan_trace
 from repro.analysis.export import rows_to_csv, fig_cells_to_csv
@@ -26,6 +31,9 @@ __all__ = [
     "format_table",
     "format_histogram_row",
     "format_grid",
+    "LatencyStats",
+    "percentile_us",
+    "render_serve_report",
     "build_timeline",
     "render_timeline",
     "render_plan_trace",

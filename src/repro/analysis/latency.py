@@ -1,0 +1,121 @@
+"""Latency distributions and serving-report rendering.
+
+Serving performance is a *distribution* question: the mean hides the
+tail that deadlines care about, so the serving layer reports p50/p95/
+p99 alongside throughput and batch occupancy.  :class:`LatencyStats`
+summarizes a sample of latencies; :func:`render_serve_report` formats
+a :class:`repro.serve.driver.ServeReport` (accessed by attribute, so
+this module stays import-independent of :mod:`repro.serve`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.analysis.report import format_table
+
+
+def percentile_us(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation; 0 for no data)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one latency sample (microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    @classmethod
+    def from_us(cls, values: Iterable[float]) -> "LatencyStats":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            return cls(count=0, mean_us=0.0, p50_us=0.0, p95_us=0.0, p99_us=0.0, max_us=0.0)
+        return cls(
+            count=int(arr.size),
+            mean_us=float(arr.mean()),
+            p50_us=float(np.percentile(arr, 50)),
+            p95_us=float(np.percentile(arr, 95)),
+            p99_us=float(np.percentile(arr, 99)),
+            max_us=float(arr.max()),
+        )
+
+    def to_dict(self) -> dict:
+        """Return the stats as a JSON-compatible dict."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "max_us": self.max_us,
+        }
+
+
+def render_serve_report(report) -> str:
+    """Human-readable summary of one serving run.
+
+    ``report`` is any object with the :class:`ServeReport` attributes
+    (requests/outcome counters, ``latency`` / ``queue_latency``
+    :class:`LatencyStats`, occupancy and cache fields).
+    """
+    out = []
+    out.append(
+        f"served {report.n_requests} requests in "
+        f"{report.makespan_us / 1e3:.2f} ms of {report.time_base} time "
+        f"({report.throughput_rps:.0f} completed/s)"
+    )
+    out.append(
+        format_table(
+            ["outcome", "count", "share"],
+            [
+                ["completed", report.n_completed, _share(report.n_completed, report.n_requests)],
+                ["rejected (queue full)", report.n_rejected_queue, _share(report.n_rejected_queue, report.n_requests)],
+                ["shed (deadline)", report.n_shed_deadline, _share(report.n_shed_deadline, report.n_requests)],
+                ["rejected (other)", report.n_rejected_other, _share(report.n_rejected_other, report.n_requests)],
+                ["timed out", report.n_timed_out, _share(report.n_timed_out, report.n_requests)],
+            ],
+        )
+    )
+    lat, qlat = report.latency, report.queue_latency
+    out.append(
+        format_table(
+            ["latency (us)", "mean", "p50", "p95", "p99", "max"],
+            [
+                ["end-to-end", lat.mean_us, lat.p50_us, lat.p95_us, lat.p99_us, lat.max_us],
+                ["queueing", qlat.mean_us, qlat.p50_us, qlat.p95_us, qlat.p99_us, qlat.max_us],
+            ],
+        )
+    )
+    out.append(
+        f"batches: {report.n_batches} formed, occupancy "
+        f"mean {report.mean_occupancy:.2f} / max {report.max_occupancy} "
+        f"(cap {report.max_batch_size})"
+    )
+    if report.n_deadline_misses:
+        out.append(
+            f"deadline misses (completed late): {report.n_deadline_misses}"
+        )
+    cache = report.cache
+    out.append(
+        f"plan cache: {cache.hits} hits / {cache.misses} misses "
+        f"({cache.hit_rate:.1%} hit rate), {cache.evictions} evictions"
+    )
+    return "\n".join(out)
+
+
+def _share(part: int, whole: int) -> str:
+    return f"{part / whole:.1%}" if whole else "-"

@@ -49,7 +49,7 @@ from repro.core.batching import (
 from repro.core.schedule import BatchSchedule, build_schedule
 from repro.core.selector import HeuristicSelector, train_default_selector
 from repro.core.framework import CoordinatedFramework, PlanReport
-from repro.core.plancache import PlanCache, batch_signature
+from repro.core.plancache import CacheStats, PlanCache, batch_signature
 from repro.core.autotune import oracle_search, tiling_regret, OracleResult
 
 __all__ = [
@@ -83,6 +83,7 @@ __all__ = [
     "CoordinatedFramework",
     "PlanReport",
     "PlanCache",
+    "CacheStats",
     "batch_signature",
     "oracle_search",
     "tiling_regret",

@@ -13,16 +13,27 @@ Keying on the options matters: the same batch planned under two
 heuristics (or two thetas) yields different schedules and must not
 alias one entry.
 
-Cache traffic is observable through ``stats`` and, when a recording
-tracer is installed, through the ``plan_cache_hit`` /
-``plan_cache_miss`` counters and per-lookup ``plancache.plan`` spans.
+The cache is **thread-safe**: the online serving layer
+(:mod:`repro.serve`) shares one cache across its worker pool, so
+lookup, insertion and eviction are serialized behind a lock.  Planning
+itself runs *outside* the lock -- two workers missing on the same key
+may both plan (the plans are identical; the second insert defers to
+the first), but workers planning different batches never serialize on
+each other.  :meth:`warm` bulk pre-plans known shape mixes so a
+serving process starts with a hot cache.
+
+Cache traffic is observable through ``stats`` /
+:meth:`stats_snapshot` and, when a recording tracer is installed,
+through the ``plan_cache_hit`` / ``plan_cache_miss`` counters and
+per-lookup ``plancache.plan`` spans.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.framework import CoordinatedFramework, HeuristicLike, PlanReport
 from repro.core.options import PlanOptions
@@ -54,6 +65,15 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-compatible summary (what serving reports print)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class PlanCache:
     """An LRU cache of :class:`PlanReport` keyed by (options, signature).
@@ -73,9 +93,11 @@ class PlanCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple, PlanReport] = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def plan(
         self,
@@ -94,30 +116,93 @@ class PlanCache:
         *first* produced the plan; use the schedule, not the report's
         batch, with new operand data.
         """
+        report, _ = self.plan_with_info(batch, heuristic, options=options)
+        return report
+
+    def plan_with_info(
+        self,
+        batch: GemmBatch,
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
+    ) -> tuple[PlanReport, bool]:
+        """Like :meth:`plan`, also reporting whether the lookup hit.
+
+        Returns ``(report, hit)``.  The flag is what this call
+        observed, race-free -- under concurrency the ``stats`` deltas
+        seen by one caller can mix in other callers' traffic, so the
+        serving layer's planner stage uses this instead of diffing
+        counters.
+        """
         opts = self.framework.resolve_options(heuristic, options)
         key = (opts.cache_key(), batch_signature(batch))
         tracer = get_tracer()
         with tracer.span(
             "plancache.plan", heuristic=opts.heuristic.value, size=len(self._entries)
         ) as span:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                else:
+                    self.stats.misses += 1
+            if cached is not None:
                 tracer.counter("plan_cache_hit")
                 if span.enabled:
                     span.set_attr("hit", True)
-                return self._entries[key]
-            self.stats.misses += 1
+                return cached, True
             tracer.counter("plan_cache_miss")
             if span.enabled:
                 span.set_attr("hit", False)
+            # Plan outside the lock: concurrent misses on *different*
+            # keys must not serialize on each other.
             report = self.framework.plan(batch, options=opts)
-            self._entries[key] = report
-            if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-                tracer.counter("plan_cache_eviction")
-            return report
+            with self._lock:
+                existing = self._entries.get(key)
+                if existing is not None:
+                    # Another worker planned the same key first; keep
+                    # its entry so repeated lookups stay identical.
+                    self._entries.move_to_end(key)
+                    return existing, False
+                self._entries[key] = report
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                    tracer.counter("plan_cache_eviction")
+            return report, False
+
+    def warm(
+        self,
+        batches: Iterable[GemmBatch],
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
+    ) -> int:
+        """Bulk pre-plan ``batches`` (serving warm-start).
+
+        Plans every batch through the normal lookup path (so repeats
+        within ``batches`` cost one plan) and returns how many batches
+        were *newly* planned.  A serving process calls this with its
+        known shape mixes before opening the request queue.
+        """
+        planned = 0
+        with get_tracer().span("plancache.warm") as span:
+            for batch in batches:
+                _, hit = self.plan_with_info(batch, heuristic, options=options)
+                planned += 0 if hit else 1
+            if span.enabled:
+                span.set_attr("planned", planned)
+        return planned
+
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the counters (safe to read under churn)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+                evictions=self.stats.evictions,
+            )
 
     def execute(
         self,
@@ -135,4 +220,5 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,93 @@
+"""Online dynamic-batching GEMM serving.
+
+The paper's motivating workload is DNN inference: the same small
+GEMMs arrive continuously and only pay off once fused into batches the
+coordinated planner can schedule (Sections 2, 5).  This package closes
+that loop -- it is the *online* layer in front of the offline planner:
+
+* :mod:`repro.serve.request` -- request/result types
+  (``Completed`` / ``Rejected`` / ``TimedOut``);
+* :mod:`repro.serve.batcher` -- the dynamic batcher (size and
+  wait-window triggers, priority fill, deadline shedding);
+* :mod:`repro.serve.admission` -- bounded-queue backpressure and
+  deadline-based load shedding;
+* :mod:`repro.serve.planner` -- the planner stage over a shared
+  thread-safe :class:`~repro.core.plancache.PlanCache`;
+* :mod:`repro.serve.server` -- the live threaded server
+  (:class:`GemmServer`);
+* :mod:`repro.serve.driver` -- deterministic virtual-time replay
+  (:func:`replay_trace`);
+* :mod:`repro.serve.loadgen` -- open-loop Poisson traces and a
+  closed-loop client swarm;
+* :mod:`repro.serve.cli` -- the ``repro-serve`` command.
+
+Quickstart (deterministic replay)::
+
+    from repro.serve import ServeConfig, poisson_trace, replay_trace
+    from repro.analysis.latency import render_serve_report
+
+    trace = poisson_trace(rate_rps=2000, duration_s=0.25, seed=0)
+    report = replay_trace(trace, config=ServeConfig(workers=2))
+    print(render_serve_report(report))
+
+Quickstart (live server)::
+
+    from repro import Gemm
+    from repro.serve import GemmServer
+
+    with GemmServer() as server:
+        ticket = server.submit(Gemm(64, 784, 192), deadline_us=50_000)
+        print(ticket.result(timeout=5.0))
+"""
+
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.batcher import BatcherConfig, DynamicBatcher, FormedBatch
+from repro.serve.config import ServeConfig
+from repro.serve.driver import replay_trace
+from repro.serve.loadgen import (
+    DEFAULT_SHAPE_POOL,
+    TraceRequest,
+    load_trace,
+    poisson_trace,
+    run_closed_loop,
+    save_trace,
+)
+from repro.serve.planner import PlannedBatch, PlannerStage
+from repro.serve.report import ServeReport, compile_report
+from repro.serve.request import (
+    Completed,
+    Rejected,
+    RequestStatus,
+    ServeRequest,
+    ServeResult,
+    TimedOut,
+)
+from repro.serve.server import GemmServer, ServeTicket
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BatcherConfig",
+    "DynamicBatcher",
+    "FormedBatch",
+    "ServeConfig",
+    "replay_trace",
+    "DEFAULT_SHAPE_POOL",
+    "TraceRequest",
+    "load_trace",
+    "poisson_trace",
+    "run_closed_loop",
+    "save_trace",
+    "PlannedBatch",
+    "PlannerStage",
+    "ServeReport",
+    "compile_report",
+    "Completed",
+    "Rejected",
+    "RequestStatus",
+    "ServeRequest",
+    "ServeResult",
+    "TimedOut",
+    "GemmServer",
+    "ServeTicket",
+]

@@ -1,0 +1,184 @@
+"""Dynamic batching: coalescing single GEMMs into planner batches.
+
+The paper's planner amortizes over *batches* -- a lone 64x784x192 GEMM
+cannot fill a V100, but thirty of them fused into one kernel can
+(Section 2).  Online traffic arrives one GEMM at a time, so the
+:class:`DynamicBatcher` holds pending requests and forms a
+:class:`~repro.core.problem.GemmBatch` when either trigger trips:
+
+* **size** -- ``max_batch_size`` requests are pending, or
+* **window** -- the oldest pending request has waited ``max_wait_us``.
+
+Batches are filled highest-priority first (ties broken by arrival,
+then id, so formation is deterministic).  Requests whose absolute
+deadline has already passed are *shed* at formation time -- dropped
+before any planning effort is spent on them; the pipeline resolves
+them as ``Rejected(reason="deadline")``.
+
+No shape bucketing: the coordinated framework plans variable-size
+batches natively (that is its whole point), so mixing shapes in one
+batch is fine and keeps the window short.  The batcher is pure
+bookkeeping -- it never reads a clock; callers pass ``now_us``, which
+makes it reusable verbatim by both the wall-clock server and the
+deterministic virtual-time replay driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.problem import GemmBatch
+from repro.serve.request import ServeRequest
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Batch-formation policy knobs."""
+
+    max_batch_size: int = 16
+    max_wait_us: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+
+
+@dataclass
+class FormedBatch:
+    """One batch the batcher decided to emit.
+
+    ``requests`` is what goes to the planner (may be empty when every
+    pending request was shed -- the caller then only resolves ``shed``
+    and plans nothing); ``shed`` are the deadline-expired requests
+    dropped at formation.
+    """
+
+    batch_id: int
+    formed_us: float
+    trigger: str  # "size" | "window" | "flush"
+    requests: list[ServeRequest] = field(default_factory=list)
+    shed: list[ServeRequest] = field(default_factory=list)
+
+    @property
+    def occupancy(self) -> int:
+        """How full the batch is (requests actually carried)."""
+        return len(self.requests)
+
+    def to_gemm_batch(self) -> GemmBatch:
+        """The planner-facing problem description."""
+        return GemmBatch(r.gemm for r in self.requests)
+
+
+class DynamicBatcher:
+    """Accumulates requests and emits batches on size/window triggers.
+
+    Not thread-safe -- the server serializes access under its own lock;
+    the replay driver is single-threaded.
+    """
+
+    def __init__(self, config: BatcherConfig | None = None):
+        self.config = config if config is not None else BatcherConfig()
+        self._pending: list[ServeRequest] = []
+        self._next_batch_id = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def offer(self, request: ServeRequest) -> None:
+        """Queue one admitted request for batching."""
+        self._pending.append(request)
+
+    def oldest_arrival_us(self) -> Optional[float]:
+        """Arrival time of the longest-waiting pending request."""
+        if not self._pending:
+            return None
+        return min(r.arrival_us for r in self._pending)
+
+    def window_deadline_us(self) -> Optional[float]:
+        """When the wait-window trigger will trip (None when idle)."""
+        oldest = self.oldest_arrival_us()
+        if oldest is None:
+            return None
+        return oldest + self.config.max_wait_us
+
+    def _shed_expired(self, now_us: float) -> list[ServeRequest]:
+        expired = [
+            r
+            for r in self._pending
+            if r.deadline_us is not None and r.deadline_us <= now_us
+        ]
+        if expired:
+            dead = set(id(r) for r in expired)
+            self._pending = [r for r in self._pending if id(r) not in dead]
+        return expired
+
+    def _take(self, count: int) -> list[ServeRequest]:
+        chosen = sorted(
+            self._pending, key=lambda r: (-r.priority, r.arrival_us, r.request_id)
+        )[:count]
+        taken = set(id(r) for r in chosen)
+        self._pending = [r for r in self._pending if id(r) not in taken]
+        return chosen
+
+    def _emit(self, now_us: float, trigger: str, requests, shed) -> FormedBatch:
+        batch = FormedBatch(
+            batch_id=self._next_batch_id,
+            formed_us=now_us,
+            trigger=trigger,
+            requests=requests,
+            shed=shed,
+        )
+        self._next_batch_id += 1
+        return batch
+
+    def poll(self, now_us: float) -> Optional[FormedBatch]:
+        """Form a batch if a trigger has tripped at ``now_us``.
+
+        Returns ``None`` when neither trigger is due and nothing
+        expired.  A returned batch with ``requests == []`` means the
+        window tripped but every waiter had already blown its deadline
+        (pure shed event).
+        """
+        if not self._pending:
+            return None
+        shed = self._shed_expired(now_us)
+        cfg = self.config
+        if len(self._pending) >= cfg.max_batch_size:
+            return self._emit(now_us, "size", self._take(cfg.max_batch_size), shed)
+        oldest = self.oldest_arrival_us()
+        if oldest is not None and now_us - oldest >= cfg.max_wait_us:
+            return self._emit(
+                now_us, "window", self._take(cfg.max_batch_size), shed
+            )
+        if shed:
+            return self._emit(now_us, "window", [], shed)
+        return None
+
+    def drain_pending(self) -> list[ServeRequest]:
+        """Remove and return everything pending (non-drain shutdown)."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def flush(self, now_us: float) -> list[FormedBatch]:
+        """Drain everything pending (shutdown), in max-size chunks."""
+        batches: list[FormedBatch] = []
+        shed = self._shed_expired(now_us)
+        while self._pending:
+            batches.append(
+                self._emit(
+                    now_us, "flush", self._take(self.config.max_batch_size), shed
+                )
+            )
+            shed = []
+        if shed:  # everything pending had expired
+            batches.append(self._emit(now_us, "flush", [], shed))
+        return batches

@@ -1,0 +1,268 @@
+"""``repro-serve``: serve a GEMM traffic trace and report latency.
+
+Usage::
+
+    repro-serve                            # synthetic Poisson trace, defaults
+    repro-serve --rate 4000 --duration 0.5 --deadline-us 20000 --seed 7
+    repro-serve --shapes 64x784x192 --rate 3000 --warm
+    repro-serve --save-trace /tmp/trace.json
+    repro-serve --trace /tmp/trace.json --workers 4
+    repro-serve --live --time-scale 0.1    # wall-clock run through GemmServer
+
+By default the trace is replayed **deterministically in virtual time**
+(:func:`repro.serve.driver.replay_trace`): arrival times come from the
+trace, service times from the device model, so the same seed and
+configuration always print the same report.  ``--live`` instead paces
+the trace in wall time through the threaded
+:class:`~repro.serve.server.GemmServer` (real queues, real workers,
+nondeterministic latencies).
+
+The report covers p50/p95/p99 end-to-end and queueing latency,
+throughput, batch occupancy, shed/timeout counts, and the plan-cache
+hit rate; ``--warm`` pre-plans the trace's batch mixes
+(:meth:`PlanCache.warm`) so serving starts hot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.options import Heuristic
+from repro.core.plancache import CacheStats, PlanCache
+from repro.gpu.specs import get_device
+from repro.telemetry import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve a batched-GEMM traffic trace and report latency/throughput.",
+    )
+    traffic = parser.add_argument_group("traffic")
+    traffic.add_argument(
+        "--trace", default="", metavar="FILE", help="replay a saved trace file"
+    )
+    traffic.add_argument(
+        "--rate", type=float, default=2000.0, help="Poisson arrival rate (req/s)"
+    )
+    traffic.add_argument(
+        "--duration", type=float, default=0.25, help="trace duration (seconds)"
+    )
+    traffic.add_argument(
+        "--requests", type=int, default=0, help="cap the trace at N requests (0 = no cap)"
+    )
+    traffic.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    traffic.add_argument(
+        "--shapes",
+        default="",
+        help="comma-separated MxNxK pool (default: DNN-inference mix)",
+    )
+    traffic.add_argument(
+        "--deadline-us",
+        type=float,
+        default=0.0,
+        help="per-request deadline relative to arrival (0 = none)",
+    )
+    traffic.add_argument(
+        "--timeout-us",
+        type=float,
+        default=0.0,
+        help="per-request timeout relative to arrival (0 = none)",
+    )
+    traffic.add_argument(
+        "--save-trace", default="", metavar="FILE", help="write the trace as JSON"
+    )
+    pipeline = parser.add_argument_group("pipeline")
+    pipeline.add_argument("--device", default="v100", help="device name or alias")
+    pipeline.add_argument("--workers", type=int, default=2, help="worker pool size")
+    pipeline.add_argument(
+        "--max-batch", type=int, default=16, help="dynamic batcher size trigger"
+    )
+    pipeline.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=2000.0,
+        help="dynamic batcher wait-window trigger",
+    )
+    pipeline.add_argument(
+        "--queue-capacity", type=int, default=64, help="admission queue bound"
+    )
+    pipeline.add_argument(
+        "--heuristic",
+        default="threshold",
+        help="batching heuristic (threshold/binary/greedy-packing/balanced/best/best-extended)",
+    )
+    pipeline.add_argument(
+        "--cache-capacity", type=int, default=256, help="plan cache capacity"
+    )
+    pipeline.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-plan the trace's batch mixes before serving (warm-start)",
+    )
+    output = parser.add_argument_group("output")
+    output.add_argument(
+        "--live",
+        action="store_true",
+        help="run in wall time through the threaded GemmServer (nondeterministic)",
+    )
+    output.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="--live arrival pacing multiplier (0 = as fast as possible)",
+    )
+    output.add_argument(
+        "--json", action="store_true", help="print the report as JSON instead of tables"
+    )
+    output.add_argument(
+        "--chrome-trace",
+        default="",
+        metavar="FILE",
+        help="write the telemetry spans as a Chrome trace-event file",
+    )
+    return parser
+
+
+def _build_trace(args: argparse.Namespace):
+    from repro.__main__ import parse_shape
+    from repro.serve.loadgen import (
+        DEFAULT_SHAPE_POOL,
+        load_trace,
+        poisson_trace,
+        save_trace,
+    )
+
+    if args.trace:
+        try:
+            trace = load_trace(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"error: cannot load trace {args.trace!r}: {exc}") from None
+    else:
+        try:
+            shapes = (
+                tuple(parse_shape(tok) for tok in args.shapes.split(",") if tok)
+                if args.shapes
+                else DEFAULT_SHAPE_POOL
+            )
+        except argparse.ArgumentTypeError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        trace = poisson_trace(
+            rate_rps=args.rate,
+            duration_s=args.duration,
+            n_requests=args.requests or None,
+            shapes=shapes,
+            seed=args.seed,
+            deadline_us=args.deadline_us or None,
+            timeout_us=args.timeout_us or None,
+        )
+    if not trace:
+        raise SystemExit("error: the trace is empty (rate/duration too small?)")
+    if args.save_trace:
+        save_trace(args.save_trace, trace)
+        print(f"wrote {len(trace)} requests to {args.save_trace}", file=sys.stderr)
+    return trace
+
+
+def _build_config(args: argparse.Namespace, heuristic: Heuristic):
+    from repro.serve import AdmissionConfig, BatcherConfig, ServeConfig
+
+    return ServeConfig(
+        workers=args.workers,
+        batcher=BatcherConfig(
+            max_batch_size=args.max_batch, max_wait_us=args.max_wait_us
+        ),
+        admission=AdmissionConfig(queue_capacity=args.queue_capacity),
+        heuristic=heuristic,
+    )
+
+
+def _run_live(trace, framework, config, cache, time_scale: float):
+    from repro.serve.server import GemmServer
+
+    server = GemmServer(framework, config, cache=cache).start()
+    prev_us = 0.0
+    tickets = []
+    for tr in trace:
+        gap_s = (tr.arrival_us - prev_us) / 1e6 * time_scale
+        if gap_s > 0:
+            time.sleep(gap_s)
+        prev_us = tr.arrival_us
+        tickets.append(
+            server.submit(
+                tr.gemm,
+                deadline_us=(
+                    None if tr.deadline_us is None else tr.deadline_us - tr.arrival_us
+                ),
+                timeout_us=tr.timeout_us,
+                priority=tr.priority,
+            )
+        )
+    server.close(drain=True)
+    for t in tickets:
+        t.result(timeout=30.0)
+    return server.summary()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: build the trace, serve it, print the latency report."""
+    args = build_parser().parse_args(argv)
+    try:
+        heuristic = Heuristic.coerce(args.heuristic, warn=False)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    from repro.analysis.latency import render_serve_report
+    from repro.serve.driver import replay_trace
+
+    try:
+        device = get_device(args.device)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    framework = CoordinatedFramework(device=device)
+    config = _build_config(args, heuristic)
+    trace = _build_trace(args)
+
+    tracer = Tracer() if args.chrome_trace else NULL_TRACER
+    previous = set_tracer(tracer)
+    try:
+        cache = PlanCache(framework, capacity=args.cache_capacity)
+        if args.warm:
+            scout = replay_trace(trace, framework, config)
+            planned = cache.warm(scout.formed_batches, config.heuristic)
+            cache.stats = CacheStats()  # report serving-time traffic only
+            print(f"warm-start: pre-planned {planned} batch mixes", file=sys.stderr)
+        if args.live:
+            report = _run_live(trace, framework, config, cache, args.time_scale)
+        else:
+            report = replay_trace(trace, framework, config, cache=cache)
+    finally:
+        set_tracer(previous)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(render_serve_report(report))
+        stats = report.cache
+        print(
+            "shutdown summary: "
+            f"{report.n_completed}/{report.n_requests} completed, "
+            f"cache {stats.hits}h/{stats.misses}m/{stats.evictions}e "
+            f"(hit rate {stats.hit_rate:.1%})"
+        )
+    if args.chrome_trace:
+        try:
+            write_chrome_trace(tracer, args.chrome_trace, process_name="repro-serve")
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace file: {exc}") from None
+        print(f"wrote telemetry to {args.chrome_trace} (chrome://tracing format)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Serving-pipeline configuration shared by the server and the driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.framework import HeuristicLike
+from repro.serve.admission import AdmissionConfig
+from repro.serve.batcher import BatcherConfig
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the serving pipeline needs to know.
+
+    ``heuristic`` is passed through to planning (``None`` keeps the
+    framework default, the exhaustive ``best`` trial; latency-sensitive
+    deployments usually pin ``threshold`` or ``binary`` and let the
+    plan cache amortize).  ``miss_overhead_us`` / ``hit_overhead_us``
+    model the online planning cost charged per batch in virtual-time
+    replay (a miss runs the full tiling+batching trial; a hit is one
+    cache lookup).
+    """
+
+    workers: int = 2
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    heuristic: HeuristicLike = None
+    miss_overhead_us: float = 200.0
+    hit_overhead_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.miss_overhead_us < 0 or self.hit_overhead_us < 0:
+            raise ValueError("planning overheads must be >= 0")

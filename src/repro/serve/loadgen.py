@@ -1,0 +1,198 @@
+"""Load generation: synthetic traffic for the serving layer.
+
+Two generator styles, matching the standard serving-benchmark split:
+
+* **open-loop** (:func:`poisson_trace`) -- arrivals follow a Poisson
+  process at a fixed offered rate, independent of how fast the server
+  drains them.  This is the honest way to measure latency under load
+  (closed-loop clients self-throttle and hide queueing collapse).
+  The result is a plain list of :class:`TraceRequest`, replayable
+  deterministically by :func:`repro.serve.driver.replay_trace` or in
+  wall time against a live :class:`~repro.serve.server.GemmServer`.
+* **closed-loop** (:func:`run_closed_loop`) -- N client threads, each
+  submitting its next request only after the previous one resolves
+  (plus optional think time), against a live server.  Measures
+  capacity rather than tail latency.
+
+Traces serialize to JSON (:func:`save_trace` / :func:`load_trace`) so
+a measured trace can be replayed bit-for-bit later.  All randomness
+flows from a single seed; the same seed always yields the same trace.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import Gemm
+
+#: Default shape mix: GoogLeNet/SqueezeNet-flavoured inference GEMMs --
+#: small-to-medium problems that only pay off when fused (Section 2).
+DEFAULT_SHAPE_POOL: tuple[tuple[int, int, int], ...] = (
+    (64, 784, 192),
+    (96, 784, 192),
+    (16, 784, 192),
+    (128, 196, 480),
+    (32, 196, 480),
+    (64, 64, 64),
+)
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One arrival in a traffic trace (times absolute, microseconds)."""
+
+    arrival_us: float
+    gemm: Gemm
+    deadline_us: Optional[float] = None
+    timeout_us: Optional[float] = None
+    priority: int = 0
+
+    def to_dict(self) -> dict:
+        """Return the request as a JSON-compatible dict."""
+        d: dict = {
+            "arrival_us": self.arrival_us,
+            "m": self.gemm.m,
+            "n": self.gemm.n,
+            "k": self.gemm.k,
+        }
+        if self.deadline_us is not None:
+            d["deadline_us"] = self.deadline_us
+        if self.timeout_us is not None:
+            d["timeout_us"] = self.timeout_us
+        if self.priority:
+            d["priority"] = self.priority
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceRequest":
+        return cls(
+            arrival_us=float(d["arrival_us"]),
+            gemm=Gemm(int(d["m"]), int(d["n"]), int(d["k"])),
+            deadline_us=float(d["deadline_us"]) if "deadline_us" in d else None,
+            timeout_us=float(d["timeout_us"]) if "timeout_us" in d else None,
+            priority=int(d.get("priority", 0)),
+        )
+
+
+def poisson_trace(
+    rate_rps: float,
+    duration_s: float | None = 0.25,
+    *,
+    n_requests: int | None = None,
+    shapes: Sequence[tuple[int, int, int]] = DEFAULT_SHAPE_POOL,
+    seed: int = 0,
+    deadline_us: float | None = None,
+    timeout_us: float | None = None,
+    priorities: Sequence[int] = (0,),
+) -> list[TraceRequest]:
+    """An open-loop Poisson arrival trace.
+
+    Exponential inter-arrivals at ``rate_rps`` until ``duration_s`` of
+    virtual time has passed (and/or ``n_requests`` arrivals, whichever
+    comes first; pass ``duration_s=None`` to cap by count alone).
+    Shapes and priorities are drawn uniformly from their pools;
+    ``deadline_us`` / ``timeout_us`` are per-request constraints
+    relative to each arrival.  Deterministic in ``seed``.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if duration_s is None and n_requests is None:
+        raise ValueError("pass duration_s and/or n_requests to bound the trace")
+    if not shapes:
+        raise ValueError("shapes pool is empty")
+    rng = np.random.default_rng(seed)
+    mean_gap_us = 1e6 / rate_rps
+    horizon_us = None if duration_s is None else duration_s * 1e6
+    trace: list[TraceRequest] = []
+    now_us = 0.0
+    while True:
+        now_us += float(rng.exponential(mean_gap_us))
+        if horizon_us is not None and now_us > horizon_us:
+            break
+        if n_requests is not None and len(trace) >= n_requests:
+            break
+        m, n, k = shapes[int(rng.integers(len(shapes)))]
+        priority = int(priorities[int(rng.integers(len(priorities)))])
+        trace.append(
+            TraceRequest(
+                arrival_us=now_us,
+                gemm=Gemm(m, n, k),
+                deadline_us=None if deadline_us is None else now_us + deadline_us,
+                timeout_us=timeout_us,
+                priority=priority,
+            )
+        )
+    return trace
+
+
+def save_trace(path: str | Path, trace: Sequence[TraceRequest]) -> None:
+    """Write a trace as JSON (replayable with :func:`load_trace`)."""
+    payload = {"version": 1, "requests": [r.to_dict() for r in trace]}
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def load_trace(path: str | Path) -> list[TraceRequest]:
+    """Read a trace written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "requests" not in payload:
+        raise ValueError(f"{path}: not a serve trace file")
+    return [TraceRequest.from_dict(d) for d in payload["requests"]]
+
+
+def run_closed_loop(
+    server,
+    *,
+    clients: int = 4,
+    requests_per_client: int = 8,
+    shapes: Sequence[tuple[int, int, int]] = DEFAULT_SHAPE_POOL,
+    seed: int = 0,
+    think_time_s: float = 0.0,
+    deadline_us: float | None = None,
+    timeout_us: float | None = None,
+    result_timeout_s: float = 30.0,
+) -> list:
+    """Drive a live :class:`~repro.serve.server.GemmServer` closed-loop.
+
+    Each client thread submits, blocks on the result, optionally
+    thinks, and repeats.  Returns every :class:`ServeResult` (ordered
+    by client, then sequence).  Shape choices are deterministic per
+    ``seed``; timing of course is not.
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be >= 1")
+    results: list[list] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+
+    def client(index: int) -> None:
+        rng = np.random.default_rng(seed + index)
+        try:
+            for _ in range(requests_per_client):
+                m, n, k = shapes[int(rng.integers(len(shapes)))]
+                ticket = server.submit(
+                    Gemm(m, n, k), deadline_us=deadline_us, timeout_us=timeout_us
+                )
+                results[index].append(ticket.result(timeout=result_timeout_s))
+                if think_time_s > 0:
+                    import time
+
+                    time.sleep(think_time_s)
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"loadgen-client-{i}")
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return [r for per_client in results for r in per_client]

@@ -1,0 +1,101 @@
+"""The planner stage: formed batches -> cached plans -> service times.
+
+Routes every :class:`~repro.serve.batcher.FormedBatch` through a
+shared thread-safe :class:`~repro.core.plancache.PlanCache`, then
+prices the batch on the device model.  The stage charges a configured
+*planning overhead* on top of the simulated kernel time: a cache miss
+pays the full online planning cost (tiling + both batching heuristics
++ model evaluation -- what the paper's offline mode spends once), a
+hit pays only the lookup.  That asymmetry is exactly why the serving
+layer warms the cache for known shape mixes.
+
+Simulation results are memoized per plan so that replaying a hot mix
+does not re-run the wave model on every batch; the memo holds a strong
+reference to each report, so ``id()`` keys cannot be recycled while
+the entry lives.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.framework import CoordinatedFramework, HeuristicLike, PlanReport
+from repro.core.plancache import PlanCache
+from repro.gpu.simulator import SimulationResult
+from repro.serve.batcher import FormedBatch
+from repro.telemetry import get_tracer
+
+
+@dataclass(frozen=True)
+class PlannedBatch:
+    """A formed batch with its plan and priced service time."""
+
+    formed: FormedBatch
+    report: PlanReport
+    sim: SimulationResult
+    cache_hit: bool
+    plan_us: float  # planning overhead charged (miss vs hit)
+
+    @property
+    def service_us(self) -> float:
+        """Planning overhead plus simulated device time."""
+        return self.plan_us + self.sim.time_us
+
+
+class PlannerStage:
+    """Plans formed batches through a shared cache (thread-safe)."""
+
+    def __init__(
+        self,
+        framework: CoordinatedFramework,
+        cache: PlanCache | None = None,
+        *,
+        heuristic: HeuristicLike = None,
+        miss_overhead_us: float = 200.0,
+        hit_overhead_us: float = 5.0,
+    ):
+        if miss_overhead_us < 0 or hit_overhead_us < 0:
+            raise ValueError("planning overheads must be >= 0")
+        self.framework = framework
+        self.cache = cache if cache is not None else PlanCache(framework, capacity=256)
+        self.heuristic = heuristic
+        self.miss_overhead_us = miss_overhead_us
+        self.hit_overhead_us = hit_overhead_us
+        self._lock = threading.Lock()
+        # id(report) -> (report, sim); the report reference keeps the id stable.
+        self._sim_memo: dict[int, tuple[PlanReport, SimulationResult]] = {}
+
+    def plan(self, formed: FormedBatch) -> PlannedBatch:
+        """Plan (or look up) one formed batch and price its service."""
+        if not formed.requests:
+            raise ValueError("cannot plan an empty batch (pure shed event)")
+        batch = formed.to_gemm_batch()
+        with get_tracer().span(
+            "serve.plan", batch_id=formed.batch_id, gemms=len(batch)
+        ) as span:
+            report, hit = self.cache.plan_with_info(batch, self.heuristic)
+            sim = self._simulate(report)
+            if span.enabled:
+                span.set_attr("cache_hit", hit)
+                span.set_attr("sim_us", sim.time_us)
+        return PlannedBatch(
+            formed=formed,
+            report=report,
+            sim=sim,
+            cache_hit=hit,
+            plan_us=self.hit_overhead_us if hit else self.miss_overhead_us,
+        )
+
+    def _simulate(self, report: PlanReport) -> SimulationResult:
+        key = id(report)
+        with self._lock:
+            memo = self._sim_memo.get(key)
+            if memo is not None and memo[0] is report:
+                return memo[1]
+        sim = self.framework.simulate_plan(report)
+        with self._lock:
+            if len(self._sim_memo) > 4 * self.cache.capacity:
+                self._sim_memo.clear()
+            self._sim_memo[key] = (report, sim)
+        return sim

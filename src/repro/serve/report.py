@@ -1,0 +1,119 @@
+"""The serving run report: outcome counts, tail latency, cache traffic.
+
+Both serving modes -- the deterministic virtual-time replay
+(:func:`repro.serve.driver.replay_trace`) and the live wall-clock
+server (:meth:`repro.serve.server.GemmServer.summary`) -- compile
+their measurements into the same :class:`ServeReport`, rendered by
+:func:`repro.analysis.latency.render_serve_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.latency import LatencyStats
+from repro.core.plancache import CacheStats
+from repro.core.problem import GemmBatch
+from repro.serve.request import (
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    Completed,
+    Rejected,
+    ServeResult,
+    TimedOut,
+)
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one serving run measured."""
+
+    time_base: str  # "virtual" (replay) or "wall" (live server)
+    n_requests: int
+    n_completed: int
+    n_rejected_queue: int
+    n_shed_deadline: int
+    n_rejected_other: int  # shutdown / internal errors
+    n_timed_out: int
+    n_deadline_misses: int  # completed, but after their deadline
+    n_batches: int
+    mean_occupancy: float
+    max_occupancy: int
+    max_batch_size: int
+    makespan_us: float
+    throughput_rps: float
+    latency: LatencyStats
+    queue_latency: LatencyStats
+    cache: CacheStats
+    results: tuple[ServeResult, ...]
+    #: The planner-facing batches actually formed, in formation order;
+    #: feed these to :meth:`PlanCache.warm` to pre-plan a known mix.
+    formed_batches: tuple[GemmBatch, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (excludes the formed batches)."""
+        return {
+            "time_base": self.time_base,
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "n_rejected_queue": self.n_rejected_queue,
+            "n_shed_deadline": self.n_shed_deadline,
+            "n_rejected_other": self.n_rejected_other,
+            "n_timed_out": self.n_timed_out,
+            "n_deadline_misses": self.n_deadline_misses,
+            "n_batches": self.n_batches,
+            "mean_occupancy": self.mean_occupancy,
+            "max_occupancy": self.max_occupancy,
+            "max_batch_size": self.max_batch_size,
+            "makespan_us": self.makespan_us,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.to_dict(),
+            "queue_latency": self.queue_latency.to_dict(),
+            "cache": self.cache.as_dict(),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def compile_report(
+    *,
+    results: Mapping[int, ServeResult] | Sequence[ServeResult],
+    occupancies: Sequence[int],
+    makespan_us: float,
+    cache: CacheStats,
+    max_batch_size: int,
+    time_base: str,
+    formed_batches: Sequence[GemmBatch] = (),
+) -> ServeReport:
+    """Aggregate raw per-request results into a :class:`ServeReport`."""
+    if isinstance(results, Mapping):
+        ordered = tuple(results[k] for k in sorted(results))
+    else:
+        ordered = tuple(sorted(results, key=lambda r: r.request_id))
+    completed = [r for r in ordered if isinstance(r, Completed)]
+    rejected = [r for r in ordered if isinstance(r, Rejected)]
+    timed_out = [r for r in ordered if isinstance(r, TimedOut)]
+    n_queue = sum(1 for r in rejected if r.reason == REASON_QUEUE_FULL)
+    n_shed = sum(1 for r in rejected if r.reason == REASON_DEADLINE)
+    makespan_s = makespan_us / 1e6
+    return ServeReport(
+        time_base=time_base,
+        n_requests=len(ordered),
+        n_completed=len(completed),
+        n_rejected_queue=n_queue,
+        n_shed_deadline=n_shed,
+        n_rejected_other=len(rejected) - n_queue - n_shed,
+        n_timed_out=len(timed_out),
+        n_deadline_misses=sum(1 for r in completed if not r.deadline_met),
+        n_batches=len(occupancies),
+        mean_occupancy=(sum(occupancies) / len(occupancies)) if occupancies else 0.0,
+        max_occupancy=max(occupancies) if occupancies else 0,
+        max_batch_size=max_batch_size,
+        makespan_us=makespan_us,
+        throughput_rps=(len(completed) / makespan_s) if makespan_s > 0 else 0.0,
+        latency=LatencyStats.from_us([r.latency_us for r in completed]),
+        queue_latency=LatencyStats.from_us([r.queue_us for r in completed]),
+        cache=cache,
+        results=ordered,
+        formed_batches=tuple(formed_batches),
+    )

@@ -1,0 +1,159 @@
+"""Request and result types of the serving layer.
+
+A :class:`ServeRequest` is one GEMM submitted to the server: the
+problem description, when it arrived, and its service constraints
+(deadline, timeout, priority).  Operand data is optional -- with
+operands the workers execute the planned schedule numerically (the
+persistent-kernel path); without, they time it on the device model
+(the simulator path).
+
+Every request resolves to exactly one structured result:
+
+* :class:`Completed` -- served; carries the latency breakdown, the
+  batch it rode in, and (when operands were supplied) the C output.
+* :class:`Rejected` -- never planned: the admission controller turned
+  it away (``queue_full``, ``deadline``) or the server was shutting
+  down (``shutdown``).  Deadline-based load shedding produces
+  ``reason="deadline"``.
+* :class:`TimedOut` -- planned and served, but its per-request timeout
+  elapsed before completion; the work is wasted and the caller should
+  treat it as failed.
+
+All times are microseconds.  Deadlines are *absolute* (on the
+server's clock); timeouts are *relative* to arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, ClassVar, Optional
+
+from repro.core.problem import Gemm
+
+#: Rejection reasons (the ``Rejected.reason`` vocabulary).
+REASON_QUEUE_FULL = "queue_full"
+REASON_DEADLINE = "deadline"
+REASON_SHUTDOWN = "shutdown"
+
+
+class RequestStatus(str, Enum):
+    """Terminal state of a served request."""
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+    TIMED_OUT = "timed_out"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One GEMM in flight through the serving pipeline."""
+
+    request_id: int
+    gemm: Gemm
+    arrival_us: float
+    deadline_us: Optional[float] = None
+    timeout_us: Optional[float] = None
+    priority: int = 0
+    operands: Any = None  # optional (A, B, C) arrays for numerical execution
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0:
+            raise ValueError(f"arrival_us must be >= 0, got {self.arrival_us}")
+        if self.timeout_us is not None and self.timeout_us <= 0:
+            raise ValueError(f"timeout_us must be positive, got {self.timeout_us}")
+
+    @property
+    def timeout_deadline_us(self) -> Optional[float]:
+        """Absolute time at which the per-request timeout elapses."""
+        if self.timeout_us is None:
+            return None
+        return self.arrival_us + self.timeout_us
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Common shape of every terminal result (see the subclasses)."""
+
+    status: ClassVar[RequestStatus]
+
+    request_id: int
+    finish_us: float
+    latency_us: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.COMPLETED
+
+    def to_dict(self) -> dict:
+        """Return the result as a JSON-compatible dict."""
+        d = {
+            "request_id": self.request_id,
+            "status": self.status.value,
+            "finish_us": self.finish_us,
+            "latency_us": self.latency_us,
+        }
+        return d
+
+
+@dataclass(frozen=True)
+class Completed(ServeResult):
+    """Served within its constraints (or with none set).
+
+    ``queue_us`` is time from arrival to batch dispatch; ``service_us``
+    is the batch's planning + execution time; ``deadline_met`` is False
+    when the request finished but after its (absolute) deadline --
+    shedding tries to prevent this, but an estimate can be wrong.
+    ``value`` is the numerical C output when operands were submitted.
+    """
+
+    status: ClassVar[RequestStatus] = RequestStatus.COMPLETED
+
+    batch_id: int = -1
+    batch_size: int = 0
+    queue_us: float = 0.0
+    service_us: float = 0.0
+    deadline_met: bool = True
+    value: Any = None
+
+    def to_dict(self) -> dict:
+        """Return the result as a dict; adds batch/latency detail (never the value payload)."""
+        d = super().to_dict()
+        d.update(
+            batch_id=self.batch_id,
+            batch_size=self.batch_size,
+            queue_us=self.queue_us,
+            service_us=self.service_us,
+            deadline_met=self.deadline_met,
+        )
+        return d
+
+
+@dataclass(frozen=True)
+class Rejected(ServeResult):
+    """Turned away before planning (admission control or shutdown)."""
+
+    status: ClassVar[RequestStatus] = RequestStatus.REJECTED
+
+    reason: str = REASON_QUEUE_FULL
+
+    def to_dict(self) -> dict:
+        """Return the result as a dict; adds the rejection reason."""
+        d = super().to_dict()
+        d["reason"] = self.reason
+        return d
+
+
+@dataclass(frozen=True)
+class TimedOut(ServeResult):
+    """Served, but only after the per-request timeout had elapsed."""
+
+    status: ClassVar[RequestStatus] = RequestStatus.TIMED_OUT
+
+    batch_id: int = -1
+
+    def to_dict(self) -> dict:
+        """Return the result as a dict; adds the losing batch id."""
+        d = super().to_dict()
+        d["batch_id"] = self.batch_id
+        return d

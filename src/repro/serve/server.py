@@ -1,0 +1,430 @@
+"""The live serving loop: a threaded queue/batcher/planner/worker pipeline.
+
+:class:`GemmServer` is the wall-clock twin of the virtual-time replay
+driver, built from the same parts (``DynamicBatcher``,
+``AdmissionController``, ``PlannerStage`` over a shared thread-safe
+``PlanCache``) wired to real threads:
+
+* ``submit()`` runs admission control inline and returns a
+  :class:`ServeTicket` immediately (pre-resolved when rejected);
+* one **batcher thread** waits on a condition variable and forms
+  batches on the size/window triggers;
+* ``config.workers`` **worker threads** pop formed batches, plan them
+  through the cache, and resolve tickets -- numerically (the
+  persistent-kernel executor) when every request in the batch carries
+  operands, otherwise on the device model (the simulator);
+* ``close(drain=True)`` stops admissions, flushes whatever is pending
+  through the pipeline, and joins every thread.
+
+Latency and occupancy are recorded internally (wall-clock) and
+compiled by :meth:`summary` into the same :class:`ServeReport` the
+replay driver produces.  Telemetry note: the process-global tracer is
+not thread-safe, so the server does **not** emit spans/metrics from
+its worker threads; :meth:`summary` emits the aggregate counters and
+histograms in the calling thread instead.  For deterministic,
+fully-traced runs use :func:`repro.serve.driver.replay_trace`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.framework import CoordinatedFramework
+from repro.core.plancache import PlanCache
+from repro.core.problem import Gemm
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import DynamicBatcher, FormedBatch
+from repro.serve.config import ServeConfig
+from repro.serve.planner import PlannerStage
+from repro.serve.report import ServeReport, compile_report
+from repro.serve.request import (
+    REASON_DEADLINE,
+    REASON_SHUTDOWN,
+    Completed,
+    Rejected,
+    ServeRequest,
+    ServeResult,
+    TimedOut,
+)
+from repro.telemetry import get_tracer
+
+
+class ServeTicket:
+    """Caller-facing handle for one submitted request."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._result: Optional[ServeResult] = None
+
+    def done(self) -> bool:
+        """True once the request has settled (result available)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block until the request resolves (raises TimeoutError else)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} unresolved after {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: ServeResult) -> None:
+        self._result = result
+        self._event.set()
+
+
+class GemmServer:
+    """An online dynamic-batching GEMM server over the device model.
+
+    Parameters
+    ----------
+    framework:
+        The planner/executor; defaults to a V100
+        :class:`CoordinatedFramework`.
+    config:
+        Pipeline knobs (:class:`ServeConfig`).
+    cache:
+        Optional pre-warmed :class:`PlanCache` shared by the workers;
+        a private one (capacity 256) is created otherwise.
+    clock:
+        Monotonic seconds source, injectable for tests; all request
+        timestamps are microseconds since server construction.
+    """
+
+    def __init__(
+        self,
+        framework: Optional[CoordinatedFramework] = None,
+        config: Optional[ServeConfig] = None,
+        *,
+        cache: Optional[PlanCache] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.framework = framework if framework is not None else CoordinatedFramework()
+        self.config = config if config is not None else ServeConfig()
+        self._clock = clock
+        self._t0 = clock()
+        self._batcher = DynamicBatcher(self.config.batcher)
+        self._admission = AdmissionController(self.config.admission)
+        self._planner = PlannerStage(
+            self.framework,
+            cache,
+            heuristic=self.config.heuristic,
+            miss_overhead_us=self.config.miss_overhead_us,
+            hit_overhead_us=self.config.hit_overhead_us,
+        )
+        self._cond = threading.Condition()
+        self._batch_q: "queue.Queue[Optional[FormedBatch]]" = queue.Queue()
+        self._tickets: dict[int, ServeTicket] = {}
+        self._next_id = itertools.count()
+        self._accepting = True
+        self._closing = False
+        self._drain = True
+        self._started = False
+        self._closed = False
+        self._threads: list[threading.Thread] = []
+        # wall-clock measurements, guarded by _stats_lock
+        self._stats_lock = threading.Lock()
+        self._results: list[ServeResult] = []
+        self._occupancies: list[int] = []
+        self._formed_batches: list = []
+        self._first_arrival_us: Optional[float] = None
+        self._last_finish_us = 0.0
+
+    @property
+    def cache(self) -> PlanCache:
+        """The shared plan cache (e.g. for :meth:`PlanCache.warm`)."""
+        return self._planner.cache
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> "GemmServer":
+        """Spawn the batcher thread and the worker pool (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        batcher = threading.Thread(
+            target=self._batch_loop, name="serve-batcher", daemon=True
+        )
+        self._threads.append(batcher)
+        for i in range(self.config.workers):
+            self._threads.append(
+                threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+                )
+            )
+        for t in self._threads:
+            t.start()
+        return self
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop admissions, settle every pending request, join threads.
+
+        ``drain=True`` (the default) pushes everything still queued
+        through the pipeline; ``drain=False`` rejects pending requests
+        with ``reason="shutdown"``.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._accepting = False
+            self._closing = True
+            self._drain = drain
+            self._closed = True
+            self._cond.notify_all()
+        if self._started:
+            for t in self._threads:
+                t.join(timeout=timeout_s)
+        else:
+            # Never started: settle pending synchronously in this thread.
+            self._settle_pending(drain)
+            while True:
+                try:
+                    fb = self._batch_q.get_nowait()
+                except queue.Empty:
+                    break
+                if fb is not None:
+                    self._serve_batch(fb)
+
+    def __enter__(self) -> "GemmServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- submission --------------------------------------------------
+
+    def submit(
+        self,
+        gemm: Gemm,
+        *,
+        operands: Any = None,
+        deadline_us: Optional[float] = None,
+        timeout_us: Optional[float] = None,
+        priority: int = 0,
+    ) -> ServeTicket:
+        """Submit one GEMM; never blocks.
+
+        ``deadline_us`` is relative to now (converted to the server's
+        absolute clock); ``operands`` is an optional ``(A, B)`` pair or
+        ``(A, B, C)`` triple -- when every request in a formed batch
+        carries operands, the batch executes numerically and each
+        :class:`Completed` result carries its C output in ``value``.
+        """
+        if operands is not None and len(operands) == 2:
+            a, b = operands
+            operands = (a, b, np.zeros((gemm.m, gemm.n), dtype=a.dtype))
+        with self._cond:
+            rid = next(self._next_id)
+            now_us = self._now_us()
+            request = ServeRequest(
+                request_id=rid,
+                gemm=gemm,
+                arrival_us=now_us,
+                deadline_us=None if deadline_us is None else now_us + deadline_us,
+                timeout_us=timeout_us,
+                priority=priority,
+                operands=operands,
+            )
+            ticket = ServeTicket(rid)
+            self._tickets[rid] = ticket
+            with self._stats_lock:
+                if self._first_arrival_us is None:
+                    self._first_arrival_us = now_us
+            if not self._accepting:
+                self._resolve(
+                    Rejected(
+                        request_id=rid,
+                        finish_us=now_us,
+                        latency_us=0.0,
+                        reason=REASON_SHUTDOWN,
+                    )
+                )
+                return ticket
+            rejection = self._admission.admit(
+                request, self._batcher.pending_count, now_us
+            )
+            if rejection is not None:
+                self._resolve(rejection)
+                return ticket
+            self._batcher.offer(request)
+            self._cond.notify_all()
+            return ticket
+
+    # -- pipeline threads --------------------------------------------
+
+    def _batch_loop(self) -> None:
+        while True:
+            formed: Optional[FormedBatch] = None
+            with self._cond:
+                while not self._closing:
+                    now_us = self._now_us()
+                    formed = self._batcher.poll(now_us)
+                    if formed is not None:
+                        break
+                    window = self._batcher.window_deadline_us()
+                    wait_s = (
+                        None
+                        if window is None
+                        else max((window - now_us) / 1e6, 1e-4)
+                    )
+                    self._cond.wait(timeout=wait_s)
+                if self._closing and formed is None:
+                    self._settle_pending(self._drain)
+                    for _ in range(self.config.workers):
+                        self._batch_q.put(None)
+                    return
+            if formed is not None:
+                self._handle_formed(formed)
+
+    def _settle_pending(self, drain: bool) -> None:
+        now_us = self._now_us()
+        if drain:
+            for fb in self._batcher.flush(now_us):
+                self._handle_formed(fb)
+        else:
+            for r in self._batcher.drain_pending():
+                self._resolve(
+                    Rejected(
+                        request_id=r.request_id,
+                        finish_us=now_us,
+                        latency_us=now_us - r.arrival_us,
+                        reason=REASON_SHUTDOWN,
+                    )
+                )
+
+    def _handle_formed(self, formed: FormedBatch) -> None:
+        now_us = self._now_us()
+        for r in formed.shed:
+            self._resolve(
+                Rejected(
+                    request_id=r.request_id,
+                    finish_us=now_us,
+                    latency_us=now_us - r.arrival_us,
+                    reason=REASON_DEADLINE,
+                )
+            )
+        if formed.requests:
+            with self._stats_lock:
+                self._occupancies.append(formed.occupancy)
+                self._formed_batches.append(formed.to_gemm_batch())
+            self._batch_q.put(formed)
+
+    def _worker_loop(self) -> None:
+        while True:
+            formed = self._batch_q.get()
+            if formed is None:
+                return
+            self._serve_batch(formed)
+
+    def _serve_batch(self, formed: FormedBatch) -> None:
+        dispatch_us = self._now_us()
+        try:
+            planned = self._planner.plan(formed)
+            values: Optional[list] = None
+            if all(r.operands is not None for r in formed.requests):
+                from repro.kernels.persistent import execute_schedule
+
+                values = execute_schedule(
+                    planned.report.schedule,
+                    formed.to_gemm_batch(),
+                    [r.operands for r in formed.requests],
+                )
+        except Exception as exc:  # settle tickets rather than kill the worker
+            finish_us = self._now_us()
+            for r in formed.requests:
+                self._resolve(
+                    Rejected(
+                        request_id=r.request_id,
+                        finish_us=finish_us,
+                        latency_us=finish_us - r.arrival_us,
+                        reason=f"error:{type(exc).__name__}",
+                    )
+                )
+            return
+        finish_us = self._now_us()
+        for i, r in enumerate(formed.requests):
+            latency_us = finish_us - r.arrival_us
+            if r.timeout_us is not None and latency_us > r.timeout_us:
+                self._resolve(
+                    TimedOut(
+                        request_id=r.request_id,
+                        finish_us=finish_us,
+                        latency_us=latency_us,
+                        batch_id=formed.batch_id,
+                    )
+                )
+            else:
+                self._resolve(
+                    Completed(
+                        request_id=r.request_id,
+                        finish_us=finish_us,
+                        latency_us=latency_us,
+                        batch_id=formed.batch_id,
+                        batch_size=formed.occupancy,
+                        queue_us=dispatch_us - r.arrival_us,
+                        service_us=finish_us - dispatch_us,
+                        deadline_met=r.deadline_us is None
+                        or finish_us <= r.deadline_us,
+                        value=None if values is None else values[i],
+                    )
+                )
+            self._admission.observe_service(latency_us)
+
+    # -- results -----------------------------------------------------
+
+    def _resolve(self, result: ServeResult) -> None:
+        with self._stats_lock:
+            self._results.append(result)
+            self._last_finish_us = max(self._last_finish_us, result.finish_us)
+            ticket = self._tickets.pop(result.request_id, None)
+        if ticket is not None:
+            ticket._resolve(result)
+
+    def summary(self) -> ServeReport:
+        """Compile everything served so far into a :class:`ServeReport`.
+
+        Also emits the aggregate serve metrics into the current tracer
+        (from this thread -- see the module docstring).
+        """
+        with self._stats_lock:
+            results = list(self._results)
+            occupancies = list(self._occupancies)
+            formed = list(self._formed_batches)
+            first = self._first_arrival_us
+            last = self._last_finish_us
+        makespan_us = max(0.0, last - first) if first is not None else 0.0
+        report = compile_report(
+            results=results,
+            occupancies=occupancies,
+            makespan_us=makespan_us,
+            cache=self.cache.stats_snapshot(),
+            max_batch_size=self.config.batcher.max_batch_size,
+            time_base="wall",
+            formed_batches=formed,
+        )
+        tracer = get_tracer()
+        if tracer.enabled:
+            for occ in occupancies:
+                tracer.histogram("serve.batch_occupancy", occ)
+            for r in results:
+                if r.ok:
+                    tracer.histogram("serve.latency_us", r.latency_us)
+            tracer.counter("serve.batches_formed", len(occupancies))
+            n_rejected = report.n_rejected_queue + report.n_rejected_other
+            tracer.counter("serve.requests_accepted", report.n_requests - n_rejected)
+            tracer.counter("serve.requests_completed", report.n_completed)
+            tracer.counter("serve.requests_rejected", n_rejected)
+            tracer.counter("serve.requests_shed", report.n_shed_deadline)
+            tracer.counter("serve.requests_timeout", report.n_timed_out)
+        return report

@@ -122,3 +122,84 @@ class TestPlanCache:
     def test_invalid_capacity(self, framework):
         with pytest.raises(ValueError):
             PlanCache(framework, capacity=0)
+
+
+class TestPlanWithInfo:
+    def test_hit_flag_tracks_cache_state(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        first, hit_a = cache.plan_with_info(uniform_batch)
+        second, hit_b = cache.plan_with_info(uniform_batch)
+        assert first is second
+        assert (hit_a, hit_b) == (False, True)
+
+
+class TestWarm:
+    def test_warm_counts_new_plans(self, framework):
+        cache = PlanCache(framework)
+        batches = [
+            GemmBatch.uniform(64, 64, 32, 4),
+            GemmBatch.uniform(32, 32, 32, 2),
+            GemmBatch.uniform(64, 64, 32, 4),  # duplicate signature
+        ]
+        assert cache.warm(batches, Heuristic.THRESHOLD) == 2
+        assert cache.warm(batches, Heuristic.THRESHOLD) == 0
+
+    def test_warmed_entries_serve_hits(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        cache.warm([uniform_batch], Heuristic.THRESHOLD)
+        before = cache.stats_snapshot()
+        cache.plan(uniform_batch, heuristic=Heuristic.THRESHOLD)
+        after = cache.stats_snapshot()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+
+class TestStatsSnapshot:
+    def test_snapshot_is_a_copy(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        cache.plan(uniform_batch)
+        snap = cache.stats_snapshot()
+        cache.plan(uniform_batch)
+        assert snap.hits == 0  # frozen at snapshot time
+        assert cache.stats_snapshot().hits == 1
+
+    def test_as_dict(self, framework, uniform_batch):
+        cache = PlanCache(framework)
+        cache.plan(uniform_batch)
+        cache.plan(uniform_batch)
+        d = cache.stats_snapshot().as_dict()
+        assert d["hits"] == 1 and d["misses"] == 1
+        assert d["hit_rate"] == 0.5
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_access(self, framework):
+        import threading
+
+        cache = PlanCache(framework, capacity=8)
+        shapes = [(32, 32, 32), (64, 64, 32), (48, 48, 16), (16, 16, 16)]
+        n_threads, per_thread = 6, 20
+        errors = []
+
+        def hammer(tid: int) -> None:
+            try:
+                for i in range(per_thread):
+                    shape = shapes[(tid + i) % len(shapes)]
+                    batch = GemmBatch.uniform(*shape, 2)
+                    report = cache.plan(batch, heuristic=Heuristic.THRESHOLD)
+                    assert report is not None
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        stats = cache.stats_snapshot()
+        assert stats.hits + stats.misses == n_threads * per_thread
+        assert len(cache) <= 8

@@ -1,0 +1,41 @@
+"""Shared helpers for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import Heuristic
+from repro.core.problem import Gemm
+from repro.serve.request import ServeRequest
+
+
+@pytest.fixture
+def make_request():
+    """Factory for serve requests with compact defaults."""
+
+    def factory(
+        request_id: int,
+        arrival_us: float = 0.0,
+        deadline_us=None,
+        timeout_us=None,
+        priority: int = 0,
+        shape=(32, 32, 32),
+        operands=None,
+    ) -> ServeRequest:
+        return ServeRequest(
+            request_id=request_id,
+            gemm=Gemm(*shape),
+            arrival_us=arrival_us,
+            deadline_us=deadline_us,
+            timeout_us=timeout_us,
+            priority=priority,
+            operands=operands,
+        )
+
+    return factory
+
+
+@pytest.fixture
+def threshold() -> Heuristic:
+    """The cheap single-candidate heuristic (keeps tests fast)."""
+    return Heuristic.THRESHOLD

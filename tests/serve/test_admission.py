@@ -1,0 +1,77 @@
+"""Tests for admission control (backpressure + deadline shedding)."""
+
+import pytest
+
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.request import REASON_DEADLINE, REASON_QUEUE_FULL
+
+
+class TestConfig:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(queue_capacity=0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(ewma_alpha=1.5)
+
+
+class TestBackpressure:
+    def test_admits_under_capacity(self, make_request):
+        ctl = AdmissionController(AdmissionConfig(queue_capacity=2))
+        assert ctl.admit(make_request(0), pending_count=1, now_us=0.0) is None
+
+    def test_rejects_at_capacity(self, make_request):
+        ctl = AdmissionController(AdmissionConfig(queue_capacity=2))
+        rejection = ctl.admit(make_request(0, arrival_us=5.0), pending_count=2, now_us=10.0)
+        assert rejection is not None
+        assert rejection.reason == REASON_QUEUE_FULL
+        assert rejection.latency_us == 5.0
+
+
+class TestDeadlineShedding:
+    def test_future_deadline_admitted_before_any_observation(self, make_request):
+        ctl = AdmissionController()
+        req = make_request(0, arrival_us=0.0, deadline_us=1.0)
+        assert ctl.admit(req, pending_count=0, now_us=0.0) is None
+
+    def test_expired_deadline_rejected(self, make_request):
+        ctl = AdmissionController()
+        req = make_request(0, arrival_us=0.0, deadline_us=10.0)
+        rejection = ctl.admit(req, pending_count=0, now_us=10.0)
+        assert rejection is not None and rejection.reason == REASON_DEADLINE
+
+    def test_estimate_sharpens_shedding(self, make_request):
+        ctl = AdmissionController()
+        ctl.observe_service(1000.0)
+        req = make_request(0, arrival_us=0.0, deadline_us=500.0)
+        rejection = ctl.admit(req, pending_count=0, now_us=0.0)
+        assert rejection is not None and rejection.reason == REASON_DEADLINE
+        ok = make_request(1, arrival_us=0.0, deadline_us=2000.0)
+        assert ctl.admit(ok, pending_count=0, now_us=0.0) is None
+
+    def test_slack_adds_margin(self, make_request):
+        ctl = AdmissionController(AdmissionConfig(deadline_slack_us=100.0))
+        req = make_request(0, arrival_us=0.0, deadline_us=50.0)
+        rejection = ctl.admit(req, pending_count=0, now_us=0.0)
+        assert rejection is not None and rejection.reason == REASON_DEADLINE
+
+
+class TestEwma:
+    def test_first_observation_seeds_estimate(self):
+        ctl = AdmissionController()
+        assert ctl.service_estimate_us == 0.0
+        ctl.observe_service(400.0)
+        assert ctl.service_estimate_us == 400.0
+
+    def test_ewma_blends(self):
+        ctl = AdmissionController(AdmissionConfig(ewma_alpha=0.5))
+        ctl.observe_service(100.0)
+        ctl.observe_service(200.0)
+        assert ctl.service_estimate_us == pytest.approx(150.0)
+
+    def test_rejects_negative_observation(self):
+        with pytest.raises(ValueError):
+            AdmissionController().observe_service(-1.0)

@@ -1,0 +1,149 @@
+"""Tests for the dynamic batcher (size/window triggers, shedding)."""
+
+import pytest
+
+from repro.serve.batcher import BatcherConfig, DynamicBatcher
+
+
+def make(config=None, **kw) -> DynamicBatcher:
+    return DynamicBatcher(config or BatcherConfig(**kw))
+
+
+class TestConfig:
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatcherConfig(max_batch_size=0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            BatcherConfig(max_wait_us=-1.0)
+
+
+class TestTriggers:
+    def test_empty_poll_returns_none(self):
+        assert make().poll(1e9) is None
+
+    def test_no_trigger_before_window(self, make_request):
+        b = make(max_batch_size=4, max_wait_us=1000.0)
+        b.offer(make_request(0, arrival_us=0.0))
+        b.offer(make_request(1, arrival_us=10.0))
+        assert b.poll(999.0) is None
+        assert b.pending_count == 2
+
+    def test_size_trigger_fires_immediately(self, make_request):
+        b = make(max_batch_size=2, max_wait_us=1e6)
+        b.offer(make_request(0))
+        b.offer(make_request(1))
+        fb = b.poll(0.0)
+        assert fb is not None and fb.trigger == "size"
+        assert fb.occupancy == 2
+        assert b.pending_count == 0
+
+    def test_window_trigger_single_request(self, make_request):
+        """A lone request still ships once it has waited the window."""
+        b = make(max_batch_size=16, max_wait_us=500.0)
+        b.offer(make_request(0, arrival_us=100.0))
+        assert b.poll(599.0) is None
+        fb = b.poll(600.0)
+        assert fb is not None and fb.trigger == "window"
+        assert fb.occupancy == 1
+
+    def test_window_deadline_tracks_oldest(self, make_request):
+        b = make(max_batch_size=16, max_wait_us=500.0)
+        assert b.window_deadline_us() is None
+        b.offer(make_request(0, arrival_us=200.0))
+        b.offer(make_request(1, arrival_us=100.0))
+        assert b.window_deadline_us() == 600.0
+
+    def test_size_trigger_leaves_remainder(self, make_request):
+        b = make(max_batch_size=2, max_wait_us=1e6)
+        for i in range(5):
+            b.offer(make_request(i, arrival_us=float(i)))
+        fb = b.poll(10.0)
+        assert fb.occupancy == 2
+        assert b.pending_count == 3
+
+
+class TestPriorityAndShedding:
+    def test_priority_fills_first(self, make_request):
+        b = make(max_batch_size=2, max_wait_us=100.0)
+        b.offer(make_request(0, arrival_us=0.0, priority=0))
+        b.offer(make_request(1, arrival_us=1.0, priority=5))
+        b.offer(make_request(2, arrival_us=2.0, priority=5))
+        fb = b.poll(200.0)
+        assert [r.request_id for r in fb.requests] == [1, 2]
+        assert b.pending_count == 1
+
+    def test_ties_break_by_arrival_then_id(self, make_request):
+        b = make(max_batch_size=2, max_wait_us=100.0)
+        b.offer(make_request(7, arrival_us=5.0))
+        b.offer(make_request(3, arrival_us=5.0))
+        b.offer(make_request(1, arrival_us=9.0))
+        fb = b.poll(200.0)
+        assert [r.request_id for r in fb.requests] == [3, 7]
+
+    def test_expired_deadline_shed_before_planning(self, make_request):
+        b = make(max_batch_size=2, max_wait_us=1e6)
+        b.offer(make_request(0, arrival_us=0.0, deadline_us=50.0))
+        b.offer(make_request(1, arrival_us=0.0))
+        b.offer(make_request(2, arrival_us=0.0))
+        fb = b.poll(100.0)  # size trigger; request 0 expired meanwhile
+        assert [r.request_id for r in fb.shed] == [0]
+        assert [r.request_id for r in fb.requests] == [1, 2]
+
+    def test_pure_shed_event_has_empty_requests(self, make_request):
+        b = make(max_batch_size=16, max_wait_us=100.0)
+        b.offer(make_request(0, arrival_us=0.0, deadline_us=10.0))
+        fb = b.poll(200.0)
+        assert fb is not None
+        assert fb.requests == [] and [r.request_id for r in fb.shed] == [0]
+        assert b.pending_count == 0
+
+
+class TestFlushAndDrain:
+    def test_flush_on_empty_is_empty(self):
+        assert make().flush(0.0) == []
+
+    def test_flush_chunks_by_max_size(self, make_request):
+        b = make(max_batch_size=2, max_wait_us=1e6)
+        for i in range(5):
+            b.offer(make_request(i, arrival_us=float(i)))
+        batches = b.flush(10.0)
+        assert [fb.occupancy for fb in batches] == [2, 2, 1]
+        assert all(fb.trigger == "flush" for fb in batches)
+        assert b.pending_count == 0
+
+    def test_flush_sheds_expired(self, make_request):
+        b = make(max_batch_size=4, max_wait_us=1e6)
+        b.offer(make_request(0, arrival_us=0.0, deadline_us=5.0))
+        b.offer(make_request(1, arrival_us=0.0))
+        batches = b.flush(10.0)
+        assert len(batches) == 1
+        assert [r.request_id for r in batches[0].shed] == [0]
+        assert [r.request_id for r in batches[0].requests] == [1]
+
+    def test_drain_pending_empties_without_forming(self, make_request):
+        b = make(max_batch_size=4, max_wait_us=1e6)
+        b.offer(make_request(0))
+        b.offer(make_request(1))
+        drained = b.drain_pending()
+        assert [r.request_id for r in drained] == [0, 1]
+        assert b.pending_count == 0
+
+
+class TestFormedBatch:
+    def test_to_gemm_batch(self, make_request):
+        b = make(max_batch_size=2, max_wait_us=1e6)
+        b.offer(make_request(0, shape=(16, 16, 16)))
+        b.offer(make_request(1, shape=(32, 32, 32)))
+        gb = b.poll(0.0).to_gemm_batch()
+        assert len(gb) == 2
+        assert gb[0].shape == (16, 16, 16)
+
+    def test_batch_ids_increment(self, make_request):
+        b = make(max_batch_size=1, max_wait_us=1e6)
+        b.offer(make_request(0))
+        first = b.poll(0.0)
+        b.offer(make_request(1))
+        second = b.poll(0.0)
+        assert (first.batch_id, second.batch_id) == (0, 1)

@@ -1,0 +1,91 @@
+"""Tests for the repro-serve command-line interface."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import main
+
+FAST = [
+    "--rate", "2000", "--duration", "0.01", "--shapes", "32x32x32",
+    "--seed", "3", "--deadline-us", "50000",
+]
+
+
+class TestHelp:
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "repro-serve" in capsys.readouterr().out
+
+    def test_module_alias_importable(self):
+        import repro.serve.__main__  # noqa: F401
+
+
+class TestReplayRuns:
+    def test_small_run_prints_report(self, capsys):
+        assert main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "plan cache" in out
+        assert "shutdown summary" in out
+        assert "p99" in out
+
+    def test_two_runs_identical_output(self, capsys):
+        main(FAST)
+        first = capsys.readouterr().out
+        main(FAST)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_json_output_parses(self, capsys):
+        assert main(FAST + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] > 0
+        assert "latency" in payload and "cache" in payload
+
+    def test_warm_start_hits(self, capsys):
+        assert main(FAST + ["--warm", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["misses"] == 0
+        assert payload["cache"]["hits"] > 0
+
+
+class TestTraceFiles:
+    def test_save_then_replay_trace(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.json")
+        assert main(FAST + ["--save-trace", trace_file]) == 0
+        saved_out = capsys.readouterr().out
+        assert main(["--trace", trace_file, "--deadline-us", "50000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_requests"] > 0
+        assert "shutdown summary" in saved_out
+
+    def test_missing_trace_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--trace", str(tmp_path / "nope.json")])
+
+
+class TestValidation:
+    def test_bad_heuristic_rejected(self):
+        with pytest.raises(SystemExit):
+            main(FAST + ["--heuristic", "bogus"])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--shapes", "not-a-shape", "--duration", "0.01"])
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(SystemExit):
+            main(FAST + ["--device", "bogus9000"])
+
+
+class TestLiveMode:
+    def test_live_mode_completes(self, capsys):
+        args = [
+            "--live", "--rate", "2000", "--duration", "0.005",
+            "--shapes", "32x32x32", "--seed", "1", "--time-scale", "0.1",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "shutdown summary" in out

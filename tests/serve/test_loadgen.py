@@ -1,0 +1,122 @@
+"""Tests for trace generation, persistence, and the closed-loop driver."""
+
+import json
+
+import pytest
+
+from repro.core.options import Heuristic
+from repro.serve.batcher import BatcherConfig
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import (
+    DEFAULT_SHAPE_POOL,
+    TraceRequest,
+    load_trace,
+    poisson_trace,
+    run_closed_loop,
+    save_trace,
+)
+from repro.serve.server import GemmServer
+
+
+class TestPoissonTrace:
+    def test_same_seed_same_trace(self):
+        a = poisson_trace(2000.0, 0.05, seed=42)
+        b = poisson_trace(2000.0, 0.05, seed=42)
+        assert a == b
+        assert poisson_trace(2000.0, 0.05, seed=43) != a
+
+    def test_arrivals_monotonic_nonnegative(self):
+        trace = poisson_trace(5000.0, 0.02, seed=0)
+        arrivals = [r.arrival_us for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(t >= 0 for t in arrivals)
+
+    def test_duration_bounds_arrivals(self):
+        trace = poisson_trace(5000.0, 0.01, seed=1)
+        assert all(r.arrival_us <= 10_000.0 for r in trace)
+
+    def test_n_requests_cap(self):
+        trace = poisson_trace(100_000.0, 10.0, n_requests=7, seed=0)
+        assert len(trace) == 7
+
+    def test_relative_deadline_applied(self):
+        trace = poisson_trace(2000.0, 0.01, seed=0, deadline_us=500.0)
+        assert all(r.deadline_us == pytest.approx(r.arrival_us + 500.0) for r in trace)
+
+    def test_shapes_drawn_from_pool(self):
+        pool = ((8, 8, 8), (16, 16, 16))
+        trace = poisson_trace(5000.0, 0.02, shapes=pool, seed=0)
+        assert {r.gemm.shape for r in trace} <= set(pool)
+
+    def test_default_pool_used(self):
+        trace = poisson_trace(5000.0, 0.02, seed=0)
+        assert {r.gemm.shape for r in trace} <= set(DEFAULT_SHAPE_POOL)
+
+    def test_priorities_cycle(self):
+        trace = poisson_trace(5000.0, 0.02, seed=0, priorities=(0, 1))
+        assert {r.priority for r in trace} == {0, 1}
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            poisson_trace(0.0, 0.1)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = poisson_trace(
+            2000.0, 0.02, seed=9, deadline_us=1000.0, timeout_us=5000.0,
+            priorities=(0, 2),
+        )
+        path = tmp_path / "trace.json"
+        save_trace(path, trace)
+        assert load_trace(path) == trace
+
+    def test_file_is_versioned_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(path, poisson_trace(1000.0, 0.01, seed=0))
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert isinstance(payload["requests"], list)
+
+    def test_trace_request_dict_roundtrip(self):
+        from repro.core.problem import Gemm
+
+        r = TraceRequest(
+            arrival_us=5.0, gemm=Gemm(8, 16, 24), deadline_us=100.0,
+            timeout_us=50.0, priority=3,
+        )
+        assert TraceRequest.from_dict(r.to_dict()) == r
+
+
+class TestClosedLoop:
+    def test_closed_loop_completes_all(self, framework):
+        config = ServeConfig(
+            workers=2,
+            batcher=BatcherConfig(max_batch_size=4, max_wait_us=500.0),
+            heuristic=Heuristic.THRESHOLD,
+        )
+        with GemmServer(framework, config) as server:
+            results = run_closed_loop(
+                server, clients=3, requests_per_client=4,
+                shapes=((32, 32, 32), (16, 16, 16)), seed=5,
+            )
+        assert len(results) == 12
+        assert all(r.ok for r in results)
+        assert server.summary().n_completed == 12
+
+    def test_closed_loop_shape_choice_deterministic(self, framework):
+        config = ServeConfig(
+            workers=1,
+            batcher=BatcherConfig(max_batch_size=2, max_wait_us=200.0),
+            heuristic=Heuristic.THRESHOLD,
+        )
+        shapes = ((8, 8, 8), (16, 16, 16), (24, 24, 24))
+        counts = []
+        for _ in range(2):
+            with GemmServer(framework, config) as server:
+                run_closed_loop(
+                    server, clients=2, requests_per_client=3, shapes=shapes, seed=7,
+                )
+                report = server.summary()
+            counts.append(report.n_completed)
+        assert counts[0] == counts[1] == 6

@@ -1,0 +1,68 @@
+"""Tests for the serve request/result types."""
+
+import pytest
+
+from repro.core.problem import Gemm
+from repro.serve.request import (
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    Completed,
+    Rejected,
+    RequestStatus,
+    ServeRequest,
+    TimedOut,
+)
+
+
+class TestServeRequest:
+    def test_timeout_deadline(self):
+        r = ServeRequest(0, Gemm(8, 8, 8), arrival_us=100.0, timeout_us=50.0)
+        assert r.timeout_deadline_us == 150.0
+
+    def test_no_timeout_means_none(self):
+        r = ServeRequest(0, Gemm(8, 8, 8), arrival_us=0.0)
+        assert r.timeout_deadline_us is None
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            ServeRequest(0, Gemm(8, 8, 8), arrival_us=-1.0)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            ServeRequest(0, Gemm(8, 8, 8), arrival_us=0.0, timeout_us=0.0)
+
+
+class TestResults:
+    def test_statuses(self):
+        c = Completed(request_id=1, finish_us=10.0, latency_us=5.0)
+        r = Rejected(request_id=2, finish_us=0.0, latency_us=0.0)
+        t = TimedOut(request_id=3, finish_us=20.0, latency_us=20.0)
+        assert c.status is RequestStatus.COMPLETED and c.ok
+        assert r.status is RequestStatus.REJECTED and not r.ok
+        assert t.status is RequestStatus.TIMED_OUT and not t.ok
+
+    def test_rejected_reasons(self):
+        assert Rejected(request_id=0, finish_us=0.0, latency_us=0.0).reason == REASON_QUEUE_FULL
+        shed = Rejected(request_id=0, finish_us=0.0, latency_us=0.0, reason=REASON_DEADLINE)
+        assert shed.reason == REASON_DEADLINE
+
+    def test_to_dict_round_trips_key_fields(self):
+        c = Completed(
+            request_id=1,
+            finish_us=10.0,
+            latency_us=5.0,
+            batch_id=3,
+            batch_size=4,
+            queue_us=2.0,
+            service_us=3.0,
+            deadline_met=False,
+        )
+        d = c.to_dict()
+        assert d["status"] == "completed"
+        assert d["batch_id"] == 3 and d["batch_size"] == 4
+        assert d["deadline_met"] is False
+        assert "value" not in d  # operand payloads never serialize
+
+    def test_completed_value_payload(self):
+        c = Completed(request_id=1, finish_us=1.0, latency_us=1.0, value=[1, 2])
+        assert c.value == [1, 2]
