@@ -1,0 +1,100 @@
+"""Execution-engine benchmark: grouped vs reference on a mixed batch.
+
+Pins the speedup of the grouped vectorized engine
+(:mod:`repro.kernels.grouped`) over the reference persistent-threads
+walk (:mod:`repro.kernels.persistent`) on a Figure-10-style GoogleNet
+inception branch batch, and writes the measurement to
+``BENCH_execute.json`` at the repository root so committed snapshots
+track the engine's trajectory across revisions.
+
+The two engines must stay bit-identical (asserted here too -- a perf
+benchmark that silently drifts numerically is worthless).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.export import write_bench_json
+from repro.core.options import Heuristic
+from repro.kernels.grouped import execute_grouped, grouped_plan_for
+from repro.kernels.persistent import execute_schedule
+from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+
+#: The committed perf snapshot (repo root, next to the other BENCH files).
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_execute.json"
+
+#: The grouped engine must beat the reference walk by at least this
+#: factor on the pinned mixed batch.
+MIN_SPEEDUP = 3.0
+
+
+def _pinned_workload(framework):
+    """The Figure-10-style mixed batch: one inception module's branches."""
+    batch = inception_branch_batch(GOOGLENET_INCEPTIONS[2])
+    report = framework.plan(batch, Heuristic.THRESHOLD)
+    ops = batch.random_operands(np.random.default_rng(0))
+    return batch, report.schedule, ops
+
+
+def _best_of(fn, repeats: int = 7) -> float:
+    """Min-of-N wall-clock seconds (min is the low-noise estimator)."""
+    fn()  # warm caches, lowering, and BLAS threads
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_grouped_speedup_pinned(framework):
+    """Grouped >= 3x reference on the pinned batch, bit-identically."""
+    batch, schedule, ops = _pinned_workload(framework)
+
+    ref_out = execute_schedule(schedule, batch, ops)
+    grp_out = execute_grouped(schedule, batch, ops)
+    for want, got in zip(ref_out, grp_out):
+        assert np.array_equal(want, got), "engines diverged; benchmark is void"
+
+    ref_s = _best_of(lambda: execute_schedule(schedule, batch, ops))
+    grp_s = _best_of(lambda: execute_grouped(schedule, batch, ops))
+    speedup = ref_s / grp_s
+
+    plan = grouped_plan_for(schedule, batch)
+    write_bench_json(
+        BENCH_PATH,
+        {
+            "workload": "googlenet inception branches (Figure-10 style)",
+            "gemms": len(batch),
+            "tiles": schedule.num_tiles,
+            "groups": plan.num_groups,
+            "reference_ms": round(ref_s * 1e3, 3),
+            "grouped_ms": round(grp_s * 1e3, 3),
+            "speedup": round(speedup, 2),
+            "min_speedup_required": MIN_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"grouped engine speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(reference {ref_s * 1e3:.2f} ms, grouped {grp_s * 1e3:.2f} ms)"
+    )
+
+
+def test_grouped_execution_latency(benchmark, framework):
+    """pytest-benchmark series for the grouped engine itself."""
+    batch, schedule, ops = _pinned_workload(framework)
+    outs = benchmark(lambda: execute_grouped(schedule, batch, ops))
+    assert len(outs) == len(batch)
+
+
+def test_lowering_latency(benchmark, framework):
+    """Lowering is paid once per cached schedule; keep it cheap."""
+    from repro.kernels.grouped import lower_schedule
+
+    batch, schedule, _ = _pinned_workload(framework)
+    plan = benchmark(lambda: lower_schedule(schedule, batch))
+    assert plan.num_tiles == schedule.num_tiles

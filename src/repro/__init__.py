@@ -62,12 +62,6 @@ from repro.gpu import (
     occupancy,
     calibrate_tlp_threshold,
 )
-from repro.kernels import (
-    reference_gemm,
-    reference_batched_gemm,
-    tiled_gemm,
-    execute_schedule,
-)
 from repro.baselines import (
     simulate_default,
     simulate_cke,
@@ -83,6 +77,33 @@ from repro.telemetry import (
 )
 
 __version__ = "1.0.0"
+
+# Kernel executors are re-exported lazily (PEP 562): repro.kernels keeps
+# its execution engines importable independently of each other, and the
+# package root must not undo that by eagerly importing one of them.
+_KERNEL_EXPORTS = (
+    "reference_gemm",
+    "reference_batched_gemm",
+    "tiled_gemm",
+    "execute_schedule",
+    "execute_grouped",
+    "get_engine",
+    "ENGINES",
+)
+
+
+def __getattr__(name: str):
+    if name in _KERNEL_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module("repro.kernels"), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))
 
 __all__ = [
     "CoordinatedFramework",
@@ -117,6 +138,9 @@ __all__ = [
     "reference_batched_gemm",
     "tiled_gemm",
     "execute_schedule",
+    "execute_grouped",
+    "get_engine",
+    "ENGINES",
     "simulate_default",
     "simulate_cke",
     "simulate_cublas_batched",

@@ -6,6 +6,7 @@ Usage::
     python -m repro --uniform 128x128x32 --batch 16 --heuristic best
     python -m repro --workload data/cnn_fan_gemms.json --case googlenet/inception3a
     python -m repro 64x64x64,128x128x32 --trace /tmp/t.json
+    python -m repro 64x784x192,16x784x192 --execute --engine grouped
 
 Plans the batch with the coordinated framework, times it against every
 baseline on the chosen device model, and prints the plan summary.
@@ -95,6 +96,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--explain", action="store_true", help="print the plan cost breakdown")
     parser.add_argument(
+        "--execute",
+        action="store_true",
+        help="numerically execute the plan on random operands and report "
+        "wall time plus the max error against the np.matmul oracle",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("reference", "grouped"),
+        default="grouped",
+        help="numerical execution engine for --execute",
+    )
+    parser.add_argument(
         "--trace",
         default="",
         metavar="FILE",
@@ -134,6 +147,30 @@ def main(argv: list[str] | None = None) -> int:
         if args.explain:
             print()
             print(framework.explain_plan(report))
+        if args.execute:
+            import time
+
+            import numpy as np
+
+            from repro.kernels import get_engine
+            from repro.kernels.reference import reference_batched_gemm
+
+            ops = batch.random_operands(np.random.default_rng(0))
+            run = get_engine(args.engine)
+            t0 = time.perf_counter()
+            outs = run(report.schedule, batch, ops)
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+            oracle = reference_batched_gemm(batch, ops)
+            err = max(
+                float(np.max(np.abs(got.astype(np.float64) - want.astype(np.float64))))
+                for got, want in zip(outs, oracle)
+            )
+            print()
+            print(
+                f"executed numerically ({args.engine} engine): "
+                f"{elapsed_ms:.2f} ms host wall time, "
+                f"max |err| vs np.matmul oracle {err:.2e}"
+            )
     finally:
         set_tracer(previous)
     if args.trace_tree:

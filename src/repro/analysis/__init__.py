@@ -19,7 +19,7 @@ from repro.analysis.latency import (
 )
 from repro.analysis.timeline import build_timeline, render_timeline
 from repro.analysis.spantree import render_plan_trace
-from repro.analysis.export import rows_to_csv, fig_cells_to_csv
+from repro.analysis.export import rows_to_csv, fig_cells_to_csv, write_bench_json
 from repro.telemetry import render_span_tree
 
 __all__ = [
@@ -40,4 +40,5 @@ __all__ = [
     "render_span_tree",
     "rows_to_csv",
     "fig_cells_to_csv",
+    "write_bench_json",
 ]

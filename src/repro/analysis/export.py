@@ -1,16 +1,20 @@
-"""CSV export of experiment results.
+"""CSV/JSON export of experiment and benchmark results.
 
 Reproduction consumers typically want the raw series to plot against
 the paper's figures; every experiment's structured results can be
 written as CSV with these helpers (standard library only).
+:func:`write_bench_json` persists benchmark records (e.g.
+``BENCH_execute.json``) in a stable, diff-friendly layout so committed
+perf snapshots form a trajectory across revisions.
 """
 
 from __future__ import annotations
 
 import csv
 import dataclasses
+import json
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 
 def rows_to_csv(path: str | Path, rows: Sequence, fields: Sequence[str] | None = None) -> None:
@@ -47,6 +51,19 @@ def rows_to_csv(path: str | Path, rows: Sequence, fields: Sequence[str] | None =
         writer.writerow(fields)
         for row in rows:
             writer.writerow([cell(row, name) for name in fields])
+
+
+def write_bench_json(path: str | Path, record: Mapping) -> None:
+    """Write one benchmark record as deterministic, diff-friendly JSON.
+
+    Keys are sorted and the file ends with a newline so committed
+    benchmark snapshots produce minimal diffs run-to-run.  Values must
+    be JSON-serializable (floats should be pre-rounded by the caller
+    if run-to-run noise would churn the diff).
+    """
+    with open(path, "w") as fh:
+        json.dump(dict(record), fh, indent=1, sort_keys=True)
+        fh.write("\n")
 
 
 def fig_cells_to_csv(path: str | Path, cells: Sequence) -> None:

@@ -365,16 +365,21 @@ class CoordinatedFramework:
         heuristic: HeuristicLike = None,
         *,
         options: Optional[PlanOptions] = None,
+        engine: str = "grouped",
     ) -> list[np.ndarray]:
-        """Numerically execute the batch via the persistent executor.
+        """Numerically execute the batch through the planned schedule.
 
         Returns the list of C result matrices (inputs are not
-        modified).  The computation follows the planned schedule
-        block-by-block, tile-by-tile, so a planning bug shows up as a
-        wrong numerical answer, not just a wrong time.
+        modified).  ``engine`` selects the executor: ``"grouped"``
+        (default) lowers the schedule to vectorized tile groups,
+        ``"reference"`` performs the faithful per-slot Figure 7 walk.
+        Both produce bit-identical results, so a planning bug shows up
+        as a wrong numerical answer under either engine, not just a
+        wrong time.
         """
-        from repro.kernels.persistent import execute_schedule
+        from repro.kernels import get_engine
 
+        run = get_engine(engine)
         report = self.plan(batch, heuristic, options=options)
-        with get_tracer().span("execute", gemms=len(batch)):
-            return execute_schedule(report.schedule, batch, operands)
+        with get_tracer().span("execute", gemms=len(batch), engine=engine):
+            return run(report.schedule, batch, operands)

@@ -211,12 +211,21 @@ class PlanCache:
         heuristic: HeuristicLike = None,
         *,
         options: Optional[PlanOptions] = None,
+        engine: str = "grouped",
     ):
-        """Numerically execute a batch through its cached plan."""
-        from repro.kernels.persistent import execute_schedule
+        """Numerically execute a batch through its cached plan.
 
+        ``engine`` selects the executor (see
+        :func:`repro.kernels.get_engine`).  With the default
+        ``"grouped"`` engine the lowered grouped plan is memoized on
+        the cached schedule object, so repeated executions of a hot
+        batch mix skip both planning *and* re-lowering.
+        """
+        from repro.kernels import get_engine
+
+        run = get_engine(engine)
         report = self.plan(batch, heuristic, options=options)
-        return execute_schedule(report.schedule, batch, operands)
+        return run(report.schedule, batch, operands)
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""

@@ -10,18 +10,72 @@ answer, not just a wrong simulated time.
   Figure 2 (staging buffers standing in for shared memory, per-thread
   register sub-tiles).
 * :mod:`repro.kernels.persistent` -- the persistent-threads batched
-  kernel of Figure 7, driven by the five auxiliary arrays.
+  kernel of Figure 7, driven by the five auxiliary arrays (the
+  ``reference`` execution engine, and the oracle).
+* :mod:`repro.kernels.grouped` -- the grouped vectorized engine: the
+  same schedule lowered to bulk batched-matmul groups (the ``grouped``
+  execution engine; bit-identical to the reference, much faster).
+
+Submodules are imported lazily (PEP 562) so that the two execution
+engines stay importable without each other -- ``import
+repro.kernels.grouped`` must not drag in ``repro.kernels.persistent``
+or vice versa (CI guards this).  Use :func:`get_engine` to resolve an
+engine name to its executor callable.
 """
 
-from repro.kernels.reference import reference_gemm, reference_batched_gemm
-from repro.kernels.tiled import tiled_gemm, compute_tile, thread_level_tile
-from repro.kernels.persistent import execute_schedule
+from __future__ import annotations
 
-__all__ = [
-    "reference_gemm",
-    "reference_batched_gemm",
-    "tiled_gemm",
-    "compute_tile",
-    "thread_level_tile",
-    "execute_schedule",
-]
+#: The recognized execution-engine names.
+ENGINES: tuple[str, ...] = ("reference", "grouped")
+
+_EXPORTS = {
+    "reference_gemm": ("repro.kernels.reference", "reference_gemm"),
+    "reference_batched_gemm": ("repro.kernels.reference", "reference_batched_gemm"),
+    "tiled_gemm": ("repro.kernels.tiled", "tiled_gemm"),
+    "compute_tile": ("repro.kernels.tiled", "compute_tile"),
+    "thread_level_tile": ("repro.kernels.tiled", "thread_level_tile"),
+    "execute_schedule": ("repro.kernels.persistent", "execute_schedule"),
+    "execute_grouped": ("repro.kernels.grouped", "execute_grouped"),
+    "lower_schedule": ("repro.kernels.grouped", "lower_schedule"),
+    "grouped_plan_for": ("repro.kernels.grouped", "grouped_plan_for"),
+    "GroupedPlan": ("repro.kernels.grouped", "GroupedPlan"),
+    "TileGroup": ("repro.kernels.grouped", "TileGroup"),
+}
+
+__all__ = ["ENGINES", "get_engine", *_EXPORTS]
+
+
+def get_engine(name: str):
+    """Resolve an execution-engine name to its executor callable.
+
+    Both engines share the signature ``fn(schedule, batch, operands)
+    -> list[np.ndarray]`` and produce bit-identical results;
+    ``reference`` is the faithful per-slot Figure 7 walk (the oracle),
+    ``grouped`` the vectorized bulk engine.  Raises ``ValueError`` for
+    unknown names.
+    """
+    if name == "reference":
+        from repro.kernels.persistent import execute_schedule
+
+        return execute_schedule
+    if name == "grouped":
+        from repro.kernels.grouped import execute_grouped
+
+        return execute_grouped
+    raise ValueError(f"unknown execution engine {name!r}; choose from {ENGINES}")
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -55,6 +55,8 @@ def _execute_schedule(
 
     outputs = [np.zeros((g.m, g.n), dtype=op[2].dtype) for g, op in zip(batch, operands)]
     coverage = [np.zeros((g.m, g.n), dtype=np.int32) for g in batch]
+    # op(A)/op(B) views, derived once per GEMM rather than per tile slot.
+    op_views = [(g.op_a(op[0]), g.op_b(op[1])) for g, op in zip(batch, operands)]
 
     # Main loop over blocks, then tiles per block (Figure 7 lines 1-18).
     for block_id in range(schedule.num_blocks):
@@ -63,8 +65,8 @@ def _execute_schedule(
         for slot in range(begin, end):
             ind = int(schedule.gemm_ids[slot])
             gemm = batch[ind]
-            a, b, c = operands[ind]
-            a, b = gemm.op_a(a), gemm.op_b(b)
+            c = operands[ind][2]
+            a, b = op_views[ind]
             strat = strategy_by_index(int(schedule.strategy_ids[slot]))
             ty = int(schedule.y_coords[slot])
             tx = int(schedule.x_coords[slot])

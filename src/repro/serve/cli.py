@@ -101,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=256, help="plan cache capacity"
     )
     pipeline.add_argument(
+        "--engine",
+        choices=("reference", "grouped"),
+        default="grouped",
+        help="numerical execution engine for operand-carrying batches",
+    )
+    pipeline.add_argument(
         "--warm",
         action="store_true",
         help="pre-plan the trace's batch mixes before serving (warm-start)",
@@ -179,6 +185,7 @@ def _build_config(args: argparse.Namespace, heuristic: Heuristic):
         ),
         admission=AdmissionConfig(queue_capacity=args.queue_capacity),
         heuristic=heuristic,
+        engine=args.engine,
     )
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.framework import HeuristicLike
+from repro.kernels import ENGINES
 from repro.serve.admission import AdmissionConfig
 from repro.serve.batcher import BatcherConfig
 
@@ -19,7 +20,11 @@ class ServeConfig:
     plan cache amortize).  ``miss_overhead_us`` / ``hit_overhead_us``
     model the online planning cost charged per batch in virtual-time
     replay (a miss runs the full tiling+batching trial; a hit is one
-    cache lookup).
+    cache lookup).  ``engine`` selects the numerical executor used
+    when a formed batch carries operands (see
+    :func:`repro.kernels.get_engine`); the default ``grouped`` engine
+    is bit-identical to the reference walk and keeps the worker's
+    execute path off the per-tile interpreter overhead.
     """
 
     workers: int = 2
@@ -28,9 +33,14 @@ class ServeConfig:
     heuristic: HeuristicLike = None
     miss_overhead_us: float = 200.0
     hit_overhead_us: float = 5.0
+    engine: str = "grouped"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.miss_overhead_us < 0 or self.hit_overhead_us < 0:
             raise ValueError("planning overheads must be >= 0")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )

@@ -11,8 +11,9 @@ driver, built from the same parts (``DynamicBatcher``,
   batches on the size/window triggers;
 * ``config.workers`` **worker threads** pop formed batches, plan them
   through the cache, and resolve tickets -- numerically (the
-  persistent-kernel executor) when every request in the batch carries
-  operands, otherwise on the device model (the simulator);
+  execution engine named by ``config.engine``, grouped by default)
+  when every request in the batch carries operands, otherwise on the
+  device model (the simulator);
 * ``close(drain=True)`` stops admissions, flushes whatever is pending
   through the pipeline, and joins every thread.
 
@@ -333,9 +334,9 @@ class GemmServer:
             planned = self._planner.plan(formed)
             values: Optional[list] = None
             if all(r.operands is not None for r in formed.requests):
-                from repro.kernels.persistent import execute_schedule
+                from repro.kernels import get_engine
 
-                values = execute_schedule(
+                values = get_engine(self.config.engine)(
                     planned.report.schedule,
                     formed.to_gemm_batch(),
                     [r.operands for r in formed.requests],

@@ -97,3 +97,15 @@ class TestExecution:
         for (a, b, c), (a2, b2, c2) in zip(ops, copies):
             np.testing.assert_array_equal(a, a2)
             np.testing.assert_array_equal(c, c2)
+
+    def test_engines_bit_identical(self, framework, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        grouped = framework.execute(small_batch, ops, engine="grouped")
+        reference = framework.execute(small_batch, ops, engine="reference")
+        for g, r in zip(grouped, reference):
+            np.testing.assert_array_equal(g, r)
+
+    def test_unknown_engine_rejected(self, framework, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            framework.execute(small_batch, ops, engine="quantum")

@@ -116,6 +116,24 @@ class TestExecution:
         assert result.status is RequestStatus.COMPLETED
         np.testing.assert_allclose(result.value, a @ b, rtol=1e-6)
 
+    @pytest.mark.parametrize("engine", ["reference", "grouped"])
+    def test_engine_selectable(self, framework, rng, engine):
+        a = rng.standard_normal((16, 24))
+        b = rng.standard_normal((24, 8))
+        config = quick_config(
+            engine=engine,
+            batcher=BatcherConfig(max_batch_size=1, max_wait_us=10.0),
+        )
+        with GemmServer(framework, config) as server:
+            t = server.submit(Gemm(16, 8, 24), operands=(a, b))
+        result = t.result(timeout=10.0)
+        assert result.status is RequestStatus.COMPLETED
+        np.testing.assert_allclose(result.value, a @ b, rtol=1e-6)
+
+    def test_unknown_engine_rejected_at_config(self):
+        with pytest.raises(ValueError, match="engine"):
+            quick_config(engine="quantum")
+
     def test_shared_cache_across_workers(self, framework):
         cache = PlanCache(framework, capacity=64)
         config = quick_config(workers=3)
