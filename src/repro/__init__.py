@@ -87,6 +87,7 @@ _KERNEL_EXPORTS = (
     "tiled_gemm",
     "execute_schedule",
     "execute_grouped",
+    "execute_parallel",
     "get_engine",
     "ENGINES",
 )
@@ -139,6 +140,7 @@ __all__ = [
     "tiled_gemm",
     "execute_schedule",
     "execute_grouped",
+    "execute_parallel",
     "get_engine",
     "ENGINES",
     "simulate_default",

@@ -103,9 +103,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("reference", "grouped"),
+        choices=("reference", "grouped", "parallel"),
         default="grouped",
         help="numerical execution engine for --execute",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="parallel-engine pool size for --execute "
+        "(0 = host default; requires --engine parallel)",
     )
     parser.add_argument(
         "--trace",
@@ -119,6 +127,8 @@ def main(argv: list[str] | None = None) -> int:
         help="print the recorded span tree (implies tracing)",
     )
     args = parser.parse_args(argv)
+    if args.workers and args.engine != "parallel":
+        parser.error("--workers requires --engine parallel")
 
     device = get_device(args.device)
     batch = build_batch(args)
@@ -156,7 +166,7 @@ def main(argv: list[str] | None = None) -> int:
             from repro.kernels.reference import reference_batched_gemm
 
             ops = batch.random_operands(np.random.default_rng(0))
-            run = get_engine(args.engine)
+            run = get_engine(args.engine, workers=args.workers or None)
             t0 = time.perf_counter()
             outs = run(report.schedule, batch, ops)
             elapsed_ms = (time.perf_counter() - t0) * 1e3

@@ -18,7 +18,10 @@ K-depth threshold ``theta`` (256 on V100):
   once TLP becomes scarce, every remaining tile gets its own block.
 * **Binary batching** (ILP priority).  Tiles are sorted by K ascending
   and paired min-with-max, at most two per block, approximating the
-  paper's objective ``minimize | sum_pairs (K_i + K_j - theta) |``.
+  paper's objective ``minimize | sum_pairs (K_i + K_j - theta) |`` --
+  and stopping the pairing (singleton blocks for the rest) once even
+  the smallest available pair already meets theta, where further
+  pairing could only overshoot the objective.
 
 The online choice between the two is made by the random-forest
 selector in :mod:`repro.core.selector`.
@@ -26,6 +29,7 @@ selector in :mod:`repro.core.selector`.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -86,14 +90,16 @@ def threshold_batching(
         its summed K exceeds this.
     tlp_threshold:
         The tiling engine's TLP threshold; batching continues only
-        while prospective TLP stays above half of it.
+        while prospective TLP stays at or above half of it ("not less
+        than" in the paper's wording -- the exact-half boundary still
+        batches).
     """
     _validate_batching_args(tiles, threads_per_block, theta)
     blocks: list[tuple[Tile, ...]] = []
     remaining = list(tiles)
     while remaining:
         prospective_tlp = (len(remaining) + len(blocks)) * threads_per_block
-        if prospective_tlp > tlp_threshold // 2:
+        if prospective_tlp >= tlp_threshold // 2:
             # "We make sure the workload of each block is not less than
             # theta": accumulate until the summed K reaches theta.
             current: list[Tile] = []
@@ -119,17 +125,31 @@ def binary_batching(
     Sorts tiles by K ascending and pairs the smallest-K tile with the
     largest-K tile, at most two tiles per block.  An odd tile count
     leaves the median tile alone in its block.
+
+    Pairing serves the paper's objective ``minimize | sum_pairs (K_i +
+    K_j - theta) |``, so it is theta-aware: a pair only helps while it
+    lands *below* theta's reach.  The smallest remaining tile forms
+    the least-overshooting pair available, so the moment even ``K_lo +
+    K_next >= theta`` -- every possible pair would only pile K on top
+    of an already-met target -- pairing stops and the remaining tiles
+    are emitted as singleton blocks, each closer to theta alone than
+    any pair could be.
     """
     _validate_batching_args(tiles, threads_per_block, theta)
     ordered = sorted(tiles, key=lambda t: t.k)
     blocks: list[tuple[Tile, ...]] = []
     lo, hi = 0, len(ordered) - 1
     while lo < hi:
+        if ordered[lo].k + ordered[lo + 1].k >= theta:
+            # Even the smallest available pair meets theta on its own:
+            # any further pairing moves |sum (K_i + K_j - theta)| away
+            # from zero, so the rest ride as singletons.
+            break
         blocks.append((ordered[lo], ordered[hi]))
         lo += 1
         hi -= 1
-    if lo == hi:
-        blocks.append((ordered[lo],))
+    for i in range(lo, hi + 1):
+        blocks.append((ordered[i],))
     return BatchingResult(blocks=tuple(blocks), heuristic="binary", theta=theta)
 
 
@@ -154,32 +174,50 @@ def greedy_packing_batching(
     threads_per_block: int,
     theta: int = 256,
 ) -> BatchingResult:
-    """First-fit-decreasing bin packing of tiles toward theta.
+    """Best-fit-decreasing bin packing of tiles toward theta.
 
     An *extension* beyond the paper's two heuristics (Section 5 closes
     with "it is possible to use other algorithms; we leave a more
     thorough investigation for future work").  Tiles are sorted by K
-    descending and placed into the first open block whose summed K
-    stays below theta; a tile with K >= theta gets its own block.
-    Compared to threshold batching this balances block depths instead
-    of building monster blocks from runs of tiny-K tiles.
+    descending and placed into the *fullest* open block that still
+    keeps the summed K within theta (best fit); a tile with K >= theta
+    always gets its own block.  Compared to threshold batching this
+    balances block depths instead of building monster blocks from runs
+    of tiny-K tiles.
+
+    Open-block loads live in a sorted array probed by bisection, so
+    placement is O(log blocks) per tile instead of the O(blocks)
+    first-fit scan this function used to do -- O(n^2) over a batch --
+    and best fit packs no worse than first fit did.  A block whose
+    load reaches theta can never accept another tile (K >= 1) and is
+    retired from the search structure outright.
     """
     _validate_batching_args(tiles, threads_per_block, theta)
     ordered = sorted(tiles, key=lambda t: t.k, reverse=True)
     bins: list[list[Tile]] = []
-    loads: list[int] = []
+    # Open blocks only, as parallel arrays sorted by load ascending.
+    open_loads: list[int] = []
+    open_bins: list[int] = []
+
+    def _open(load: int, index: int) -> None:
+        if load < theta:  # a full block can never take another tile
+            at = bisect.bisect_left(open_loads, load)
+            open_loads.insert(at, load)
+            open_bins.insert(at, index)
+
     for tile in ordered:
-        placed = False
+        pos = -1
         if tile.k < theta:
-            for i, load in enumerate(loads):
-                if load + tile.k <= theta:
-                    bins[i].append(tile)
-                    loads[i] += tile.k
-                    placed = True
-                    break
-        if not placed:
+            # Best fit: the largest load still accommodating this tile.
+            pos = bisect.bisect_right(open_loads, theta - tile.k) - 1
+        if pos >= 0:
+            load = open_loads.pop(pos)
+            index = open_bins.pop(pos)
+            bins[index].append(tile)
+            _open(load + tile.k, index)
+        else:
             bins.append([tile])
-            loads.append(tile.k)
+            _open(tile.k, len(bins) - 1)
     return BatchingResult(
         blocks=tuple(tuple(b) for b in bins), heuristic="greedy-packing", theta=theta
     )

@@ -366,20 +366,30 @@ class CoordinatedFramework:
         *,
         options: Optional[PlanOptions] = None,
         engine: str = "grouped",
+        workers: Optional[int] = None,
     ) -> list[np.ndarray]:
         """Numerically execute the batch through the planned schedule.
 
         Returns the list of C result matrices (inputs are not
         modified).  ``engine`` selects the executor: ``"grouped"``
         (default) lowers the schedule to vectorized tile groups,
-        ``"reference"`` performs the faithful per-slot Figure 7 walk.
-        Both produce bit-identical results, so a planning bug shows up
-        as a wrong numerical answer under either engine, not just a
+        ``"reference"`` performs the faithful per-slot Figure 7 walk,
+        ``"parallel"`` shards the lowered plan across a thread pool.
+        All produce bit-identical results, so a planning bug shows up
+        as a wrong numerical answer under any engine, not just a
         wrong time.
+
+        ``workers`` sizes the parallel engine's pool (``None`` falls
+        back to ``options.workers``, then to the engine's host-sized
+        default); passing it with any other engine raises
+        ``ValueError``.
         """
         from repro.kernels import get_engine
 
-        run = get_engine(engine)
-        report = self.plan(batch, heuristic, options=options)
+        opts = self.resolve_options(heuristic, options)
+        if workers is None and engine == "parallel":
+            workers = opts.workers
+        run = get_engine(engine, workers=workers)
+        report = self.plan(batch, options=opts)
         with get_tracer().span("execute", gemms=len(batch), engine=engine):
             return run(report.schedule, batch, operands)

@@ -109,18 +109,26 @@ class PlanOptions:
     precision:
         ``"fp32"`` or ``"fp16"`` for the cost model; ``None`` means the
         framework's configured precision.
+    workers:
+        Thread-pool size for the ``parallel`` execution engine;
+        ``None`` defers to the engine's host-sized default.  An
+        *execution* knob, not a planning knob: it never changes which
+        plan is produced, so it is excluded from :meth:`cache_key` and
+        from :meth:`resolved`.
 
     A *resolved* options value (see :meth:`resolved`) has no ``None``
-    fields; :class:`~repro.core.framework.PlanReport` and
+    planning fields; :class:`~repro.core.framework.PlanReport` and
     :class:`~repro.core.plancache.PlanCache` only ever hold resolved
-    options, so two plans agree on their cache key iff every knob
-    agrees.
+    options, so two plans agree on their cache key iff every *planning*
+    knob agrees (``workers`` deliberately does not participate -- the
+    same plan serves any worker count).
     """
 
     heuristic: Heuristic = Heuristic.BEST
     theta: Optional[int] = None
     tlp_threshold: Optional[int] = None
     precision: Optional[str] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -136,6 +144,8 @@ class PlanOptions:
             raise ValueError(
                 f"precision must be one of {PRECISIONS}, got {self.precision!r}"
             )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @classmethod
     def of(
@@ -183,9 +193,11 @@ class PlanOptions:
     def cache_key(self) -> tuple:
         """The hashable identity a plan cache must key on.
 
-        Includes every knob -- the same batch planned under two
-        different heuristics (or thetas, or precisions) must not alias
-        one cache entry.
+        Includes every *planning* knob -- the same batch planned under
+        two different heuristics (or thetas, or precisions) must not
+        alias one cache entry.  ``workers`` is excluded: it only sizes
+        the parallel engine's pool at execution time, and keying on it
+        would duplicate identical plans per worker count.
         """
         return (
             self.heuristic.value,
@@ -201,4 +213,5 @@ class PlanOptions:
             "theta": self.theta,
             "tlp_threshold": self.tlp_threshold,
             "precision": self.precision,
+            "workers": self.workers,
         }

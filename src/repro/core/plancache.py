@@ -178,6 +178,7 @@ class PlanCache:
         heuristic: HeuristicLike = None,
         *,
         options: Optional[PlanOptions] = None,
+        workers: Optional[int] = None,
     ) -> int:
         """Bulk pre-plan ``batches`` (serving warm-start).
 
@@ -185,12 +186,34 @@ class PlanCache:
         within ``batches`` cost one plan) and returns how many batches
         were *newly* planned.  A serving process calls this with its
         known shape mixes before opening the request queue.
+
+        ``workers > 1`` fans the planning out over the parallel
+        engine's shared thread pool (the cache is thread-safe; plans
+        for distinct batches are independent).  Two caveats: repeats
+        within ``batches`` may be planned concurrently before either
+        lands in the cache, so the returned newly-planned count can
+        overcount duplicates; and when a recording tracer is installed
+        the warm stays serial regardless (the tracer is not
+        thread-safe, and a warm that scrambled its own trace would be
+        worse than a slower one).
         """
+        tracer = get_tracer()
         planned = 0
-        with get_tracer().span("plancache.warm") as span:
-            for batch in batches:
-                _, hit = self.plan_with_info(batch, heuristic, options=options)
-                planned += 0 if hit else 1
+        with tracer.span("plancache.warm") as span:
+            if workers is not None and workers > 1 and not tracer.enabled:
+                from repro.kernels.parallel import shared_pool
+
+                def _plan_one(batch: GemmBatch) -> bool:
+                    _, hit = self.plan_with_info(batch, heuristic, options=options)
+                    return hit
+
+                pool = shared_pool(workers)
+                for hit in pool.map(_plan_one, list(batches)):
+                    planned += 0 if hit else 1
+            else:
+                for batch in batches:
+                    _, hit = self.plan_with_info(batch, heuristic, options=options)
+                    planned += 0 if hit else 1
             if span.enabled:
                 span.set_attr("planned", planned)
         return planned
@@ -212,18 +235,24 @@ class PlanCache:
         *,
         options: Optional[PlanOptions] = None,
         engine: str = "grouped",
+        workers: Optional[int] = None,
     ):
         """Numerically execute a batch through its cached plan.
 
         ``engine`` selects the executor (see
-        :func:`repro.kernels.get_engine`).  With the default
-        ``"grouped"`` engine the lowered grouped plan is memoized on
-        the cached schedule object, so repeated executions of a hot
-        batch mix skip both planning *and* re-lowering.
+        :func:`repro.kernels.get_engine`).  With the ``"grouped"``
+        (default) and ``"parallel"`` engines the lowered grouped plan
+        is memoized on the cached schedule object, so repeated
+        executions of a hot batch mix skip both planning *and*
+        re-lowering.  ``workers`` sizes the parallel engine's pool
+        (``None`` falls back to ``options.workers``, then the host
+        default) and is rejected for other engines.
         """
         from repro.kernels import get_engine
 
-        run = get_engine(engine)
+        if workers is None and engine == "parallel" and options is not None:
+            workers = options.workers
+        run = get_engine(engine, workers=workers)
         report = self.plan(batch, heuristic, options=options)
         return run(report.schedule, batch, operands)
 

@@ -15,18 +15,26 @@ answer, not just a wrong simulated time.
 * :mod:`repro.kernels.grouped` -- the grouped vectorized engine: the
   same schedule lowered to bulk batched-matmul groups (the ``grouped``
   execution engine; bit-identical to the reference, much faster).
+* :mod:`repro.kernels.parallel` -- the multi-worker engine: the same
+  lowered plan sharded across a thread pool with Stream-K-style
+  even-share load balancing (the ``parallel`` execution engine;
+  bit-identical to ``grouped`` at every worker count).
 
-Submodules are imported lazily (PEP 562) so that the two execution
+Submodules are imported lazily (PEP 562) so that the execution
 engines stay importable without each other -- ``import
 repro.kernels.grouped`` must not drag in ``repro.kernels.persistent``
-or vice versa (CI guards this).  Use :func:`get_engine` to resolve an
-engine name to its executor callable.
+or vice versa, and ``repro.kernels.parallel`` (which builds on
+``grouped``) must not drag in ``persistent`` either (CI guards this).
+Use :func:`get_engine` to resolve an engine name to its executor
+callable.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 #: The recognized execution-engine names.
-ENGINES: tuple[str, ...] = ("reference", "grouped")
+ENGINES: tuple[str, ...] = ("reference", "grouped", "parallel")
 
 _EXPORTS = {
     "reference_gemm": ("repro.kernels.reference", "reference_gemm"),
@@ -40,20 +48,47 @@ _EXPORTS = {
     "grouped_plan_for": ("repro.kernels.grouped", "grouped_plan_for"),
     "GroupedPlan": ("repro.kernels.grouped", "GroupedPlan"),
     "TileGroup": ("repro.kernels.grouped", "TileGroup"),
+    "execute_parallel": ("repro.kernels.parallel", "execute_parallel"),
+    "plan_shards": ("repro.kernels.parallel", "plan_shards"),
+    "resolve_workers": ("repro.kernels.parallel", "resolve_workers"),
+    "shared_pool": ("repro.kernels.parallel", "shared_pool"),
+    "ShardPlan": ("repro.kernels.parallel", "ShardPlan"),
 }
 
 __all__ = ["ENGINES", "get_engine", *_EXPORTS]
 
 
-def get_engine(name: str):
+def get_engine(name: str, workers: Optional[int] = None):
     """Resolve an execution-engine name to its executor callable.
 
-    Both engines share the signature ``fn(schedule, batch, operands)
+    All engines share the signature ``fn(schedule, batch, operands)
     -> list[np.ndarray]`` and produce bit-identical results;
     ``reference`` is the faithful per-slot Figure 7 walk (the oracle),
-    ``grouped`` the vectorized bulk engine.  Raises ``ValueError`` for
-    unknown names.
+    ``grouped`` the vectorized bulk engine, ``parallel`` the
+    multi-worker sharded engine.  ``workers`` is only meaningful for
+    ``parallel`` (the returned callable binds it as its pool size;
+    ``None`` defers to :func:`repro.kernels.parallel.resolve_workers`)
+    and raises ``ValueError`` for any other engine -- a silently
+    ignored worker count would misreport what ran.  Raises
+    ``ValueError`` for unknown names.
     """
+    if name == "parallel":
+        from repro.kernels.parallel import execute_parallel, resolve_workers
+
+        if workers is None:
+            return execute_parallel
+        workers = resolve_workers(workers)
+
+        def run_parallel(schedule, batch, operands, plan=None):
+            return execute_parallel(schedule, batch, operands, plan, workers=workers)
+
+        run_parallel.__name__ = f"execute_parallel_{workers}w"
+        run_parallel.workers = workers
+        return run_parallel
+    if workers is not None:
+        raise ValueError(
+            f"workers= only applies to the 'parallel' engine, not {name!r}"
+        )
     if name == "reference":
         from repro.kernels.persistent import execute_schedule
 

@@ -102,9 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument(
         "--engine",
-        choices=("reference", "grouped"),
+        choices=("reference", "grouped", "parallel"),
         default="grouped",
         help="numerical execution engine for operand-carrying batches",
+    )
+    pipeline.add_argument(
+        "--engine-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="parallel-engine shard pool size (0 = host default; "
+        "requires --engine parallel)",
     )
     pipeline.add_argument(
         "--warm",
@@ -186,6 +194,7 @@ def _build_config(args: argparse.Namespace, heuristic: Heuristic):
         admission=AdmissionConfig(queue_capacity=args.queue_capacity),
         heuristic=heuristic,
         engine=args.engine,
+        engine_workers=args.engine_workers or None,
     )
 
 
@@ -219,6 +228,8 @@ def _run_live(trace, framework, config, cache, time_scale: float):
 def main(argv: list[str] | None = None) -> int:
     """CLI entry: build the trace, serve it, print the latency report."""
     args = build_parser().parse_args(argv)
+    if args.engine_workers and args.engine != "parallel":
+        raise SystemExit("error: --engine-workers requires --engine parallel")
     try:
         heuristic = Heuristic.coerce(args.heuristic, warn=False)
     except ValueError as exc:
@@ -241,7 +252,11 @@ def main(argv: list[str] | None = None) -> int:
         cache = PlanCache(framework, capacity=args.cache_capacity)
         if args.warm:
             scout = replay_trace(trace, framework, config)
-            planned = cache.warm(scout.formed_batches, config.heuristic)
+            planned = cache.warm(
+                scout.formed_batches,
+                config.heuristic,
+                workers=config.engine_workers,
+            )
             cache.stats = CacheStats()  # report serving-time traffic only
             print(f"warm-start: pre-planned {planned} batch mixes", file=sys.stderr)
         if args.live:

@@ -25,6 +25,13 @@ class ServeConfig:
     :func:`repro.kernels.get_engine`); the default ``grouped`` engine
     is bit-identical to the reference walk and keeps the worker's
     execute path off the per-tile interpreter overhead.
+
+    ``workers`` is the number of *serve pipeline* threads (planning +
+    dispatch); ``engine_workers`` independently sizes the ``parallel``
+    execution engine's shard pool per executed batch (``None`` lets
+    the engine pick a host-sized default) and is only accepted when
+    ``engine="parallel"`` -- the two knobs compose, since an engine
+    pool is shared process-wide across all serve workers.
     """
 
     workers: int = 2
@@ -34,6 +41,7 @@ class ServeConfig:
     miss_overhead_us: float = 200.0
     hit_overhead_us: float = 5.0
     engine: str = "grouped"
+    engine_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -44,3 +52,13 @@ class ServeConfig:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
+        if self.engine_workers is not None:
+            if self.engine_workers < 1:
+                raise ValueError(
+                    f"engine_workers must be >= 1, got {self.engine_workers}"
+                )
+            if self.engine != "parallel":
+                raise ValueError(
+                    "engine_workers= only applies to engine='parallel', "
+                    f"got engine={self.engine!r}"
+                )

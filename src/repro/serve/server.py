@@ -336,7 +336,9 @@ class GemmServer:
             if all(r.operands is not None for r in formed.requests):
                 from repro.kernels import get_engine
 
-                values = get_engine(self.config.engine)(
+                values = get_engine(
+                    self.config.engine, workers=self.config.engine_workers
+                )(
                     planned.report.schedule,
                     formed.to_gemm_batch(),
                     [r.operands for r in formed.requests],

@@ -6,6 +6,7 @@ from repro.core.batching import (
     BatchingResult,
     batch_tiles,
     binary_batching,
+    greedy_packing_batching,
     one_tile_per_block,
     threshold_batching,
 )
@@ -36,12 +37,28 @@ class TestThresholdBatching:
         assert [len(b) for b in r.blocks] == [1, 1]
 
     def test_tlp_guard_degenerates_to_one_per_block(self):
-        """When prospective TLP is at or below half the threshold,
+        """When prospective TLP is strictly below half the threshold,
         every remaining tile gets its own block."""
         tiles = make_tiles([16] * 10)
-        r = threshold_batching(tiles, threads_per_block=256, theta=256, tlp_threshold=10 * 256 * 2)
+        # prospective = 10 * 256 = 2560 < threshold // 2 = 3840.
+        r = threshold_batching(tiles, threads_per_block=256, theta=256, tlp_threshold=3 * 10 * 256)
         assert all(len(b) == 1 for b in r.blocks)
         assert r.num_blocks == 10
+
+    def test_tlp_guard_boundary_still_batches(self):
+        """Prospective TLP exactly at half the threshold keeps batching.
+
+        The paper says the per-block workload guard applies while TLP
+        is "not less than" the budget, so the exact-half boundary is on
+        the batching side; regression for the historical off-by-one
+        that switched to one-per-block at exact equality.
+        """
+        tiles = make_tiles([64] * 8)
+        # prospective = 8 * 256 = 2048 == 4096 // 2 -> must batch:
+        # first block takes four tiles (64 * 4 = 256 >= theta); the
+        # projection then drops below half, so the rest ride alone.
+        r = threshold_batching(tiles, threads_per_block=256, theta=256, tlp_threshold=4096)
+        assert [len(b) for b in r.blocks] == [4, 1, 1, 1, 1]
 
     def test_guard_trips_midway(self):
         """Batching proceeds while TLP is plentiful, then switches to
@@ -91,6 +108,38 @@ class TestBinaryBatching:
         tiles = make_tiles([3, 1, 4, 1, 5, 9, 2, 6])
         r = binary_batching(tiles, 256)
         assert sorted(t.x for t in flatten(r)) == list(range(8))
+
+    def test_theta_stop_emits_singletons(self):
+        """Regression for the theta-blind pairing bug.
+
+        Four tiles of K=300 against theta=256: the old unconditional
+        min-with-max pairing produced two K=600 blocks with objective
+        |2 * (600 - 256)| = 688, while singleton blocks achieve
+        |4 * (300 - 256)| = 176.  Since even the smallest available
+        pair (300 + 300) meets theta, pairing must stop.
+        """
+        theta = 256
+        tiles = make_tiles([300] * 4)
+        r = binary_batching(tiles, 256, theta=theta)
+        assert [len(b) for b in r.blocks] == [1, 1, 1, 1]
+        objective = abs(sum(sum(t.k for t in b) - theta for b in r.blocks))
+        old_pairing_objective = abs(2 * (600 - theta))
+        assert objective == 176 < old_pairing_objective == 688
+
+    def test_theta_stop_midway_keeps_earlier_pairs(self):
+        """Pairing runs min-with-max until the smallest remaining pair
+        meets theta, then the rest become singletons."""
+        tiles = make_tiles([10, 20, 240, 250])
+        r = binary_batching(tiles, 256, theta=256)
+        shapes = sorted(tuple(sorted(t.k for t in b)) for b in r.blocks)
+        # (10, 250) pairs (10 + 20 < theta); then 20 + 240 >= theta
+        # stops the pairing, so 20 and 240 ride alone.
+        assert shapes == [(10, 250), (20,), (240,)]
+
+    def test_all_pairs_below_theta_keeps_full_pairing(self):
+        tiles = make_tiles([10, 20, 30, 40])
+        r = binary_batching(tiles, 256, theta=256)
+        assert sorted(len(b) for b in r.blocks) == [2, 2]
 
 
 class TestOneTilePerBlock:

@@ -37,6 +37,38 @@ class TestGreedyPacking:
         big_block = next(b for b in r.blocks if any(t.k == 1000 for t in b))
         assert len(big_block) == 1
 
+    def test_theta_tile_own_block_despite_open_bins(self):
+        """A K >= theta tile gets its own block even when half-full
+        open bins could numerically absorb more K (regression guard
+        for the best-fit search structure)."""
+        tiles = make_tiles([100, 256, 300, 100])
+        r = greedy_packing_batching(tiles, 256, theta=256)
+        for b in r.blocks:
+            if any(t.k >= 256 for t in b):
+                assert len(b) == 1
+        # and the two K=100 tiles still pack together
+        assert sorted(sorted(t.k for t in b) for b in r.blocks) == [
+            [100, 100],
+            [256],
+            [300],
+        ]
+
+    def test_best_fit_prefers_fullest_open_bin(self):
+        """Best fit packs into the tightest open bin: after 200 and
+        120 open separate bins, a 50 joins the 200 (250 <= theta),
+        not the emptier 120."""
+        tiles = make_tiles([200, 120, 50])
+        r = greedy_packing_batching(tiles, 256, theta=256)
+        shapes = sorted(sorted(t.k for t in b) for b in r.blocks)
+        assert shapes == [[50, 200], [120]]
+
+    def test_full_bin_is_retired(self):
+        """A bin filled exactly to theta never takes another tile."""
+        tiles = make_tiles([128, 128, 1])
+        r = greedy_packing_batching(tiles, 256, theta=256)
+        shapes = sorted(sorted(t.k for t in b) for b in r.blocks)
+        assert shapes == [[1], [128, 128]]
+
     def test_fewer_blocks_than_one_per_tile(self):
         tiles = make_tiles([32] * 16)
         r = greedy_packing_batching(tiles, 256, theta=256)

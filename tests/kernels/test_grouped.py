@@ -228,11 +228,13 @@ class TestEngineRegistry:
     def test_get_engine_mapping(self):
         from repro.kernels import ENGINES, get_engine
 
-        assert set(ENGINES) == {"reference", "grouped"}
+        assert set(ENGINES) == {"reference", "grouped", "parallel"}
         assert get_engine("reference") is execute_schedule
         assert get_engine("grouped") is execute_grouped
         with pytest.raises(ValueError, match="unknown execution engine"):
             get_engine("warp-speed")
+        with pytest.raises(ValueError, match="workers"):
+            get_engine("grouped", workers=2)
 
     @pytest.mark.parametrize(
         "kept,shunned",

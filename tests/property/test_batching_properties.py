@@ -1,31 +1,83 @@
 """Property-based tests for the batching engine."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.batching import batch_tiles
+from repro.core.batching import ALL_HEURISTICS, batch_tiles
 from repro.core.problem import Tile
+
+
+def as_tiles(ks):
+    return [
+        Tile(gemm_index=0, y=0, x=i, strategy_index=0, k=k) for i, k in enumerate(ks)
+    ]
+
 
 tile_list_st = st.lists(
     st.integers(min_value=1, max_value=2048), min_size=1, max_size=60
-).map(
-    lambda ks: [
-        Tile(gemm_index=0, y=0, x=i, strategy_index=0, k=k) for i, k in enumerate(ks)
-    ]
-)
-heuristic_st = st.sampled_from(["threshold", "binary", "one-per-block"])
+).map(as_tiles)
+heuristic_st = st.sampled_from(ALL_HEURISTICS)
 theta_st = st.integers(min_value=8, max_value=1024)
 threshold_st = st.integers(min_value=256, max_value=1 << 20)
 
 
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=150, deadline=None)
 @given(tiles=tile_list_st, heuristic=heuristic_st, theta=theta_st, threshold=threshold_st)
 def test_batching_is_a_partition(tiles, heuristic, theta, threshold):
-    """Every heuristic assigns every tile to exactly one block."""
+    """Every heuristic assigns every tile to exactly one block and
+    never emits an empty block."""
     r = batch_tiles(tiles, 256, heuristic, theta=theta, tlp_threshold=threshold)
     flat = [t for block in r.blocks for t in block]
     assert sorted(t.x for t in flat) == sorted(t.x for t in tiles)
     assert r.num_tiles == len(tiles)
     assert all(len(b) >= 1 for b in r.blocks)
+
+
+@pytest.mark.parametrize("heuristic", ALL_HEURISTICS)
+@pytest.mark.parametrize(
+    "ks",
+    [
+        [7],  # single tile
+        [16, 16, 16],  # odd count, all K equal
+        [64] * 12,  # all K equal, even count
+        [300, 300, 300],  # odd count, every K >= any reasonable theta
+        [1, 2048, 1, 2048, 7],  # odd count, extreme mix
+    ],
+    ids=["single", "odd-equal", "even-equal", "odd-oversized", "odd-mixed"],
+)
+def test_edge_shapes_partition_exactly_once(heuristic, ks):
+    """Odd counts, single-tile, and all-K-equal inputs partition
+    exactly once under every heuristic (the hypothesis sweep above
+    covers the bulk; these are the named paper-relevant edges)."""
+    tiles = as_tiles(ks)
+    r = batch_tiles(tiles, 256, heuristic, theta=256, tlp_threshold=65536)
+    flat = [t for block in r.blocks for t in block]
+    assert sorted(t.x for t in flat) == list(range(len(ks)))
+    assert all(len(b) >= 1 for b in r.blocks)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tiles=tile_list_st, theta=theta_st)
+def test_binary_theta_stop(tiles, theta):
+    """When even the smallest possible pair meets theta, binary
+    batching degenerates to singletons (the Section 5 objective)."""
+    ks = sorted(t.k for t in tiles)
+    r = batch_tiles(tiles, 256, "binary", theta=theta)
+    if len(ks) >= 2 and ks[0] + ks[1] >= theta:
+        assert r.max_tiles_per_block == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(tiles=tile_list_st, theta=theta_st)
+def test_greedy_multi_tile_blocks_within_theta(tiles, theta):
+    """Greedy packing never grows a multi-tile block past theta, and
+    isolates every K >= theta tile."""
+    r = batch_tiles(tiles, 256, "greedy-packing", theta=theta)
+    for block in r.blocks:
+        if len(block) > 1:
+            assert sum(t.k for t in block) <= theta
+        if any(t.k >= theta for t in block):
+            assert len(block) == 1
 
 
 @settings(max_examples=100, deadline=None)

@@ -59,10 +59,25 @@ def test_tiles_cover_every_gemm(batch, threshold):
 
 @settings(max_examples=40, deadline=None)
 @given(batch=batch_st)
-def test_trace_tlp_strictly_decreases(batch):
-    d = select_tiling(batch, tlp_threshold=65536)
+def test_trace_descends_to_threshold(batch):
+    """The selection walk starts at the TLP maximum (smallest tiles,
+    256 threads), keeps coarsening only while TLP exceeds the
+    threshold, ends on the decision's own TLP, and is bounded by the
+    two six-rung strategy ladders.
+
+    Per-step TLP is *not* strictly decreasing: tall (128x64) and wide
+    (64x128) have equal tile area, and advancing a GEMM between them
+    can leave its tile count unchanged or even raise it (129x128:
+    wide -> 3 tiles, tall -> 4), so only the endpoints and the
+    continue-condition are guaranteed.
+    """
+    threshold = 65536
+    d = select_tiling(batch, tlp_threshold=threshold)
     tlps = [t for _s, t in d.trace]
-    assert all(a > b for a, b in zip(tlps, tlps[1:]))
+    assert tlps[0] == max(tlps)
+    assert all(t > threshold for t in tlps[:-1])
+    assert tlps[-1] == d.tlp
+    assert len(tlps) <= 12
 
 
 @settings(max_examples=40, deadline=None)

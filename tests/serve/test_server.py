@@ -116,7 +116,7 @@ class TestExecution:
         assert result.status is RequestStatus.COMPLETED
         np.testing.assert_allclose(result.value, a @ b, rtol=1e-6)
 
-    @pytest.mark.parametrize("engine", ["reference", "grouped"])
+    @pytest.mark.parametrize("engine", ["reference", "grouped", "parallel"])
     def test_engine_selectable(self, framework, rng, engine):
         a = rng.standard_normal((16, 24))
         b = rng.standard_normal((24, 8))
@@ -129,6 +129,27 @@ class TestExecution:
         result = t.result(timeout=10.0)
         assert result.status is RequestStatus.COMPLETED
         np.testing.assert_allclose(result.value, a @ b, rtol=1e-6)
+
+    def test_parallel_engine_workers_bit_match_grouped(self, framework, rng):
+        """A served batch through engine='parallel' with a pinned pool
+        returns byte-identical values to the grouped engine."""
+        a = rng.standard_normal((40, 64))
+        b = rng.standard_normal((64, 24))
+
+        def serve_once(**cfg_kwargs):
+            config = quick_config(
+                batcher=BatcherConfig(max_batch_size=1, max_wait_us=10.0),
+                **cfg_kwargs,
+            )
+            with GemmServer(framework, config) as server:
+                t = server.submit(Gemm(40, 24, 64), operands=(a, b))
+            result = t.result(timeout=10.0)
+            assert result.status is RequestStatus.COMPLETED
+            return result.value
+
+        grouped = serve_once(engine="grouped")
+        parallel = serve_once(engine="parallel", engine_workers=2)
+        assert np.array_equal(grouped, parallel)
 
     def test_unknown_engine_rejected_at_config(self):
         with pytest.raises(ValueError, match="engine"):
