@@ -6,26 +6,47 @@ one comfortably below saturation and one near it — and records
 throughput, p99 latency, batch occupancy, and the plan-cache hit rate.
 The replay is deterministic, so the recorded numbers are stable for a
 given seed/config and comparable across machines and commits.
+
+Two reliability benchmarks ride along: the happy path must be
+byte-identical with the fault-tolerance layer configured (its cost is
+zero until something actually fails), and a chaos replay under a 5%
+injected planner-failure rate snapshots the layer's goodput into
+``BENCH_serve_faults.json`` at the repository root.
 """
 
 from __future__ import annotations
 
 import functools
+from pathlib import Path
 
+from repro.analysis.export import write_bench_json
 from repro.core.framework import CoordinatedFramework
 from repro.core.options import Heuristic
 from repro.gpu.specs import VOLTA_V100
-from repro.serve import AdmissionConfig, BatcherConfig, ServeConfig
+from repro.reliability import FaultPlan, RetryPolicy
+from repro.serve import (
+    AdmissionConfig,
+    BatcherConfig,
+    ReliabilityConfig,
+    ServeConfig,
+)
 from repro.serve.driver import replay_trace
 from repro.serve.loadgen import poisson_trace
+
+#: The committed goodput-under-chaos snapshot (repo root).
+BENCH_FAULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve_faults.json"
 
 RATES = (500.0, 2000.0)
 TRACE_SEED = 7
 TRACE_DURATION_S = 0.2
 DEADLINE_US = 50_000.0
 
+#: Injected planner-failure probability for the chaos goodput snapshot.
+FAULT_RATE = 0.05
+FAULT_SEED = 11
 
-def _serve_once(rate_rps: float):
+
+def _serve_once(rate_rps: float, reliability: ReliabilityConfig | None = None):
     trace = poisson_trace(
         rate_rps,
         duration_s=TRACE_DURATION_S,
@@ -33,11 +54,13 @@ def _serve_once(rate_rps: float):
         deadline_us=DEADLINE_US,
     )
     framework = CoordinatedFramework(device=VOLTA_V100)
+    kwargs = {} if reliability is None else {"reliability": reliability}
     config = ServeConfig(
         workers=2,
         batcher=BatcherConfig(max_batch_size=16, max_wait_us=2000.0),
         admission=AdmissionConfig(queue_capacity=64),
         heuristic=Heuristic.THRESHOLD,
+        **kwargs,
     )
     report = replay_trace(trace, framework, config)
     return rate_rps, report
@@ -87,3 +110,82 @@ def test_serve_high_rate(benchmark):
     assert report.n_completed > 0
     # Higher offered load packs batches at least as full on average.
     assert report.mean_occupancy >= 1.0
+
+
+def test_serve_reliability_overhead_free(benchmark):
+    """The reliability layer is free on the happy path.
+
+    With no fault plan installed, a replay under an *aggressive* retry
+    policy (more attempts, bigger backoff) must produce a report
+    byte-identical to the default-config baseline: no retries happen,
+    so no backoff is ever charged into virtual time, and the layer's
+    bookkeeping never perturbs a latency or an outcome.
+    """
+    eager = ReliabilityConfig(
+        retry=RetryPolicy(max_attempts=6, base_delay_ms=25.0, max_delay_ms=500.0),
+        breaker_failure_threshold=1,
+    )
+    rate, report = benchmark.pedantic(
+        functools.partial(_serve_once, RATES[0], eager), rounds=1, iterations=1
+    )
+    _, baseline = _serve_once(RATES[0])
+    _record(benchmark, rate, report)
+    assert report.reliability is None  # no fault plan -> no layer attached
+    assert report.to_dict() == baseline.to_dict()
+
+
+def test_serve_faults_goodput(benchmark):
+    """Goodput under a 5% injected planner-failure rate, snapshotted.
+
+    Replays the near-saturation trace with ``planner_error:rate=0.05``:
+    retries absorb most injected faults, so the completed share stays
+    high and every request still settles.  The measurement lands in
+    ``BENCH_serve_faults.json`` so committed snapshots track the
+    reliability layer's goodput across revisions.
+    """
+    chaos = ReliabilityConfig(
+        fault_plan=FaultPlan.parse(
+            [f"planner_error:rate={FAULT_RATE}"], seed=FAULT_SEED
+        ),
+    )
+    rate, report = benchmark.pedantic(
+        functools.partial(_serve_once, RATES[1], chaos), rounds=1, iterations=1
+    )
+    _record(benchmark, rate, report)
+    settled = (
+        report.n_completed
+        + report.n_rejected_queue
+        + report.n_shed_deadline
+        + report.n_rejected_other
+        + report.n_timed_out
+    )
+    assert settled == report.n_requests  # chaos strands nothing
+    assert report.reliability is not None
+    assert report.reliability["faults_injected"] > 0
+    assert report.reliability["retries"] > 0  # transients were absorbed
+    completed_share = report.n_completed / report.n_requests
+    assert completed_share >= 0.9  # goodput survives the fault rate
+
+    benchmark.extra_info["fault_rate"] = FAULT_RATE
+    benchmark.extra_info["faults_injected"] = report.reliability["faults_injected"]
+    benchmark.extra_info["retries"] = report.reliability["retries"]
+    benchmark.extra_info["completed_share"] = round(completed_share, 3)
+    write_bench_json(
+        BENCH_FAULTS_PATH,
+        {
+            "workload": (
+                f"poisson {RATES[1]:.0f} rps x {TRACE_DURATION_S}s "
+                f"(seed {TRACE_SEED}), planner_error rate {FAULT_RATE}"
+            ),
+            "fault_seed": FAULT_SEED,
+            "n_requests": report.n_requests,
+            "n_completed": report.n_completed,
+            "n_rejected_error": report.n_rejected_error,
+            "completed_share": round(completed_share, 3),
+            "goodput_rps": round(report.throughput_rps, 1),
+            "p99_latency_us": round(report.latency.p99_us, 1),
+            "retries": report.reliability["retries"],
+            "batch_failures": report.reliability["batch_failures"],
+            "faults_injected": report.reliability["faults_injected"],
+        },
+    )

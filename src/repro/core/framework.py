@@ -367,6 +367,9 @@ class CoordinatedFramework:
         options: Optional[PlanOptions] = None,
         engine: str = "grouped",
         workers: Optional[int] = None,
+        fallback: bool = False,
+        injector=None,
+        retry=None,
     ) -> list[np.ndarray]:
         """Numerically execute the batch through the planned schedule.
 
@@ -383,13 +386,46 @@ class CoordinatedFramework:
         back to ``options.workers``, then to the engine's host-sized
         default); passing it with any other engine raises
         ``ValueError``.
+
+        ``fallback=True`` runs the engine through a
+        :class:`~repro.reliability.ReliableExecutor`: failures are
+        retried per ``retry`` (a
+        :class:`~repro.reliability.RetryPolicy`; ``None`` uses the
+        policy's defaults) and then degrade along the engine chain
+        (``parallel`` -> ``grouped`` -> ``reference``), so a
+        misbehaving preferred engine costs latency, not the answer.
+        ``injector`` is an optional
+        :class:`~repro.reliability.FaultInjector` evaluated at the
+        ``"engine"`` fault site (chaos testing); passing one implies
+        the reliable path even without ``fallback``.
         """
         from repro.kernels import get_engine
 
         opts = self.resolve_options(heuristic, options)
         if workers is None and engine == "parallel":
             workers = opts.workers
-        run = get_engine(engine, workers=workers)
         report = self.plan(batch, options=opts)
-        with get_tracer().span("execute", gemms=len(batch), engine=engine):
+        tracer = get_tracer()
+        if fallback or injector is not None or retry is not None:
+            from repro.reliability import ReliableExecutor
+
+            executor = ReliableExecutor(
+                engine,
+                workers=workers,
+                retry=retry,
+                fallback=fallback,
+                injector=injector,
+            )
+            with tracer.span("execute", gemms=len(batch), engine=engine) as span:
+                values, engine_used = executor.execute(
+                    report.schedule, batch, operands
+                )
+                tracer.counter("execute.retries", executor.retries)
+                tracer.counter("execute.fallbacks", executor.fallbacks)
+                if span.enabled:
+                    span.set_attr("engine_used", engine_used)
+                    span.set_attr("fallbacks", executor.fallbacks)
+            return values
+        run = get_engine(engine, workers=workers)
+        with tracer.span("execute", gemms=len(batch), engine=engine):
             return run(report.schedule, batch, operands)

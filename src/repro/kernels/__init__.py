@@ -36,6 +36,15 @@ from typing import Optional
 #: The recognized execution-engine names.
 ENGINES: tuple[str, ...] = ("reference", "grouped", "parallel")
 
+#: Degradation order per engine: itself first, then progressively
+#: simpler engines ending at the per-slot reference walk (the oracle).
+#: Every engine is bit-identical, so falling back trades only speed.
+ENGINE_FALLBACKS: dict[str, tuple[str, ...]] = {
+    "parallel": ("parallel", "grouped", "reference"),
+    "grouped": ("grouped", "reference"),
+    "reference": ("reference",),
+}
+
 _EXPORTS = {
     "reference_gemm": ("repro.kernels.reference", "reference_gemm"),
     "reference_batched_gemm": ("repro.kernels.reference", "reference_batched_gemm"),
@@ -55,10 +64,26 @@ _EXPORTS = {
     "ShardPlan": ("repro.kernels.parallel", "ShardPlan"),
 }
 
-__all__ = ["ENGINES", "get_engine", *_EXPORTS]
+__all__ = ["ENGINES", "ENGINE_FALLBACKS", "engine_fallbacks", "get_engine", *_EXPORTS]
 
 
-def get_engine(name: str, workers: Optional[int] = None):
+def engine_fallbacks(name: str) -> tuple[str, ...]:
+    """The fallback chain starting at ``name`` (itself included).
+
+    ``parallel`` degrades to ``grouped`` then ``reference``;
+    ``grouped`` to ``reference``; ``reference`` stands alone.  The
+    serving layer and :class:`~repro.reliability.ReliableExecutor`
+    walk this chain when the preferred engine misbehaves.
+    """
+    try:
+        return ENGINE_FALLBACKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution engine {name!r}; choose from {ENGINES}"
+        ) from None
+
+
+def get_engine(name: str, workers: Optional[int] = None, injector=None):
     """Resolve an execution-engine name to its executor callable.
 
     All engines share the signature ``fn(schedule, batch, operands)
@@ -71,7 +96,27 @@ def get_engine(name: str, workers: Optional[int] = None):
     and raises ``ValueError`` for any other engine -- a silently
     ignored worker count would misreport what ran.  Raises
     ``ValueError`` for unknown names.
+
+    ``injector`` is an optional
+    :class:`~repro.reliability.FaultInjector` (anything with a
+    ``check(site, engine=...)`` method): the returned callable
+    evaluates the ``"engine"`` fault site before every execution, so
+    chaos tests can make any engine fail or stall deterministically.
     """
+    run = _resolve_engine(name, workers)
+    if injector is None:
+        return run
+
+    def run_with_faults(schedule, batch, operands, *args, **kwargs):
+        injector.check("engine", engine=name)
+        return run(schedule, batch, operands, *args, **kwargs)
+
+    run_with_faults.__name__ = f"{run.__name__}_faulted"
+    run_with_faults.engine = name
+    return run_with_faults
+
+
+def _resolve_engine(name: str, workers: Optional[int] = None):
     if name == "parallel":
         from repro.kernels.parallel import execute_parallel, resolve_workers
 

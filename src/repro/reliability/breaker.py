@@ -1,0 +1,162 @@
+"""Per-engine circuit breakers: stop hammering what keeps failing.
+
+Retries handle *transient* failures; a breaker handles *systematic*
+ones.  After ``failure_threshold`` consecutive failures the breaker
+**opens** and :meth:`CircuitBreaker.allow` answers False, so callers
+skip the engine entirely (falling through to the next engine in the
+chain) instead of paying a doomed attempt plus backoff per batch.
+After ``cooldown_s`` the breaker moves to **half-open** and admits
+exactly one probe call: success closes the breaker (recovered),
+failure re-opens it and re-arms the cooldown.
+
+The clock is injectable so tests drive the state machine
+deterministically; all transitions are recorded in :attr:`history`
+(the recovery audit trail the chaos tests assert on).  Thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Callable
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(str, Enum):
+    """The classic three-state circuit-breaker machine."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    @property
+    def code(self) -> int:
+        """Numeric encoding for gauges (closed=0, half_open=1, open=2)."""
+        return {"closed": 0, "half_open": 1, "open": 2}[self.value]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one execution engine."""
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._opens = 0
+        self._failures = 0
+        self._successes = 0
+        self._history: list[str] = [BreakerState.CLOSED.value]
+
+    # -- state machine (callers hold self._lock) ----------------------
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        self._history.append(state.value)
+        if state is BreakerState.OPEN:
+            self._opens += 1
+            self._opened_at = self._clock()
+            self._probe_inflight = False
+        elif state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
+        else:  # CLOSED
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+
+    def _resolve(self) -> None:
+        """Lazy OPEN -> HALF_OPEN transition once the cooldown elapses."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(BreakerState.HALF_OPEN)
+
+    # -- public API ---------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._resolve()
+            return self._state
+
+    @property
+    def history(self) -> tuple[str, ...]:
+        """Every state the breaker has been in, in order."""
+        with self._lock:
+            self._resolve()
+            return tuple(self._history)
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded engine right now?
+
+        CLOSED: yes.  OPEN: no (until the cooldown elapses).
+        HALF_OPEN: yes for exactly one caller -- the probe; everyone
+        else is refused until the probe's outcome is recorded.
+        """
+        with self._lock:
+            self._resolve()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The guarded call succeeded: close (or stay closed)."""
+        with self._lock:
+            self._resolve()
+            self._successes += 1
+            self._consecutive_failures = 0
+            if self._state is not BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """The guarded call failed: count it, maybe open."""
+        with self._lock:
+            self._resolve()
+            self._failures += 1
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                self._transition(BreakerState.OPEN)  # failed probe: re-arm
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(BreakerState.OPEN)
+
+    def snapshot(self) -> dict:
+        """The breaker's state and lifetime counts (JSON-compatible)."""
+        with self._lock:
+            self._resolve()
+            return {
+                "name": self.name,
+                "state": self._state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "failures": self._failures,
+                "successes": self._successes,
+                "opens": self._opens,
+                "history": list(self._history),
+            }

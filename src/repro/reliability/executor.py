@@ -1,0 +1,171 @@
+"""The reliable executor: retry + circuit breakers + engine fallback.
+
+Stream-K++ and tritonBLAS both argue the same point from different
+angles: an analytically *selected* kernel configuration needs a safety
+net for the cases where the selection misbehaves.  Here the selection
+is the execution engine (``parallel`` -> ``grouped`` -> ``reference``,
+each slower but simpler and more battle-tested than the previous), and
+the safety net is :class:`ReliableExecutor`:
+
+1. run the preferred engine; on failure, **retry** per the
+   :class:`~repro.reliability.retry.RetryPolicy` (transient faults);
+2. count failures into the engine's
+   :class:`~repro.reliability.breaker.CircuitBreaker`; once it opens,
+   skip the engine entirely until its cooldown elapses (systematic
+   faults);
+3. when an engine's retries exhaust or its breaker is open, **fall
+   back** to the next engine in the chain.
+
+The *last* engine in the chain is always attempted regardless of its
+breaker state -- the breaker's job is to shed load off broken
+preferred engines, not to turn a request away when a working oracle
+remains.  Every engine produces bit-identical results (the PR-3/PR-4
+equivalence guarantee), so falling back changes latency, never
+answers.
+
+Thread-safe; one executor is shared by all of a server's workers so
+breaker state and counts are process-wide per server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.kernels import engine_fallbacks, get_engine
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import FaultInjector
+from repro.reliability.retry import RetryPolicy
+
+__all__ = ["EngineUnavailable", "ReliableExecutor"]
+
+
+class EngineUnavailable(RuntimeError):
+    """No engine in the fallback chain could serve the batch.
+
+    Distinguished from data-dependent engine failures so callers (the
+    serving layer's poison-batch bisection) know splitting the batch
+    cannot help.
+    """
+
+
+class ReliableExecutor:
+    """Executes batches through a retrying, breaker-guarded engine chain."""
+
+    def __init__(
+        self,
+        engine: str = "grouped",
+        *,
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fallback: bool = True,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        injector: Optional[FaultInjector] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.engine = engine
+        self.chain: tuple[str, ...] = (
+            engine_fallbacks(engine) if fallback else (engine,)
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
+        self._workers = workers
+        self._sleep = sleep
+        self.breakers: dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=failure_threshold,
+                cooldown_s=cooldown_s,
+                clock=clock,
+            )
+            for name in self.chain
+        }
+        self._lock = threading.Lock()
+        self._executions = 0
+        self._retries = 0
+        self._fallbacks = 0
+        self._engine_used: dict[str, int] = {}
+
+    # -- counters -----------------------------------------------------
+
+    @property
+    def retries(self) -> int:
+        with self._lock:
+            return self._retries
+
+    @property
+    def fallbacks(self) -> int:
+        with self._lock:
+            return self._fallbacks
+
+    def snapshot(self) -> dict:
+        """Counts and breaker states (JSON-compatible; feeds health)."""
+        with self._lock:
+            counts = {
+                "engine": self.engine,
+                "chain": list(self.chain),
+                "executions": self._executions,
+                "retries": self._retries,
+                "fallbacks": self._fallbacks,
+                "engine_used": dict(sorted(self._engine_used.items())),
+            }
+        counts["breakers"] = {
+            name: breaker.snapshot() for name, breaker in self.breakers.items()
+        }
+        return counts
+
+    # -- execution ----------------------------------------------------
+
+    def _run_engine(self, name: str, schedule, batch, operands):
+        run = get_engine(
+            name,
+            workers=self._workers if name == "parallel" else None,
+            injector=self.injector,
+        )
+        return run(schedule, batch, operands)
+
+    def execute(self, schedule, batch, operands: Sequence) -> tuple[list, str]:
+        """Execute through the chain; returns ``(values, engine_used)``.
+
+        Raises the last engine failure when every engine is exhausted,
+        or :class:`EngineUnavailable` when every breaker refused and no
+        attempt was even possible (cannot happen while the last-resort
+        engine exists, which is always attempted).
+        """
+        last_exc: Optional[Exception] = None
+        for position, name in enumerate(self.chain):
+            breaker = self.breakers[name]
+            last_resort = position == len(self.chain) - 1
+            if not breaker.allow() and not last_resort:
+                continue
+            for attempt in range(1, self.retry.max_attempts + 1):
+                try:
+                    values = self._run_engine(name, schedule, batch, operands)
+                except Exception as exc:
+                    last_exc = exc
+                    breaker.record_failure()
+                    exhausted = attempt >= self.retry.max_attempts
+                    tripped = not last_resort and not breaker.allow()
+                    if exhausted or tripped:
+                        break  # fall through to the next engine
+                    with self._lock:
+                        self._retries += 1
+                    delay_ms = self.retry.delay_ms(attempt, token=(name, position))
+                    if delay_ms > 0:
+                        self._sleep(delay_ms / 1e3)
+                else:
+                    breaker.record_success()
+                    with self._lock:
+                        self._executions += 1
+                        if position > 0:
+                            self._fallbacks += 1
+                        self._engine_used[name] = self._engine_used.get(name, 0) + 1
+                    return values, name
+        if last_exc is not None:
+            raise last_exc
+        raise EngineUnavailable(
+            f"no engine in {self.chain} accepted the batch (all breakers open)"
+        )

@@ -1,0 +1,78 @@
+"""Retry policy: capped exponential backoff with deterministic jitter.
+
+A transient engine or planner failure (an injected fault, a flaky
+allocation, a race in a dependency) usually succeeds on the next
+attempt; a *systematic* failure (a poison operand, a broken engine)
+never does.  The :class:`RetryPolicy` bounds how long the pipeline
+keeps believing a failure is transient: up to ``max_attempts`` tries,
+sleeping ``base_delay_ms * backoff**(k-1)`` (capped at
+``max_delay_ms``) after the *k*-th failure.
+
+Jitter decorrelates retry storms without sacrificing reproducibility:
+the jittered delay is a pure function of ``(seed, attempt, token)``
+rather than a draw from a shared RNG, so a replayed run backs off by
+byte-identical amounts.  Callers pass a ``token`` (e.g. the fallback
+chain position) to decorrelate concurrent retry loops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failing call, and how long to wait."""
+
+    max_attempts: int = 3
+    base_delay_ms: float = 1.0
+    backoff: float = 2.0
+    max_delay_ms: float = 50.0
+    #: Jitter amplitude as a fraction of the nominal delay (0 = none);
+    #: the jittered delay lands in ``nominal * [1 - jitter, 1 + jitter]``.
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_ms < 0:
+            raise ValueError(f"base_delay_ms must be >= 0, got {self.base_delay_ms}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {self.max_delay_ms}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def max_retries(self) -> int:
+        """Retries on top of the first attempt."""
+        return self.max_attempts - 1
+
+    def nominal_delay_ms(self, attempt: int) -> float:
+        """Un-jittered backoff after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        return min(
+            self.base_delay_ms * self.backoff ** (attempt - 1), self.max_delay_ms
+        )
+
+    def delay_ms(self, attempt: int, token: object = 0) -> float:
+        """Jittered backoff after the ``attempt``-th failure (1-based).
+
+        Deterministic: the same ``(policy, attempt, token)`` always
+        yields the same delay.
+        """
+        nominal = self.nominal_delay_ms(attempt)
+        if self.jitter == 0.0 or nominal == 0.0:
+            return nominal
+        u = random.Random(f"{self.seed}:{attempt}:{token!r}").random()
+        return nominal * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def delays_ms(self, token: object = 0) -> tuple[float, ...]:
+        """Every backoff this policy would sleep, in order."""
+        return tuple(self.delay_ms(k, token) for k in range(1, self.max_attempts))

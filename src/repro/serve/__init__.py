@@ -21,6 +21,11 @@ that loop -- it is the *online* layer in front of the offline planner:
   closed-loop client swarm;
 * :mod:`repro.serve.cli` -- the ``repro-serve`` command.
 
+Fault tolerance (retries, engine fallback behind circuit breakers,
+poison-batch bisection, seeded chaos injection) is configured through
+``ServeConfig.reliability`` (:class:`ReliabilityConfig`) and built on
+:mod:`repro.reliability`; see ``docs/reliability.md``.
+
 Quickstart (deterministic replay)::
 
     from repro.serve import ServeConfig, poisson_trace, replay_trace
@@ -42,7 +47,7 @@ Quickstart (live server)::
 
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.batcher import BatcherConfig, DynamicBatcher, FormedBatch
-from repro.serve.config import ServeConfig
+from repro.serve.config import ReliabilityConfig, ServeConfig
 from repro.serve.driver import replay_trace
 from repro.serve.loadgen import (
     DEFAULT_SHAPE_POOL,
@@ -55,12 +60,19 @@ from repro.serve.loadgen import (
 from repro.serve.planner import PlannedBatch, PlannerStage
 from repro.serve.report import ServeReport, compile_report
 from repro.serve.request import (
+    REASON_DEADLINE,
+    REASON_ERROR_PREFIX,
+    REASON_QUEUE_FULL,
+    REASON_SHUTDOWN,
+    REASON_STRANDED,
     Completed,
     Rejected,
     RequestStatus,
     ServeRequest,
     ServeResult,
     TimedOut,
+    error_reason,
+    is_error_reason,
 )
 from repro.serve.server import GemmServer, ServeTicket
 
@@ -70,6 +82,7 @@ __all__ = [
     "BatcherConfig",
     "DynamicBatcher",
     "FormedBatch",
+    "ReliabilityConfig",
     "ServeConfig",
     "replay_trace",
     "DEFAULT_SHAPE_POOL",
@@ -82,12 +95,19 @@ __all__ = [
     "PlannerStage",
     "ServeReport",
     "compile_report",
+    "REASON_DEADLINE",
+    "REASON_ERROR_PREFIX",
+    "REASON_QUEUE_FULL",
+    "REASON_SHUTDOWN",
+    "REASON_STRANDED",
     "Completed",
     "Rejected",
     "RequestStatus",
     "ServeRequest",
     "ServeResult",
     "TimedOut",
+    "error_reason",
+    "is_error_reason",
     "GemmServer",
     "ServeTicket",
 ]

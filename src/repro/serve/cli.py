@@ -9,6 +9,10 @@ Usage::
     repro-serve --trace /tmp/trace.json --workers 4
     repro-serve --live --time-scale 0.1    # wall-clock run through GemmServer
 
+    # chaos: seeded fault injection against the live server
+    repro-serve --live --operands --inject engine_error:engine=grouped,at=1-6 \
+        --fault-seed 7 --json
+
 By default the trace is replayed **deterministically in virtual time**
 (:func:`repro.serve.driver.replay_trace`): arrival times come from the
 trace, service times from the device model, so the same seed and
@@ -119,11 +123,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="pre-plan the trace's batch mixes before serving (warm-start)",
     )
+    reliability = parser.add_argument_group("reliability")
+    reliability.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a seeded fault: <site>_<error|slow>[:key=val,...] with "
+        "site in {engine, planner}, keys every=N, at=A-B+C, rate=P, ms=X, "
+        "engine=NAME, exc=ExcName (repeatable; e.g. engine_error:every=7)",
+    )
+    reliability.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-injection RNG seed"
+    )
+    reliability.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retry attempts per planner call / per engine (default 3)",
+    )
+    reliability.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the engine fallback chain (fail instead of degrading)",
+    )
+    reliability.add_argument(
+        "--no-bisect",
+        action="store_true",
+        help="disable poison-batch bisection (reject whole failed batches)",
+    )
+    reliability.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive failures before an engine's circuit opens",
+    )
+    reliability.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds an open circuit waits before a half-open probe",
+    )
     output = parser.add_argument_group("output")
     output.add_argument(
         "--live",
         action="store_true",
         help="run in wall time through the threaded GemmServer (nondeterministic)",
+    )
+    output.add_argument(
+        "--operands",
+        action="store_true",
+        help="--live only: submit random operands so batches execute "
+        "numerically (exercises the engine + fallback chain)",
     )
     output.add_argument(
         "--time-scale",
@@ -184,8 +238,31 @@ def _build_trace(args: argparse.Namespace):
 
 
 def _build_config(args: argparse.Namespace, heuristic: Heuristic):
-    from repro.serve import AdmissionConfig, BatcherConfig, ServeConfig
+    from repro.reliability import FaultPlan, RetryPolicy
+    from repro.serve import (
+        AdmissionConfig,
+        BatcherConfig,
+        ReliabilityConfig,
+        ServeConfig,
+    )
 
+    fault_plan = None
+    if args.inject:
+        try:
+            fault_plan = FaultPlan.parse(args.inject, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(f"error: bad --inject spec: {exc}") from None
+    try:
+        reliability = ReliabilityConfig(
+            retry=RetryPolicy(max_attempts=args.max_retries),
+            fallback=not args.no_fallback,
+            bisect=not args.no_bisect,
+            breaker_failure_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown_s,
+            fault_plan=fault_plan,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
     return ServeConfig(
         workers=args.workers,
         batcher=BatcherConfig(
@@ -195,12 +272,20 @@ def _build_config(args: argparse.Namespace, heuristic: Heuristic):
         heuristic=heuristic,
         engine=args.engine,
         engine_workers=args.engine_workers or None,
+        reliability=reliability,
     )
 
 
-def _run_live(trace, framework, config, cache, time_scale: float):
+def _run_live(
+    trace, framework, config, cache, time_scale: float, operands_seed=None
+):
     from repro.serve.server import GemmServer
 
+    operand_rng = None
+    if operands_seed is not None:
+        import numpy as np
+
+        operand_rng = np.random.default_rng(operands_seed)
     server = GemmServer(framework, config, cache=cache).start()
     prev_us = 0.0
     tickets = []
@@ -209,9 +294,17 @@ def _run_live(trace, framework, config, cache, time_scale: float):
         if gap_s > 0:
             time.sleep(gap_s)
         prev_us = tr.arrival_us
+        operands = None
+        if operand_rng is not None:
+            g = tr.gemm
+            operands = (
+                operand_rng.standard_normal((g.m, g.k)),
+                operand_rng.standard_normal((g.k, g.n)),
+            )
         tickets.append(
             server.submit(
                 tr.gemm,
+                operands=operands,
                 deadline_us=(
                     None if tr.deadline_us is None else tr.deadline_us - tr.arrival_us
                 ),
@@ -230,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.engine_workers and args.engine != "parallel":
         raise SystemExit("error: --engine-workers requires --engine parallel")
+    if args.operands and not args.live:
+        raise SystemExit("error: --operands requires --live (replay never executes)")
     try:
         heuristic = Heuristic.coerce(args.heuristic, warn=False)
     except ValueError as exc:
@@ -260,7 +355,14 @@ def main(argv: list[str] | None = None) -> int:
             cache.stats = CacheStats()  # report serving-time traffic only
             print(f"warm-start: pre-planned {planned} batch mixes", file=sys.stderr)
         if args.live:
-            report = _run_live(trace, framework, config, cache, args.time_scale)
+            report = _run_live(
+                trace,
+                framework,
+                config,
+                cache,
+                args.time_scale,
+                operands_seed=args.seed if args.operands else None,
+            )
         else:
             report = replay_trace(trace, framework, config, cache=cache)
     finally:
@@ -277,6 +379,15 @@ def main(argv: list[str] | None = None) -> int:
             f"cache {stats.hits}h/{stats.misses}m/{stats.evictions}e "
             f"(hit rate {stats.hit_rate:.1%})"
         )
+        if report.reliability is not None:
+            rel = report.reliability
+            print(
+                "reliability: "
+                f"{rel.get('retries', 0)} retries, "
+                f"{rel.get('fallbacks', 0)} fallbacks, "
+                f"{rel.get('bisections', 0)} bisections, "
+                f"{rel.get('faults_injected', 0)} faults injected"
+            )
     if args.chrome_trace:
         try:
             write_chrome_trace(tracer, args.chrome_trace, process_name="repro-serve")

@@ -3,11 +3,48 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.framework import HeuristicLike
 from repro.kernels import ENGINES
+from repro.reliability import FaultPlan, RetryPolicy
 from repro.serve.admission import AdmissionConfig
 from repro.serve.batcher import BatcherConfig
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Fault-tolerance policy for the serving pipeline.
+
+    ``retry`` drives both planner and engine retries (capped
+    exponential backoff, deterministic jitter); ``fallback`` enables
+    the engine degradation chain (``parallel`` -> ``grouped`` ->
+    ``reference``); the breaker knobs size each engine's
+    :class:`~repro.reliability.CircuitBreaker`; ``bisect`` enables
+    poison-batch isolation (a batch that fails after retries and
+    fallback is split and re-executed so healthy requests still
+    complete); ``fault_plan`` installs a seeded
+    :class:`~repro.reliability.FaultPlan` for chaos testing --
+    ``None`` (the default) injects nothing and adds no overhead.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fallback: bool = True
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_s: float = 1.0
+    bisect: bool = True
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.breaker_failure_threshold < 1:
+            raise ValueError(
+                "breaker_failure_threshold must be >= 1, "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_cooldown_s < 0:
+            raise ValueError(
+                f"breaker_cooldown_s must be >= 0, got {self.breaker_cooldown_s}"
+            )
 
 
 @dataclass(frozen=True)
@@ -32,6 +69,11 @@ class ServeConfig:
     the engine pick a host-sized default) and is only accepted when
     ``engine="parallel"`` -- the two knobs compose, since an engine
     pool is shared process-wide across all serve workers.
+
+    ``reliability`` holds the fault-tolerance policy (retries, engine
+    fallback, circuit breakers, poison-batch bisection, and the
+    optional chaos fault plan); see :class:`ReliabilityConfig` and
+    ``docs/reliability.md``.
     """
 
     workers: int = 2
@@ -42,6 +84,7 @@ class ServeConfig:
     hit_overhead_us: float = 5.0
     engine: str = "grouped"
     engine_workers: int | None = None
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
 
     def __post_init__(self) -> None:
         if self.workers < 1:

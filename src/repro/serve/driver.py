@@ -22,6 +22,18 @@ Event kinds, in one heap ordered by (time, insertion sequence):
 Batches dispatch FIFO to the first of ``config.workers`` free worker
 slots; a slot stays busy for the batch's planning + simulated kernel
 time, which is how queueing delay emerges under overload.
+
+Fault tolerance: when ``config.reliability.fault_plan`` is set, a
+:class:`~repro.reliability.FaultInjector` is attached to the planner
+stage with ``sleep=None`` -- slow faults are *charged into virtual
+time* (as extra ``plan_us``) instead of wall-sleeping, and planner
+error faults are retried per the retry policy with the backoff delays
+likewise charged virtually.  A batch whose planning still fails is
+rejected with the typed ``error:<ExcName>`` reason and its latency is
+fed to the admission EWMA, mirroring the live server's error path.
+Replay never executes operands, so the engine fallback chain and
+poison bisection have no virtual-time counterpart; the report's
+``reliability`` dict carries the planner-side counters.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from typing import Optional, Sequence
 
 from repro.core.framework import CoordinatedFramework
 from repro.core.plancache import PlanCache
+from repro.reliability import FaultInjector
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import DynamicBatcher, FormedBatch
 from repro.serve.config import ServeConfig
@@ -46,6 +59,7 @@ from repro.serve.request import (
     ServeRequest,
     ServeResult,
     TimedOut,
+    error_reason,
 )
 from repro.telemetry import get_tracer
 
@@ -66,6 +80,13 @@ def replay_trace(
     """
     framework = framework if framework is not None else CoordinatedFramework()
     config = config if config is not None else ServeConfig()
+    reliability_cfg = config.reliability
+    # sleep=None: slow faults are charged into virtual time, not slept.
+    injector = (
+        FaultInjector(reliability_cfg.fault_plan, sleep=None)
+        if reliability_cfg.fault_plan is not None
+        else None
+    )
     batcher = DynamicBatcher(config.batcher)
     admission = AdmissionController(config.admission)
     planner = PlannerStage(
@@ -74,6 +95,7 @@ def replay_trace(
         heuristic=config.heuristic,
         miss_overhead_us=config.miss_overhead_us,
         hit_overhead_us=config.hit_overhead_us,
+        injector=injector,
     )
     tracer = get_tracer()
 
@@ -103,6 +125,8 @@ def replay_trace(
     batch_fifo: deque[FormedBatch] = deque()
     free_workers = config.workers
     makespan_us = 0.0
+    planner_retries = 0
+    batch_failures = 0
 
     def resolve_shed(fb: FormedBatch, now_us: float) -> None:
         for r in fb.shed:
@@ -114,13 +138,57 @@ def replay_trace(
             )
             tracer.counter("serve.requests_shed")
 
+    def plan_with_retry(fb: FormedBatch) -> tuple[PlannedBatch, float]:
+        """Plan ``fb``, retrying per policy; returns (plan, delay charged).
+
+        Backoff delays are *virtual*: accumulated and charged into the
+        batch's service interval rather than slept.
+        """
+        nonlocal planner_retries
+        policy = config.reliability.retry
+        delay_us = 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return planner.plan(fb), delay_us
+            except Exception:
+                if attempt >= policy.max_attempts:
+                    raise
+                planner_retries += 1
+                delay_us += policy.delay_ms(attempt, token="planner") * 1e3
+        raise AssertionError("unreachable")
+
+    def reject_failed(fb: FormedBatch, now_us: float, exc: Exception) -> None:
+        nonlocal batch_failures
+        batch_failures += 1
+        reason = error_reason(exc)
+        for r in fb.requests:
+            latency_us = now_us - r.arrival_us
+            results[r.request_id] = Rejected(
+                request_id=r.request_id,
+                finish_us=now_us,
+                latency_us=latency_us,
+                reason=reason,
+            )
+            tracer.counter("serve.requests_failed")
+            # Keep the EWMA fed on the error path too, matching the
+            # live server, so feasibility estimates track incidents.
+            admission.observe_service(latency_us)
+
     def dispatch(now_us: float) -> None:
         nonlocal free_workers
         while free_workers > 0 and batch_fifo:
             fb = batch_fifo.popleft()
-            planned = planner.plan(fb)
+            try:
+                planned, retry_delay_us = plan_with_retry(fb)
+            except Exception as exc:
+                reject_failed(fb, now_us, exc)
+                continue
             free_workers -= 1
-            push(now_us + planned.service_us, "complete", (planned, now_us))
+            push(
+                now_us + retry_delay_us + planned.service_us,
+                "complete",
+                (planned, now_us),
+            )
 
     def form(now_us: float) -> None:
         while True:
@@ -193,6 +261,19 @@ def replay_trace(
             span.set_attr("completed", sum(1 for r in results.values() if r.ok))
             span.set_attr("makespan_us", makespan_us)
 
+    reliability = None
+    if injector is not None:
+        reliability = {
+            "retries": planner_retries,
+            "planner_retries": planner_retries,
+            "fallbacks": 0,  # replay never executes, so no engine chain
+            "bisections": 0,
+            "batch_failures": batch_failures,
+            "faults_injected": injector.injected_count,
+        }
+        tracer.counter("serve.retries", planner_retries)
+        tracer.counter("faults.injected", injector.injected_count)
+
     return compile_report(
         results=results,
         occupancies=occupancies,
@@ -201,4 +282,5 @@ def replay_trace(
         max_batch_size=config.batcher.max_batch_size,
         time_base="virtual",
         formed_batches=formed_batches,
+        reliability=reliability,
     )

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.core.framework import CoordinatedFramework, HeuristicLike, PlanReport
 from repro.core.plancache import PlanCache
 from repro.gpu.simulator import SimulationResult
+from repro.reliability import SITE_PLANNER, FaultInjector
 from repro.serve.batcher import FormedBatch
 from repro.telemetry import get_tracer
 
@@ -54,6 +55,7 @@ class PlannerStage:
         heuristic: HeuristicLike = None,
         miss_overhead_us: float = 200.0,
         hit_overhead_us: float = 5.0,
+        injector: FaultInjector | None = None,
     ):
         if miss_overhead_us < 0 or hit_overhead_us < 0:
             raise ValueError("planning overheads must be >= 0")
@@ -62,6 +64,10 @@ class PlannerStage:
         self.heuristic = heuristic
         self.miss_overhead_us = miss_overhead_us
         self.hit_overhead_us = hit_overhead_us
+        #: Optional chaos harness; the ``"planner"`` fault site is
+        #: evaluated on every :meth:`plan` call (error faults raise out
+        #: of it, slow faults are charged into ``plan_us``).
+        self.injector = injector
         self._lock = threading.Lock()
         # id(report) -> (report, sim); the report reference keeps the id stable.
         self._sim_memo: dict[int, tuple[PlanReport, SimulationResult]] = {}
@@ -71,6 +77,9 @@ class PlannerStage:
         if not formed.requests:
             raise ValueError("cannot plan an empty batch (pure shed event)")
         batch = formed.to_gemm_batch()
+        penalty_us = 0.0
+        if self.injector is not None:
+            penalty_us = self.injector.check(SITE_PLANNER) * 1e3
         with get_tracer().span(
             "serve.plan", batch_id=formed.batch_id, gemms=len(batch)
         ) as span:
@@ -84,7 +93,8 @@ class PlannerStage:
             report=report,
             sim=sim,
             cache_hit=hit,
-            plan_us=self.hit_overhead_us if hit else self.miss_overhead_us,
+            plan_us=(self.hit_overhead_us if hit else self.miss_overhead_us)
+            + penalty_us,
         )
 
     def _simulate(self, report: PlanReport) -> SimulationResult:

@@ -10,7 +10,7 @@ their measurements into the same :class:`ServeReport`, rendered by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.latency import LatencyStats
 from repro.core.plancache import CacheStats
@@ -22,6 +22,7 @@ from repro.serve.request import (
     Rejected,
     ServeResult,
     TimedOut,
+    is_error_reason,
 )
 
 
@@ -35,6 +36,7 @@ class ServeReport:
     n_rejected_queue: int
     n_shed_deadline: int
     n_rejected_other: int  # shutdown / internal errors
+    n_rejected_error: int  # the error:<Exc> subset of n_rejected_other
     n_timed_out: int
     n_deadline_misses: int  # completed, but after their deadline
     n_batches: int
@@ -50,6 +52,10 @@ class ServeReport:
     #: The planner-facing batches actually formed, in formation order;
     #: feed these to :meth:`PlanCache.warm` to pre-plan a known mix.
     formed_batches: tuple[GemmBatch, ...] = ()
+    #: Fault-tolerance counters (retries, fallbacks, bisections,
+    #: injected faults, breaker states); ``None`` when the serving
+    #: mode has no reliability layer attached.
+    reliability: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-compatible summary (excludes the formed batches)."""
@@ -60,6 +66,7 @@ class ServeReport:
             "n_rejected_queue": self.n_rejected_queue,
             "n_shed_deadline": self.n_shed_deadline,
             "n_rejected_other": self.n_rejected_other,
+            "n_rejected_error": self.n_rejected_error,
             "n_timed_out": self.n_timed_out,
             "n_deadline_misses": self.n_deadline_misses,
             "n_batches": self.n_batches,
@@ -71,6 +78,7 @@ class ServeReport:
             "latency": self.latency.to_dict(),
             "queue_latency": self.queue_latency.to_dict(),
             "cache": self.cache.as_dict(),
+            "reliability": self.reliability,
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -84,6 +92,7 @@ def compile_report(
     max_batch_size: int,
     time_base: str,
     formed_batches: Sequence[GemmBatch] = (),
+    reliability: Optional[dict] = None,
 ) -> ServeReport:
     """Aggregate raw per-request results into a :class:`ServeReport`."""
     if isinstance(results, Mapping):
@@ -95,6 +104,7 @@ def compile_report(
     timed_out = [r for r in ordered if isinstance(r, TimedOut)]
     n_queue = sum(1 for r in rejected if r.reason == REASON_QUEUE_FULL)
     n_shed = sum(1 for r in rejected if r.reason == REASON_DEADLINE)
+    n_error = sum(1 for r in rejected if is_error_reason(r.reason))
     makespan_s = makespan_us / 1e6
     return ServeReport(
         time_base=time_base,
@@ -103,6 +113,7 @@ def compile_report(
         n_rejected_queue=n_queue,
         n_shed_deadline=n_shed,
         n_rejected_other=len(rejected) - n_queue - n_shed,
+        n_rejected_error=n_error,
         n_timed_out=len(timed_out),
         n_deadline_misses=sum(1 for r in completed if not r.deadline_met),
         n_batches=len(occupancies),
@@ -116,4 +127,5 @@ def compile_report(
         cache=cache,
         results=ordered,
         formed_batches=tuple(formed_batches),
+        reliability=reliability,
     )

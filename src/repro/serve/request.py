@@ -11,13 +11,28 @@ Every request resolves to exactly one structured result:
 
 * :class:`Completed` -- served; carries the latency breakdown, the
   batch it rode in, and (when operands were supplied) the C output.
-* :class:`Rejected` -- never planned: the admission controller turned
-  it away (``queue_full``, ``deadline``) or the server was shutting
-  down (``shutdown``).  Deadline-based load shedding produces
+* :class:`Rejected` -- not served: the admission controller turned it
+  away (``queue_full``, ``deadline``), the server was shutting down
+  (``shutdown``), or the request failed in the pipeline
+  (``error:<ExcName>``).  Deadline-based load shedding produces
   ``reason="deadline"``.
 * :class:`TimedOut` -- planned and served, but its per-request timeout
   elapsed before completion; the work is wasted and the caller should
   treat it as failed.
+
+Rejection reasons form a small closed taxonomy:
+
+=================  ====================================================
+``queue_full``     admission backpressure (the queue was at capacity)
+``deadline``       infeasible or expired deadline (admission or shed)
+``shutdown``       the server stopped before the request was served
+``error:<Exc>``    planning or execution failed after retries,
+                   fallback, and (for multi-request batches) poison
+                   bisection; ``<Exc>`` is the exception class name,
+                   e.g. ``error:InjectedFault`` or ``error:ValueError``
+``error:Stranded`` the crash-barrier sweep settled a ticket whose
+                   pipeline thread died (never under normal operation)
+=================  ====================================================
 
 All times are microseconds.  Deadlines are *absolute* (on the
 server's clock); timeouts are *relative* to arrival.
@@ -35,6 +50,20 @@ from repro.core.problem import Gemm
 REASON_QUEUE_FULL = "queue_full"
 REASON_DEADLINE = "deadline"
 REASON_SHUTDOWN = "shutdown"
+#: Prefix of the failure branch of the taxonomy (``error:<ExcName>``).
+REASON_ERROR_PREFIX = "error:"
+#: A ticket settled by the crash-barrier sweep (owning thread died).
+REASON_STRANDED = "error:Stranded"
+
+
+def error_reason(exc: BaseException) -> str:
+    """The typed rejection reason for a pipeline failure."""
+    return f"{REASON_ERROR_PREFIX}{type(exc).__name__}"
+
+
+def is_error_reason(reason: str) -> bool:
+    """Whether ``reason`` is from the failure branch of the taxonomy."""
+    return reason.startswith(REASON_ERROR_PREFIX)
 
 
 class RequestStatus(str, Enum):

@@ -17,6 +17,21 @@ driver, built from the same parts (``DynamicBatcher``,
 * ``close(drain=True)`` stops admissions, flushes whatever is pending
   through the pipeline, and joins every thread.
 
+**Fault tolerance** (``config.reliability``, see
+``docs/reliability.md``): planning and execution failures are retried
+per the :class:`~repro.reliability.RetryPolicy`; engine failures
+degrade along the ``parallel`` -> ``grouped`` -> ``reference``
+fallback chain guarded by per-engine circuit breakers
+(:class:`~repro.reliability.ReliableExecutor`); a batch that still
+fails is **bisected** so healthy requests complete and only the poison
+request is rejected with a typed ``error:<ExcName>`` reason.  The
+batcher and worker loops carry crash barriers -- a fatal error settles
+every outstanding ticket instead of stranding clients -- and
+:meth:`close` finishes with a stranded-ticket sweep so
+``ServeTicket.result()`` can never hang past shutdown.
+:meth:`health` exposes breaker states, retry/fallback/bisection
+counts, and queue depth at runtime.
+
 Latency and occupancy are recorded internally (wall-clock) and
 compiled by :meth:`summary` into the same :class:`ServeReport` the
 replay driver produces.  Telemetry note: the process-global tracer is
@@ -32,13 +47,19 @@ import itertools
 import queue
 import threading
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.framework import CoordinatedFramework
 from repro.core.plancache import PlanCache
 from repro.core.problem import Gemm
+from repro.reliability import (
+    BreakerState,
+    EngineUnavailable,
+    FaultInjector,
+    ReliableExecutor,
+)
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import DynamicBatcher, FormedBatch
 from repro.serve.config import ServeConfig
@@ -47,11 +68,13 @@ from repro.serve.report import ServeReport, compile_report
 from repro.serve.request import (
     REASON_DEADLINE,
     REASON_SHUTDOWN,
+    REASON_STRANDED,
     Completed,
     Rejected,
     ServeRequest,
     ServeResult,
     TimedOut,
+    error_reason,
 )
 from repro.telemetry import get_tracer
 
@@ -91,7 +114,8 @@ class GemmServer:
         The planner/executor; defaults to a V100
         :class:`CoordinatedFramework`.
     config:
-        Pipeline knobs (:class:`ServeConfig`).
+        Pipeline knobs (:class:`ServeConfig`), including the
+        fault-tolerance policy in ``config.reliability``.
     cache:
         Optional pre-warmed :class:`PlanCache` shared by the workers;
         a private one (capacity 256) is created otherwise.
@@ -112,6 +136,23 @@ class GemmServer:
         self.config = config if config is not None else ServeConfig()
         self._clock = clock
         self._t0 = clock()
+        self._sleep: Callable[[float], None] = time.sleep
+        reliability = self.config.reliability
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(reliability.fault_plan)
+            if reliability.fault_plan is not None
+            else None
+        )
+        self._executor = ReliableExecutor(
+            self.config.engine,
+            workers=self.config.engine_workers,
+            retry=reliability.retry,
+            fallback=reliability.fallback,
+            failure_threshold=reliability.breaker_failure_threshold,
+            cooldown_s=reliability.breaker_cooldown_s,
+            injector=self._injector,
+            clock=clock,
+        )
         self._batcher = DynamicBatcher(self.config.batcher)
         self._admission = AdmissionController(self.config.admission)
         self._planner = PlannerStage(
@@ -120,6 +161,7 @@ class GemmServer:
             heuristic=self.config.heuristic,
             miss_overhead_us=self.config.miss_overhead_us,
             hit_overhead_us=self.config.hit_overhead_us,
+            injector=self._injector,
         )
         self._cond = threading.Condition()
         self._batch_q: "queue.Queue[Optional[FormedBatch]]" = queue.Queue()
@@ -138,11 +180,19 @@ class GemmServer:
         self._formed_batches: list = []
         self._first_arrival_us: Optional[float] = None
         self._last_finish_us = 0.0
+        self._planner_retries = 0
+        self._bisections = 0
+        self._crashes: list[str] = []
 
     @property
     def cache(self) -> PlanCache:
         """The shared plan cache (e.g. for :meth:`PlanCache.warm`)."""
         return self._planner.cache
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        """The chaos harness, when a fault plan is configured."""
+        return self._injector
 
     def _now_us(self) -> float:
         return (self._clock() - self._t0) * 1e6
@@ -173,7 +223,10 @@ class GemmServer:
 
         ``drain=True`` (the default) pushes everything still queued
         through the pipeline; ``drain=False`` rejects pending requests
-        with ``reason="shutdown"``.
+        with ``reason="shutdown"`` -- including batches already formed
+        but not yet picked up by a worker.  Either way the method ends
+        with a stranded-ticket sweep, so no :meth:`ServeTicket.result`
+        call can hang past the configured join timeout.
         """
         with self._cond:
             if self._closed:
@@ -194,8 +247,13 @@ class GemmServer:
                     fb = self._batch_q.get_nowait()
                 except queue.Empty:
                     break
-                if fb is not None:
+                if fb is None:
+                    continue
+                if drain:
                     self._serve_batch(fb)
+                else:
+                    self._reject_requests(fb.requests, REASON_SHUTDOWN)
+        self._sweep_stranded()
 
     def __enter__(self) -> "GemmServer":
         return self.start()
@@ -224,7 +282,13 @@ class GemmServer:
         """
         if operands is not None and len(operands) == 2:
             a, b = operands
-            operands = (a, b, np.zeros((gemm.m, gemm.n), dtype=a.dtype))
+            # Accumulate in the promoted type so a mixed-dtype A/B pair
+            # (e.g. float32 x float64) does not silently downcast C.
+            operands = (
+                a,
+                b,
+                np.zeros((gemm.m, gemm.n), dtype=np.result_type(a, b)),
+            )
         with self._cond:
             rid = next(self._next_id)
             now_us = self._now_us()
@@ -265,28 +329,31 @@ class GemmServer:
     # -- pipeline threads --------------------------------------------
 
     def _batch_loop(self) -> None:
-        while True:
-            formed: Optional[FormedBatch] = None
-            with self._cond:
-                while not self._closing:
-                    now_us = self._now_us()
-                    formed = self._batcher.poll(now_us)
-                    if formed is not None:
-                        break
-                    window = self._batcher.window_deadline_us()
-                    wait_s = (
-                        None
-                        if window is None
-                        else max((window - now_us) / 1e6, 1e-4)
-                    )
-                    self._cond.wait(timeout=wait_s)
-                if self._closing and formed is None:
-                    self._settle_pending(self._drain)
-                    for _ in range(self.config.workers):
-                        self._batch_q.put(None)
-                    return
-            if formed is not None:
-                self._handle_formed(formed)
+        try:
+            while True:
+                formed: Optional[FormedBatch] = None
+                with self._cond:
+                    while not self._closing:
+                        now_us = self._now_us()
+                        formed = self._batcher.poll(now_us)
+                        if formed is not None:
+                            break
+                        window = self._batcher.window_deadline_us()
+                        wait_s = (
+                            None
+                            if window is None
+                            else max((window - now_us) / 1e6, 1e-4)
+                        )
+                        self._cond.wait(timeout=wait_s)
+                    if self._closing and formed is None:
+                        self._settle_pending(self._drain)
+                        for _ in range(self.config.workers):
+                            self._batch_q.put(None)
+                        return
+                if formed is not None:
+                    self._handle_formed(formed)
+        except BaseException as exc:  # crash barrier: never strand clients
+            self._fatal("batch-loop", exc)
 
     def _settle_pending(self, drain: bool) -> None:
         now_us = self._now_us()
@@ -294,27 +361,10 @@ class GemmServer:
             for fb in self._batcher.flush(now_us):
                 self._handle_formed(fb)
         else:
-            for r in self._batcher.drain_pending():
-                self._resolve(
-                    Rejected(
-                        request_id=r.request_id,
-                        finish_us=now_us,
-                        latency_us=now_us - r.arrival_us,
-                        reason=REASON_SHUTDOWN,
-                    )
-                )
+            self._reject_requests(self._batcher.drain_pending(), REASON_SHUTDOWN)
 
     def _handle_formed(self, formed: FormedBatch) -> None:
-        now_us = self._now_us()
-        for r in formed.shed:
-            self._resolve(
-                Rejected(
-                    request_id=r.request_id,
-                    finish_us=now_us,
-                    latency_us=now_us - r.arrival_us,
-                    reason=REASON_DEADLINE,
-                )
-            )
+        self._reject_requests(formed.shed, REASON_DEADLINE)
         if formed.requests:
             with self._stats_lock:
                 self._occupancies.append(formed.occupancy)
@@ -322,41 +372,122 @@ class GemmServer:
             self._batch_q.put(formed)
 
     def _worker_loop(self) -> None:
+        try:
+            while True:
+                formed = self._batch_q.get()
+                if formed is None:
+                    return
+                with self._cond:
+                    fast_reject = self._closing and not self._drain
+                if fast_reject:
+                    self._reject_requests(formed.requests, REASON_SHUTDOWN)
+                    continue
+                try:
+                    self._serve_batch(formed)
+                except Exception as exc:
+                    # _serve_batch settles its own failures; this extra
+                    # barrier catches a defect in the reliability layer
+                    # itself so the batch's clients are not stranded.
+                    self._reject_requests(formed.requests, error_reason(exc))
+        except BaseException as exc:  # crash barrier: never strand clients
+            self._fatal("worker-loop", exc)
+
+    def _fatal(self, origin: str, exc: BaseException) -> None:
+        """A pipeline thread died: settle everything it was holding."""
+        with self._cond:
+            self._accepting = False
+            self._closing = True
+            with self._stats_lock:
+                self._crashes.append(f"{origin}: {type(exc).__name__}: {exc}")
+            pending = self._batcher.drain_pending()
+            self._cond.notify_all()
+        self._reject_requests(pending, error_reason(exc))
         while True:
-            formed = self._batch_q.get()
-            if formed is None:
-                return
-            self._serve_batch(formed)
+            try:
+                fb = self._batch_q.get_nowait()
+            except queue.Empty:
+                break
+            if fb is not None:
+                self._reject_requests(fb.requests, error_reason(exc))
+        for _ in range(self.config.workers):
+            self._batch_q.put(None)
+
+    # -- batch service (retry / fallback / bisection) ----------------
 
     def _serve_batch(self, formed: FormedBatch) -> None:
         dispatch_us = self._now_us()
-        try:
-            planned = self._planner.plan(formed)
-            values: Optional[list] = None
-            if all(r.operands is not None for r in formed.requests):
-                from repro.kernels import get_engine
+        self._run_slice(formed, formed.requests, dispatch_us)
 
-                values = get_engine(
-                    self.config.engine, workers=self.config.engine_workers
-                )(
+    def _sub_batch(self, formed: FormedBatch, requests) -> FormedBatch:
+        if requests is formed.requests:
+            return formed
+        return FormedBatch(
+            batch_id=formed.batch_id,
+            formed_us=formed.formed_us,
+            trigger=formed.trigger,
+            requests=list(requests),
+            shed=[],
+        )
+
+    def _plan_with_retry(self, sub: FormedBatch):
+        policy = self.config.reliability.retry
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self._planner.plan(sub)
+            except Exception:
+                if attempt >= policy.max_attempts:
+                    raise
+                with self._stats_lock:
+                    self._planner_retries += 1
+                delay_ms = policy.delay_ms(attempt, token="planner")
+                if delay_ms > 0:
+                    self._sleep(delay_ms / 1e3)
+        raise AssertionError("unreachable")
+
+    def _run_slice(
+        self,
+        formed: FormedBatch,
+        requests: Sequence[ServeRequest],
+        dispatch_us: float,
+    ) -> None:
+        """Serve a slice of a formed batch, bisecting on failure.
+
+        On success every request in the slice resolves Completed (or
+        TimedOut); on terminal failure the slice is split in half and
+        re-executed so a single poison request cannot take its healthy
+        batchmates down with it.
+        """
+        try:
+            sub = self._sub_batch(formed, requests)
+            planned = self._plan_with_retry(sub)
+            values: Optional[list] = None
+            if all(r.operands is not None for r in requests):
+                values, _engine_used = self._executor.execute(
                     planned.report.schedule,
-                    formed.to_gemm_batch(),
-                    [r.operands for r in formed.requests],
+                    sub.to_gemm_batch(),
+                    [r.operands for r in requests],
                 )
-        except Exception as exc:  # settle tickets rather than kill the worker
-            finish_us = self._now_us()
-            for r in formed.requests:
-                self._resolve(
-                    Rejected(
-                        request_id=r.request_id,
-                        finish_us=finish_us,
-                        latency_us=finish_us - r.arrival_us,
-                        reason=f"error:{type(exc).__name__}",
-                    )
-                )
+        except Exception as exc:
+            # EngineUnavailable is not data-dependent: splitting the
+            # batch cannot help, so reject the slice outright.
+            if (
+                self.config.reliability.bisect
+                and len(requests) > 1
+                and not isinstance(exc, EngineUnavailable)
+            ):
+                with self._stats_lock:
+                    self._bisections += 1
+                mid = len(requests) // 2
+                self._run_slice(formed, requests[:mid], dispatch_us)
+                self._run_slice(formed, requests[mid:], dispatch_us)
+                return
+            # Terminal failure: settle the tickets AND keep feeding the
+            # admission EWMA so the deadline-feasibility estimate does
+            # not go stale for the duration of an incident.
+            self._reject_requests(requests, error_reason(exc), observe=True)
             return
         finish_us = self._now_us()
-        for i, r in enumerate(formed.requests):
+        for i, r in enumerate(requests):
             latency_us = finish_us - r.arrival_us
             if r.timeout_us is not None and latency_us > r.timeout_us:
                 self._resolve(
@@ -386,13 +517,102 @@ class GemmServer:
 
     # -- results -----------------------------------------------------
 
+    def _reject_requests(
+        self,
+        requests: Sequence[ServeRequest],
+        reason: str,
+        *,
+        observe: bool = False,
+    ) -> None:
+        if not requests:
+            return
+        finish_us = self._now_us()
+        for r in requests:
+            latency_us = max(0.0, finish_us - r.arrival_us)
+            self._resolve(
+                Rejected(
+                    request_id=r.request_id,
+                    finish_us=finish_us,
+                    latency_us=latency_us,
+                    reason=reason,
+                )
+            )
+            if observe:
+                self._admission.observe_service(latency_us)
+
     def _resolve(self, result: ServeResult) -> None:
         with self._stats_lock:
+            ticket = self._tickets.pop(result.request_id, None)
+            if ticket is None:
+                return  # already settled (a barrier raced the pipeline)
             self._results.append(result)
             self._last_finish_us = max(self._last_finish_us, result.finish_us)
-            ticket = self._tickets.pop(result.request_id, None)
-        if ticket is not None:
-            ticket._resolve(result)
+        ticket._resolve(result)
+
+    def _sweep_stranded(self) -> None:
+        """Settle any ticket still unresolved (the last crash barrier)."""
+        with self._stats_lock:
+            stranded = list(self._tickets)
+        if not stranded:
+            return
+        now_us = self._now_us()
+        for rid in stranded:
+            self._resolve(
+                Rejected(
+                    request_id=rid,
+                    finish_us=now_us,
+                    latency_us=0.0,
+                    reason=REASON_STRANDED,
+                )
+            )
+
+    # -- introspection ------------------------------------------------
+
+    def _reliability_snapshot(self) -> dict:
+        snap = self._executor.snapshot()
+        with self._stats_lock:
+            snap["planner_retries"] = self._planner_retries
+            snap["retries"] += self._planner_retries
+            snap["bisections"] = self._bisections
+            snap["crashes"] = list(self._crashes)
+        snap["faults_injected"] = (
+            self._injector.injected_count if self._injector is not None else 0
+        )
+        return snap
+
+    def health(self) -> dict:
+        """Liveness and fault-tolerance state, for probes and dashboards.
+
+        ``ok`` is True while the server accepts traffic and no pipeline
+        thread has crashed; ``breakers`` maps each engine in the
+        fallback chain to its circuit state (full snapshots live under
+        ``breaker_detail``); the counters mirror what :meth:`summary`
+        later emits as telemetry.
+        """
+        with self._cond:
+            accepting = self._accepting
+            pending = self._batcher.pending_count
+        with self._stats_lock:
+            outstanding = len(self._tickets)
+        snap = self._reliability_snapshot()
+        return {
+            "ok": accepting and not snap["crashes"],
+            "accepting": accepting,
+            "queue_depth": pending + self._batch_q.qsize(),
+            "outstanding": outstanding,
+            "engine": snap["engine"],
+            "chain": snap["chain"],
+            "breakers": {
+                name: detail["state"] for name, detail in snap["breakers"].items()
+            },
+            "breaker_detail": snap["breakers"],
+            "retries": snap["retries"],
+            "fallbacks": snap["fallbacks"],
+            "bisections": snap["bisections"],
+            "engine_used": snap["engine_used"],
+            "faults_injected": snap["faults_injected"],
+            "crashes": snap["crashes"],
+        }
 
     def summary(self) -> ServeReport:
         """Compile everything served so far into a :class:`ServeReport`.
@@ -407,6 +627,7 @@ class GemmServer:
             first = self._first_arrival_us
             last = self._last_finish_us
         makespan_us = max(0.0, last - first) if first is not None else 0.0
+        reliability = self._reliability_snapshot()
         report = compile_report(
             results=results,
             occupancies=occupancies,
@@ -415,6 +636,7 @@ class GemmServer:
             max_batch_size=self.config.batcher.max_batch_size,
             time_base="wall",
             formed_batches=formed,
+            reliability=reliability,
         )
         tracer = get_tracer()
         if tracer.enabled:
@@ -430,4 +652,14 @@ class GemmServer:
             tracer.counter("serve.requests_rejected", n_rejected)
             tracer.counter("serve.requests_shed", report.n_shed_deadline)
             tracer.counter("serve.requests_timeout", report.n_timed_out)
+            tracer.counter("serve.requests_failed", report.n_rejected_error)
+            tracer.counter("serve.retries", reliability["retries"])
+            tracer.counter("serve.fallbacks", reliability["fallbacks"])
+            tracer.counter("serve.bisections", reliability["bisections"])
+            tracer.counter("faults.injected", reliability["faults_injected"])
+            for name, detail in reliability["breakers"].items():
+                tracer.gauge(
+                    f"serve.breaker_state.{name}",
+                    BreakerState(detail["state"]).code,
+                )
         return report

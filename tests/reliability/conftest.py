@@ -1,0 +1,18 @@
+"""Shared fixtures for the reliability tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.options import Heuristic
+from repro.kernels.reference import reference_batched_gemm
+
+
+@pytest.fixture
+def planned(framework, small_batch, rng):
+    """A planned small batch with operands and the reference answer."""
+    report = framework.plan(small_batch, Heuristic.THRESHOLD)
+    operands = small_batch.random_operands(rng)
+    expected = reference_batched_gemm(small_batch, operands)
+    return report.schedule, small_batch, operands, expected

@@ -1,0 +1,62 @@
+"""Unit tests of the deterministic retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import RetryPolicy
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_ms": -1.0},
+            {"backoff": 0.5},
+            {"max_delay_ms": -1.0},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_max_retries(self):
+        assert RetryPolicy(max_attempts=3).max_retries == 2
+        assert RetryPolicy(max_attempts=1).max_retries == 0
+
+
+class TestBackoff:
+    def test_nominal_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_delay_ms=2.0, backoff=2.0, max_delay_ms=7.0, jitter=0.0
+        )
+        assert policy.nominal_delay_ms(1) == 2.0
+        assert policy.nominal_delay_ms(2) == 4.0
+        assert policy.nominal_delay_ms(3) == 7.0  # capped, not 8
+        with pytest.raises(ValueError):
+            policy.nominal_delay_ms(0)
+
+    def test_zero_jitter_is_nominal(self):
+        policy = RetryPolicy(base_delay_ms=1.0, jitter=0.0)
+        assert policy.delay_ms(2) == policy.nominal_delay_ms(2)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay_ms=10.0, jitter=0.25, seed=3)
+        for attempt in (1, 2):
+            nominal = policy.nominal_delay_ms(attempt)
+            d = policy.delay_ms(attempt, token="x")
+            assert nominal * 0.75 <= d <= nominal * 1.25
+            assert d == policy.delay_ms(attempt, token="x")
+
+    def test_token_and_seed_decorrelate(self):
+        policy = RetryPolicy(base_delay_ms=10.0, jitter=0.5, seed=0)
+        assert policy.delay_ms(1, token="a") != policy.delay_ms(1, token="b")
+        other = RetryPolicy(base_delay_ms=10.0, jitter=0.5, seed=1)
+        assert policy.delay_ms(1, token="a") != other.delay_ms(1, token="a")
+
+    def test_delays_ms_covers_every_retry(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_ms=1.0, jitter=0.0)
+        assert policy.delays_ms() == (1.0, 2.0, 4.0)
+        assert RetryPolicy(max_attempts=1).delays_ms() == ()
