@@ -1,0 +1,128 @@
+"""Compiled-plan benchmark: compiled artifact vs grouped per-call walk.
+
+Pins the speedup of the compiled execution artifact
+(:mod:`repro.kernels.compiled`) over the grouped engine's per-call
+plan walk on the Figure-10-style GoogleNet inception branch batch, and
+writes the measurement to ``BENCH_compile.json`` at the repository
+root.  The compiled engine's whole value proposition is steady-state
+dispatch, so both engines are timed with their plans warm -- the
+grouped engine gets its memoized ``GroupedPlan``, the compiled engine
+its ``CompiledPlan`` -- and only the per-call execution is measured.
+
+Bit-identity is asserted before timing: a perf benchmark that silently
+drifts numerically is worthless.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.export import write_bench_json
+from repro.core.options import Heuristic
+from repro.kernels.compiled import compile_plan, execute_compiled
+from repro.kernels.grouped import execute_grouped, grouped_plan_for
+from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+
+#: The committed perf snapshot (repo root, next to the other BENCH files).
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_compile.json"
+
+#: The compiled artifact must beat the grouped engine's warm per-call
+#: walk by at least this factor on the pinned mixed batch.
+MIN_SPEEDUP = 1.3
+
+
+def _pinned_workload(framework):
+    """The Figure-10-style mixed batch: one inception module's branches."""
+    batch = inception_branch_batch(GOOGLENET_INCEPTIONS[2])
+    report = framework.plan(batch, Heuristic.THRESHOLD)
+    ops = batch.random_operands(np.random.default_rng(0))
+    return batch, report.schedule, ops
+
+
+def _best_of(fn, repeats: int = 7) -> float:
+    """Min-of-N wall-clock seconds (min is the low-noise estimator)."""
+    fn()  # warm caches, lowering/compilation, and BLAS threads
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_compiled_speedup_pinned(framework):
+    """Compiled >= 1.3x grouped on the pinned batch, bit-identically."""
+    batch, schedule, ops = _pinned_workload(framework)
+
+    grp_out = execute_grouped(schedule, batch, ops)
+    cmp_out = execute_compiled(schedule, batch, ops)
+    for want, got in zip(grp_out, cmp_out):
+        assert np.array_equal(want, got), "engines diverged; benchmark is void"
+
+    grp_s = _best_of(lambda: execute_grouped(schedule, batch, ops))
+    cmp_s = _best_of(lambda: execute_compiled(schedule, batch, ops))
+    speedup = grp_s / cmp_s
+
+    artifact = compile_plan(schedule, batch)
+    compile_s = _best_of(lambda: compile_plan(schedule, batch), repeats=3)
+    write_bench_json(
+        BENCH_PATH,
+        {
+            "workload": "googlenet inception branches (Figure-10 style)",
+            "gemms": len(batch),
+            "tiles": schedule.num_tiles,
+            "chunks": artifact.num_chunks,
+            "scratch_bytes": artifact.scratch_bytes,
+            "grouped_ms": round(grp_s * 1e3, 3),
+            "compiled_ms": round(cmp_s * 1e3, 3),
+            "compile_once_ms": round(compile_s * 1e3, 3),
+            "speedup": round(speedup, 2),
+            "min_speedup_required": MIN_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled engine speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(grouped {grp_s * 1e3:.2f} ms, compiled {cmp_s * 1e3:.2f} ms)"
+    )
+
+
+def test_compiled_execution_latency(benchmark, framework):
+    """pytest-benchmark series for warm compiled dispatch itself."""
+    batch, schedule, ops = _pinned_workload(framework)
+    artifact = compile_plan(schedule, batch)
+    outs = benchmark(lambda: execute_compiled(schedule, batch, ops, plan=artifact))
+    assert len(outs) == len(batch)
+
+
+def test_compile_latency(benchmark, framework):
+    """Compilation is paid once per cached schedule; keep it cheap."""
+    batch, schedule, _ = _pinned_workload(framework)
+    plan = benchmark(lambda: compile_plan(schedule, batch))
+    assert plan.num_tiles == schedule.num_tiles
+
+
+def test_amortization_break_even(framework):
+    """Compile cost is recovered within a handful of executions.
+
+    The serve hot path executes one schedule thousands of times;
+    asserting a small break-even point keeps the artifact honest (a
+    compile so slow it never pays off would still "win" the steady
+    state benchmark above).
+    """
+    batch, schedule, ops = _pinned_workload(framework)
+    plan = grouped_plan_for(schedule, batch)  # grouped gets its warm plan too
+    grp_s = _best_of(lambda: execute_grouped(schedule, batch, ops, plan=plan))
+    compile_s = _best_of(lambda: compile_plan(schedule, batch), repeats=3)
+    artifact = compile_plan(schedule, batch)
+    cmp_s = _best_of(lambda: execute_compiled(schedule, batch, ops, plan=artifact))
+    saved_per_call = grp_s - cmp_s
+    assert saved_per_call > 0, "compiled must be faster per call"
+    break_even = compile_s / saved_per_call
+    assert break_even < 100, (
+        f"compilation amortizes too slowly: {break_even:.0f} executions "
+        f"to break even (compile {compile_s * 1e3:.2f} ms, "
+        f"saves {saved_per_call * 1e6:.0f} us/call)"
+    )

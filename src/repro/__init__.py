@@ -88,8 +88,13 @@ _KERNEL_EXPORTS = (
     "execute_schedule",
     "execute_grouped",
     "execute_parallel",
+    "execute_compiled",
+    "compile_plan",
+    "CompiledPlan",
     "get_engine",
+    "get_engine_object",
     "ENGINES",
+    "ExecutionPolicy",
 )
 
 
@@ -141,8 +146,13 @@ __all__ = [
     "execute_schedule",
     "execute_grouped",
     "execute_parallel",
+    "execute_compiled",
+    "compile_plan",
+    "CompiledPlan",
     "get_engine",
+    "get_engine_object",
     "ENGINES",
+    "ExecutionPolicy",
     "simulate_default",
     "simulate_cke",
     "simulate_cublas_batched",

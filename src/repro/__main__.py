@@ -103,9 +103,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("reference", "grouped", "parallel"),
+        choices=("reference", "grouped", "parallel", "compiled"),
         default="grouped",
-        help="numerical execution engine for --execute",
+        help="numerical execution engine for --execute "
+        "(compiled = precompiled-plan interpreter)",
     )
     parser.add_argument(
         "--workers",

@@ -365,58 +365,63 @@ class CoordinatedFramework:
         heuristic: HeuristicLike = None,
         *,
         options: Optional[PlanOptions] = None,
-        engine: str = "grouped",
+        policy=None,
+        engine: Optional[str] = None,
         workers: Optional[int] = None,
-        fallback: bool = False,
+        fallback: Optional[bool] = None,
         injector=None,
         retry=None,
     ) -> list[np.ndarray]:
         """Numerically execute the batch through the planned schedule.
 
         Returns the list of C result matrices (inputs are not
-        modified).  ``engine`` selects the executor: ``"grouped"``
-        (default) lowers the schedule to vectorized tile groups,
-        ``"reference"`` performs the faithful per-slot Figure 7 walk,
-        ``"parallel"`` shards the lowered plan across a thread pool.
-        All produce bit-identical results, so a planning bug shows up
-        as a wrong numerical answer under any engine, not just a
-        wrong time.
+        modified).  ``policy`` -- an
+        :class:`~repro.kernels.ExecutionPolicy` -- says how: which
+        engine (``grouped`` by default; ``reference`` is the faithful
+        per-slot Figure 7 walk, ``parallel`` shards the lowered plan
+        across a thread pool, ``compiled`` interprets a precompiled
+        artifact), how many workers, and whether the reliability
+        envelope (retry / engine fallback / fault injection) wraps the
+        run.  All engines produce bit-identical results, so a planning
+        bug shows up as a wrong numerical answer under any engine, not
+        just a wrong time.
 
-        ``workers`` sizes the parallel engine's pool (``None`` falls
-        back to ``options.workers``, then to the engine's host-sized
-        default); passing it with any other engine raises
-        ``ValueError``.
-
-        ``fallback=True`` runs the engine through a
+        A policy with :attr:`~repro.kernels.ExecutionPolicy.reliable`
+        set runs through a
         :class:`~repro.reliability.ReliableExecutor`: failures are
-        retried per ``retry`` (a
-        :class:`~repro.reliability.RetryPolicy`; ``None`` uses the
-        policy's defaults) and then degrade along the engine chain
-        (``parallel`` -> ``grouped`` -> ``reference``), so a
-        misbehaving preferred engine costs latency, not the answer.
-        ``injector`` is an optional
-        :class:`~repro.reliability.FaultInjector` evaluated at the
-        ``"engine"`` fault site (chaos testing); passing one implies
-        the reliable path even without ``fallback``.
-        """
-        from repro.kernels import get_engine
+        retried per ``policy.retry`` and then degrade along the engine
+        chain (e.g. ``compiled`` -> ``grouped`` -> ``reference``), so
+        a misbehaving preferred engine costs latency, not the answer.
+        ``policy.workers`` defaults from ``options.workers`` for the
+        parallel engine.
 
+        The pre-policy keyword spellings (``engine=``, ``workers=``,
+        ``fallback=``, ``injector=``, ``retry=``) still work but are
+        deprecated; they coerce into a policy behind a
+        ``DeprecationWarning`` (mixing them with ``policy=`` is a
+        ``TypeError``).
+        """
+        from repro.kernels import coerce_policy, get_engine
+
+        pol = coerce_policy(
+            policy,
+            engine=engine,
+            workers=workers,
+            fallback=fallback,
+            retry=retry,
+            injector=injector,
+            where="CoordinatedFramework.execute",
+        )
         opts = self.resolve_options(heuristic, options)
-        if workers is None and engine == "parallel":
-            workers = opts.workers
+        if pol.workers is None and pol.engine == "parallel":
+            pol = pol.with_workers(opts.workers)
         report = self.plan(batch, options=opts)
         tracer = get_tracer()
-        if fallback or injector is not None or retry is not None:
+        if pol.reliable:
             from repro.reliability import ReliableExecutor
 
-            executor = ReliableExecutor(
-                engine,
-                workers=workers,
-                retry=retry,
-                fallback=fallback,
-                injector=injector,
-            )
-            with tracer.span("execute", gemms=len(batch), engine=engine) as span:
+            executor = ReliableExecutor.from_policy(pol)
+            with tracer.span("execute", gemms=len(batch), engine=pol.engine) as span:
                 values, engine_used = executor.execute(
                     report.schedule, batch, operands
                 )
@@ -426,6 +431,9 @@ class CoordinatedFramework:
                     span.set_attr("engine_used", engine_used)
                     span.set_attr("fallbacks", executor.fallbacks)
             return values
-        run = get_engine(engine, workers=workers)
-        with tracer.span("execute", gemms=len(batch), engine=engine):
+        run = get_engine(
+            pol.engine,
+            workers=pol.workers if pol.engine == "parallel" else None,
+        )
+        with tracer.span("execute", gemms=len(batch), engine=pol.engine):
             return run(report.schedule, batch, operands)

@@ -26,14 +26,22 @@ Cache traffic is observable through ``stats`` /
 :meth:`stats_snapshot` and, when a recording tracer is installed,
 through the ``plan_cache_hit`` / ``plan_cache_miss`` counters and
 per-lookup ``plancache.plan`` spans.
+
+Entries can also carry a **compiled execution artifact**
+(:class:`~repro.kernels.compiled.CompiledPlan`): under a ``compiled``
+:class:`~repro.kernels.ExecutionPolicy`, :meth:`execute` compiles the
+plan on first use and stores the artifact next to the plan entry, so
+a warm hot path pays neither planning, nor lowering, nor compilation
+-- and eviction invalidates plan and artifact together.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
 
 from repro.core.framework import CoordinatedFramework, HeuristicLike, PlanReport
 from repro.core.options import PlanOptions
@@ -75,6 +83,20 @@ class CacheStats:
         }
 
 
+@dataclass
+class _CacheEntry:
+    """One cached plan plus its lazily-compiled execution artifact.
+
+    ``artifact`` is the :class:`~repro.kernels.compiled.CompiledPlan`
+    compiled on the first ``compiled``-policy execution of this entry
+    (``None`` until then); it lives and dies with the entry, so
+    eviction invalidates the artifact together with the plan.
+    """
+
+    report: PlanReport
+    artifact: Any = field(default=None)
+
+
 class PlanCache:
     """An LRU cache of :class:`PlanReport` keyed by (options, signature).
 
@@ -92,7 +114,7 @@ class PlanCache:
         self.framework = framework
         self.capacity = capacity
         self.stats = CacheStats()
-        self._entries: OrderedDict[tuple, PlanReport] = OrderedDict()
+        self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._lock = threading.RLock()
 
     def __len__(self) -> int:
@@ -134,6 +156,16 @@ class PlanCache:
         serving layer's planner stage uses this instead of diffing
         counters.
         """
+        entry, hit = self._entry_with_info(batch, heuristic, options=options)
+        return entry.report, hit
+
+    def _entry_with_info(
+        self,
+        batch: GemmBatch,
+        heuristic: HeuristicLike = None,
+        *,
+        options: Optional[PlanOptions] = None,
+    ) -> tuple[_CacheEntry, bool]:
         opts = self.framework.resolve_options(heuristic, options)
         key = (opts.cache_key(), batch_signature(batch))
         tracer = get_tracer()
@@ -165,12 +197,30 @@ class PlanCache:
                     # its entry so repeated lookups stay identical.
                     self._entries.move_to_end(key)
                     return existing, False
-                self._entries[key] = report
+                entry = _CacheEntry(report)
+                self._entries[key] = entry
                 if len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
                     tracer.counter("plan_cache_eviction")
-            return report, False
+            return entry, False
+
+    def _compiled_artifact(self, entry: _CacheEntry, batch: GemmBatch):
+        """The entry's compiled artifact, compiling on first execute.
+
+        Delegates to :func:`repro.kernels.compiled.compiled_plan_for`
+        (which emits the ``compile.cache_hits`` / ``_misses``
+        counters) and pins the artifact on the cache entry so it is
+        kept exactly as long as the plan is -- eviction drops both,
+        and the weakref memo then releases the artifact with the dead
+        schedule.
+        """
+        from repro.kernels.compiled import compiled_plan_for
+
+        artifact = compiled_plan_for(entry.report.schedule, batch)
+        with self._lock:
+            entry.artifact = artifact
+        return artifact
 
     def warm(
         self,
@@ -178,6 +228,7 @@ class PlanCache:
         heuristic: HeuristicLike = None,
         *,
         options: Optional[PlanOptions] = None,
+        policy=None,
         workers: Optional[int] = None,
     ) -> int:
         """Bulk pre-plan ``batches`` (serving warm-start).
@@ -187,33 +238,60 @@ class PlanCache:
         were *newly* planned.  A serving process calls this with its
         known shape mixes before opening the request queue.
 
-        ``workers > 1`` fans the planning out over the parallel
-        engine's shared thread pool (the cache is thread-safe; plans
-        for distinct batches are independent).  Two caveats: repeats
-        within ``batches`` may be planned concurrently before either
-        lands in the cache, so the returned newly-planned count can
-        overcount duplicates; and when a recording tracer is installed
-        the warm stays serial regardless (the tracer is not
-        thread-safe, and a warm that scrambled its own trace would be
-        worse than a slower one).
+        ``policy`` -- an :class:`~repro.kernels.ExecutionPolicy` --
+        shapes the warm two ways: ``policy.workers > 1`` fans the
+        planning out over the parallel engine's shared thread pool
+        (the cache is thread-safe; plans for distinct batches are
+        independent), and ``policy.engine == "compiled"`` additionally
+        compiles each plan's execution artifact so the first live
+        request pays neither planning nor compilation.  The bare
+        ``workers=`` spelling is deprecated (coerced with a
+        ``DeprecationWarning``).
+
+        Two caveats: repeats within ``batches`` may be planned
+        concurrently before either lands in the cache, so the returned
+        newly-planned count can overcount duplicates; and when a
+        recording tracer is installed the warm stays serial regardless
+        (the tracer is not thread-safe, and a warm that scrambled its
+        own trace would be worse than a slower one).
         """
+        from repro.kernels import ExecutionPolicy
+
+        if policy is not None and workers is not None:
+            raise TypeError(
+                "PlanCache.warm: pass either policy= or the legacy "
+                "workers keyword, not both"
+            )
+        if workers is not None:
+            warnings.warn(
+                "PlanCache.warm: the workers keyword is deprecated; pass "
+                "policy=repro.ExecutionPolicy(workers=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            pol = ExecutionPolicy(workers=workers)
+        else:
+            pol = ExecutionPolicy.of(policy, warn_on_str=True)
+        fan_out = pol.workers
         tracer = get_tracer()
         planned = 0
         with tracer.span("plancache.warm") as span:
-            if workers is not None and workers > 1 and not tracer.enabled:
+
+            def _plan_one(batch: GemmBatch) -> bool:
+                entry, hit = self._entry_with_info(batch, heuristic, options=options)
+                if pol.engine == "compiled":
+                    self._compiled_artifact(entry, batch)
+                return hit
+
+            if fan_out is not None and fan_out > 1 and not tracer.enabled:
                 from repro.kernels.parallel import shared_pool
 
-                def _plan_one(batch: GemmBatch) -> bool:
-                    _, hit = self.plan_with_info(batch, heuristic, options=options)
-                    return hit
-
-                pool = shared_pool(workers)
+                pool = shared_pool(fan_out)
                 for hit in pool.map(_plan_one, list(batches)):
                     planned += 0 if hit else 1
             else:
                 for batch in batches:
-                    _, hit = self.plan_with_info(batch, heuristic, options=options)
-                    planned += 0 if hit else 1
+                    planned += 0 if _plan_one(batch) else 1
             if span.enabled:
                 span.set_attr("planned", planned)
         return planned
@@ -234,27 +312,59 @@ class PlanCache:
         heuristic: HeuristicLike = None,
         *,
         options: Optional[PlanOptions] = None,
-        engine: str = "grouped",
+        policy=None,
+        engine: Optional[str] = None,
         workers: Optional[int] = None,
     ):
         """Numerically execute a batch through its cached plan.
 
-        ``engine`` selects the executor (see
-        :func:`repro.kernels.get_engine`).  With the ``"grouped"``
-        (default) and ``"parallel"`` engines the lowered grouped plan
-        is memoized on the cached schedule object, so repeated
-        executions of a hot batch mix skip both planning *and*
-        re-lowering.  ``workers`` sizes the parallel engine's pool
-        (``None`` falls back to ``options.workers``, then the host
-        default) and is rejected for other engines.
-        """
-        from repro.kernels import get_engine
+        ``policy`` -- an :class:`~repro.kernels.ExecutionPolicy` --
+        selects the executor.  With the ``"grouped"`` (default) and
+        ``"parallel"`` engines the lowered grouped plan is memoized
+        per cached schedule, so repeated executions of a hot batch mix
+        skip both planning *and* re-lowering; with ``"compiled"`` the
+        :class:`~repro.kernels.compiled.CompiledPlan` artifact is
+        compiled on the first execute, cached next to the plan entry
+        (invalidated with it), and every later execution is lookup +
+        interpreter only.  A reliable policy (fallback / retry /
+        injector) runs through
+        :class:`~repro.reliability.ReliableExecutor`.
 
-        if workers is None and engine == "parallel" and options is not None:
-            workers = options.workers
-        run = get_engine(engine, workers=workers)
-        report = self.plan(batch, heuristic, options=options)
-        return run(report.schedule, batch, operands)
+        The pre-policy ``engine=`` / ``workers=`` spellings still work
+        behind a ``DeprecationWarning``; ``workers`` sizes the
+        parallel engine's pool (``None`` falls back to
+        ``options.workers``, then the host default) and is rejected
+        for other engines.
+        """
+        from repro.kernels import coerce_policy, get_engine
+
+        pol = coerce_policy(
+            policy,
+            engine=engine,
+            workers=workers,
+            where="PlanCache.execute",
+        )
+        if pol.workers is None and pol.engine == "parallel" and options is not None:
+            pol = pol.with_workers(options.workers)
+        entry, _ = self._entry_with_info(batch, heuristic, options=options)
+        schedule = entry.report.schedule
+        if pol.reliable:
+            from repro.reliability import ReliableExecutor
+
+            values, _ = ReliableExecutor.from_policy(pol).execute(
+                schedule, batch, operands
+            )
+            return values
+        if pol.engine == "compiled":
+            from repro.kernels.compiled import execute_compiled
+
+            artifact = self._compiled_artifact(entry, batch)
+            return execute_compiled(schedule, batch, operands, plan=artifact)
+        run = get_engine(
+            pol.engine,
+            workers=pol.workers if pol.engine == "parallel" else None,
+        )
+        return run(schedule, batch, operands)
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""

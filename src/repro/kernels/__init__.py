@@ -19,31 +19,40 @@ answer, not just a wrong simulated time.
   lowered plan sharded across a thread pool with Stream-K-style
   even-share load balancing (the ``parallel`` execution engine;
   bit-identical to ``grouped`` at every worker count).
+* :mod:`repro.kernels.compiled` -- the compiled-plan engine: the
+  schedule lowered once into a flat :class:`CompiledPlan` artifact
+  with preallocated scratch, executed by a minimal allocation-free
+  interpreter loop (the ``compiled`` execution engine; bit-identical
+  to ``grouped``, fastest steady state).
 
-Submodules are imported lazily (PEP 562) so that the execution
-engines stay importable without each other -- ``import
-repro.kernels.grouped`` must not drag in ``repro.kernels.persistent``
-or vice versa, and ``repro.kernels.parallel`` (which builds on
-``grouped``) must not drag in ``persistent`` either (CI guards this).
-Use :func:`get_engine` to resolve an engine name to its executor
-callable.
+Engine identity lives in the typed registry
+(:mod:`repro.kernels.engine` -- the :class:`Engine` protocol,
+``ENGINES``, ``ENGINE_FALLBACKS``) and execution configuration in
+:class:`~repro.kernels.policy.ExecutionPolicy`; both are stdlib-only
+and re-exported eagerly here.  Kernel submodules are imported lazily
+(PEP 562) so the engines stay importable without each other --
+``import repro.kernels.grouped`` must not drag in
+``repro.kernels.persistent`` or vice versa, and both
+``repro.kernels.parallel`` and ``repro.kernels.compiled`` (which
+build on ``grouped``) must not drag in ``persistent`` either (CI
+guards this).  Use :func:`get_engine` to resolve an engine name to
+its executor callable, or :func:`get_engine_object` for the typed
+:class:`Engine`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-#: The recognized execution-engine names.
-ENGINES: tuple[str, ...] = ("reference", "grouped", "parallel")
-
-#: Degradation order per engine: itself first, then progressively
-#: simpler engines ending at the per-slot reference walk (the oracle).
-#: Every engine is bit-identical, so falling back trades only speed.
-ENGINE_FALLBACKS: dict[str, tuple[str, ...]] = {
-    "parallel": ("parallel", "grouped", "reference"),
-    "grouped": ("grouped", "reference"),
-    "reference": ("reference",),
-}
+from repro.kernels.engine import (
+    ENGINES,
+    ENGINE_FALLBACKS,
+    Engine,
+    EngineCapabilities,
+    engine_fallbacks,
+    get_engine_object,
+)
+from repro.kernels.policy import ExecutionPolicy, coerce_policy
 
 _EXPORTS = {
     "reference_gemm": ("repro.kernels.reference", "reference_gemm"),
@@ -62,25 +71,27 @@ _EXPORTS = {
     "resolve_workers": ("repro.kernels.parallel", "resolve_workers"),
     "shared_pool": ("repro.kernels.parallel", "shared_pool"),
     "ShardPlan": ("repro.kernels.parallel", "ShardPlan"),
+    "execute_compiled": ("repro.kernels.compiled", "execute_compiled"),
+    "compile_plan": ("repro.kernels.compiled", "compile_plan"),
+    "compiled_plan_for": ("repro.kernels.compiled", "compiled_plan_for"),
+    "CompiledPlan": ("repro.kernels.compiled", "CompiledPlan"),
+    "CompiledGemm": ("repro.kernels.compiled", "CompiledGemm"),
+    "PlanMemo": ("repro.kernels.memo", "PlanMemo"),
+    "MemoStats": ("repro.kernels.memo", "MemoStats"),
 }
 
-__all__ = ["ENGINES", "ENGINE_FALLBACKS", "engine_fallbacks", "get_engine", *_EXPORTS]
-
-
-def engine_fallbacks(name: str) -> tuple[str, ...]:
-    """The fallback chain starting at ``name`` (itself included).
-
-    ``parallel`` degrades to ``grouped`` then ``reference``;
-    ``grouped`` to ``reference``; ``reference`` stands alone.  The
-    serving layer and :class:`~repro.reliability.ReliableExecutor`
-    walk this chain when the preferred engine misbehaves.
-    """
-    try:
-        return ENGINE_FALLBACKS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown execution engine {name!r}; choose from {ENGINES}"
-        ) from None
+__all__ = [
+    "ENGINES",
+    "ENGINE_FALLBACKS",
+    "Engine",
+    "EngineCapabilities",
+    "ExecutionPolicy",
+    "coerce_policy",
+    "engine_fallbacks",
+    "get_engine",
+    "get_engine_object",
+    *_EXPORTS,
+]
 
 
 def get_engine(name: str, workers: Optional[int] = None, injector=None):
@@ -90,12 +101,16 @@ def get_engine(name: str, workers: Optional[int] = None, injector=None):
     -> list[np.ndarray]`` and produce bit-identical results;
     ``reference`` is the faithful per-slot Figure 7 walk (the oracle),
     ``grouped`` the vectorized bulk engine, ``parallel`` the
-    multi-worker sharded engine.  ``workers`` is only meaningful for
-    ``parallel`` (the returned callable binds it as its pool size;
-    ``None`` defers to :func:`repro.kernels.parallel.resolve_workers`)
-    and raises ``ValueError`` for any other engine -- a silently
-    ignored worker count would misreport what ran.  Raises
-    ``ValueError`` for unknown names.
+    multi-worker sharded engine, ``compiled`` the precompiled-artifact
+    interpreter.  ``workers`` is only meaningful for ``parallel`` (the
+    returned callable binds it as its pool size; ``None`` defers to
+    :func:`repro.kernels.parallel.resolve_workers`) and raises
+    ``ValueError`` for any other engine -- a silently ignored worker
+    count would misreport what ran.  Raises ``ValueError`` for unknown
+    names.  Resolution goes through the typed registry
+    (:func:`get_engine_object`); the returned callable preserves the
+    historical identities (``get_engine("grouped") is
+    execute_grouped`` and so on).
 
     ``injector`` is an optional
     :class:`~repro.reliability.FaultInjector` (anything with a
@@ -103,7 +118,7 @@ def get_engine(name: str, workers: Optional[int] = None, injector=None):
     evaluates the ``"engine"`` fault site before every execution, so
     chaos tests can make any engine fail or stall deterministically.
     """
-    run = _resolve_engine(name, workers)
+    run = get_engine_object(name).runner(workers)
     if injector is None:
         return run
 
@@ -114,35 +129,6 @@ def get_engine(name: str, workers: Optional[int] = None, injector=None):
     run_with_faults.__name__ = f"{run.__name__}_faulted"
     run_with_faults.engine = name
     return run_with_faults
-
-
-def _resolve_engine(name: str, workers: Optional[int] = None):
-    if name == "parallel":
-        from repro.kernels.parallel import execute_parallel, resolve_workers
-
-        if workers is None:
-            return execute_parallel
-        workers = resolve_workers(workers)
-
-        def run_parallel(schedule, batch, operands, plan=None):
-            return execute_parallel(schedule, batch, operands, plan, workers=workers)
-
-        run_parallel.__name__ = f"execute_parallel_{workers}w"
-        run_parallel.workers = workers
-        return run_parallel
-    if workers is not None:
-        raise ValueError(
-            f"workers= only applies to the 'parallel' engine, not {name!r}"
-        )
-    if name == "reference":
-        from repro.kernels.persistent import execute_schedule
-
-        return execute_schedule
-    if name == "grouped":
-        from repro.kernels.grouped import execute_grouped
-
-        return execute_grouped
-    raise ValueError(f"unknown execution engine {name!r}; choose from {ENGINES}")
 
 
 def __getattr__(name: str):

@@ -1,0 +1,389 @@
+"""Compiled-plan execution: a schedule lowered to a flat artifact.
+
+The grouped engine (:mod:`repro.kernels.grouped`) removed the
+per-tile interpreter overhead, but each execution still *walks the
+lowered plan at Python level*: iterate ``TileGroup`` objects, build
+gather index stacks, allocate accumulators and window stacks, and run
+an ``np.add.at`` coverage pass -- per call, even when the schedule came
+straight out of a warm :class:`~repro.core.plancache.PlanCache`.  For
+a serve hot path that executes the same few schedules millions of
+times, that is pure interpretation tax.
+
+This module compiles a schedule **once** into a :class:`CompiledPlan`
+artifact -- the same move tritonBLAS makes for GEMM parameter selection
+and Stream-K++ makes for kernel-configuration caching (see
+``PAPERS.md``): turn per-call decision work into an ahead-of-time
+artifact, so steady-state dispatch is a lookup plus a minimal
+interpreter loop.  Compilation:
+
+* validates the schedule up front (GEMM/strategy id ranges and the
+  exactly-once output coverage check move from per-execution to
+  per-compile);
+* flattens the tile groups into per-GEMM **chunk tables** (the
+  ascending ``(k0, k_hi)`` ranges of the BK main loop) and, when a
+  GEMM mixes BK depths, flat **gather/scatter element index arrays**
+  mapping each BK's accumulator to the output elements its tiles
+  cover (with a single BK -- every Table-2 strategy -- the epilogue
+  collapses to one full-matrix vectorized expression and no index
+  arrays are materialized);
+* preallocates every scratch buffer the interpreter needs (float64
+  operand copies, the chunk-product accumulator and temporary, the
+  epilogue staging buffers).
+
+Execution (:meth:`CompiledPlan.run`) is then a fixed sequence of
+``np.copyto`` / ``np.matmul`` / ``np.multiply`` / ``np.add`` calls over
+those buffers: **zero Python plan-walking and zero per-call
+allocation** except the returned output arrays themselves (callers own
+the results, so they must be fresh).
+
+**Bit-exactness contract.**  ``execute_compiled`` is bit-identical to
+:func:`repro.kernels.grouped.execute_grouped` (and therefore to the
+reference walk):
+
+* the operand staging (`np.copyto` into C-contiguous float64 buffers)
+  produces the same values and layout as the grouped engine's
+  ``np.ascontiguousarray(..., dtype=np.float64)`` copies, so BLAS sees
+  identical inputs;
+* the K reduction issues the *same full-width per-chunk matmuls* in the
+  same ascending order, accumulated in float64 by the same
+  ``np.add``;
+* the alpha/beta epilogue is elementwise, so evaluating it over the
+  full matrix (or through flat index gathers) performs the identical
+  float64 FMA-and-round per element as the grouped engine's per-window
+  evaluation.
+
+Because the scratch buffers are shared, a :class:`CompiledPlan` guards
+:meth:`run` with a lock: concurrent executions of *one* artifact
+serialize (different artifacts run concurrently), trading a little
+parallelism for allocation-free steady state.
+
+Artifacts are memoized in a bounded weakref
+:class:`~repro.kernels.memo.PlanMemo` keyed by schedule identity and
+batch shapes -- a schedule cached by the plan cache keeps its artifact
+alive, and a schedule that dies takes its artifact with it.  Memo
+traffic is observable via the ``compile.cache_hits`` /
+``compile.cache_misses`` / ``compile.evictions`` counters and each
+compilation runs under a ``compile.plan`` span.
+
+This module builds on :mod:`repro.kernels.grouped` (the lowering is
+shared) but deliberately never imports :mod:`repro.kernels.persistent`
+or :mod:`repro.kernels.parallel` -- the oracle and the thread-pool
+engine stay independent (CI guards this).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import GemmBatch, validate_operands
+from repro.core.schedule import BatchSchedule
+from repro.core.tiling import strategy_by_index
+from repro.kernels.grouped import (
+    _batch_token,
+    _check_coverage,
+    lower_schedule,
+)
+from repro.kernels.memo import MemoStats, PlanMemo
+from repro.telemetry import get_tracer
+
+__all__ = [
+    "ChunkProgram",
+    "CompiledGemm",
+    "CompiledPlan",
+    "compile_plan",
+    "compiled_plan_for",
+    "compiled_memo_stats",
+    "clear_compiled_memo",
+    "execute_compiled",
+]
+
+
+@dataclass(frozen=True)
+class ChunkProgram:
+    """One BK depth's precompiled work for one GEMM.
+
+    ``chunks`` holds the ascending ``(k0, k_hi)`` ranges of the K main
+    loop (plain ints -- the interpreter slices with them directly).
+    ``scatter`` is ``None`` when this program's tiles cover the whole
+    output matrix (the single-BK fast path); otherwise it is the flat
+    int64 element-index array, into the row-major ``(m * n)`` output,
+    of exactly the elements this BK's tiles cover.  ``acc`` is the
+    preallocated float64 chunk-product accumulator.
+    """
+
+    bk: int
+    chunks: tuple[tuple[int, int], ...]
+    scatter: Optional[np.ndarray]
+    acc: np.ndarray = field(repr=False)
+
+
+@dataclass(frozen=True)
+class CompiledGemm:
+    """One GEMM's compiled programs plus its preallocated scratch.
+
+    ``a64`` / ``b64`` stage the float64 ``op(A)`` / ``op(B)`` copies;
+    ``tmp`` holds one chunk product; ``c64`` and ``e64`` stage the
+    epilogue.  All are reused across calls -- :meth:`CompiledPlan.run`
+    never allocates them.
+    """
+
+    gemm_index: int
+    m: int
+    n: int
+    k: int
+    programs: tuple[ChunkProgram, ...]
+    a64: np.ndarray = field(repr=False)
+    b64: np.ndarray = field(repr=False)
+    tmp: np.ndarray = field(repr=False)
+    c64: np.ndarray = field(repr=False)
+    e64: np.ndarray = field(repr=False)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A schedule compiled to a flat, allocation-free execution artifact.
+
+    The artifact is valid for any batch whose shapes/transposes match
+    ``batch_token`` -- alpha/beta are *not* baked in (they are read from
+    the live batch at :meth:`run` time), matching the plan cache's
+    signature, which also excludes them.
+    """
+
+    num_tiles: int
+    batch_token: tuple
+    gemms: tuple[CompiledGemm, ...]
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def num_chunks(self) -> int:
+        """Total BK chunk-product matmuls one execution issues."""
+        return sum(len(p.chunks) for g in self.gemms for p in g.programs)
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Bytes of preallocated scratch the artifact holds."""
+        total = 0
+        for g in self.gemms:
+            for buf in (g.a64, g.b64, g.tmp, g.c64, g.e64):
+                total += buf.nbytes
+            for p in g.programs:
+                total += p.acc.nbytes
+                if p.scatter is not None:
+                    total += p.scatter.nbytes
+        return total
+
+    def run(
+        self,
+        batch: GemmBatch,
+        operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ) -> list[np.ndarray]:
+        """Execute the compiled program on a matching batch.
+
+        Bit-identical to the grouped engine; inputs are not modified.
+        Raises ``ValueError`` when the batch's shapes do not match the
+        shapes the artifact was compiled for, or on operand-shape
+        mismatches.  Thread-safe: concurrent calls on one artifact
+        serialize on its scratch-buffer lock.
+        """
+        if _batch_token(batch) != self.batch_token:
+            raise ValueError(
+                "batch shapes do not match the compiled plan "
+                "(recompile with compile_plan/compiled_plan_for)"
+            )
+        validate_operands(batch, operands)
+        outputs: list[np.ndarray] = []
+        with self._lock:
+            for cg in self.gemms:
+                gemm = batch[cg.gemm_index]
+                a, b, c = operands[cg.gemm_index]
+                # Exact float64 widening into preallocated contiguous
+                # staging -- value- and layout-identical to the grouped
+                # engine's ascontiguousarray copies.
+                np.copyto(cg.a64, gemm.op_a(a))
+                np.copyto(cg.b64, gemm.op_b(b))
+                out: Optional[np.ndarray] = None
+                for prog in cg.programs:
+                    acc = prog.acc
+                    acc.fill(0.0)
+                    for k0, k_hi in prog.chunks:
+                        np.matmul(cg.a64[:, k0:k_hi], cg.b64[k0:k_hi, :], out=cg.tmp)
+                        np.add(acc, cg.tmp, out=acc)
+                    # Elementwise alpha/beta epilogue in float64; the
+                    # per-element arithmetic and the final cast match
+                    # the grouped engine bit for bit.
+                    np.copyto(cg.c64, c)
+                    np.multiply(acc, gemm.alpha, out=cg.e64)
+                    np.multiply(cg.c64, gemm.beta, out=cg.c64)
+                    np.add(cg.e64, cg.c64, out=cg.e64)
+                    if prog.scatter is None:
+                        out = cg.e64.astype(c.dtype)  # the output allocation
+                    else:
+                        if out is None:
+                            out = np.empty((cg.m, cg.n), dtype=c.dtype)
+                        flat = out.reshape(-1)
+                        flat[prog.scatter] = cg.e64.reshape(-1)[
+                            prog.scatter
+                        ].astype(c.dtype)
+                assert out is not None  # coverage guaranteed at compile
+                outputs.append(out)
+        return outputs
+
+
+def _compile(schedule: BatchSchedule, batch: GemmBatch) -> CompiledPlan:
+    plan = lower_schedule(schedule, batch)
+    _check_coverage(plan, batch)  # once, at compile -- never per call
+
+    by_gemm: dict[int, dict[int, list]] = {}
+    for group in plan.groups:
+        strat = strategy_by_index(group.strategy_index)
+        by_gemm.setdefault(group.gemm_index, {}).setdefault(strat.bk, []).append(
+            group
+        )
+
+    compiled: list[CompiledGemm] = []
+    for gi, gemm in enumerate(batch):
+        m, n, k = gemm.m, gemm.n, gemm.k
+        bk_groups = by_gemm.get(gi, {})
+        programs: list[ChunkProgram] = []
+        single_bk = len(bk_groups) == 1
+        for bk in sorted(bk_groups):
+            chunks = tuple(
+                (k0, min(k0 + bk, k)) for k0 in range(0, k, bk)
+            )
+            scatter: Optional[np.ndarray] = None
+            if not single_bk:
+                # Flat element indices of every output element covered
+                # by this BK's tiles (disjoint across BKs: coverage is
+                # exactly-once).
+                idx_parts = []
+                for group in bk_groups[bk]:
+                    strat = strategy_by_index(group.strategy_index)
+                    for y0, x0 in zip(group.y0, group.x0):
+                        y_hi = min(int(y0) + strat.by, m)
+                        x_hi = min(int(x0) + strat.bx, n)
+                        rows = np.arange(int(y0), y_hi, dtype=np.int64)
+                        cols = np.arange(int(x0), x_hi, dtype=np.int64)
+                        idx_parts.append(
+                            (rows[:, None] * n + cols[None, :]).reshape(-1)
+                        )
+                scatter = np.concatenate(idx_parts) if idx_parts else np.empty(
+                    0, dtype=np.int64
+                )
+            programs.append(
+                ChunkProgram(
+                    bk=bk,
+                    chunks=chunks,
+                    scatter=scatter,
+                    acc=np.zeros((m, n), dtype=np.float64),
+                )
+            )
+        compiled.append(
+            CompiledGemm(
+                gemm_index=gi,
+                m=m,
+                n=n,
+                k=k,
+                programs=tuple(programs),
+                a64=np.empty((m, k), dtype=np.float64),
+                b64=np.empty((k, n), dtype=np.float64),
+                tmp=np.empty((m, n), dtype=np.float64),
+                c64=np.empty((m, n), dtype=np.float64),
+                e64=np.empty((m, n), dtype=np.float64),
+            )
+        )
+    return CompiledPlan(
+        num_tiles=plan.num_tiles,
+        batch_token=plan.batch_token,
+        gemms=tuple(compiled),
+    )
+
+
+def compile_plan(schedule: BatchSchedule, batch: GemmBatch) -> CompiledPlan:
+    """Compile a schedule into a fresh :class:`CompiledPlan` artifact.
+
+    Validates id ranges and exactly-once coverage (raising the same
+    ``IndexError`` / ``ValueError`` the grouped engine would raise per
+    execution), then flattens chunk tables, gather/scatter indices and
+    scratch buffers.  Emits a ``compile.plan`` span.
+    """
+    tracer = get_tracer()
+    with tracer.span(
+        "compile.plan", tiles=schedule.num_tiles, gemms=len(batch)
+    ) as span:
+        artifact = _compile(schedule, batch)
+        tracer.counter("compile.plans", 1)
+        if span.enabled:
+            span.set_attr("chunks", artifact.num_chunks)
+            span.set_attr("scratch_bytes", artifact.scratch_bytes)
+    return artifact
+
+
+#: Process-wide memo of compiled artifacts (bounded; schedule-weakref).
+_COMPILED_MEMO = PlanMemo(capacity=256, name="compiled")
+
+
+def compiled_plan_for(schedule: BatchSchedule, batch: GemmBatch) -> CompiledPlan:
+    """The memoized compiled artifact of a schedule (compile on miss).
+
+    Keyed by schedule identity and batch shapes in a bounded weakref
+    :class:`~repro.kernels.memo.PlanMemo`: schedules held by a
+    :class:`~repro.core.plancache.PlanCache` keep their artifact warm,
+    and evicted schedules release theirs.  Emits ``compile.cache_hits``
+    / ``compile.cache_misses`` counters, so a serve smoke test can
+    assert a warm hot path does zero compilation.
+    """
+    token = _batch_token(batch)
+    tracer = get_tracer()
+    cached = _COMPILED_MEMO.get(schedule, token)
+    if cached is not None:
+        tracer.counter("compile.cache_hits")
+        return cached
+    tracer.counter("compile.cache_misses")
+    before = _COMPILED_MEMO.stats.evictions
+    artifact = _COMPILED_MEMO.put(schedule, token, compile_plan(schedule, batch))
+    evicted = _COMPILED_MEMO.stats.evictions - before
+    if evicted:
+        tracer.counter("compile.evictions", evicted)
+    return artifact
+
+
+def compiled_memo_stats() -> MemoStats:
+    """Hit/miss/eviction counters of the compiled-artifact memo."""
+    return _COMPILED_MEMO.stats_snapshot()
+
+
+def clear_compiled_memo() -> None:
+    """Drop every memoized artifact (tests and long-lived processes)."""
+    _COMPILED_MEMO.clear()
+
+
+def execute_compiled(
+    schedule: BatchSchedule,
+    batch: GemmBatch,
+    operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    plan: Optional[CompiledPlan] = None,
+) -> list[np.ndarray]:
+    """Execute a batch schedule through its compiled artifact.
+
+    Drop-in for :func:`repro.kernels.grouped.execute_grouped`
+    (bit-identical outputs; inputs are not modified).  ``plan``
+    optionally supplies a pre-compiled artifact; by default the
+    memoized artifact of the schedule is used (compiled on first
+    execution).
+    """
+    if plan is None or plan.batch_token != _batch_token(batch):
+        plan = compiled_plan_for(schedule, batch)
+    tracer = get_tracer()
+    with tracer.span(
+        "execute.compiled",
+        tiles=plan.num_tiles,
+        gemms=len(batch),
+    ):
+        tracer.counter("tiles_executed", plan.num_tiles)
+        return plan.run(batch, operands)

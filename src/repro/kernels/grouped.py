@@ -39,10 +39,11 @@ Two properties make this possible:
   twelve Table-2 strategies, transposed operands, and ragged edges.
 
 The lowered plan depends only on the schedule and the batch *shapes*
-(never on operand data), so it is memoized on the schedule object:
-schedules held by a :class:`~repro.core.plancache.PlanCache` carry
-their grouped plan with them, and repeated serve executions skip
-re-lowering.  Lowering emits an ``execute.lower`` span and a
+(never on operand data), so it is memoized per schedule in a bounded
+weakref :class:`~repro.kernels.memo.PlanMemo`: schedules held by a
+:class:`~repro.core.plancache.PlanCache` keep their grouped plan warm
+and repeated serve executions skip re-lowering, while dropped
+schedules release their plans instead of leaking them.  Lowering emits an ``execute.lower`` span and a
 ``grouped.groups_formed`` counter; each shared chunk product runs
 under an ``execute.product`` span, and each group epilogue under an
 ``execute.group`` span with a ``grouped.tiles_per_matmul`` histogram
@@ -63,6 +64,7 @@ import numpy as np
 from repro.core.problem import GemmBatch, validate_operands
 from repro.core.schedule import BatchSchedule
 from repro.core.tiling import ALL_BATCHED_STRATEGIES, strategy_by_index
+from repro.kernels.memo import PlanMemo
 from repro.telemetry import get_tracer
 
 
@@ -186,23 +188,38 @@ def _lower(schedule: BatchSchedule, batch: GemmBatch) -> GroupedPlan:
     )
 
 
+#: Bounded memo of lowered plans (weakref-keyed; see ``memo.py``).
+_GROUPED_MEMO = PlanMemo(capacity=256, name="grouped")
+
+
 def grouped_plan_for(schedule: BatchSchedule, batch: GemmBatch) -> GroupedPlan:
     """The memoized grouped plan of a schedule.
 
-    The plan is stashed on the schedule object (schedules are frozen
-    but not slotted), so a schedule cached by the plan cache carries
-    its lowering with it and repeated executions pay nothing.  Two
-    threads racing on a cold schedule both lower and one wins the
-    stash -- the plans are identical, mirroring the plan cache's
-    plan-outside-the-lock policy.
+    Plans are held in a bounded weakref
+    :class:`~repro.kernels.memo.PlanMemo` keyed by schedule identity
+    and batch shapes: a schedule cached by the plan cache keeps its
+    lowering warm, an evicted or dropped schedule releases it (earlier
+    revisions stashed the plan as a schedule attribute, which leaked
+    lowered plans for as long as the schedule lived and kept no bound
+    or stats).  Two threads racing on a cold schedule both lower and
+    the later ``put`` wins -- the plans are identical, mirroring the
+    plan cache's plan-outside-the-lock policy.
     """
     token = _batch_token(batch)
-    cached: GroupedPlan | None = getattr(schedule, "_grouped_plan", None)
-    if cached is not None and cached.batch_token == token:
+    cached = _GROUPED_MEMO.get(schedule, token)
+    if cached is not None:
         return cached
-    plan = lower_schedule(schedule, batch)
-    object.__setattr__(schedule, "_grouped_plan", plan)
-    return plan
+    return _GROUPED_MEMO.put(schedule, token, lower_schedule(schedule, batch))
+
+
+def grouped_memo_stats():
+    """Hit/miss/eviction counters of the grouped-plan memo."""
+    return _GROUPED_MEMO.stats_snapshot()
+
+
+def clear_grouped_memo() -> None:
+    """Drop every memoized grouped plan (tests, long-lived processes)."""
+    _GROUPED_MEMO.clear()
 
 
 def execute_grouped(

@@ -1,0 +1,191 @@
+"""The execution policy: one object for "how should this batch run".
+
+Execution knobs used to travel as loose keyword arguments -- the
+``engine=`` / ``workers=`` / ``fallback=`` / ``injector=`` / ``retry=``
+sprawl on :meth:`CoordinatedFramework.execute`,
+:meth:`PlanCache.execute`, :meth:`PlanCache.warm`, ``ServeConfig`` and
+the ``repro-serve`` CLI, each surface validating its own subset.  This
+module collapses them into one frozen :class:`ExecutionPolicy`
+accepted everywhere, mirroring the PR 1 ``PlanOptions`` migration for
+planning knobs: pass the dataclass going forward, and every legacy
+kwarg spelling keeps working behind a ``DeprecationWarning`` shim
+(:func:`coerce_policy`).
+
+The policy is pure data -- it names an engine out of the typed
+registry (:mod:`repro.kernels.engine`) and carries the reliability
+envelope (retry policy, fault injector, fallback flag).  Resolution to
+actual executors happens at the call sites:
+:func:`repro.kernels.get_engine` for the direct path,
+:meth:`repro.reliability.ReliableExecutor.from_policy` when
+:attr:`ExecutionPolicy.reliable` is set.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.kernels.engine import ENGINES, get_engine_object
+
+__all__ = ["ExecutionPolicy", "coerce_policy"]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a batch should execute: engine, workers, reliability envelope.
+
+    Parameters
+    ----------
+    engine:
+        Name from the engine registry (``reference`` / ``grouped`` /
+        ``parallel`` / ``compiled``).
+    workers:
+        Worker-pool size.  For the ``parallel`` engine this is the
+        shard pool; :meth:`PlanCache.warm` also uses it to fan out
+        planning.  Engines without worker support ignore it at run
+        time (legacy kwarg spellings still raise, via
+        :func:`coerce_policy`, to preserve the old contract).
+    fallback:
+        Walk the engine's degradation chain
+        (:func:`repro.kernels.engine_fallbacks`) on failure.
+    retry:
+        A :class:`~repro.reliability.RetryPolicy` for transient
+        faults (``None`` = the executor's default when reliability is
+        engaged).
+    injector:
+        A :class:`~repro.reliability.FaultInjector` evaluated at the
+        ``"engine"`` fault site before every execution (chaos tests).
+    """
+
+    engine: str = "grouped"
+    workers: Optional[int] = None
+    fallback: bool = False
+    retry: Optional[Any] = None
+    injector: Optional[Any] = None
+
+    def __post_init__(self):
+        """Validate the engine name and the worker count."""
+        get_engine_object(self.engine)  # canonical unknown-engine ValueError
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @property
+    def reliable(self) -> bool:
+        """Whether execution needs the reliability wrapper.
+
+        True when any of fallback / retry / injector is engaged; the
+        plain :func:`repro.kernels.get_engine` path suffices otherwise.
+        """
+        return self.fallback or self.retry is not None or self.injector is not None
+
+    @classmethod
+    def of(cls, value, warn_on_str: bool = True) -> "ExecutionPolicy":
+        """Coerce ``value`` into an :class:`ExecutionPolicy`.
+
+        Accepts a policy (returned as-is), ``None`` (the default
+        policy), or a bare engine-name string -- the legacy spelling,
+        which emits a ``DeprecationWarning`` unless ``warn_on_str`` is
+        false.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            if warn_on_str:
+                warnings.warn(
+                    f"passing engine={value!r} as a bare string is deprecated; "
+                    f"use repro.ExecutionPolicy(engine={value!r})",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            return cls(engine=value)
+        raise TypeError(
+            f"expected ExecutionPolicy, engine name, or None; got {type(value).__name__}"
+        )
+
+    def with_workers(self, workers: Optional[int]) -> "ExecutionPolicy":
+        """This policy with ``workers`` replaced (returns self if equal)."""
+        if workers == self.workers:
+            return self
+        return replace(self, workers=workers)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (health endpoints, run manifests)."""
+        return {
+            "engine": self.engine,
+            "workers": self.workers,
+            "fallback": self.fallback,
+            "retry": self.retry is not None,
+            "injector": self.injector is not None,
+        }
+
+
+def coerce_policy(
+    policy: Optional[Any],
+    *,
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    fallback: Optional[bool] = None,
+    retry: Optional[Any] = None,
+    injector: Optional[Any] = None,
+    where: str,
+    default_engine: str = "grouped",
+    workers_require_parallel: bool = True,
+    stacklevel: int = 3,
+) -> ExecutionPolicy:
+    """Merge a ``policy`` argument with legacy kwargs into one policy.
+
+    The back-compat shim every redesigned entry point shares: pass
+    ``policy=`` going forward; the old ``engine=`` / ``workers=`` /
+    ``fallback=`` / ``retry=`` / ``injector=`` spellings still work but
+    emit a ``DeprecationWarning`` naming ``where``.  Mixing ``policy=``
+    with any legacy kwarg is a ``TypeError`` (ambiguous intent), and
+    the historical ``ValueError`` for ``workers=`` with a non-parallel
+    engine is preserved (``workers_require_parallel=False`` lifts it
+    for surfaces like ``PlanCache.warm`` where workers always meant a
+    planning fan-out, not an engine pool).
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("engine", engine),
+            ("workers", workers),
+            ("fallback", fallback or None),
+            ("retry", retry),
+            ("injector", injector),
+        )
+        if value is not None
+    }
+    if policy is not None:
+        if legacy:
+            raise TypeError(
+                f"{where}: pass either policy= or the legacy "
+                f"{'/'.join(sorted(legacy))} keyword(s), not both"
+            )
+        return ExecutionPolicy.of(policy, warn_on_str=True)
+    if not legacy:
+        return ExecutionPolicy(engine=default_engine)
+    warnings.warn(
+        f"{where}: the {'/'.join(sorted(legacy))} keyword(s) are deprecated; "
+        f"pass policy=repro.ExecutionPolicy(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    resolved_engine = engine if engine is not None else default_engine
+    if (
+        workers is not None
+        and workers_require_parallel
+        and resolved_engine != "parallel"
+    ):
+        raise ValueError(
+            f"workers= only applies to the 'parallel' engine, not {resolved_engine!r}"
+        )
+    return ExecutionPolicy(
+        engine=resolved_engine,
+        workers=workers,
+        fallback=bool(fallback),
+        retry=retry,
+        injector=injector,
+    )

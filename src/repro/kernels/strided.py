@@ -9,13 +9,12 @@ copies), run any schedule, and reassemble the 3-D output.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro.core.problem import GemmBatch
 from repro.core.schedule import BatchSchedule
-from repro.kernels.persistent import execute_schedule
 from repro.telemetry import get_tracer
 
 
@@ -56,11 +55,31 @@ def execute_schedule_strided(
     a: np.ndarray,
     b: np.ndarray,
     c: np.ndarray,
+    *,
+    policy: Optional[object] = None,
 ) -> np.ndarray:
-    """Run a schedule on strided-batch operands; returns ``(B, m, n)``."""
-    with get_tracer().span("execute.strided", gemms=len(batch)):
+    """Run a schedule on strided-batch operands; returns ``(B, m, n)``.
+
+    ``policy`` -- an :class:`~repro.kernels.ExecutionPolicy` or engine
+    name -- selects the executor through the shared engine registry;
+    the default keeps this adapter on the ``reference`` per-slot walk
+    (its historical behaviour).  All engines are bit-identical, so the
+    choice only changes speed.
+    """
+    from repro.kernels.engine import get_engine_object
+    from repro.kernels.policy import ExecutionPolicy
+
+    pol = (
+        ExecutionPolicy(engine="reference")
+        if policy is None
+        else ExecutionPolicy.of(policy, warn_on_str=False)
+    )
+    run = get_engine_object(pol.engine).runner(
+        pol.workers if pol.engine == "parallel" else None
+    )
+    with get_tracer().span("execute.strided", gemms=len(batch), engine=pol.engine):
         operands = split_strided(batch, a, b, c)
-        outputs = execute_schedule(schedule, batch, operands)
+        outputs = run(schedule, batch, operands)
         return np.stack(outputs)
 
 

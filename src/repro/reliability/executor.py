@@ -3,9 +3,9 @@
 Stream-K++ and tritonBLAS both argue the same point from different
 angles: an analytically *selected* kernel configuration needs a safety
 net for the cases where the selection misbehaves.  Here the selection
-is the execution engine (``parallel`` -> ``grouped`` -> ``reference``,
-each slower but simpler and more battle-tested than the previous), and
-the safety net is :class:`ReliableExecutor`:
+is the execution engine (``compiled`` or ``parallel`` -> ``grouped``
+-> ``reference``, each slower but simpler and more battle-tested than
+the previous), and the safety net is :class:`ReliableExecutor`:
 
 1. run the preferred engine; on failure, **retry** per the
    :class:`~repro.reliability.retry.RetryPolicy` (transient faults);
@@ -88,6 +88,35 @@ class ReliableExecutor:
         self._retries = 0
         self._fallbacks = 0
         self._engine_used: dict[str, int] = {}
+
+    @classmethod
+    def from_policy(
+        cls,
+        policy,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "ReliableExecutor":
+        """Build an executor from an :class:`~repro.kernels.ExecutionPolicy`.
+
+        The policy supplies the engine, worker count, retry policy,
+        fallback flag and fault injector; breaker tuning and the
+        sleep/clock hooks stay keyword arguments (they belong to the
+        runtime, not to the portable policy object).
+        """
+        return cls(
+            policy.engine,
+            workers=policy.workers if policy.engine == "parallel" else None,
+            retry=policy.retry,
+            fallback=policy.fallback,
+            failure_threshold=failure_threshold,
+            cooldown_s=cooldown_s,
+            injector=policy.injector,
+            sleep=sleep,
+            clock=clock,
+        )
 
     # -- counters -----------------------------------------------------
 

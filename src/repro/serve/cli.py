@@ -106,9 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument(
         "--engine",
-        choices=("reference", "grouped", "parallel"),
+        choices=("reference", "grouped", "parallel", "compiled"),
         default="grouped",
-        help="numerical execution engine for operand-carrying batches",
+        help="numerical execution engine for operand-carrying batches "
+        "(compiled = precompiled-plan interpreter, fastest warm path)",
     )
     pipeline.add_argument(
         "--engine-workers",
@@ -238,6 +239,7 @@ def _build_trace(args: argparse.Namespace):
 
 
 def _build_config(args: argparse.Namespace, heuristic: Heuristic):
+    from repro.kernels import ExecutionPolicy
     from repro.reliability import FaultPlan, RetryPolicy
     from repro.serve import (
         AdmissionConfig,
@@ -270,8 +272,10 @@ def _build_config(args: argparse.Namespace, heuristic: Heuristic):
         ),
         admission=AdmissionConfig(queue_capacity=args.queue_capacity),
         heuristic=heuristic,
-        engine=args.engine,
-        engine_workers=args.engine_workers or None,
+        policy=ExecutionPolicy(
+            engine=args.engine,
+            workers=args.engine_workers or None,
+        ),
         reliability=reliability,
     )
 
@@ -350,7 +354,7 @@ def main(argv: list[str] | None = None) -> int:
             planned = cache.warm(
                 scout.formed_batches,
                 config.heuristic,
-                workers=config.engine_workers,
+                policy=config.execution_policy(),
             )
             cache.stats = CacheStats()  # report serving-time traffic only
             print(f"warm-start: pre-planned {planned} batch mixes", file=sys.stderr)

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.framework import HeuristicLike
-from repro.kernels import ENGINES
+from repro.kernels import ENGINES, ExecutionPolicy
 from repro.reliability import FaultPlan, RetryPolicy
 from repro.serve.admission import AdmissionConfig
 from repro.serve.batcher import BatcherConfig
@@ -57,18 +58,26 @@ class ServeConfig:
     plan cache amortize).  ``miss_overhead_us`` / ``hit_overhead_us``
     model the online planning cost charged per batch in virtual-time
     replay (a miss runs the full tiling+batching trial; a hit is one
-    cache lookup).  ``engine`` selects the numerical executor used
-    when a formed batch carries operands (see
-    :func:`repro.kernels.get_engine`); the default ``grouped`` engine
-    is bit-identical to the reference walk and keeps the worker's
-    execute path off the per-tile interpreter overhead.
+    cache lookup); ``compile_overhead_us`` is additionally charged the
+    first time each distinct plan is dispatched under a ``compiled``
+    policy (the one-off artifact compilation -- warm dispatches charge
+    nothing extra).
+
+    ``policy`` -- an :class:`~repro.kernels.ExecutionPolicy` -- names
+    the numerical executor used when a formed batch carries operands
+    and, for the ``parallel`` engine, its shard-pool size.  Its
+    reliability knobs (``fallback`` / ``retry`` / ``injector``) must
+    stay unset here: the serving pipeline's fault-tolerance envelope
+    comes from ``reliability`` (one source of truth).  The pre-policy
+    ``engine`` / ``engine_workers`` fields still work behind a
+    ``DeprecationWarning`` and must not be mixed with ``policy``; use
+    :meth:`execution_policy` to read the effective policy.
 
     ``workers`` is the number of *serve pipeline* threads (planning +
-    dispatch); ``engine_workers`` independently sizes the ``parallel``
-    execution engine's shard pool per executed batch (``None`` lets
-    the engine pick a host-sized default) and is only accepted when
-    ``engine="parallel"`` -- the two knobs compose, since an engine
-    pool is shared process-wide across all serve workers.
+    dispatch); the policy's worker count independently sizes the
+    ``parallel`` execution engine's shard pool per executed batch --
+    the two knobs compose, since an engine pool is shared process-wide
+    across all serve workers.
 
     ``reliability`` holds the fault-tolerance policy (retries, engine
     fallback, circuit breakers, poison-batch bisection, and the
@@ -82,7 +91,9 @@ class ServeConfig:
     heuristic: HeuristicLike = None
     miss_overhead_us: float = 200.0
     hit_overhead_us: float = 5.0
-    engine: str = "grouped"
+    compile_overhead_us: float = 50.0
+    policy: Optional[ExecutionPolicy] = None
+    engine: Optional[str] = None
     engine_workers: int | None = None
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
 
@@ -91,7 +102,24 @@ class ServeConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.miss_overhead_us < 0 or self.hit_overhead_us < 0:
             raise ValueError("planning overheads must be >= 0")
-        if self.engine not in ENGINES:
+        if self.compile_overhead_us < 0:
+            raise ValueError(
+                f"compile_overhead_us must be >= 0, got {self.compile_overhead_us}"
+            )
+        legacy = self.engine is not None or self.engine_workers is not None
+        if self.policy is not None:
+            if legacy:
+                raise ValueError(
+                    "pass either policy= or the legacy engine/engine_workers "
+                    "fields, not both"
+                )
+            if self.policy.reliable:
+                raise ValueError(
+                    "ServeConfig policy must not carry fallback/retry/"
+                    "injector; the serving reliability envelope comes from "
+                    "ReliabilityConfig"
+                )
+        if self.engine is not None and self.engine not in ENGINES:
             raise ValueError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
@@ -105,3 +133,25 @@ class ServeConfig:
                     "engine_workers= only applies to engine='parallel', "
                     f"got engine={self.engine!r}"
                 )
+        if legacy:
+            warnings.warn(
+                "ServeConfig engine/engine_workers are deprecated; pass "
+                "policy=repro.ExecutionPolicy(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    def execution_policy(self) -> ExecutionPolicy:
+        """The effective :class:`~repro.kernels.ExecutionPolicy`.
+
+        ``policy`` when set; otherwise the deprecated
+        ``engine`` / ``engine_workers`` fields coerced (defaulting to
+        the ``grouped`` engine).  Reliability knobs are never carried
+        here -- the server layers them on from ``reliability``.
+        """
+        if self.policy is not None:
+            return self.policy
+        return ExecutionPolicy(
+            engine=self.engine if self.engine is not None else "grouped",
+            workers=self.engine_workers,
+        )

@@ -11,7 +11,9 @@ driver, built from the same parts (``DynamicBatcher``,
   batches on the size/window triggers;
 * ``config.workers`` **worker threads** pop formed batches, plan them
   through the cache, and resolve tickets -- numerically (the
-  execution engine named by ``config.engine``, grouped by default)
+  execution engine named by ``config.execution_policy()``, grouped by
+  default; the ``compiled`` engine reuses a precompiled artifact per
+  cached schedule so warm requests skip lowering and compilation)
   when every request in the batch carries operands, otherwise on the
   device model (the simulator);
 * ``close(drain=True)`` stops admissions, flushes whatever is pending
@@ -20,8 +22,8 @@ driver, built from the same parts (``DynamicBatcher``,
 **Fault tolerance** (``config.reliability``, see
 ``docs/reliability.md``): planning and execution failures are retried
 per the :class:`~repro.reliability.RetryPolicy`; engine failures
-degrade along the ``parallel`` -> ``grouped`` -> ``reference``
-fallback chain guarded by per-engine circuit breakers
+degrade along the fallback chain (``compiled`` or ``parallel`` ->
+``grouped`` -> ``reference``) guarded by per-engine circuit breakers
 (:class:`~repro.reliability.ReliableExecutor`); a batch that still
 fails is **bisected** so healthy requests complete and only the poison
 request is rejected with a typed ``error:<ExcName>`` reason.  The
@@ -143,9 +145,10 @@ class GemmServer:
             if reliability.fault_plan is not None
             else None
         )
+        policy = self.config.execution_policy()
         self._executor = ReliableExecutor(
-            self.config.engine,
-            workers=self.config.engine_workers,
+            policy.engine,
+            workers=policy.workers if policy.engine == "parallel" else None,
             retry=reliability.retry,
             fallback=reliability.fallback,
             failure_threshold=reliability.breaker_failure_threshold,

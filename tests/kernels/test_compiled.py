@@ -1,0 +1,413 @@
+"""Tests for the compiled-plan execution artifacts.
+
+The contract is the grouped engine's, tightened: ``execute_compiled``
+must be **bit-identical** (``np.array_equal``) to ``execute_grouped``
+and the reference persistent-threads walk for every schedule -- all
+twelve Table-2 strategies, transposes, alpha/beta epilogues, ragged
+edges, and mixed-BK schedules (the scatter path) -- while doing all
+plan-walking and scratch allocation once, at compile time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.batching import batch_tiles
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.schedule import BatchSchedule, build_schedule, enumerate_tiles
+from repro.core.tiling import ALL_BATCHED_STRATEGIES, select_tiling
+from repro.kernels.compiled import (
+    CompiledPlan,
+    clear_compiled_memo,
+    compile_plan,
+    compiled_memo_stats,
+    compiled_plan_for,
+    execute_compiled,
+)
+from repro.kernels.grouped import execute_grouped
+from repro.kernels.persistent import execute_schedule
+from repro.kernels.reference import reference_batched_gemm
+from repro.telemetry import tracing
+
+
+def make_schedule(batch, heuristic="threshold", threshold=65536):
+    decision = select_tiling(batch, threshold)
+    tiles = enumerate_tiles(batch, decision)
+    batching = batch_tiles(tiles, decision.threads, heuristic)
+    return build_schedule(batch, decision, batching)
+
+
+def forced_schedule(batch: GemmBatch, strategy_index: int) -> BatchSchedule:
+    """A one-block schedule that tiles every GEMM with one strategy."""
+    strat = ALL_BATCHED_STRATEGIES[strategy_index]
+    gemm_ids, y_coords, x_coords = [], [], []
+    for gi, gemm in enumerate(batch):
+        grid_y = -(-gemm.m // strat.by)
+        grid_x = -(-gemm.n // strat.bx)
+        for ty in range(grid_y):
+            for tx in range(grid_x):
+                gemm_ids.append(gi)
+                y_coords.append(ty)
+                x_coords.append(tx)
+    n = len(gemm_ids)
+    return BatchSchedule(
+        tile_offsets=np.array([0, n], dtype=np.int32),
+        gemm_ids=np.array(gemm_ids, dtype=np.int32),
+        strategy_ids=np.full(n, strategy_index, dtype=np.int32),
+        y_coords=np.array(y_coords, dtype=np.int32),
+        x_coords=np.array(x_coords, dtype=np.int32),
+        threads_per_block=strat.threads,
+        shared_memory_bytes=strat.shared_memory_bytes,
+        registers_per_thread=strat.registers_per_thread,
+    )
+
+
+def mixed_bk_schedule() -> tuple[GemmBatch, BatchSchedule]:
+    """A hand schedule mixing strategies 0 and 1 on one GEMM.
+
+    One 32x32 tile (strategy 1) covers columns 0-31; two 16x16 tiles
+    (strategy 0) cover the ragged columns 32-43.  Coverage is exactly
+    once, so the schedule is valid for every engine.
+    """
+    batch = GemmBatch([Gemm(32, 44, 24, alpha=1.25, beta=-0.5)])
+    gemm_ids = [0, 0, 0]
+    strategy_ids = [1, 0, 0]
+    y_coords = [0, 0, 1]
+    x_coords = [0, 2, 2]
+    strat = ALL_BATCHED_STRATEGIES[1]
+    return batch, BatchSchedule(
+        tile_offsets=np.array([0, 3], dtype=np.int32),
+        gemm_ids=np.array(gemm_ids, dtype=np.int32),
+        strategy_ids=np.array(strategy_ids, dtype=np.int32),
+        y_coords=np.array(y_coords, dtype=np.int32),
+        x_coords=np.array(x_coords, dtype=np.int32),
+        threads_per_block=strat.threads,
+        shared_memory_bytes=strat.shared_memory_bytes,
+        registers_per_thread=strat.registers_per_thread,
+    )
+
+
+def assert_bit_identical(schedule, batch, ops):
+    """Compiled output must match both grouped and the reference walk."""
+    ref = execute_schedule(schedule, batch, ops)
+    grouped = execute_grouped(schedule, batch, ops)
+    got = execute_compiled(schedule, batch, ops)
+    for gi, (want, mid, have) in enumerate(zip(ref, grouped, got)):
+        assert want.dtype == have.dtype, f"GEMM {gi} dtype drift"
+        assert np.array_equal(mid, have), (
+            f"GEMM {gi}: compiled engine diverges from grouped "
+            f"(max |delta| = {np.max(np.abs(mid - have))})"
+        )
+        assert np.array_equal(want, have), (
+            f"GEMM {gi}: compiled engine diverges from the reference walk"
+        )
+    return got
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("strategy_index", range(len(ALL_BATCHED_STRATEGIES)))
+    def test_all_table2_strategies(self, rng, strategy_index):
+        """Every Table-2 entry, on shapes ragged in M, N, and K."""
+        strat = ALL_BATCHED_STRATEGIES[strategy_index]
+        batch = GemmBatch(
+            [
+                Gemm(2 * strat.by + 3, 2 * strat.bx + 5, 20),
+                Gemm(strat.by, strat.bx, strat.bk),  # exactly one interior tile
+            ]
+        )
+        ops = batch.random_operands(rng)
+        sched = forced_schedule(batch, strategy_index)
+        got = assert_bit_identical(sched, batch, ops)
+        oracle = reference_batched_gemm(batch, ops)
+        for have, want in zip(got, oracle):
+            np.testing.assert_allclose(have, want, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("trans_a", [False, True])
+    @pytest.mark.parametrize("trans_b", [False, True])
+    def test_transposed_operands(self, rng, trans_a, trans_b):
+        batch = GemmBatch(
+            [
+                Gemm(33, 47, 21, trans_a=trans_a, trans_b=trans_b),
+                Gemm(64, 64, 64, trans_a=trans_a, trans_b=trans_b),
+            ]
+        )
+        ops = batch.random_operands(rng)
+        assert_bit_identical(make_schedule(batch, "binary"), batch, ops)
+
+    @pytest.mark.parametrize(
+        "alpha,beta", [(1.0, 0.0), (1.5, 0.5), (0.0, 2.0), (-0.75, 1.0)]
+    )
+    def test_alpha_beta_epilogue(self, rng, alpha, beta):
+        batch = GemmBatch(
+            [
+                Gemm(40, 40, 40, alpha=alpha, beta=beta),
+                Gemm(17, 23, 9, alpha=alpha, beta=beta),
+            ]
+        )
+        ops = batch.random_operands(rng)
+        assert_bit_identical(make_schedule(batch, "threshold"), batch, ops)
+
+    @pytest.mark.parametrize("heuristic", ["one-per-block", "threshold", "binary"])
+    def test_planned_schedules(self, small_batch, rng, heuristic):
+        ops = small_batch.random_operands(rng)
+        assert_bit_identical(make_schedule(small_batch, heuristic), small_batch, ops)
+
+    def test_float32_outputs(self, rng):
+        batch = GemmBatch.from_shapes([(48, 48, 32), (30, 70, 11)])
+        ops = [
+            tuple(arr.astype(np.float32) for arr in op)
+            for op in batch.random_operands(rng)
+        ]
+        got = assert_bit_identical(make_schedule(batch, "binary"), batch, ops)
+        assert all(o.dtype == np.float32 for o in got)
+
+    def test_mixed_bk_scatter_path(self, rng, monkeypatch):
+        """GEMMs mixing BK depths exercise the gather/scatter epilogue.
+
+        Every Table-2 strategy uses BK=8, so the multi-program path is
+        unreachable with the real table; patching the strategy lookup
+        (in *both* engines, so they agree) gives strategy 1 a deeper
+        main loop and forces per-BK scatter index arrays.
+        """
+        import repro.kernels.compiled as compiled_mod
+        import repro.kernels.grouped as grouped_mod
+
+        real = ALL_BATCHED_STRATEGIES
+
+        def deep_bk(index):
+            strat = real[index]
+            return dataclasses.replace(strat, bk=16) if index == 1 else strat
+
+        monkeypatch.setattr(grouped_mod, "strategy_by_index", deep_bk)
+        monkeypatch.setattr(compiled_mod, "strategy_by_index", deep_bk)
+
+        batch, sched = mixed_bk_schedule()
+        ops = batch.random_operands(rng)
+        artifact = compile_plan(sched, batch)
+        programs = artifact.gemms[0].programs
+        assert len(programs) == 2, "expected one program per BK depth"
+        assert all(p.scatter is not None for p in programs)
+        covered = np.concatenate([p.scatter for p in programs])
+        assert sorted(covered.tolist()) == list(range(32 * 44))
+        got = execute_compiled(sched, batch, ops, plan=artifact)
+        want = execute_grouped(sched, batch, ops)
+        assert np.array_equal(got[0], want[0])
+        oracle = reference_batched_gemm(batch, ops)
+        np.testing.assert_allclose(got[0], oracle[0], rtol=1e-10, atol=1e-10)
+
+
+class TestCompiledContract:
+    def test_operand_mismatch_rejected(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)[:-1]
+        with pytest.raises(ValueError):
+            execute_compiled(make_schedule(small_batch), small_batch, ops)
+
+    def test_broken_coverage_detected_at_compile(self, small_batch):
+        """The exactly-once check moves to compile time, same message."""
+        sched = make_schedule(small_batch, "one-per-block")
+        sched.y_coords[1] = sched.y_coords[0]
+        sched.x_coords[1] = sched.x_coords[0]
+        sched.gemm_ids[1] = sched.gemm_ids[0]
+        sched.strategy_ids[1] = sched.strategy_ids[0]
+        with pytest.raises(ValueError, match="exactly once"):
+            compile_plan(sched, small_batch)
+
+    def test_out_of_range_ids_rejected(self, small_batch):
+        sched = make_schedule(small_batch)
+        sched.gemm_ids[0] = len(small_batch)
+        with pytest.raises(IndexError):
+            compile_plan(sched, small_batch)
+        sched.gemm_ids[0] = 0
+        sched.strategy_ids[0] = len(ALL_BATCHED_STRATEGIES)
+        with pytest.raises(IndexError):
+            compile_plan(sched, small_batch)
+
+    def test_batch_token_mismatch_rejected_by_run(self, small_batch, rng):
+        sched = make_schedule(small_batch)
+        artifact = compile_plan(sched, small_batch)
+        other = GemmBatch.from_shapes([(8, 8, 8)])
+        ops = other.random_operands(rng)
+        with pytest.raises(ValueError, match="do not match the compiled plan"):
+            artifact.run(other, ops)
+
+    def test_stale_plan_argument_recompiles(self, small_batch, rng):
+        """``plan=`` for the wrong shapes falls back to the memo."""
+        stale = compile_plan(
+            make_schedule(GemmBatch.from_shapes([(8, 8, 8)])),
+            GemmBatch.from_shapes([(8, 8, 8)]),
+        )
+        sched = make_schedule(small_batch)
+        ops = small_batch.random_operands(rng)
+        got = execute_compiled(sched, small_batch, ops, plan=stale)
+        want = execute_grouped(sched, small_batch, ops)
+        for have, expect in zip(got, want):
+            assert np.array_equal(have, expect)
+
+    def test_outputs_fresh_arrays_every_call(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch)
+        first = execute_compiled(sched, small_batch, ops)
+        second = execute_compiled(sched, small_batch, ops)
+        for out1, out2, (_, _, c) in zip(first, second, ops):
+            assert out1 is not c and out2 is not c
+            assert out1 is not out2  # callers own their results
+            assert np.array_equal(out1, out2)
+
+    def test_inputs_unmodified(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        copies = [tuple(arr.copy() for arr in op) for op in ops]
+        execute_compiled(make_schedule(small_batch), small_batch, ops)
+        for op, saved in zip(ops, copies):
+            for arr, keep in zip(op, saved):
+                assert np.array_equal(arr, keep)
+
+    def test_explicit_plan_accepted(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch)
+        artifact = compile_plan(sched, small_batch)
+        got = execute_compiled(sched, small_batch, ops, plan=artifact)
+        want = execute_schedule(sched, small_batch, ops)
+        for have, expect in zip(got, want):
+            assert np.array_equal(have, expect)
+
+    def test_alpha_beta_not_baked_into_artifact(self, rng):
+        """One artifact serves batches differing only in alpha/beta."""
+        shapes = [(40, 40, 40), (17, 23, 9)]
+        hot = GemmBatch([Gemm(m, n, k, alpha=1.5, beta=0.5) for m, n, k in shapes])
+        cold = GemmBatch([Gemm(m, n, k, alpha=-0.75, beta=2.0) for m, n, k in shapes])
+        sched = make_schedule(hot)
+        artifact = compile_plan(sched, hot)
+        ops = cold.random_operands(rng)
+        got = artifact.run(cold, ops)  # token matches: shapes only
+        want = execute_grouped(make_schedule(cold), cold, ops)
+        for have, expect in zip(got, want):
+            assert np.array_equal(have, expect)
+
+    def test_concurrent_runs_serialize_on_scratch_lock(self, small_batch, rng):
+        sched = make_schedule(small_batch)
+        ops = small_batch.random_operands(rng)
+        artifact = compile_plan(sched, small_batch)
+        want = execute_grouped(sched, small_batch, ops)
+        results: list = [None] * 4
+        def worker(slot):
+            results[slot] = artifact.run(small_batch, ops)
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for outs in results:
+            for have, expect in zip(outs, want):
+                assert np.array_equal(have, expect)
+
+    def test_artifact_introspection(self, small_batch):
+        sched = make_schedule(small_batch)
+        artifact = compile_plan(sched, small_batch)
+        assert isinstance(artifact, CompiledPlan)
+        assert artifact.num_tiles == sched.num_tiles
+        assert artifact.num_chunks > 0
+        assert artifact.scratch_bytes > 0
+        # Single-BK strategies: no scatter arrays are materialized.
+        for cg in artifact.gemms:
+            assert len(cg.programs) == 1
+            assert cg.programs[0].scatter is None
+
+
+class TestArtifactMemo:
+    def test_artifact_memoized_on_schedule(self, small_batch):
+        sched = make_schedule(small_batch)
+        first = compiled_plan_for(sched, small_batch)
+        second = compiled_plan_for(sched, small_batch)
+        assert first is second
+
+    def test_fresh_compile_not_memoized(self, small_batch):
+        sched = make_schedule(small_batch)
+        assert compile_plan(sched, small_batch) is not compile_plan(
+            sched, small_batch
+        )
+
+    def test_memo_released_when_schedule_dies(self, small_batch):
+        clear_compiled_memo()
+        sched = make_schedule(small_batch)
+        compiled_plan_for(sched, small_batch)
+        from repro.kernels.compiled import _COMPILED_MEMO
+
+        assert len(_COMPILED_MEMO) == 1
+        del sched
+        gc.collect()
+        assert len(_COMPILED_MEMO) == 0
+
+    def test_cache_telemetry_counters(self, small_batch, rng):
+        clear_compiled_memo()
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch)
+        with tracing() as tracer:
+            execute_compiled(sched, small_batch, ops)
+            execute_compiled(sched, small_batch, ops)
+            execute_compiled(sched, small_batch, ops)
+        assert tracer.metrics.counter("compile.cache_misses").value == 1
+        assert tracer.metrics.counter("compile.cache_hits").value == 2
+        assert tracer.metrics.counter("compile.plans").value == 1
+
+    def test_memo_stats_snapshot(self, small_batch):
+        clear_compiled_memo()
+        before = compiled_memo_stats()
+        sched = make_schedule(small_batch)
+        compiled_plan_for(sched, small_batch)
+        compiled_plan_for(sched, small_batch)
+        after = compiled_memo_stats()
+        assert after.misses == before.misses + 1
+        assert after.hits == before.hits + 1
+
+
+class TestEngineRegistry:
+    def test_compiled_engine_registered(self):
+        from repro.kernels import (
+            ENGINE_FALLBACKS,
+            ENGINES,
+            get_engine,
+            get_engine_object,
+        )
+
+        assert "compiled" in ENGINES
+        assert get_engine("compiled") is execute_compiled
+        assert ENGINE_FALLBACKS["compiled"] == ("compiled", "grouped", "reference")
+        engine = get_engine_object("compiled")
+        assert engine.name == "compiled"
+        assert engine.capabilities.precompiled
+        assert not engine.capabilities.workers
+        with pytest.raises(ValueError, match="workers"):
+            get_engine("compiled", workers=2)
+
+    def test_engine_protocol(self):
+        from repro.kernels.engine import Engine, get_engine_object
+
+        engine = get_engine_object("compiled")
+        assert isinstance(engine, Engine)
+        assert callable(engine.runner(None))
+
+    def test_compiled_importable_independently(self):
+        """The compiled engine must not pull in persistent or parallel."""
+        src = Path(__file__).resolve().parents[2] / "src"
+        code = (
+            "import sys; import repro.kernels.compiled; "
+            "assert 'repro.kernels.persistent' not in sys.modules, "
+            "'compiled imported persistent'; "
+            "assert 'repro.kernels.parallel' not in sys.modules, "
+            "'compiled imported parallel'"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -43,10 +43,16 @@ def assert_matches(values, expected):
 
 class TestFallbackChain:
     def test_chains(self):
+        assert engine_fallbacks("compiled") == ("compiled", "grouped", "reference")
         assert engine_fallbacks("parallel") == ("parallel", "grouped", "reference")
         assert engine_fallbacks("grouped") == ("grouped", "reference")
         assert engine_fallbacks("reference") == ("reference",)
-        assert set(ENGINE_FALLBACKS) == {"parallel", "grouped", "reference"}
+        assert set(ENGINE_FALLBACKS) == {
+            "compiled",
+            "parallel",
+            "grouped",
+            "reference",
+        }
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown execution engine"):
