@@ -1,0 +1,269 @@
+"""Cluster-tier benchmarks: goodput scaling, kill resilience, Bloom admission.
+
+Replays a 10^5-request Poisson trace through the deterministic cluster
+driver (:func:`repro.cluster.driver.replay_cluster_trace`) and records
+the tier's headline numbers:
+
+* goodput of 4 shards vs 1 shard under 4x overload (must scale >= 2x),
+* completion share with one shard killed mid-run (every ticket still
+  settles),
+* per-shard plan-cache hit rate with and without second-hit Bloom
+  admission under a one-hit-wonder-heavy signature churn,
+* bit-identical reports across repeated replays (routing determinism).
+
+The measurements land in ``BENCH_cluster.json`` at the repository root
+so committed snapshots track the cluster tier across revisions.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from pathlib import Path
+
+from repro.analysis.export import write_bench_json
+from repro.cluster import BloomConfig, ClusterConfig, replay_cluster_trace
+from repro.core.framework import CoordinatedFramework
+from repro.core.problem import Gemm
+from repro.gpu.specs import VOLTA_V100
+from repro.serve import BatcherConfig, ServeConfig
+from repro.serve.loadgen import TraceRequest, poisson_trace
+
+#: The committed cluster-tier snapshot (repo root).
+BENCH_CLUSTER_PATH = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+
+#: Headline workload: 10^5 requests at 4x a single shard's capacity.
+N_REQUESTS = 100_000
+RATE_RPS = 200_000.0
+TRACE_SEED = 7
+DEADLINE_US = 50_000.0
+HEAVY_SHAPES = ((512, 512, 512), (768, 768, 768), (1024, 512, 256))
+
+#: Mid-run kill instant (the trace spans ~500 ms of virtual time).
+KILL_SHARD, KILL_AT_US = 1, 250_000.0
+
+#: Accumulated across tests; the last test writes the JSON snapshot.
+_RESULTS: dict = {}
+
+
+def _framework():
+    return CoordinatedFramework(device=VOLTA_V100)
+
+
+def _trace():
+    return poisson_trace(
+        RATE_RPS,
+        None,
+        n_requests=N_REQUESTS,
+        shapes=HEAVY_SHAPES,
+        seed=TRACE_SEED,
+        deadline_us=DEADLINE_US,
+    )
+
+
+def _config(shards: int, **kw) -> ClusterConfig:
+    kw.setdefault(
+        "serve", ServeConfig(batcher=BatcherConfig(max_batch_size=4))
+    )
+    return ClusterConfig(shards=shards, **kw)
+
+
+def _record(benchmark, report) -> None:
+    benchmark.extra_info["n_requests"] = report.n_requests
+    benchmark.extra_info["goodput_rps"] = round(report.goodput_rps, 1)
+    benchmark.extra_info["p99_latency_us"] = round(report.latency.p99_us, 1)
+    benchmark.extra_info["settlement_share"] = report.settlement_share
+    benchmark.extra_info["completed_share"] = round(report.completed_share, 3)
+
+
+def test_cluster_goodput_scaling(benchmark):
+    """4 shards must deliver >= 2x one shard's goodput under overload.
+
+    The offered rate is ~4x what one shard can complete, so the single
+    shard saturates and sheds at the deadline while the 4-shard ring
+    spreads the signatures and keeps up.  Both arms settle every
+    ticket.
+    """
+    trace = _trace()
+    quad = benchmark.pedantic(
+        functools.partial(replay_cluster_trace, trace, _framework(), _config(4)),
+        rounds=1,
+        iterations=1,
+    )
+    single = replay_cluster_trace(trace, _framework(), _config(1))
+    _record(benchmark, quad)
+
+    assert quad.settlement_share == 1.0 and quad.n_stranded == 0
+    assert single.settlement_share == 1.0 and single.n_stranded == 0
+    scaling = quad.goodput_rps / single.goodput_rps
+    assert scaling >= 2.0
+
+    benchmark.extra_info["goodput_1shard_rps"] = round(single.goodput_rps, 1)
+    benchmark.extra_info["goodput_scaling"] = round(scaling, 2)
+    _RESULTS["goodput"] = {
+        "workload": (
+            f"poisson {RATE_RPS:.0f} rps x {N_REQUESTS} requests "
+            f"(seed {TRACE_SEED}), deadline {DEADLINE_US:.0f} us, heavy shapes"
+        ),
+        "n_requests": N_REQUESTS,
+        "goodput_1shard_rps": round(single.goodput_rps, 1),
+        "goodput_4shard_rps": round(quad.goodput_rps, 1),
+        "goodput_scaling": round(scaling, 2),
+        "p99_1shard_us": round(single.latency.p99_us, 1),
+        "p99_4shard_us": round(quad.latency.p99_us, 1),
+    }
+
+
+def test_cluster_shard_kill_completion(benchmark):
+    """Kill one of 4 shards mid-run: everything still settles.
+
+    The victim's held work settles as ``error:ShardKilled``, its
+    signatures remap to the survivors, and the completed share stays
+    above what the three survivors can serve at the deadline.
+    """
+    report = benchmark.pedantic(
+        functools.partial(
+            replay_cluster_trace,
+            _trace(),
+            _framework(),
+            _config(4),
+            kill=[(KILL_SHARD, KILL_AT_US)],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _record(benchmark, report)
+
+    assert report.settlement_share == 1.0 and report.n_stranded == 0
+    victim = next(s for s in report.shards if s.shard_id == KILL_SHARD)
+    assert victim.state == "dead"
+    assert report.completed_share >= 0.5  # survivors keep most traffic alive
+
+    _RESULTS["shard_kill"] = {
+        "killed_shard": KILL_SHARD,
+        "killed_at_us": KILL_AT_US,
+        "settlement_share": report.settlement_share,
+        "completed_share": round(report.completed_share, 3),
+        "goodput_rps": round(report.goodput_rps, 1),
+        "p99_latency_us": round(report.latency.p99_us, 1),
+    }
+
+
+def _wonder_shape(i: int) -> tuple[int, int, int]:
+    # Bounded dims (planning stays cheap); odd k never collides with
+    # the even-k hot set.
+    return (16 + 8 * (i % 24), 24 + 8 * ((i // 24) % 24), 17 + 8 * (i // 576))
+
+
+def _one_hit_wonder_trace(cycles: int):
+    """Hot shapes cycling between bursts of never-repeated shapes."""
+    hot = [(64, 784, 192), (96, 784, 192), (128, 196, 480), (64, 64, 64)]
+    reqs, t, wonder = [], 0.0, 0
+    for _ in range(cycles):
+        for h in hot:
+            reqs.append(TraceRequest(arrival_us=t, gemm=Gemm(*h)))
+            t += 100.0
+            for _ in range(4):
+                reqs.append(
+                    TraceRequest(arrival_us=t, gemm=Gemm(*_wonder_shape(wonder)))
+                )
+                wonder += 1
+                t += 100.0
+    return reqs
+
+
+def test_cluster_bloom_hit_rate(benchmark):
+    """Second-hit Bloom admission keeps hot plans warm under churn.
+
+    A one-hit-wonder-heavy trace with a tiny per-shard cache: without
+    admission the churn evicts the hot set between reuses and the hit
+    rate collapses; with the filter the wonders never enter the cache
+    and every shard's hit rate rises.
+    """
+    cycles = 150  # 3_000 requests, 2_400 of them one-hit wonders
+    serve = ServeConfig(batcher=BatcherConfig(max_batch_size=1))
+    base = dict(serve=serve, cache_capacity=4, shards=2)
+    with_bloom = benchmark.pedantic(
+        functools.partial(
+            replay_cluster_trace,
+            _one_hit_wonder_trace(cycles),
+            _framework(),
+            ClusterConfig(bloom=BloomConfig(capacity=4096), **base),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    without = replay_cluster_trace(
+        _one_hit_wonder_trace(cycles), _framework(), ClusterConfig(**base)
+    )
+
+    def tier_hit_rate(report) -> float:
+        hits = sum(s.report.cache.hits for s in report.shards)
+        misses = sum(s.report.cache.misses for s in report.shards)
+        return hits / (hits + misses)
+
+    def per_shard(report) -> dict:
+        return {
+            str(s.shard_id): round(s.report.cache.hit_rate, 3)
+            for s in report.shards
+        }
+
+    assert with_bloom.settlement_share == 1.0
+    assert tier_hit_rate(with_bloom) > tier_hit_rate(without)
+    for s in with_bloom.shards:
+        assert s.bloom is not None and s.bloom["deferred"] > 0
+
+    benchmark.extra_info["hit_rate_bloom"] = round(tier_hit_rate(with_bloom), 3)
+    benchmark.extra_info["hit_rate_plain"] = round(tier_hit_rate(without), 3)
+    _RESULTS["bloom_admission"] = {
+        "n_requests": len(_one_hit_wonder_trace(cycles)),
+        "cache_capacity": 4,
+        "hit_rate_with_bloom": round(tier_hit_rate(with_bloom), 3),
+        "hit_rate_without_bloom": round(tier_hit_rate(without), 3),
+        "per_shard_hit_rate_with_bloom": per_shard(with_bloom),
+        "per_shard_hit_rate_without_bloom": per_shard(without),
+        "deferred": sum(s.bloom["deferred"] for s in with_bloom.shards),
+    }
+
+
+def test_cluster_routing_deterministic(benchmark):
+    """Replaying the same trace twice yields byte-identical reports.
+
+    Consistent-hash routing, stealing decisions, the kill, and Bloom
+    admission are all functions of the trace and the config alone, so
+    two full replays must serialize to the same bytes.  This test runs
+    last and writes the accumulated ``BENCH_cluster.json`` snapshot.
+    """
+    trace = poisson_trace(
+        RATE_RPS,
+        None,
+        n_requests=10_000,
+        shapes=HEAVY_SHAPES,
+        seed=TRACE_SEED,
+        deadline_us=DEADLINE_US,
+    )
+    run = functools.partial(
+        replay_cluster_trace,
+        trace,
+        _framework(),
+        _config(4, bloom=BloomConfig(capacity=1024)),
+        kill=[(2, 20_000.0)],
+    )
+    first = benchmark.pedantic(run, rounds=1, iterations=1)
+    second = run()
+    a = json.dumps(first.to_dict(), sort_keys=True)
+    b = json.dumps(second.to_dict(), sort_keys=True)
+    assert a == b
+    _record(benchmark, first)
+    _RESULTS["routing_deterministic"] = True
+
+    write_bench_json(
+        BENCH_CLUSTER_PATH,
+        {
+            "workload": (
+                f"poisson {RATE_RPS:.0f} rps (seed {TRACE_SEED}), "
+                f"4 shards, deadline {DEADLINE_US:.0f} us"
+            ),
+            **_RESULTS,
+        },
+    )

@@ -15,6 +15,7 @@ from repro.analysis.report import (
 from repro.analysis.latency import (
     LatencyStats,
     percentile_us,
+    render_cluster_report,
     render_serve_report,
 )
 from repro.analysis.timeline import build_timeline, render_timeline
@@ -33,6 +34,7 @@ __all__ = [
     "format_grid",
     "LatencyStats",
     "percentile_us",
+    "render_cluster_report",
     "render_serve_report",
     "build_timeline",
     "render_timeline",

@@ -117,5 +117,64 @@ def render_serve_report(report) -> str:
     return "\n".join(out)
 
 
+def render_cluster_report(report) -> str:
+    """Human-readable summary of one cluster run.
+
+    ``report`` is any object with the
+    :class:`repro.cluster.report.ClusterReport` attributes (tier-level
+    counters, a ``latency`` :class:`LatencyStats`, and per-shard
+    :class:`ShardSummary` entries under ``shards``).  Accessed by
+    attribute, so this module stays import-independent of
+    :mod:`repro.cluster`.
+    """
+    out = []
+    out.append(
+        f"cluster of {report.n_shards} shards served "
+        f"{report.n_requests} requests in "
+        f"{report.makespan_us / 1e3:.2f} ms of {report.time_base} time "
+        f"({report.goodput_rps:.0f} completed/s goodput)"
+    )
+    out.append(
+        f"settlement {report.settlement_share:.1%} "
+        f"({report.n_settled}/{report.n_requests} settled, "
+        f"{report.n_stranded} stranded), "
+        f"completed {report.completed_share:.1%}, "
+        f"{report.n_rejected_global} rejected at the tier, "
+        f"{report.n_rejected_error} typed errors"
+    )
+    out.append(
+        f"routing: {report.n_steals} steals, {report.n_failovers} failovers"
+    )
+    lat = report.latency
+    out.append(
+        format_table(
+            ["latency (us)", "mean", "p50", "p95", "p99", "max"],
+            [["end-to-end", lat.mean_us, lat.p50_us, lat.p95_us, lat.p99_us, lat.max_us]],
+        )
+    )
+    rows = []
+    for s in report.shards:
+        r = s.report
+        bloom = s.bloom
+        rows.append(
+            [
+                f"shard-{s.shard_id}",
+                s.state,
+                s.n_assigned,
+                r.n_completed,
+                r.n_rejected_error,
+                f"{r.cache.hit_rate:.1%}",
+                "-" if bloom is None else bloom["deferred"],
+            ]
+        )
+    out.append(
+        format_table(
+            ["shard", "state", "assigned", "completed", "errors", "hit rate", "bloom deferred"],
+            rows,
+        )
+    )
+    return "\n".join(out)
+
+
 def _share(part: int, whole: int) -> str:
     return f"{part / whole:.1%}" if whole else "-"

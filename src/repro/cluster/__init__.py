@@ -1,0 +1,79 @@
+"""``repro.cluster`` -- the sharded multi-server serving tier.
+
+One :class:`~repro.serve.server.GemmServer` is a single plan cache and
+a single worker pool; "millions of users" needs many.  This package
+puts a cluster front-end over N in-process shards:
+
+* :mod:`repro.cluster.hashing` -- process-stable hashing primitives
+  (SplitMix64 seed derivation, BLAKE2b key hashes);
+* :mod:`repro.cluster.hashring` -- the consistent-hash ring (virtual
+  nodes, minimal remap on membership change) keyed on shape
+  signature, so equal shapes keep hitting the same warm PlanCache;
+* :mod:`repro.cluster.bloom` -- :class:`BloomAdmission`, second-hit
+  plan-cache admission behind a rotating Bloom filter (one-hit-wonder
+  signatures cannot evict the hot plan set);
+* :mod:`repro.cluster.router` -- routing policy: ring lookup, health
+  failover, and cross-shard work stealing on queue-depth skew;
+* :mod:`repro.cluster.frontend` -- :class:`ClusterFrontend`, the live
+  tier over threaded ``GemmServer`` shards with per-shard circuit
+  breakers, drain/eject/rejoin, and :meth:`cluster_health`;
+* :mod:`repro.cluster.driver` -- :func:`replay_cluster_trace`,
+  deterministic virtual-time cluster replay (including mid-run shard
+  kills) -- the bit-reproducible twin the benchmarks use;
+* :mod:`repro.cluster.report` -- :class:`ClusterReport` aggregation.
+
+Submodules are imported lazily (PEP 562) so the light pieces --
+``hashing`` in particular, which :mod:`repro.serve.loadgen` uses for
+per-shard seed derivation -- never drag the serving stack in.
+
+Quickstart (deterministic cluster replay)::
+
+    from repro.cluster import ClusterConfig, replay_cluster_trace
+    from repro.serve import poisson_trace
+
+    trace = poisson_trace(8000, duration_s=0.25, seed=0)
+    report = replay_cluster_trace(trace, config=ClusterConfig(shards=4))
+    print(report.goodput_rps, report.settlement_share)
+
+See ``docs/cluster.md`` for the architecture and failure model.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "splitmix64": "repro.cluster.hashing",
+    "derive_seed": "repro.cluster.hashing",
+    "stable_hash": "repro.cluster.hashing",
+    "HashRing": "repro.cluster.hashring",
+    "BloomAdmission": "repro.cluster.bloom",
+    "BloomConfig": "repro.cluster.config",
+    "ClusterConfig": "repro.cluster.config",
+    "ShardState": "repro.cluster.router",
+    "RouteDecision": "repro.cluster.router",
+    "Router": "repro.cluster.router",
+    "ClusterFrontend": "repro.cluster.frontend",
+    "replay_cluster_trace": "repro.cluster.driver",
+    "ShardSummary": "repro.cluster.report",
+    "ClusterReport": "repro.cluster.report",
+    "compile_cluster_report": "repro.cluster.report",
+    "REASON_SHARD_KILLED": "repro.cluster.report",
+    "REASON_UNROUTABLE": "repro.cluster.report",
+    "signature_key": "repro.cluster.router",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

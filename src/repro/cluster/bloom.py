@@ -1,0 +1,147 @@
+"""Second-hit plan-cache admission behind a rotating Bloom filter.
+
+Under adversarial or heavy-tailed traffic, one-hit-wonder shapes --
+batch signatures that are planned once and never seen again -- churn
+through a bounded :class:`~repro.core.plancache.PlanCache` and evict
+the hot plans that real traffic reuses (the Stream-K++ observation,
+see PAPERS.md).  :class:`BloomAdmission` fixes the churn at the
+insert, not the lookup: a plan is cached only on the **second**
+sighting of its signature, so a signature must prove reuse before it
+may occupy a cache slot.  The first sighting still gets its plan (the
+planner runs regardless); it just is not *remembered*.
+
+Sightings are tracked probabilistically in two Bloom-filter
+generations.  Membership tests consult both; inserts go to the
+current generation, and after ``rotate_after`` distinct-ish inserts
+the previous generation is dropped and the current one takes its
+place.  Rotation is what makes the filter *age*: a signature not
+re-seen within two generations is forgotten and must earn admission
+again, so the filter's memory tracks recent traffic instead of
+accumulating forever (and the false-positive rate stays bounded by
+the per-generation capacity instead of degrading without limit).
+
+False positives admit a first-sighting signature immediately -- a
+benign error (the cache behaves as if the filter were absent for that
+key) whose design rate is set by ``fp_rate``.  False negatives are
+impossible, so a genuinely repeating signature is admitted no later
+than its second sighting per generation window.
+
+The filter is not thread-safe by itself; :class:`PlanCache` calls
+:meth:`admit` under its own lock.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.hashing import stable_hash_pair
+
+__all__ = ["BloomAdmission"]
+
+
+class BloomAdmission:
+    """Admit a cache insert only on the second sighting of its key.
+
+    Parameters
+    ----------
+    capacity:
+        Design capacity of one generation (distinct keys it can hold
+        at ``fp_rate``).  Bits and hash count are sized from this via
+        the standard Bloom formulas.
+    fp_rate:
+        Design false-positive probability at ``capacity`` inserts.
+    rotate_after:
+        Inserts into the current generation before it rotates to
+        "previous" and a fresh one starts; defaults to ``capacity``
+        (so the filter never runs far past its design point).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        fp_rate: float = 0.01,
+        *,
+        rotate_after: int | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        if rotate_after is not None and rotate_after < 1:
+            raise ValueError(f"rotate_after must be >= 1, got {rotate_after}")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        self.rotate_after = rotate_after if rotate_after is not None else capacity
+        ln2 = math.log(2.0)
+        self.num_bits = max(8, math.ceil(-capacity * math.log(fp_rate) / (ln2 * ln2)))
+        self.num_hashes = max(1, round(self.num_bits / capacity * ln2))
+        # Generations as arbitrary-precision ints used as bitsets: bit
+        # i of _current/_previous is slot i of that generation.
+        self._current = 0
+        self._previous = 0
+        self._inserts_current = 0
+        # lifetime counters (surfaced by snapshot())
+        self.admitted = 0
+        self.deferred = 0
+        self.rotations = 0
+
+    def _mask(self, key: str) -> int:
+        """The k-bit membership mask for ``key`` (double hashing)."""
+        h1, h2 = stable_hash_pair(key)
+        mask = 0
+        for i in range(self.num_hashes):
+            mask |= 1 << ((h1 + i * h2) % self.num_bits)
+        return mask
+
+    def seen(self, key: str) -> bool:
+        """Whether ``key`` is (probably) in either generation.
+
+        Pure query -- never mutates the filter.
+        """
+        mask = self._mask(key)
+        return (
+            (self._current & mask) == mask or (self._previous & mask) == mask
+        )
+
+    def admit(self, key: str) -> bool:
+        """Test-and-record: True iff ``key`` has been sighted before.
+
+        A first sighting records the key in the current generation and
+        answers False (the caller defers the cache insert); a repeat
+        sighting answers True.  A key found only in the *previous*
+        generation is refreshed into the current one, so a genuinely
+        hot key keeps surviving rotations while a cold one ages out.
+        Rotation happens here, after the insert that fills the current
+        generation to ``rotate_after``.
+        """
+        mask = self._mask(key)
+        if (self._current & mask) == mask:
+            self.admitted += 1
+            return True
+        if (self._previous & mask) == mask:
+            self.admitted += 1
+            self._current |= mask  # refresh: hot keys outlive rotation
+            return True
+        self._current |= mask
+        self._inserts_current += 1
+        self.deferred += 1
+        if self._inserts_current >= self.rotate_after:
+            self._previous = self._current
+            self._current = 0
+            self._inserts_current = 0
+            self.rotations += 1
+        return False
+
+    def snapshot(self) -> dict:
+        """Sizing and traffic counters (JSON-compatible)."""
+        return {
+            "capacity": self.capacity,
+            "fp_rate": self.fp_rate,
+            "num_bits": self.num_bits,
+            "num_hashes": self.num_hashes,
+            "rotate_after": self.rotate_after,
+            "admitted": self.admitted,
+            "deferred": self.deferred,
+            "rotations": self.rotations,
+            "inserts_current": self._inserts_current,
+        }

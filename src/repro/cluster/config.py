@@ -1,0 +1,92 @@
+"""Cluster-tier configuration: shards, ring, admission, stealing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serve.config import ServeConfig
+
+
+@dataclass(frozen=True)
+class BloomConfig:
+    """Sizing of the per-shard second-hit plan-cache admission filter.
+
+    See :class:`~repro.cluster.bloom.BloomAdmission`; ``rotate_after``
+    defaults to ``capacity`` (each generation rotates at its design
+    point, so cold signatures are forgotten within two generations).
+    """
+
+    capacity: int = 1024
+    fp_rate: float = 0.01
+    rotate_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if not 0.0 < self.fp_rate < 1.0:
+            raise ValueError(f"fp_rate must be in (0, 1), got {self.fp_rate}")
+        if self.rotate_after is not None and self.rotate_after < 1:
+            raise ValueError(
+                f"rotate_after must be >= 1, got {self.rotate_after}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything the cluster front-end needs to know.
+
+    ``shards`` in-process :class:`~repro.serve.server.GemmServer`
+    pipelines sit behind a consistent-hash ring of ``vnodes`` points
+    per shard, keyed on shape signature (cache affinity).  The
+    admission path is two-level: ``global_queue_capacity`` bounds the
+    *total* queued work across the cluster (global backpressure,
+    checked before routing; ``None`` disables), then the routed
+    shard's own :class:`~repro.serve.admission.AdmissionController`
+    applies its per-shard bound and deadline feasibility.
+
+    ``steal_threshold`` enables cross-shard work stealing: when the
+    home shard's queue depth exceeds the least-loaded shard's by at
+    least this many requests, the request is routed to the
+    least-loaded shard instead (affinity traded for latency under
+    skew; ``None`` disables).  ``bloom`` installs second-hit
+    :class:`~repro.cluster.bloom.BloomAdmission` on every shard's
+    PlanCache (``None`` caches every plan, the classic behavior).
+
+    ``serve`` is the per-shard pipeline configuration and
+    ``cache_capacity`` each shard's PlanCache bound.
+    """
+
+    shards: int = 4
+    vnodes: int = 64
+    steal_threshold: Optional[int] = 8
+    global_queue_capacity: Optional[int] = None
+    bloom: Optional[BloomConfig] = None
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    cache_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.steal_threshold is not None and self.steal_threshold < 1:
+            raise ValueError(
+                f"steal_threshold must be >= 1, got {self.steal_threshold}"
+            )
+        if (
+            self.global_queue_capacity is not None
+            and self.global_queue_capacity < 1
+        ):
+            raise ValueError(
+                "global_queue_capacity must be >= 1, "
+                f"got {self.global_queue_capacity}"
+            )
+        if self.cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
+            )
+
+    def shard_names(self) -> tuple[str, ...]:
+        """Ring node names, ``shard-0`` .. ``shard-{N-1}``."""
+        return tuple(f"shard-{i}" for i in range(self.shards))

@@ -1,0 +1,398 @@
+"""The live sharded serving tier: N GemmServers behind one router.
+
+:class:`ClusterFrontend` is the wall-clock twin of
+:func:`~repro.cluster.driver.replay_cluster_trace`, sharing the same
+:class:`~repro.cluster.router.Router` decision procedure so a given
+trace routes to the *same shards* in either mode.  Each shard is a
+complete in-process :class:`~repro.serve.server.GemmServer` pipeline
+with a private :class:`~repro.core.plancache.PlanCache` (optionally
+behind second-hit :class:`~repro.cluster.bloom.BloomAdmission`) --
+private caches are the point of affinity routing: a shape signature
+always lands on the shard whose cache already holds its plan.
+
+Submission path (all under the frontend lock, so routing is
+serialized and deterministic given the same submission order):
+
+1. **membership sync** -- a shard whose server stopped accepting
+   (crash barrier tripped, or killed) is marked dead on the ring;
+2. **global backpressure** -- when total queue depth across live
+   shards reaches ``config.global_queue_capacity`` the request is
+   rejected ``queue_full`` without routing;
+3. **routing** -- ring affinity, then failover past shards whose
+   circuit breaker refuses (``allow()`` is consulted only for the
+   actual candidate, so a half-open breaker's single probe slot is
+   never consumed by a request that routes elsewhere), then work
+   stealing on queue-depth skew;
+4. the chosen shard's own admission controller has the final word.
+
+A background **settlement watcher** thread feeds each shard's
+breaker from its settled tickets: an ``error:*`` or stranded outcome
+counts as a shard failure, any other settlement (completed, timed
+out, shed, queue-rejected) proves the shard responsive.  Breakers
+open per the configured threshold, diverting traffic to ring
+successors until a cooldown probe succeeds.
+
+Operator controls mirror the router lifecycle: :meth:`drain` (off the
+ring, finishes queued work), :meth:`eject`, :meth:`rejoin`, and
+:meth:`kill` -- the crash model, settling everything the shard held
+as the typed ``error:ShardKilled`` rejection.  :meth:`cluster_health`
+aggregates per-shard :meth:`~repro.serve.server.GemmServer.health`
+with breaker and ring state; :meth:`summary` compiles every shard's
+report into one :class:`~repro.cluster.report.ClusterReport`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.cluster.bloom import BloomAdmission
+from repro.cluster.config import ClusterConfig
+from repro.cluster.report import (
+    REASON_SHARD_KILLED,
+    REASON_UNROUTABLE,
+    ClusterReport,
+    compile_cluster_report,
+)
+from repro.cluster.router import Router, signature_key
+from repro.core.framework import CoordinatedFramework
+from repro.core.plancache import PlanCache
+from repro.core.problem import Gemm
+from repro.reliability.breaker import BreakerState, CircuitBreaker
+from repro.serve.request import (
+    REASON_QUEUE_FULL,
+    REASON_SHUTDOWN,
+    REASON_STRANDED,
+    Rejected,
+)
+from repro.serve.server import GemmServer, ServeTicket
+
+__all__ = ["ClusterFrontend"]
+
+
+class ClusterFrontend:
+    """Routes live submissions across in-process GemmServer shards.
+
+    Parameters
+    ----------
+    framework:
+        Shared planner/executor; defaults to a V100
+        :class:`CoordinatedFramework`.  Shards share the framework but
+        never the cache.
+    config:
+        The tier layout and policies (:class:`ClusterConfig`).
+    clock:
+        Monotonic seconds source, injectable for tests; passed through
+        to every shard server and breaker.
+    """
+
+    def __init__(
+        self,
+        framework: Optional[CoordinatedFramework] = None,
+        config: Optional[ClusterConfig] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.framework = (
+            framework if framework is not None else CoordinatedFramework()
+        )
+        self.config = config if config is not None else ClusterConfig()
+        self._clock = clock
+        self._t0 = clock()
+        cfg = self.config
+        reliability = cfg.serve.reliability
+        self.blooms: list[Optional[BloomAdmission]] = []
+        self.servers: list[GemmServer] = []
+        for _ in range(cfg.shards):
+            bloom = (
+                BloomAdmission(
+                    cfg.bloom.capacity,
+                    cfg.bloom.fp_rate,
+                    rotate_after=cfg.bloom.rotate_after,
+                )
+                if cfg.bloom is not None
+                else None
+            )
+            cache = PlanCache(
+                self.framework, capacity=cfg.cache_capacity, admission=bloom
+            )
+            self.blooms.append(bloom)
+            self.servers.append(
+                GemmServer(self.framework, cfg.serve, cache=cache, clock=clock)
+            )
+        self.router = Router(
+            cfg.shards, vnodes=cfg.vnodes, steal_threshold=cfg.steal_threshold
+        )
+        self.breakers = [
+            CircuitBreaker(
+                f"shard-{i}",
+                failure_threshold=reliability.breaker_failure_threshold,
+                cooldown_s=reliability.breaker_cooldown_s,
+                clock=clock,
+            )
+            for i in range(cfg.shards)
+        ]
+        self._lock = threading.Lock()
+        self._settled_ids = itertools.count()
+        self._n_rejected_global = 0
+        self._n_unroutable = 0
+        self._first_submit_us: Optional[float] = None
+        self._started = False
+        self._closed = False
+        # (shard_id, ticket) pairs the watcher resolves into breaker
+        # outcomes once settled; guarded by _watch_lock.
+        self._watch: deque[tuple[int, ServeTicket]] = deque()
+        self._watch_lock = threading.Lock()
+        self._watch_stop = threading.Event()
+        self._watcher: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ClusterFrontend":
+        """Start every shard server and the settlement watcher."""
+        if self._started:
+            return self
+        self._started = True
+        for server in self.servers:
+            server.start()
+        self._watcher = threading.Thread(
+            target=self._watch_loop, name="cluster-watcher", daemon=True
+        )
+        self._watcher.start()
+        return self
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop admissions and shut every shard down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for server in self.servers:
+            server.close(drain=drain, timeout_s=timeout_s)
+        self._watch_stop.set()
+        if self._watcher is not None:
+            self._watcher.join(timeout=timeout_s)
+
+    def __enter__(self) -> "ClusterFrontend":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- shard lifecycle ----------------------------------------------
+
+    def kill(self, shard: int, timeout_s: float = 30.0) -> None:
+        """Crash one shard: ring removal + everything it held settles
+        as the typed ``error:ShardKilled`` rejection."""
+        with self._lock:
+            self.router.mark_dead(shard)
+        self.servers[shard].kill(REASON_SHARD_KILLED, timeout_s=timeout_s)
+
+    def drain(self, shard: int) -> None:
+        """Take ``shard`` off the ring; it keeps serving its queue."""
+        with self._lock:
+            self.router.drain(shard)
+
+    def eject(self, shard: int) -> None:
+        """Remove ``shard`` from routing by operator decision."""
+        with self._lock:
+            self.router.eject(shard)
+
+    def rejoin(self, shard: int) -> None:
+        """Bring a drained/ejected shard back onto the ring.
+
+        A killed shard cannot rejoin: its server is closed.
+        """
+        if not self.servers[shard].accepting:
+            raise ValueError(f"shard {shard} is not accepting; cannot rejoin")
+        with self._lock:
+            self.router.rejoin(shard)
+
+    # -- submission ----------------------------------------------------
+
+    def _settled_ticket(self, reason: str, now_us: float) -> ServeTicket:
+        """A pre-resolved ticket for a request the tier itself refused."""
+        rid = next(self._settled_ids)
+        ticket = ServeTicket(rid)
+        ticket._resolve(
+            Rejected(
+                request_id=rid,
+                finish_us=now_us,
+                latency_us=0.0,
+                reason=reason,
+            )
+        )
+        return ticket
+
+    def _sync_membership(self) -> None:
+        """Mark shards whose server stopped accepting as dead (lock held)."""
+        for i in self.router.active_shards():
+            if not self.servers[i].accepting:
+                self.router.mark_dead(i)
+
+    def submit(
+        self,
+        gemm: Gemm,
+        *,
+        operands: Any = None,
+        deadline_us: Optional[float] = None,
+        timeout_us: Optional[float] = None,
+        priority: int = 0,
+    ) -> ServeTicket:
+        """Route one GEMM to a shard; never blocks.
+
+        Returns the shard server's ticket, or a pre-resolved rejection
+        when the tier refuses the request before routing
+        (``queue_full`` backpressure, ``error:Unroutable`` when no
+        live unblocked shard remains, ``shutdown`` after close).
+        """
+        now_us = (self._clock() - self._t0) * 1e6
+        with self._lock:
+            if self._first_submit_us is None:
+                self._first_submit_us = now_us
+            if self._closed:
+                return self._settled_ticket(REASON_SHUTDOWN, now_us)
+            self._sync_membership()
+            active = self.router.active_shards()
+            depths = {i: self.servers[i].queue_depth() for i in active}
+            if (
+                self.config.global_queue_capacity is not None
+                and sum(depths.values()) >= self.config.global_queue_capacity
+            ):
+                self._n_rejected_global += 1
+                return self._settled_ticket(REASON_QUEUE_FULL, now_us)
+            key = signature_key(gemm)
+            blocked: set[int] = set()
+            while True:
+                try:
+                    decision = self.router.route(key, depths, blocked=blocked)
+                except LookupError:
+                    self._n_unroutable += 1
+                    return self._settled_ticket(REASON_UNROUTABLE, now_us)
+                # Consult the breaker only for the actual candidate so
+                # a half-open probe slot is never burned by a request
+                # that ends up routing elsewhere.
+                if self.breakers[decision.shard].allow():
+                    break
+                blocked.add(decision.shard)
+            self.router.record(decision)
+            shard = decision.shard
+        ticket = self.servers[shard].submit(
+            gemm,
+            operands=operands,
+            deadline_us=deadline_us,
+            timeout_us=timeout_us,
+            priority=priority,
+        )
+        with self._watch_lock:
+            self._watch.append((shard, ticket))
+        return ticket
+
+    # -- settlement watcher -------------------------------------------
+
+    def _breaker_outcome(self, shard: int, result) -> None:
+        reason = getattr(result, "reason", None)
+        if reason is not None and (
+            reason.startswith("error:") or reason == REASON_STRANDED
+        ):
+            self.breakers[shard].record_failure()
+        else:
+            # Any other settlement -- completed, timed out, shed,
+            # queue-rejected -- proves the shard pipeline responsive.
+            self.breakers[shard].record_success()
+
+    def _drain_settled(self) -> int:
+        """Feed settled tickets to the breakers; returns #unsettled left."""
+        with self._watch_lock:
+            pending = len(self._watch)
+            batch = [self._watch.popleft() for _ in range(pending)]
+        still_waiting = []
+        for shard, ticket in batch:
+            if ticket.done():
+                self._breaker_outcome(shard, ticket.result(0))
+            else:
+                still_waiting.append((shard, ticket))
+        if still_waiting:
+            with self._watch_lock:
+                self._watch.extend(still_waiting)
+        return len(still_waiting)
+
+    def _watch_loop(self) -> None:
+        while not self._watch_stop.is_set():
+            self._drain_settled()
+            self._watch_stop.wait(0.002)
+        # Final sweep: close() settles every ticket before joining us.
+        self._drain_settled()
+
+    # -- introspection -------------------------------------------------
+
+    def cluster_health(self) -> dict:
+        """Tier-level liveness: per-shard health, breakers, ring state.
+
+        ``ok`` is True while at least one shard is active and healthy.
+        """
+        with self._lock:
+            self._sync_membership()
+            states = self.router.states()
+            router = self.router.snapshot()
+            n_rejected_global = self._n_rejected_global
+            n_unroutable = self._n_unroutable
+        shards = {}
+        ok = False
+        for i, server in enumerate(self.servers):
+            health = server.health()
+            breaker = self.breakers[i].snapshot()
+            shard_ok = (
+                states[i] == "active"
+                and health["ok"]
+                and breaker["state"] != BreakerState.OPEN.value
+            )
+            ok = ok or shard_ok
+            shards[i] = {
+                "state": states[i],
+                "ok": shard_ok,
+                "breaker": breaker["state"],
+                "breaker_detail": breaker,
+                "health": health,
+                "bloom": (
+                    None if self.blooms[i] is None else self.blooms[i].snapshot()
+                ),
+            }
+        return {
+            "ok": ok,
+            "n_shards": len(self.servers),
+            "active": [i for i, s in states.items() if s == "active"],
+            "rejected_global": n_rejected_global,
+            "unroutable": n_unroutable,
+            "router": router,
+            "shards": shards,
+        }
+
+    def summary(self) -> ClusterReport:
+        """Compile every shard's report into one :class:`ClusterReport`."""
+        with self._lock:
+            assigned = dict(self.router.routed)
+            states = self.router.states()
+            router = self.router.snapshot()
+            n_rejected_global = self._n_rejected_global + self._n_unroutable
+            first = self._first_submit_us
+        now_us = (self._clock() - self._t0) * 1e6
+        makespan_us = max(0.0, now_us - first) if first is not None else 0.0
+        return compile_cluster_report(
+            shard_reports={i: s.summary() for i, s in enumerate(self.servers)},
+            assigned=assigned,
+            states=states,
+            router=router,
+            n_rejected_global=n_rejected_global,
+            makespan_us=makespan_us,
+            time_base="wall",
+            bloom={
+                i: b.snapshot()
+                for i, b in enumerate(self.blooms)
+                if b is not None
+            }
+            or None,
+        )

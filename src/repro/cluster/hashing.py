@@ -1,0 +1,73 @@
+"""Deterministic hashing primitives for the cluster tier.
+
+Everything the cluster routes or seeds must be **stable across
+processes and Python versions**: Python's builtin ``hash`` is salted
+per process (``PYTHONHASHSEED``), so consistent-hash placement or
+seed derivation built on it would silently change between runs and
+break the bit-determinism contract the serving benchmarks rely on.
+
+Two primitives cover every need:
+
+* :func:`splitmix64` -- the SplitMix64 finalizer (Steele et al.), a
+  cheap integer mixer with full 64-bit avalanche.  Used by
+  :func:`derive_seed` to spread ``(seed, shard_id)`` pairs so
+  per-shard load generators draw decorrelated streams while staying
+  replayable from one root seed.
+* :func:`stable_hash` / :func:`stable_hash_pair` -- BLAKE2b digests of
+  a string key, for ring-point placement and Bloom-filter double
+  hashing.  Cryptographic quality is irrelevant here; what matters is
+  that the value is a pure function of the key bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["splitmix64", "derive_seed", "stable_hash", "stable_hash_pair"]
+
+_MASK64 = (1 << 64) - 1
+#: 2**64 / golden ratio -- the SplitMix64 stream increment.
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def splitmix64(x: int) -> int:
+    """The SplitMix64 finalizer: one 64-bit avalanche round of ``x``."""
+    x = (x + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def derive_seed(seed: int, shard_id: int) -> int:
+    """A decorrelated per-shard RNG seed from one root ``seed``.
+
+    ``seed + shard_id`` alone would make shard 0 at seed 1 collide
+    with shard 1 at seed 0 (adjacent runs sharing streams); mixing
+    each component through :func:`splitmix64` first spreads the pair
+    over the full 64-bit space.  Deterministic, so multi-shard runs
+    replay exactly from ``(seed, shard_id)``.
+    """
+    if shard_id < 0:
+        raise ValueError(f"shard_id must be >= 0, got {shard_id}")
+    return splitmix64(splitmix64(seed & _MASK64) ^ (shard_id * _GOLDEN & _MASK64))
+
+
+def stable_hash(key: str | bytes) -> int:
+    """A process-stable 64-bit hash of ``key`` (BLAKE2b digest)."""
+    data = key.encode("utf-8") if isinstance(key, str) else key
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def stable_hash_pair(key: str | bytes) -> tuple[int, int]:
+    """Two independent 64-bit hashes of ``key`` (one 16-byte digest).
+
+    The pair seeds Kirsch-Mitzenmacher double hashing
+    (``h1 + i * h2``), which gives a Bloom filter ``k`` index
+    functions for the price of one digest.
+    """
+    data = key.encode("utf-8") if isinstance(key, str) else key
+    digest = hashlib.blake2b(data, digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "big"),
+        int.from_bytes(digest[8:], "big"),
+    )

@@ -1,0 +1,113 @@
+"""Consistent hashing: the cluster's cache-affinity routing primitive.
+
+The whole point of sharding the serving tier by *shape signature* is
+plan-cache affinity: the paper plans per batch-of-shapes (Sections
+4-5), so requests for the same shapes must keep landing on the same
+shard's warm :class:`~repro.core.plancache.PlanCache`.  A modulo hash
+would give affinity but remap almost every key when a shard joins or
+dies; the classic consistent-hash ring remaps only ~``K/N`` of ``K``
+keys per membership change, so a shard crash does not cold-start every
+surviving cache.
+
+Each shard is placed on the ring at ``vnodes`` points (virtual nodes);
+a key routes to the first shard point clockwise from the key's hash.
+More virtual nodes smooth the per-shard key share toward ``1/N`` (the
+balance property the property tests pin).  All hashing is
+:func:`~repro.cluster.hashing.stable_hash` -- placement is a pure
+function of shard names and key bytes, never of process state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+from repro.cluster.hashing import stable_hash
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node names (e.g. ``"shard-0"``).
+    vnodes:
+        Ring points per node.  More points -> better balance, larger
+        ring; 64-128 is the conventional sweet spot.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._hashes: list[int] = []  # sorted ring points
+        self._owners: list[str] = []  # owner of each ring point
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current membership, sorted by name."""
+        return tuple(sorted(self._nodes))
+
+    def _points(self, node: str) -> list[int]:
+        return [stable_hash(f"{node}#{i}") for i in range(self.vnodes)]
+
+    def add_node(self, node: str) -> None:
+        """Join ``node`` (idempotent); remaps ~K/N keys toward it."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for h in self._points(node):
+            idx = bisect.bisect(self._hashes, h)
+            self._hashes.insert(idx, h)
+            self._owners.insert(idx, node)
+
+    def remove_node(self, node: str) -> None:
+        """Leave ``node`` (idempotent); only its keys remap, to ring
+        successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._hashes = [self._hashes[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def lookup(self, key: str) -> str:
+        """The node owning ``key`` (first ring point clockwise)."""
+        if not self._nodes:
+            raise LookupError("hash ring is empty")
+        idx = bisect.bisect(self._hashes, stable_hash(key)) % len(self._hashes)
+        return self._owners[idx]
+
+    def lookup_chain(self, key: str) -> Iterator[str]:
+        """Distinct nodes in ring order from ``key`` (failover order).
+
+        The first yielded node is :meth:`lookup`'s answer; each later
+        one is where the key would land if every earlier node were
+        removed -- the deterministic route-around order for shards
+        that are present in the ring but momentarily unavailable
+        (open breaker, half-open probe refused).
+        """
+        if not self._nodes:
+            return
+        start = bisect.bisect(self._hashes, stable_hash(key))
+        seen: set[str] = set()
+        n = len(self._hashes)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner

@@ -1,0 +1,181 @@
+"""The cluster run report: per-shard outcomes plus tier-level counters.
+
+Both cluster front-ends -- the deterministic virtual-time replay
+(:func:`repro.cluster.driver.replay_cluster_trace`) and the live
+threaded tier (:meth:`repro.cluster.frontend.ClusterFrontend.summary`)
+-- compile into the same :class:`ClusterReport`: one
+:class:`~repro.serve.report.ServeReport` per shard wrapped in a
+:class:`ShardSummary`, plus the routing/stealing/admission counters
+that only exist at the tier level.  Rendered by
+:func:`repro.analysis.latency.render_cluster_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.analysis.latency import LatencyStats
+from repro.serve.report import ServeReport
+from repro.serve.request import REASON_STRANDED, Completed
+
+__all__ = [
+    "REASON_SHARD_KILLED",
+    "REASON_UNROUTABLE",
+    "ShardSummary",
+    "ClusterReport",
+    "compile_cluster_report",
+]
+
+#: Typed rejection for requests settled by a shard crash/kill: the
+#: shard died while holding them (queued or in flight).  An ``error:``
+#: reason, so it lands in ``n_rejected_error`` -- a settled outcome,
+#: never a stranded ticket.
+REASON_SHARD_KILLED = "error:ShardKilled"
+
+#: Typed rejection when no live, unblocked shard remains to route to
+#: (every shard dead/ejected, or every breaker open).  Settled at the
+#: tier level, before any shard sees the request.
+REASON_UNROUTABLE = "error:Unroutable"
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """One shard's slice of the cluster run."""
+
+    shard_id: int
+    state: str  # ShardState value at report time
+    n_assigned: int  # requests the router sent here
+    report: ServeReport
+    bloom: Optional[dict] = None  # BloomAdmission.snapshot(), if enabled
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (drops the per-request results)."""
+        d = self.report.to_dict()
+        d.pop("results", None)
+        return {
+            "shard_id": self.shard_id,
+            "state": self.state,
+            "n_assigned": self.n_assigned,
+            "bloom": self.bloom,
+            "report": d,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Everything one cluster run measured."""
+
+    time_base: str  # "virtual" (replay) or "wall" (live tier)
+    n_shards: int
+    n_requests: int  # submitted to the tier, incl. global rejections
+    n_completed: int
+    n_rejected_global: int  # global backpressure, never routed
+    n_rejected_error: int
+    n_stranded: int  # error:Stranded results (must stay 0)
+    n_steals: int
+    n_failovers: int
+    makespan_us: float
+    goodput_rps: float  # completed per second of makespan
+    latency: LatencyStats  # aggregate over every completed request
+    shards: tuple[ShardSummary, ...]
+    router: dict  # Router.snapshot()
+
+    @property
+    def n_settled(self) -> int:
+        """Requests with a terminal outcome (every submitted one)."""
+        return self.n_rejected_global + sum(
+            s.report.n_requests for s in self.shards
+        )
+
+    @property
+    def settlement_share(self) -> float:
+        """Settled / submitted -- the no-stranded-tickets contract."""
+        return self.n_settled / self.n_requests if self.n_requests else 1.0
+
+    @property
+    def completed_share(self) -> float:
+        return self.n_completed / self.n_requests if self.n_requests else 0.0
+
+    def cache_hit_rates(self) -> dict[int, float]:
+        """Per-shard plan-cache hit rate."""
+        return {s.shard_id: s.report.cache.hit_rate for s in self.shards}
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary."""
+        return {
+            "time_base": self.time_base,
+            "n_shards": self.n_shards,
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "n_rejected_global": self.n_rejected_global,
+            "n_rejected_error": self.n_rejected_error,
+            "n_stranded": self.n_stranded,
+            "n_steals": self.n_steals,
+            "n_failovers": self.n_failovers,
+            "n_settled": self.n_settled,
+            "settlement_share": self.settlement_share,
+            "completed_share": self.completed_share,
+            "makespan_us": self.makespan_us,
+            "goodput_rps": self.goodput_rps,
+            "latency": self.latency.to_dict(),
+            "router": self.router,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+
+def compile_cluster_report(
+    *,
+    shard_reports: Mapping[int, ServeReport],
+    assigned: Mapping[int, int],
+    states: Mapping[int, str],
+    router: dict,
+    n_rejected_global: int,
+    makespan_us: float,
+    time_base: str,
+    bloom: Optional[Mapping[int, dict]] = None,
+) -> ClusterReport:
+    """Aggregate per-shard reports into one :class:`ClusterReport`."""
+    summaries = tuple(
+        ShardSummary(
+            shard_id=i,
+            state=states.get(i, "active"),
+            n_assigned=assigned.get(i, 0),
+            report=report,
+            bloom=None if bloom is None else bloom.get(i),
+        )
+        for i, report in sorted(shard_reports.items())
+    )
+    latencies = [
+        r.latency_us
+        for s in summaries
+        for r in s.report.results
+        if isinstance(r, Completed)
+    ]
+    n_completed = sum(s.report.n_completed for s in summaries)
+    n_requests = n_rejected_global + sum(
+        s.report.n_requests for s in summaries
+    )
+    n_stranded = sum(
+        1
+        for s in summaries
+        for r in s.report.results
+        if getattr(r, "reason", None) == REASON_STRANDED
+    )
+    makespan_s = makespan_us / 1e6
+    return ClusterReport(
+        time_base=time_base,
+        n_shards=len(summaries),
+        n_requests=n_requests,
+        n_completed=n_completed,
+        n_rejected_global=n_rejected_global,
+        n_rejected_error=sum(s.report.n_rejected_error for s in summaries),
+        n_stranded=n_stranded,
+        n_steals=int(router.get("steals", 0)),
+        n_failovers=int(router.get("failovers", 0)),
+        makespan_us=makespan_us,
+        goodput_rps=(n_completed / makespan_s) if makespan_s > 0 else 0.0,
+        latency=LatencyStats.from_us(latencies),
+        shards=summaries,
+        router=router,
+    )

@@ -27,6 +27,13 @@ Cache traffic is observable through ``stats`` /
 through the ``plan_cache_hit`` / ``plan_cache_miss`` counters and
 per-lookup ``plancache.plan`` spans.
 
+Inserts can be gated by an optional **admission policy** (see the
+``admission`` parameter): the cluster tier installs second-hit
+:class:`~repro.cluster.bloom.BloomAdmission` so one-hit-wonder
+signatures are planned but not cached, keeping the hot set resident
+under adversarial traffic.  Deferred inserts are counted separately
+from misses (``CacheStats.admission_deferred``).
+
 Entries can also carry a **compiled execution artifact**
 (:class:`~repro.kernels.compiled.CompiledPlan`): under a ``compiled``
 :class:`~repro.kernels.ExecutionPolicy`, :meth:`execute` compiles the
@@ -62,11 +69,22 @@ def batch_signature(batch: GemmBatch) -> tuple:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters."""
+    """Hit/miss counters.
+
+    ``admission_deferred`` counts misses whose *insert* was declined
+    by the cache's admission policy (see
+    :class:`~repro.cluster.bloom.BloomAdmission`): the batch was still
+    planned and served, but the plan was not cached because its
+    signature had not yet proven reuse.  Every deferred insert is also
+    counted as a miss (the lookup did miss); the separate counter is
+    what distinguishes "cold key" from "key the policy is holding at
+    the door".
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    admission_deferred: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -79,6 +97,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "admission_deferred": self.admission_deferred,
             "hit_rate": self.hit_rate,
         }
 
@@ -106,13 +125,29 @@ class PlanCache:
         The planner to consult on a miss.
     capacity:
         Maximum cached plans; least-recently-used entries evict first.
+    admission:
+        Optional insert-admission policy -- any object with an
+        ``admit(key: str) -> bool`` test-and-record method (e.g.
+        :class:`~repro.cluster.bloom.BloomAdmission`).  When it
+        answers False for a missed key, the freshly planned report is
+        returned to the caller but **not cached** (counted as
+        ``stats.admission_deferred``); the plan earns a slot once its
+        signature repeats.  ``None`` (the default) admits every
+        insert, the pre-cluster behavior.
     """
 
-    def __init__(self, framework: CoordinatedFramework, capacity: int = 128):
+    def __init__(
+        self,
+        framework: CoordinatedFramework,
+        capacity: int = 128,
+        *,
+        admission=None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.framework = framework
         self.capacity = capacity
+        self.admission = admission
         self.stats = CacheStats()
         self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
         self._lock = threading.RLock()
@@ -197,6 +232,17 @@ class PlanCache:
                     # its entry so repeated lookups stay identical.
                     self._entries.move_to_end(key)
                     return existing, False
+                if self.admission is not None and not self.admission.admit(
+                    repr(key)
+                ):
+                    # First sighting: serve the plan but do not cache
+                    # it -- one-hit-wonder signatures must not evict
+                    # the hot set (second-hit Bloom admission).
+                    self.stats.admission_deferred += 1
+                    tracer.counter("plan_cache_admission_deferred")
+                    if span.enabled:
+                        span.set_attr("admission_deferred", True)
+                    return _CacheEntry(report), False
                 entry = _CacheEntry(report)
                 self._entries[key] = entry
                 if len(self._entries) > self.capacity:
@@ -303,6 +349,7 @@ class PlanCache:
                 hits=self.stats.hits,
                 misses=self.stats.misses,
                 evictions=self.stats.evictions,
+                admission_deferred=self.stats.admission_deferred,
             )
 
     def execute(

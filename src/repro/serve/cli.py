@@ -13,6 +13,11 @@ Usage::
     repro-serve --live --operands --inject engine_error:engine=grouped,at=1-6 \
         --fault-seed 7 --json
 
+    # sharded cluster tier: deterministic replay with a mid-run shard
+    # kill, Bloom cache admission, and work stealing
+    repro-serve --shards 4 --bloom --steal-threshold 8 --kill-shard 1@150000
+    repro-serve --shards 4 --live --time-scale 0.1 --json
+
 By default the trace is replayed **deterministically in virtual time**
 (:func:`repro.serve.driver.replay_trace`): arrival times come from the
 trace, service times from the device model, so the same seed and
@@ -168,6 +173,58 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="seconds an open circuit waits before a half-open probe",
     )
+    cluster = parser.add_argument_group("cluster")
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through a sharded cluster tier of N shards "
+        "(0 = single server, the default)",
+    )
+    cluster.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        metavar="N",
+        help="virtual nodes per shard on the consistent-hash ring",
+    )
+    cluster.add_argument(
+        "--steal-threshold",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queue-depth skew that triggers cross-shard work stealing "
+        "(0 = stealing disabled)",
+    )
+    cluster.add_argument(
+        "--global-queue-capacity",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cluster-wide backpressure bound on total queued work "
+        "(0 = unbounded)",
+    )
+    cluster.add_argument(
+        "--bloom",
+        action="store_true",
+        help="enable second-hit Bloom plan-cache admission on every shard",
+    )
+    cluster.add_argument(
+        "--bloom-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="Bloom filter design capacity per generation",
+    )
+    cluster.add_argument(
+        "--kill-shard",
+        action="append",
+        default=[],
+        metavar="SHARD@TIME_US",
+        help="kill a shard mid-run (e.g. 1@150000; repeatable); its held "
+        "requests settle as error:ShardKilled and traffic remaps",
+    )
     output = parser.add_argument_group("output")
     output.add_argument(
         "--live",
@@ -316,10 +373,81 @@ def _run_live(
                 priority=tr.priority,
             )
         )
+    # Snapshot liveness while the server still accepts -- after close()
+    # a health probe would only ever say "shutting down".
+    health = server.health()
     server.close(drain=True)
     for t in tickets:
         t.result(timeout=30.0)
-    return server.summary()
+    return server.summary(), health
+
+
+def _parse_kills(specs: list[str], shards: int) -> list[tuple[int, float]]:
+    kills = []
+    for spec in specs:
+        try:
+            shard_s, time_s = spec.split("@", 1)
+            shard, time_us = int(shard_s), float(time_s)
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --kill-shard {spec!r} (expected SHARD@TIME_US)"
+            ) from None
+        if not 0 <= shard < shards:
+            raise SystemExit(
+                f"error: --kill-shard {spec!r}: shard out of range [0, {shards})"
+            )
+        kills.append((shard, time_us))
+    return kills
+
+
+def _build_cluster_config(args: argparse.Namespace, serve_config):
+    from repro.cluster import BloomConfig, ClusterConfig
+
+    try:
+        return ClusterConfig(
+            shards=args.shards,
+            vnodes=args.vnodes,
+            steal_threshold=args.steal_threshold or None,
+            global_queue_capacity=args.global_queue_capacity or None,
+            bloom=BloomConfig(capacity=args.bloom_capacity) if args.bloom else None,
+            serve=serve_config,
+            cache_capacity=args.cache_capacity,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _run_cluster_live(trace, framework, cluster_config, time_scale: float, kills):
+    from repro.cluster import ClusterFrontend
+
+    frontend = ClusterFrontend(framework, cluster_config).start()
+    pending_kills = sorted(kills, key=lambda kt: kt[1])
+    prev_us = 0.0
+    tickets = []
+    for tr in trace:
+        gap_s = (tr.arrival_us - prev_us) / 1e6 * time_scale
+        if gap_s > 0:
+            time.sleep(gap_s)
+        prev_us = tr.arrival_us
+        while pending_kills and tr.arrival_us >= pending_kills[0][1]:
+            frontend.kill(pending_kills.pop(0)[0])
+        tickets.append(
+            frontend.submit(
+                tr.gemm,
+                deadline_us=(
+                    None if tr.deadline_us is None else tr.deadline_us - tr.arrival_us
+                ),
+                timeout_us=tr.timeout_us,
+                priority=tr.priority,
+            )
+        )
+    for shard, _ in pending_kills:  # kills scheduled past the last arrival
+        frontend.kill(shard)
+    health = frontend.cluster_health()
+    frontend.close(drain=True)
+    for t in tickets:
+        t.result(timeout=30.0)
+    return frontend.summary(), health
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -329,12 +457,21 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit("error: --engine-workers requires --engine parallel")
     if args.operands and not args.live:
         raise SystemExit("error: --operands requires --live (replay never executes)")
+    if args.shards:
+        if args.warm:
+            raise SystemExit(
+                "error: --warm is per-server; not supported with --shards"
+            )
+        if args.operands:
+            raise SystemExit("error: --operands is not supported with --shards")
+    elif args.kill_shard:
+        raise SystemExit("error: --kill-shard requires --shards")
     try:
         heuristic = Heuristic.coerce(args.heuristic, warn=False)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
 
-    from repro.analysis.latency import render_serve_report
+    from repro.analysis.latency import render_cluster_report, render_serve_report
     from repro.serve.driver import replay_trace
 
     try:
@@ -345,35 +482,69 @@ def main(argv: list[str] | None = None) -> int:
     config = _build_config(args, heuristic)
     trace = _build_trace(args)
 
+    health = None
     tracer = Tracer() if args.chrome_trace else NULL_TRACER
     previous = set_tracer(tracer)
     try:
-        cache = PlanCache(framework, capacity=args.cache_capacity)
-        if args.warm:
-            scout = replay_trace(trace, framework, config)
-            planned = cache.warm(
-                scout.formed_batches,
-                config.heuristic,
-                policy=config.execution_policy(),
-            )
-            cache.stats = CacheStats()  # report serving-time traffic only
-            print(f"warm-start: pre-planned {planned} batch mixes", file=sys.stderr)
-        if args.live:
-            report = _run_live(
-                trace,
-                framework,
-                config,
-                cache,
-                args.time_scale,
-                operands_seed=args.seed if args.operands else None,
-            )
+        if args.shards:
+            cluster_config = _build_cluster_config(args, config)
+            kills = _parse_kills(args.kill_shard, args.shards)
+            if args.live:
+                report, health = _run_cluster_live(
+                    trace, framework, cluster_config, args.time_scale, kills
+                )
+            else:
+                from repro.cluster import replay_cluster_trace
+
+                report = replay_cluster_trace(
+                    trace, framework, cluster_config, kill=kills
+                )
         else:
-            report = replay_trace(trace, framework, config, cache=cache)
+            cache = PlanCache(framework, capacity=args.cache_capacity)
+            if args.warm:
+                scout = replay_trace(trace, framework, config)
+                planned = cache.warm(
+                    scout.formed_batches,
+                    config.heuristic,
+                    policy=config.execution_policy(),
+                )
+                cache.stats = CacheStats()  # report serving-time traffic only
+                print(
+                    f"warm-start: pre-planned {planned} batch mixes", file=sys.stderr
+                )
+            if args.live:
+                report, health = _run_live(
+                    trace,
+                    framework,
+                    config,
+                    cache,
+                    args.time_scale,
+                    operands_seed=args.seed if args.operands else None,
+                )
+            else:
+                report = replay_trace(trace, framework, config, cache=cache)
     finally:
         set_tracer(previous)
 
     if args.json:
-        print(json.dumps(report.to_dict(), indent=1))
+        payload = report.to_dict()
+        if health is not None:
+            payload["health"] = health
+        print(json.dumps(payload, indent=1))
+    elif args.shards:
+        print(render_cluster_report(report))
+        print(
+            "shutdown summary: "
+            f"{report.n_completed}/{report.n_requests} completed, "
+            f"settlement {report.settlement_share:.1%}, "
+            f"{report.n_steals} steals, {report.n_failovers} failovers"
+        )
+        if health is not None:
+            print(
+                "cluster health: "
+                f"{'ok' if health['ok'] else 'DEGRADED'}, "
+                f"active shards {health['active']}"
+            )
     else:
         print(render_serve_report(report))
         stats = report.cache
@@ -383,6 +554,13 @@ def main(argv: list[str] | None = None) -> int:
             f"cache {stats.hits}h/{stats.misses}m/{stats.evictions}e "
             f"(hit rate {stats.hit_rate:.1%})"
         )
+        if health is not None:
+            print(
+                "server health: "
+                f"{'ok' if health['ok'] else 'DEGRADED'}, "
+                f"queue depth {health['queue_depth']}, "
+                f"breakers {health['breakers']}"
+            )
         if report.reliability is not None:
             rel = report.reliability
             print(

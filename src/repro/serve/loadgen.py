@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.hashing import derive_seed
 from repro.core.problem import Gemm
 
 #: Default shape mix: GoogLeNet/SqueezeNet-flavoured inference GEMMs --
@@ -90,6 +91,7 @@ def poisson_trace(
     deadline_us: float | None = None,
     timeout_us: float | None = None,
     priorities: Sequence[int] = (0,),
+    shard_id: int | None = None,
 ) -> list[TraceRequest]:
     """An open-loop Poisson arrival trace.
 
@@ -99,6 +101,12 @@ def poisson_trace(
     Shapes and priorities are drawn uniformly from their pools;
     ``deadline_us`` / ``timeout_us`` are per-request constraints
     relative to each arrival.  Deterministic in ``seed``.
+
+    ``shard_id`` derives an independent per-shard stream from the same
+    base seed (:func:`repro.cluster.hashing.derive_seed` -- SplitMix64
+    spreading, so nearby shard ids give uncorrelated streams).  Use it
+    to generate per-shard offered load for cluster runs without
+    hand-picking N seeds; ``None`` keeps the base seed untouched.
     """
     if rate_rps <= 0:
         raise ValueError(f"rate_rps must be positive, got {rate_rps}")
@@ -106,6 +114,8 @@ def poisson_trace(
         raise ValueError("pass duration_s and/or n_requests to bound the trace")
     if not shapes:
         raise ValueError("shapes pool is empty")
+    if shard_id is not None:
+        seed = derive_seed(seed, shard_id)
     rng = np.random.default_rng(seed)
     mean_gap_us = 1e6 / rate_rps
     horizon_us = None if duration_s is None else duration_s * 1e6
@@ -156,16 +166,21 @@ def run_closed_loop(
     deadline_us: float | None = None,
     timeout_us: float | None = None,
     result_timeout_s: float = 30.0,
+    shard_id: int | None = None,
 ) -> list:
     """Drive a live :class:`~repro.serve.server.GemmServer` closed-loop.
 
     Each client thread submits, blocks on the result, optionally
     thinks, and repeats.  Returns every :class:`ServeResult` (ordered
     by client, then sequence).  Shape choices are deterministic per
-    ``seed``; timing of course is not.
+    ``seed``; timing of course is not.  ``shard_id`` derives an
+    independent per-shard seed stream exactly as in
+    :func:`poisson_trace`.
     """
     if clients < 1 or requests_per_client < 1:
         raise ValueError("clients and requests_per_client must be >= 1")
+    if shard_id is not None:
+        seed = derive_seed(seed, shard_id)
     results: list[list] = [[] for _ in range(clients)]
     errors: list[BaseException] = []
 

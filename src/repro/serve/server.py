@@ -173,6 +173,7 @@ class GemmServer:
         self._accepting = True
         self._closing = False
         self._drain = True
+        self._shutdown_reason = REASON_SHUTDOWN
         self._started = False
         self._closed = False
         self._threads: list[threading.Thread] = []
@@ -255,8 +256,22 @@ class GemmServer:
                 if drain:
                     self._serve_batch(fb)
                 else:
-                    self._reject_requests(fb.requests, REASON_SHUTDOWN)
+                    self._reject_requests(fb.requests, self._shutdown_reason)
         self._sweep_stranded()
+
+    def kill(self, reason: str = "error:Killed", timeout_s: float = 30.0) -> None:
+        """Simulate a crash: settle everything held with a typed reason.
+
+        Like ``close(drain=False)`` but pending and formed-but-unserved
+        requests reject with ``reason`` instead of ``"shutdown"`` --
+        the cluster tier uses this to model a shard dying mid-run
+        (``error:ShardKilled``) so every ticket still settles, typed as
+        a casualty rather than an orderly shutdown.
+        """
+        with self._cond:
+            if not self._closed:
+                self._shutdown_reason = reason
+        self.close(drain=False, timeout_s=timeout_s)
 
     def __enter__(self) -> "GemmServer":
         return self.start()
@@ -364,7 +379,9 @@ class GemmServer:
             for fb in self._batcher.flush(now_us):
                 self._handle_formed(fb)
         else:
-            self._reject_requests(self._batcher.drain_pending(), REASON_SHUTDOWN)
+            self._reject_requests(
+                self._batcher.drain_pending(), self._shutdown_reason
+            )
 
     def _handle_formed(self, formed: FormedBatch) -> None:
         self._reject_requests(formed.shed, REASON_DEADLINE)
@@ -383,7 +400,7 @@ class GemmServer:
                 with self._cond:
                     fast_reject = self._closing and not self._drain
                 if fast_reject:
-                    self._reject_requests(formed.requests, REASON_SHUTDOWN)
+                    self._reject_requests(formed.requests, self._shutdown_reason)
                     continue
                 try:
                     self._serve_batch(formed)
@@ -582,6 +599,22 @@ class GemmServer:
             self._injector.injected_count if self._injector is not None else 0
         )
         return snap
+
+    @property
+    def accepting(self) -> bool:
+        """Whether :meth:`submit` currently admits new requests."""
+        with self._cond:
+            return self._accepting
+
+    def queue_depth(self) -> int:
+        """Pending + formed-but-undispatched work (the stealing signal).
+
+        A cheap subset of :meth:`health` -- the cluster router polls
+        this per submission, so it must not walk breaker snapshots.
+        """
+        with self._cond:
+            pending = self._batcher.pending_count
+        return pending + self._batch_q.qsize()
 
     def health(self) -> dict:
         """Liveness and fault-tolerance state, for probes and dashboards.

@@ -1,0 +1,179 @@
+"""BloomAdmission: second-hit semantics, FP bound, rotation, cache wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.bloom import BloomAdmission
+from repro.core.options import Heuristic
+from repro.core.plancache import PlanCache
+from repro.core.problem import GemmBatch
+
+
+class TestSecondHit:
+    def test_first_sighting_defers_second_admits(self):
+        bloom = BloomAdmission(capacity=128)
+        assert bloom.admit("64x784x192") is False  # first: defer
+        assert bloom.admit("64x784x192") is True  # second: admit
+        assert bloom.admit("64x784x192") is True  # and thereafter
+        assert bloom.deferred == 1
+        assert bloom.admitted == 2
+
+    def test_distinct_keys_tracked_independently(self):
+        bloom = BloomAdmission(capacity=1024)
+        keys = [f"{m}x{m}x{m}" for m in range(16, 116)]
+        assert all(not bloom.admit(k) for k in keys)
+        assert all(bloom.admit(k) for k in keys)
+
+    def test_seen_is_pure(self):
+        bloom = BloomAdmission(capacity=64)
+        assert bloom.seen("k") is False
+        assert bloom.seen("k") is False  # did not record
+        bloom.admit("k")
+        assert bloom.seen("k") is True
+
+
+class TestFalsePositiveBound:
+    def test_fp_rate_at_design_capacity(self):
+        """At design capacity the measured FP rate stays near ``fp_rate``.
+
+        Insert exactly ``capacity`` keys, then probe ``10 x capacity``
+        *never-inserted* keys: each probe that answers "seen" is a
+        false positive.  Allow 3x the design rate for sampling noise.
+        """
+        capacity, fp_rate = 512, 0.01
+        # rotate_after > capacity so the generation under test never
+        # rotates away mid-measurement.
+        bloom = BloomAdmission(capacity, fp_rate, rotate_after=10 * capacity)
+        for i in range(capacity):
+            bloom.admit(f"present-{i}")
+        probes = 10 * capacity
+        false_positives = sum(
+            1 for i in range(probes) if bloom.seen(f"absent-{i}")
+        )
+        assert false_positives / probes <= 3 * fp_rate
+
+    def test_sizing_formulas(self):
+        bloom = BloomAdmission(1024, 0.01)
+        # m = -n ln p / ln^2 2 ~ 9.585 bits/key; k = m/n ln 2 ~ 7
+        assert 9 * 1024 <= bloom.num_bits <= 10 * 1024
+        assert bloom.num_hashes == 7
+
+    def test_no_false_negatives(self):
+        bloom = BloomAdmission(capacity=256, rotate_after=10_000)
+        keys = [f"key-{i}" for i in range(256)]
+        for k in keys:
+            bloom.admit(k)
+        assert all(bloom.seen(k) for k in keys)
+
+
+class TestRotation:
+    def test_rotation_forgets_cold_signatures(self):
+        bloom = BloomAdmission(capacity=64, rotate_after=4)
+        bloom.admit("cold")  # generation 0
+        # 8 fresh inserts: two full rotations, "cold" ages out of both
+        # generations without ever being re-seen.
+        for i in range(8):
+            bloom.admit(f"filler-{i}")
+        assert bloom.rotations >= 2
+        assert bloom.seen("cold") is False
+        assert bloom.admit("cold") is False  # must earn admission again
+
+    def test_hot_key_survives_rotation_via_refresh(self):
+        bloom = BloomAdmission(capacity=64, rotate_after=4)
+        bloom.admit("hot")
+        for i in range(4):  # one rotation: "hot" now in previous gen
+            bloom.admit(f"filler-a-{i}")
+        assert bloom.rotations == 1
+        # Re-seen from the previous generation: admitted AND refreshed
+        # into the current one...
+        assert bloom.admit("hot") is True
+        for i in range(4):  # ...so a second rotation cannot forget it
+            bloom.admit(f"filler-b-{i}")
+        assert bloom.admit("hot") is True
+
+    def test_rotate_after_defaults_to_capacity(self):
+        assert BloomAdmission(capacity=77).rotate_after == 77
+
+    def test_snapshot_counters(self):
+        bloom = BloomAdmission(capacity=32, rotate_after=2)
+        bloom.admit("a")
+        bloom.admit("a")
+        bloom.admit("b")
+        snap = bloom.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["deferred"] == 2
+        assert snap["rotations"] == 1
+        assert snap["capacity"] == 32
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BloomAdmission(0)
+
+    def test_bad_fp_rate(self):
+        with pytest.raises(ValueError):
+            BloomAdmission(16, fp_rate=1.0)
+
+    def test_bad_rotate_after(self):
+        with pytest.raises(ValueError):
+            BloomAdmission(16, rotate_after=0)
+
+
+class TestPlanCacheIntegration:
+    """Satellite: PlanCache stats split admission deferrals from misses."""
+
+    def _batches(self, n: int):
+        return [GemmBatch.from_shapes([(16 + 8 * i, 32, 24)]) for i in range(n)]
+
+    def test_deferred_insert_counts_as_deferred_and_miss(self, framework):
+        cache = PlanCache(framework, admission=BloomAdmission(capacity=64))
+        (batch,) = self._batches(1)
+        cache.plan(batch, Heuristic.THRESHOLD)  # first sighting: deferred
+        assert cache.stats.admission_deferred == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+        assert len(cache) == 0  # nothing cached yet
+        cache.plan(batch, Heuristic.THRESHOLD)  # second: admitted, cached
+        assert cache.stats.admission_deferred == 1
+        assert cache.stats.misses == 2
+        assert len(cache) == 1
+        cache.plan(batch, Heuristic.THRESHOLD)  # third: a hit
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+
+    def test_without_admission_first_insert_caches(self, framework):
+        cache = PlanCache(framework)
+        (batch,) = self._batches(1)
+        cache.plan(batch, Heuristic.THRESHOLD)
+        assert len(cache) == 1
+        assert cache.stats.admission_deferred == 0
+
+    def test_stats_dict_exposes_admission_deferred(self, framework):
+        cache = PlanCache(framework, admission=BloomAdmission(capacity=64))
+        for batch in self._batches(3):
+            cache.plan(batch, Heuristic.THRESHOLD)
+        d = cache.stats.as_dict()
+        assert d["admission_deferred"] == 3
+        snap = cache.stats_snapshot()
+        assert snap.admission_deferred == 3
+
+    def test_one_hit_wonders_cannot_evict_hot_plans(self, framework):
+        """The point of the filter: a churn of once-seen signatures
+        leaves the hot working set untouched in a tiny cache."""
+        hot = GemmBatch.from_shapes([(64, 64, 64)])
+        cache = PlanCache(
+            framework, capacity=2, admission=BloomAdmission(capacity=1024)
+        )
+        cache.plan(hot, Heuristic.THRESHOLD)
+        cache.plan(hot, Heuristic.THRESHOLD)  # admitted + cached
+        for i in range(20):  # 20 one-hit wonders, never repeated
+            cache.plan(
+                GemmBatch.from_shapes([(16 + 8 * i, 48, 24)]),
+                Heuristic.THRESHOLD,
+            )
+        assert cache.stats.evictions == 0  # none of them got in
+        hits_before = cache.stats.hits
+        cache.plan(hot, Heuristic.THRESHOLD)
+        assert cache.stats.hits == hits_before + 1  # still warm

@@ -1,0 +1,160 @@
+"""Live ClusterFrontend: routing, kill, breakers, health, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import BloomConfig, ClusterConfig
+from repro.cluster.frontend import ClusterFrontend
+from repro.cluster.report import REASON_SHARD_KILLED, REASON_UNROUTABLE
+from repro.cluster.router import signature_key
+from repro.core.problem import Gemm
+from repro.serve.config import BatcherConfig, ServeConfig
+from repro.serve.request import REASON_QUEUE_FULL, Rejected
+
+FAST = ServeConfig(
+    workers=1, batcher=BatcherConfig(max_batch_size=4, max_wait_us=500.0)
+)
+
+
+def _frontend(**kw):
+    kw.setdefault("serve", FAST)
+    return ClusterFrontend(config=ClusterConfig(shards=3, **kw))
+
+
+SHAPES = [(64, 784, 192), (96, 784, 192), (16, 784, 192), (128, 196, 480)]
+
+
+class TestRouting:
+    def test_equal_signatures_share_a_shard(self):
+        with _frontend(steal_threshold=None) as fe:
+            tickets = [fe.submit(Gemm(64, 784, 192)) for _ in range(8)]
+            for t in tickets:
+                assert t.result(30).ok
+            report = fe.summary()
+        home = signature_key(Gemm(64, 784, 192))
+        routed = {i: n for i, n in report.router["routed"].items() if n}
+        # All 8 went to exactly one shard (no skew: no stealing).
+        assert len(routed) == 1, f"{home} split across {routed}"
+
+    def test_summary_settles_everything(self):
+        with _frontend() as fe:
+            tickets = [
+                fe.submit(Gemm(*SHAPES[i % len(SHAPES)])) for i in range(40)
+            ]
+            results = [t.result(30) for t in tickets]
+        assert all(r.ok for r in results)
+        report = fe.summary()
+        assert report.n_settled == 40
+        assert report.n_stranded == 0
+        assert report.time_base == "wall"
+
+
+class TestKill:
+    def test_kill_settles_as_shard_killed_and_remaps(self):
+        with _frontend() as fe:
+            first = [fe.submit(Gemm(*SHAPES[i % 4])) for i in range(20)]
+            fe.kill(1)
+            second = [fe.submit(Gemm(*SHAPES[i % 4])) for i in range(20)]
+            results = [t.result(30) for t in first + second]
+            health = fe.cluster_health()
+        assert health["shards"][1]["state"] == "dead"
+        assert 1 not in health["active"]
+        for r in results:  # all settled: ok, or typed ShardKilled
+            assert r.ok or r.reason == REASON_SHARD_KILLED
+        # Everything after the kill avoided the dead shard entirely.
+        assert all(r.ok for r in [t.result(0) for t in second])
+
+    def test_kill_all_shards_unroutable(self):
+        with _frontend() as fe:
+            for i in range(3):
+                fe.kill(i)
+            result = fe.submit(Gemm(64, 64, 64)).result(5)
+        assert isinstance(result, Rejected)
+        assert result.reason == REASON_UNROUTABLE
+
+    def test_killed_shard_cannot_rejoin(self):
+        with _frontend() as fe:
+            fe.kill(0)
+            with pytest.raises(ValueError):
+                fe.rejoin(0)
+
+
+class TestLifecycle:
+    def test_drain_diverts_new_traffic_then_rejoin_restores(self):
+        with _frontend() as fe:
+            key_gemm = Gemm(64, 784, 192)
+            home = fe.router.route(signature_key(key_gemm), {}).shard
+            fe.drain(home)
+            t = fe.submit(key_gemm)
+            assert t.result(30).ok
+            assert fe.router.routed[home] == 0  # diverted off the ring
+            fe.rejoin(home)
+            t2 = fe.submit(key_gemm)
+            assert t2.result(30).ok
+            assert fe.router.routed[home] == 1
+
+    def test_eject_marks_state(self):
+        with _frontend() as fe:
+            fe.eject(2)
+            health = fe.cluster_health()
+        assert health["shards"][2]["state"] == "ejected"
+
+
+class TestBreakers:
+    def test_failures_open_breaker_and_divert(self):
+        with _frontend() as fe:
+            # Kill the server out from under the router so the frontend
+            # only learns through settled failures.
+            victim = fe.router.route(signature_key(Gemm(64, 784, 192)), {}).shard
+            fe.servers[victim].kill(REASON_SHARD_KILLED)
+            # Submits land on the dead server until membership syncs;
+            # each settles instantly as shutdown/killed.
+            for _ in range(8):
+                fe.submit(Gemm(64, 784, 192)).result(30)
+            health = fe.cluster_health()
+        # _sync_membership noticed the server stopped accepting.
+        assert health["shards"][victim]["state"] == "dead"
+
+    def test_health_reports_breaker_states(self):
+        with _frontend() as fe:
+            health = fe.cluster_health()
+        assert health["ok"]
+        for i in range(3):
+            assert health["shards"][i]["breaker"] == "closed"
+            assert health["shards"][i]["health"]["ok"] in (True, False)
+
+
+class TestBackpressureAndBloom:
+    def test_global_capacity_rejects_queue_full(self):
+        slow = ServeConfig(
+            workers=1, batcher=BatcherConfig(max_batch_size=64, max_wait_us=2e5)
+        )
+        with _frontend(serve=slow, global_queue_capacity=4) as fe:
+            tickets = [fe.submit(Gemm(*SHAPES[i % 4])) for i in range(30)]
+            results = [t.result(30) for t in tickets]
+        rejected = [
+            r for r in results if not r.ok and r.reason == REASON_QUEUE_FULL
+        ]
+        assert rejected  # backpressure fired
+        assert len(results) == 30  # and everything still settled
+
+    def test_bloom_snapshots_per_shard(self):
+        with _frontend(bloom=BloomConfig(capacity=64)) as fe:
+            for i in range(12):
+                fe.submit(Gemm(*SHAPES[i % 4])).result(30)
+            health = fe.cluster_health()
+            report = fe.summary()
+        for i in range(3):
+            assert health["shards"][i]["bloom"] is not None
+        assert any(
+            s.bloom is not None and s.bloom["deferred"] > 0
+            for s in report.shards
+        )
+
+    def test_close_is_idempotent(self):
+        fe = _frontend().start()
+        fe.close()
+        fe.close()
+        result = fe.submit(Gemm(8, 8, 8)).result(1)
+        assert not result.ok and result.reason == "shutdown"

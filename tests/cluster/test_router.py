@@ -1,0 +1,157 @@
+"""Router policy: affinity, failover, stealing, lifecycle, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import RouteDecision, Router, ShardState, signature_key
+from repro.core.problem import Gemm
+
+
+class TestSignatureKey:
+    def test_shape_only_by_default(self):
+        assert signature_key(Gemm(64, 784, 192)) == "64x784x192"
+
+    def test_alpha_beta_ignored(self):
+        assert signature_key(Gemm(8, 8, 8, alpha=2.0, beta=1.0)) == signature_key(
+            Gemm(8, 8, 8)
+        )
+
+    def test_transpose_flags_distinguish(self):
+        plain = signature_key(Gemm(8, 8, 8))
+        ta = signature_key(Gemm(8, 8, 8, trans_a=True))
+        tb = signature_key(Gemm(8, 8, 8, trans_b=True))
+        assert len({plain, ta, tb}) == 3
+
+
+class TestAffinity:
+    def test_same_key_same_shard(self):
+        router = Router(4)
+        a = router.route("64x784x192", {})
+        b = router.route("64x784x192", {})
+        assert a == b
+        assert not a.stolen and not a.failover
+
+    def test_deterministic_across_instances(self):
+        keys = [f"{m}x{m}x{m}" for m in range(8, 200)]
+        r1, r2 = Router(8, vnodes=64), Router(8, vnodes=64)
+        assert [r1.route(k, {}).shard for k in keys] == [
+            r2.route(k, {}).shard for k in keys
+        ]
+
+    def test_route_is_pure(self):
+        router = Router(4)
+        decision = router.route("x", {})
+        assert router.routed[decision.shard] == 0  # not yet recorded
+        router.record(decision)
+        assert router.routed[decision.shard] == 1
+
+
+class TestFailover:
+    def test_blocked_home_walks_the_chain(self):
+        router = Router(4)
+        home = router.route("k", {}).shard
+        rerouted = router.route("k", {}, blocked=[home])
+        assert rerouted.shard != home
+        assert rerouted.home == home  # remembers the ring answer
+        assert rerouted.failover
+
+    def test_all_blocked_raises(self):
+        router = Router(2)
+        with pytest.raises(LookupError):
+            router.route("k", {}, blocked=[0, 1])
+
+    def test_dead_shard_off_ring(self):
+        router = Router(4)
+        home = router.route("k", {}).shard
+        router.mark_dead(home)
+        after = router.route("k", {})
+        assert after.shard != home
+        # Ring-level remap, not a failover around a blocked member.
+        assert not after.failover
+
+    def test_no_active_shard_raises(self):
+        router = Router(1)
+        router.mark_dead(0)
+        with pytest.raises(LookupError):
+            router.route("k", {})
+
+
+class TestStealing:
+    def test_steals_to_lightest_on_skew(self):
+        router = Router(4, steal_threshold=8)
+        home = router.route("k", {}).shard
+        depths = {i: 0 for i in range(4)}
+        depths[home] = 8
+        lightest = min(
+            (i for i in range(4) if i != home), key=lambda i: (depths[i], i)
+        )
+        decision = router.route("k", depths)
+        assert decision.stolen
+        assert decision.shard == lightest
+        assert decision.home == home
+
+    def test_below_threshold_stays_home(self):
+        router = Router(4, steal_threshold=8)
+        home = router.route("k", {}).shard
+        depths = {i: 0 for i in range(4)}
+        depths[home] = 7
+        decision = router.route("k", depths)
+        assert decision.shard == home and not decision.stolen
+
+    def test_tie_breaks_by_shard_id(self):
+        router = Router(4, steal_threshold=1)
+        home = router.route("k", {}).shard
+        depths = {i: 0 for i in range(4)}
+        depths[home] = 5
+        decision = router.route("k", depths)
+        assert decision.shard == min(i for i in range(4) if i != home)
+
+    def test_disabled_by_default_none(self):
+        router = Router(4, steal_threshold=None)
+        home = router.route("k", {}).shard
+        depths = {i: 0 for i in range(4)}
+        depths[home] = 10_000
+        assert router.route("k", depths).shard == home
+
+
+class TestLifecycle:
+    def test_drain_eject_rejoin(self):
+        router = Router(3)
+        router.drain(1)
+        assert router.state(1) is ShardState.DRAINING
+        assert 1 not in router.active_shards()
+        router.rejoin(1)
+        assert router.state(1) is ShardState.ACTIVE
+        router.eject(2)
+        assert router.state(2) is ShardState.EJECTED
+
+    def test_rejoin_restores_affinity(self):
+        router = Router(4)
+        keys = [f"{m}x{m}x{m}" for m in range(8, 100)]
+        before = [router.route(k, {}).shard for k in keys]
+        router.mark_dead(2)
+        router.rejoin(2)
+        assert [router.route(k, {}).shard for k in keys] == before
+
+    def test_unknown_shard_raises(self):
+        with pytest.raises(KeyError):
+            Router(2).drain(5)
+
+
+class TestCounters:
+    def test_record_tallies_by_kind(self):
+        router = Router(4, steal_threshold=1)
+        router.record(RouteDecision(shard=1, home=1))
+        router.record(RouteDecision(shard=2, home=1, failover=True))
+        router.record(RouteDecision(shard=3, home=1, stolen=True))
+        assert router.routed == {0: 0, 1: 1, 2: 1, 3: 1}
+        assert router.failovers == 1
+        assert router.steals == 1
+
+    def test_snapshot_shape(self):
+        snap = Router(2, steal_threshold=4).snapshot()
+        assert snap["shards"] == 2
+        assert snap["steal_threshold"] == 4
+        assert snap["states"] == {"0": "active", "1": "active"}
+        assert snap["steals"] == 0 and snap["failovers"] == 0

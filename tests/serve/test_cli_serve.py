@@ -89,3 +89,82 @@ class TestLiveMode:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "shutdown summary" in out
+
+    def test_live_json_includes_health(self, capsys):
+        args = [
+            "--live", "--rate", "2000", "--duration", "0.005",
+            "--shapes", "32x32x32", "--seed", "1", "--time-scale", "0",
+            "--json",
+        ]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "health" in payload
+        assert "ok" in payload["health"]
+        assert "breakers" in payload["health"]
+
+
+CLUSTER = FAST + ["--shards", "2", "--max-batch", "4"]
+
+
+class TestClusterMode:
+    def test_replay_prints_cluster_report(self, capsys):
+        assert main(CLUSTER) == 0
+        out = capsys.readouterr().out
+        assert "cluster of 2 shards" in out
+        assert "shutdown summary" in out
+        assert "settlement" in out
+
+    def test_replay_deterministic(self, capsys):
+        main(CLUSTER)
+        first = capsys.readouterr().out
+        main(CLUSTER)
+        assert capsys.readouterr().out == first
+
+    def test_json_settles_everything(self, capsys):
+        assert main(CLUSTER + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_shards"] == 2
+        assert payload["settlement_share"] == 1.0
+        assert len(payload["shards"]) == 2
+
+    def test_bloom_flag_snapshots(self, capsys):
+        assert main(CLUSTER + ["--bloom", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(s["bloom"] is not None for s in payload["shards"])
+
+    def test_kill_shard_replay_settles(self, capsys):
+        assert main(CLUSTER + ["--kill-shard", "0@1000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["settlement_share"] == 1.0
+        assert payload["shards"][0]["state"] == "dead"
+
+    def test_cluster_live_json_includes_health(self, capsys):
+        args = [
+            "--shards", "2", "--live", "--rate", "2000",
+            "--duration", "0.005", "--shapes", "32x32x32", "--seed", "1",
+            "--time-scale", "0", "--json",
+        ]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "health" in payload
+        assert payload["health"]["n_shards"] == 2
+
+    def test_kill_requires_shards(self):
+        with pytest.raises(SystemExit):
+            main(FAST + ["--kill-shard", "0@1000"])
+
+    def test_bad_kill_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(CLUSTER + ["--kill-shard", "zero@soon"])
+
+    def test_kill_shard_out_of_range(self):
+        with pytest.raises(SystemExit):
+            main(CLUSTER + ["--kill-shard", "5@1000"])
+
+    def test_warm_incompatible_with_shards(self):
+        with pytest.raises(SystemExit):
+            main(CLUSTER + ["--warm"])
+
+    def test_operands_incompatible_with_shards(self):
+        with pytest.raises(SystemExit):
+            main(CLUSTER + ["--live", "--operands"])

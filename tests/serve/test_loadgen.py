@@ -61,6 +61,54 @@ class TestPoissonTrace:
             poisson_trace(0.0, 0.1)
 
 
+class TestShardSeedDerivation:
+    """Satellite: per-shard streams derived from one root seed."""
+
+    def test_shard_id_none_keeps_base_stream(self):
+        assert poisson_trace(2000.0, 0.02, seed=5) == poisson_trace(
+            2000.0, 0.02, seed=5, shard_id=None
+        )
+
+    def test_shards_get_decorrelated_streams(self):
+        traces = [
+            poisson_trace(2000.0, 0.05, seed=5, shard_id=i) for i in range(4)
+        ]
+        arrivals = [tuple(r.arrival_us for r in t) for t in traces]
+        assert len(set(arrivals)) == 4  # all distinct
+
+    def test_shard_stream_deterministic(self):
+        a = poisson_trace(2000.0, 0.02, seed=5, shard_id=2)
+        b = poisson_trace(2000.0, 0.02, seed=5, shard_id=2)
+        assert a == b
+
+    def test_matches_derive_seed_explicitly(self):
+        from repro.cluster.hashing import derive_seed
+
+        derived = poisson_trace(2000.0, 0.02, seed=5, shard_id=3)
+        explicit = poisson_trace(2000.0, 0.02, seed=derive_seed(5, 3))
+        assert derived == explicit
+
+    def test_adjacent_seed_shard_pairs_do_not_collide(self):
+        # seed+shard_id addition would alias (0, 1) with (1, 0);
+        # SplitMix64 spreading must not.
+        a = poisson_trace(2000.0, 0.02, seed=0, shard_id=1)
+        b = poisson_trace(2000.0, 0.02, seed=1, shard_id=0)
+        assert a != b
+
+    def test_closed_loop_accepts_shard_id(self, framework):
+        config = ServeConfig(
+            workers=1,
+            batcher=BatcherConfig(max_batch_size=4, max_wait_us=200.0),
+            heuristic=Heuristic.THRESHOLD,
+        )
+        with GemmServer(framework, config) as server:
+            results = run_closed_loop(
+                server, clients=2, requests_per_client=2,
+                shapes=((16, 16, 16),), seed=5, shard_id=1,
+            )
+        assert len(results) == 4 and all(r.ok for r in results)
+
+
 class TestPersistence:
     def test_save_load_roundtrip(self, tmp_path):
         trace = poisson_trace(
