@@ -1,17 +1,22 @@
-"""Parallel-engine benchmark: sharded pool vs serial grouped engine.
+"""Worker-pool engine benchmark: procpool (and threads) vs serial grouped.
 
-Pins the multi-worker engine (:mod:`repro.kernels.parallel`) against
-the serial grouped engine on the same Figure-10-style GoogleNet
-inception branch batch the execute benchmark uses, and writes the
-measurement to ``BENCH_parallel.json`` at the repository root.
+Pins the process-pool engine (:mod:`repro.kernels.procpool`) -- and,
+for comparison, the legacy thread-pool engine
+(:mod:`repro.kernels.parallel`) -- against the serial grouped engine
+on the same Figure-10-style GoogleNet inception branch batch the
+execute benchmark uses, and writes the measurement to
+``BENCH_parallel.json`` at the repository root with per-worker scaling
+curves for both engines.
 
-The speedup gate (>= 1.5x at 4 workers) is a *host-parallelism*
-claim, so it is only enforced where it is physically possible: on
-hosts with at least :data:`REQUIRED_CPUS` CPUs.  Smaller hosts still
-run the full bit-identity check and still refresh the JSON snapshot
--- with ``speedup_enforced: false`` and the measured (possibly < 1x)
-ratio recorded honestly, because a snapshot that hides the host it
-ran on is worse than none.
+The speedup gate (``engine: "procpool"`` >= 1.5x at 4 workers) is a
+*host-parallelism* claim, so it is only enforced where it is
+physically possible: on hosts with at least :data:`REQUIRED_CPUS`
+CPUs.  Smaller hosts still run the full bit-identity check and still
+refresh the JSON snapshot -- with ``speedup_enforced: false`` and the
+measured (possibly < 1x) ratio recorded honestly, because a snapshot
+that hides the host it ran on is worse than none.  The thread engine's
+curve is *never* gated: it is retained as the honesty baseline that
+motivated the process engine (GIL-bound, < 1x on small hosts).
 
 Run CI's enforcing step with ``OPENBLAS_NUM_THREADS=1`` so BLAS's own
 threading does not blur the worker-pool comparison.
@@ -30,13 +35,14 @@ from repro.analysis.export import write_bench_json
 from repro.core.options import Heuristic
 from repro.kernels.grouped import execute_grouped, grouped_plan_for
 from repro.kernels.parallel import execute_parallel, plan_shards
+from repro.kernels.procpool import execute_procpool
 from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
 
 #: The committed perf snapshot (repo root, next to the other BENCH files).
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
 
-#: The parallel engine must beat serial grouped by at least this factor
-#: on the pinned mixed batch with BENCH_WORKERS workers...
+#: The procpool engine must beat serial grouped by at least this factor
+#: on the pinned mixed batch with BENCH_WORKERS worker processes...
 MIN_SPEEDUP = 1.5
 
 #: ...when the host has at least this many CPUs to parallelize onto.
@@ -44,6 +50,9 @@ REQUIRED_CPUS = 4
 
 #: Pool size of the gated measurement.
 BENCH_WORKERS = 4
+
+#: Scaling-curve pool sizes recorded in the snapshot.
+CURVE_WORKERS = (1, 2, 4)
 
 
 def _pinned_workload(framework):
@@ -56,7 +65,7 @@ def _pinned_workload(framework):
 
 def _best_of(fn, repeats: int = 7) -> float:
     """Min-of-N wall-clock seconds (min is the low-noise estimator)."""
-    fn()  # warm caches, lowering, and the shared thread pool
+    fn()  # warm caches, lowering, arenas, and the shared pools
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
@@ -65,30 +74,45 @@ def _best_of(fn, repeats: int = 7) -> float:
     return best
 
 
-def test_parallel_speedup_pinned(framework):
-    """Parallel >= 1.5x grouped at 4 workers, bit-identically.
+def _procpool(schedule, batch, ops, workers):
+    # min_flops=0: this benchmark measures the process path itself, so
+    # the break-even serial fallback must not silently re-time grouped.
+    return execute_procpool(schedule, batch, ops, workers=workers, min_flops=0)
 
-    Always checks bit-identity and refreshes ``BENCH_parallel.json``;
-    the speedup assertion itself is gated on host CPU count (a
-    single-CPU container cannot express host parallelism, and a gate
-    that fails on physics rather than regressions teaches people to
-    ignore it).
+
+def test_procpool_speedup_pinned(framework):
+    """Procpool >= 1.5x grouped at 4 worker processes, byte-identically.
+
+    Always checks byte-identity for both worker-pool engines at every
+    curve point and refreshes ``BENCH_parallel.json``; the speedup
+    assertion itself is gated on host CPU count (a single-CPU container
+    cannot express host parallelism, and a gate that fails on physics
+    rather than regressions teaches people to ignore it).
     """
     batch, schedule, ops = _pinned_workload(framework)
 
     grp_out = execute_grouped(schedule, batch, ops)
-    timings: dict[int, float] = {}
-    for workers in (1, 2, BENCH_WORKERS):
-        par_out = execute_parallel(schedule, batch, ops, workers=workers)
-        for want, got in zip(grp_out, par_out):
-            assert np.array_equal(want, got), (
-                f"parallel (workers={workers}) diverged; benchmark is void"
-            )
-        timings[workers] = _best_of(
+    proc_ms: dict[int, float] = {}
+    thread_ms: dict[int, float] = {}
+    for workers in CURVE_WORKERS:
+        for label, runner in (
+            ("procpool", _procpool),
+            ("parallel", execute_parallel),
+        ):
+            out = runner(schedule, batch, ops, workers=workers)
+            for want, got in zip(grp_out, out):
+                assert np.array_equal(want, got), (
+                    f"{label} (workers={workers}) diverged; benchmark is void"
+                )
+        proc_ms[workers] = _best_of(
+            lambda w=workers: _procpool(schedule, batch, ops, w)
+        )
+        thread_ms[workers] = _best_of(
             lambda w=workers: execute_parallel(schedule, batch, ops, workers=w)
         )
     grp_s = _best_of(lambda: execute_grouped(schedule, batch, ops))
-    speedup = grp_s / timings[BENCH_WORKERS]
+    speedup = grp_s / proc_ms[BENCH_WORKERS]
+    thread_speedup = grp_s / thread_ms[BENCH_WORKERS]
 
     cpus = os.cpu_count() or 1
     enforced = cpus >= REQUIRED_CPUS
@@ -98,16 +122,21 @@ def test_parallel_speedup_pinned(framework):
         BENCH_PATH,
         {
             "workload": "googlenet inception branches (Figure-10 style)",
+            "engine": "procpool",
             "gemms": len(batch),
             "tiles": schedule.num_tiles,
             "product_shards": len(shard_plan.products),
             "epilogue_shards": len(shard_plan.epilogues),
             "largest_product_share": round(shard_plan.largest_product_share(), 3),
             "grouped_ms": round(grp_s * 1e3, 3),
+            "procpool_ms": {
+                str(w): round(s * 1e3, 3) for w, s in sorted(proc_ms.items())
+            },
             "parallel_ms": {
-                str(w): round(s * 1e3, 3) for w, s in sorted(timings.items())
+                str(w): round(s * 1e3, 3) for w, s in sorted(thread_ms.items())
             },
             "speedup_at_4_workers": round(speedup, 2),
+            "thread_speedup_at_4_workers": round(thread_speedup, 2),
             "min_speedup_required": MIN_SPEEDUP,
             "host_cpus": cpus,
             "speedup_enforced": enforced,
@@ -117,17 +146,25 @@ def test_parallel_speedup_pinned(framework):
         pytest.skip(
             f"host has {cpus} CPU(s) < {REQUIRED_CPUS}; a {MIN_SPEEDUP}x "
             f"host-parallel speedup is not physically expressible here "
-            f"(measured {speedup:.2f}x, recorded in {BENCH_PATH.name})"
+            f"(measured procpool {speedup:.2f}x, threads {thread_speedup:.2f}x, "
+            f"recorded in {BENCH_PATH.name})"
         )
     assert speedup >= MIN_SPEEDUP, (
-        f"parallel engine speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
-        f"(grouped {grp_s * 1e3:.2f} ms, parallel[{BENCH_WORKERS}w] "
-        f"{timings[BENCH_WORKERS] * 1e3:.2f} ms on {cpus} CPUs)"
+        f"procpool engine speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(grouped {grp_s * 1e3:.2f} ms, procpool[{BENCH_WORKERS}w] "
+        f"{proc_ms[BENCH_WORKERS] * 1e3:.2f} ms on {cpus} CPUs)"
     )
 
 
+def test_procpool_execution_latency(benchmark, framework):
+    """pytest-benchmark series for the procpool engine at 4 workers."""
+    batch, schedule, ops = _pinned_workload(framework)
+    outs = benchmark(lambda: _procpool(schedule, batch, ops, BENCH_WORKERS))
+    assert len(outs) == len(batch)
+
+
 def test_parallel_execution_latency(benchmark, framework):
-    """pytest-benchmark series for the parallel engine at 4 workers."""
+    """pytest-benchmark series for the thread engine at 4 workers."""
     batch, schedule, ops = _pinned_workload(framework)
     outs = benchmark(
         lambda: execute_parallel(schedule, batch, ops, workers=BENCH_WORKERS)

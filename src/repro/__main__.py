@@ -31,6 +31,7 @@ from repro.baselines.magma_vbatch import simulate_magma_vbatch
 from repro.core.framework import CoordinatedFramework
 from repro.core.options import Heuristic
 from repro.core.problem import Gemm, GemmBatch
+from repro.kernels import ENGINES, WORKER_ENGINES
 from repro.gpu.specs import get_device
 from repro.telemetry import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
 
@@ -103,18 +104,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("reference", "grouped", "parallel", "compiled"),
+        choices=ENGINES,
         default="grouped",
         help="numerical execution engine for --execute "
-        "(compiled = precompiled-plan interpreter)",
+        "(compiled = precompiled-plan interpreter; procpool = "
+        "multi-core worker processes over shared-memory arenas)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=0,
         metavar="N",
-        help="parallel-engine pool size for --execute "
-        "(0 = host default; requires --engine parallel)",
+        help="worker-pool size for --execute (0 = host default; "
+        f"requires a worker-pool engine: {', '.join(WORKER_ENGINES)})",
     )
     parser.add_argument(
         "--trace",
@@ -128,8 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         help="print the recorded span tree (implies tracing)",
     )
     args = parser.parse_args(argv)
-    if args.workers and args.engine != "parallel":
-        parser.error("--workers requires --engine parallel")
+    if args.workers and args.engine not in WORKER_ENGINES:
+        parser.error(
+            "--workers requires a worker-pool engine "
+            f"(--engine {' | '.join(WORKER_ENGINES)})"
+        )
 
     device = get_device(args.device)
     batch = build_batch(args)

@@ -413,8 +413,11 @@ class CoordinatedFramework:
             where="CoordinatedFramework.execute",
         )
         opts = self.resolve_options(heuristic, options)
-        if pol.workers is None and pol.engine == "parallel":
-            pol = pol.with_workers(opts.workers)
+        if pol.workers is None:
+            from repro.kernels import engine_accepts_workers
+
+            if engine_accepts_workers(pol.engine):
+                pol = pol.with_workers(opts.workers)
         report = self.plan(batch, options=opts)
         tracer = get_tracer()
         if pol.reliable:
@@ -431,9 +434,11 @@ class CoordinatedFramework:
                     span.set_attr("engine_used", engine_used)
                     span.set_attr("fallbacks", executor.fallbacks)
             return values
+        from repro.kernels import engine_accepts_workers
+
         run = get_engine(
             pol.engine,
-            workers=pol.workers if pol.engine == "parallel" else None,
+            workers=pol.workers if engine_accepts_workers(pol.engine) else None,
         )
         with tracer.span("execute", gemms=len(batch), engine=pol.engine):
             return run(report.schedule, batch, operands)

@@ -391,8 +391,11 @@ class PlanCache:
             workers=workers,
             where="PlanCache.execute",
         )
-        if pol.workers is None and pol.engine == "parallel" and options is not None:
-            pol = pol.with_workers(options.workers)
+        if pol.workers is None and options is not None:
+            from repro.kernels import engine_accepts_workers
+
+            if engine_accepts_workers(pol.engine):
+                pol = pol.with_workers(options.workers)
         entry, _ = self._entry_with_info(batch, heuristic, options=options)
         schedule = entry.report.schedule
         if pol.reliable:
@@ -407,9 +410,11 @@ class PlanCache:
 
             artifact = self._compiled_artifact(entry, batch)
             return execute_compiled(schedule, batch, operands, plan=artifact)
+        from repro.kernels import engine_accepts_workers
+
         run = get_engine(
             pol.engine,
-            workers=pol.workers if pol.engine == "parallel" else None,
+            workers=pol.workers if engine_accepts_workers(pol.engine) else None,
         )
         return run(schedule, batch, operands)
 

@@ -24,6 +24,11 @@ answer, not just a wrong simulated time.
   with preallocated scratch, executed by a minimal allocation-free
   interpreter loop (the ``compiled`` execution engine; bit-identical
   to ``grouped``, fastest steady state).
+* :mod:`repro.kernels.procpool` -- the process-pool engine: the same
+  lowered plan sharded across persistent worker *processes* reading
+  operands from shared-memory arenas (the ``procpool`` execution
+  engine; true multi-core, bit-identical to ``grouped`` at every
+  worker count, serial below its break-even FLOP threshold).
 
 Engine identity lives in the typed registry
 (:mod:`repro.kernels.engine` -- the :class:`Engine` protocol,
@@ -47,8 +52,10 @@ from typing import Optional
 from repro.kernels.engine import (
     ENGINES,
     ENGINE_FALLBACKS,
+    WORKER_ENGINES,
     Engine,
     EngineCapabilities,
+    engine_accepts_workers,
     engine_fallbacks,
     get_engine_object,
 )
@@ -71,6 +78,14 @@ _EXPORTS = {
     "resolve_workers": ("repro.kernels.parallel", "resolve_workers"),
     "shared_pool": ("repro.kernels.parallel", "shared_pool"),
     "ShardPlan": ("repro.kernels.parallel", "ShardPlan"),
+    "execute_procpool": ("repro.kernels.procpool", "execute_procpool"),
+    "resolve_procpool_workers": (
+        "repro.kernels.procpool",
+        "resolve_procpool_workers",
+    ),
+    "shared_procpool": ("repro.kernels.procpool", "shared_procpool"),
+    "procpool_status": ("repro.kernels.procpool", "procpool_status"),
+    "ProcpoolWorkerDied": ("repro.kernels.procpool", "ProcpoolWorkerDied"),
     "execute_compiled": ("repro.kernels.compiled", "execute_compiled"),
     "compile_plan": ("repro.kernels.compiled", "compile_plan"),
     "compiled_plan_for": ("repro.kernels.compiled", "compiled_plan_for"),
@@ -83,10 +98,12 @@ _EXPORTS = {
 __all__ = [
     "ENGINES",
     "ENGINE_FALLBACKS",
+    "WORKER_ENGINES",
     "Engine",
     "EngineCapabilities",
     "ExecutionPolicy",
     "coerce_policy",
+    "engine_accepts_workers",
     "engine_fallbacks",
     "get_engine",
     "get_engine_object",
@@ -101,12 +118,14 @@ def get_engine(name: str, workers: Optional[int] = None, injector=None):
     -> list[np.ndarray]`` and produce bit-identical results;
     ``reference`` is the faithful per-slot Figure 7 walk (the oracle),
     ``grouped`` the vectorized bulk engine, ``parallel`` the
-    multi-worker sharded engine, ``compiled`` the precompiled-artifact
-    interpreter.  ``workers`` is only meaningful for ``parallel`` (the
+    multi-worker thread-sharded engine, ``compiled`` the
+    precompiled-artifact interpreter, ``procpool`` the process-pool
+    engine over shared-memory arenas.  ``workers`` is only meaningful
+    for the worker-pool engines (``parallel`` / ``procpool``: the
     returned callable binds it as its pool size; ``None`` defers to
-    :func:`repro.kernels.parallel.resolve_workers`) and raises
-    ``ValueError`` for any other engine -- a silently ignored worker
-    count would misreport what ran.  Raises ``ValueError`` for unknown
+    each engine's resolver) and raises ``ValueError`` for any other
+    engine -- a silently ignored worker count would misreport what
+    ran.  Raises ``ValueError`` for unknown
     names.  Resolution goes through the typed registry
     (:func:`get_engine_object`); the returned callable preserves the
     historical identities (``get_engine("grouped") is

@@ -39,6 +39,8 @@ __all__ = [
     "ENGINE_FALLBACKS",
     "Engine",
     "EngineCapabilities",
+    "WORKER_ENGINES",
+    "engine_accepts_workers",
     "engine_fallbacks",
     "get_engine_object",
 ]
@@ -48,14 +50,25 @@ __all__ = [
 class EngineCapabilities:
     """What an execution engine supports.
 
-    ``workers``: the engine runs on a sizable worker pool (only the
-    ``parallel`` engine; passing ``workers=`` to any other engine is a
-    ``ValueError``).  ``precompiled``: :meth:`Engine.lower` produces a
-    reusable per-schedule artifact worth caching next to the plan.
+    ``workers``: the engine runs on a sizable worker pool (the
+    ``parallel`` thread engine and the ``procpool`` process engine;
+    passing ``workers=`` to any other engine is a ``ValueError``).
+    ``precompiled``: :meth:`Engine.lower` produces a reusable
+    per-schedule artifact worth caching next to the plan.
+    ``process_isolation``: workers are OS processes -- a worker death
+    cannot corrupt the coordinator, and shards run truly concurrently
+    (no GIL).  ``picklable_shards``: shard descriptors cross a process
+    boundary, so task payloads must pickle (the procpool engine ships
+    only arena names and index tuples).  ``min_work_flops``: below
+    this much total product work the engine falls back to serial
+    execution on its own -- dispatch overhead would dominate.
     """
 
     workers: bool = False
     precompiled: bool = False
+    process_isolation: bool = False
+    picklable_shards: bool = False
+    min_work_flops: float = 0.0
 
 
 @runtime_checkable
@@ -89,7 +102,8 @@ class Engine(Protocol):
 def _reject_workers(name: str, workers: Optional[int]) -> None:
     if workers is not None:
         raise ValueError(
-            f"workers= only applies to the 'parallel' engine, not {name!r}"
+            f"workers= only applies to the worker-pool engines "
+            f"{WORKER_ENGINES}, not {name!r}"
         )
 
 
@@ -199,23 +213,89 @@ class CompiledEngine:
         return execute_compiled
 
 
+@dataclass(frozen=True)
+class ProcpoolEngine:
+    """The process-pool engine: worker processes over shm arenas.
+
+    True multi-core execution -- each worker is an OS process computing
+    its shards from shared-memory operand arenas, so the GIL never
+    serializes product work.  Shard descriptors are pickled (tiny: an
+    arena name plus index tuples), and batches below the break-even
+    FLOP threshold execute serially through the grouped engine on
+    their own (bit-identical either way).
+    """
+
+    name: str = "procpool"
+    capabilities: EngineCapabilities = EngineCapabilities(
+        workers=True,
+        process_isolation=True,
+        picklable_shards=True,
+        min_work_flops=1e7,  # keep in sync with procpool.MIN_PROCPOOL_FLOPS
+    )
+
+    def lower(self, schedule, batch):
+        """The memoized grouped plan (sharding happens at run time)."""
+        from repro.kernels.grouped import grouped_plan_for
+
+        return grouped_plan_for(schedule, batch)
+
+    def run(self, schedule, batch, operands, **kwargs):
+        """Execute via :func:`repro.kernels.procpool.execute_procpool`."""
+        return self.runner()(schedule, batch, operands, **kwargs)
+
+    def runner(self, workers: Optional[int] = None) -> Callable:
+        """``execute_procpool``, with ``workers`` bound when given."""
+        from repro.kernels.procpool import (
+            execute_procpool,
+            resolve_procpool_workers,
+        )
+
+        if workers is None:
+            return execute_procpool
+        bound = resolve_procpool_workers(workers)
+
+        def run_procpool(schedule, batch, operands, plan=None):
+            return execute_procpool(schedule, batch, operands, plan, workers=bound)
+
+        run_procpool.__name__ = f"execute_procpool_{bound}w"
+        run_procpool.workers = bound
+        return run_procpool
+
+
 _REGISTRY: dict[str, Engine] = {
     e.name: e
-    for e in (ReferenceEngine(), GroupedEngine(), ParallelEngine(), CompiledEngine())
+    for e in (
+        ReferenceEngine(),
+        GroupedEngine(),
+        ParallelEngine(),
+        CompiledEngine(),
+        ProcpoolEngine(),
+    )
 }
 
 #: The recognized execution-engine names.
 ENGINES: tuple[str, ...] = tuple(_REGISTRY)
 
+#: Engines whose capabilities accept a ``workers=`` pool size.
+WORKER_ENGINES: tuple[str, ...] = tuple(
+    name for name, e in _REGISTRY.items() if e.capabilities.workers
+)
+
 #: Degradation order per engine: itself first, then progressively
 #: simpler engines ending at the per-slot reference walk (the oracle).
 #: Every engine is bit-identical, so falling back trades only speed.
 ENGINE_FALLBACKS: dict[str, tuple[str, ...]] = {
+    "procpool": ("procpool", "compiled", "grouped", "reference"),
     "compiled": ("compiled", "grouped", "reference"),
     "parallel": ("parallel", "grouped", "reference"),
     "grouped": ("grouped", "reference"),
     "reference": ("reference",),
 }
+
+
+def engine_accepts_workers(name: str) -> bool:
+    """Whether ``name``'s capabilities accept a ``workers=`` pool size."""
+    return get_engine_object(name).capabilities.workers
 
 
 def get_engine_object(name: str) -> Engine:
@@ -235,7 +315,8 @@ def get_engine_object(name: str) -> Engine:
 def engine_fallbacks(name: str) -> tuple[str, ...]:
     """The fallback chain starting at ``name`` (itself included).
 
-    ``compiled`` and ``parallel`` degrade to ``grouped`` then
+    ``procpool`` degrades to ``compiled`` then ``grouped`` then
+    ``reference``; ``compiled`` and ``parallel`` to ``grouped`` then
     ``reference``; ``grouped`` to ``reference``; ``reference`` stands
     alone.  The serving layer and
     :class:`~repro.reliability.ReliableExecutor` walk this chain when

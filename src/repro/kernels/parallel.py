@@ -66,6 +66,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -105,23 +106,56 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     """Normalize a worker-count spec to a concrete pool size.
 
     ``None`` reads :data:`WORKERS_ENV_VAR` when set, otherwise sizes
-    to the host: ``min(cpu_count, MAX_AUTO_WORKERS)``.  Raises
+    to the host: ``min(cpu_count, MAX_AUTO_WORKERS)``.  A malformed or
+    non-positive environment value raises ``ValueError`` naming the
+    variable (never a bare ``int()`` traceback); explicit or
+    environment counts above ``os.cpu_count()`` are honoured (threads
+    share one GIL anyway, and CI replays fixed pool sizes on small
+    hosts) but emit a one-shot ``RuntimeWarning``.  Raises
     ``ValueError`` for non-positive counts.
     """
+    source = "workers"
     if workers is None:
         env = os.environ.get(WORKERS_ENV_VAR)
         if env:
+            source = WORKERS_ENV_VAR
             try:
                 workers = int(env)
             except ValueError:
                 raise ValueError(
-                    f"{WORKERS_ENV_VAR}={env!r} is not an integer"
+                    f"{WORKERS_ENV_VAR}={env!r} is not a positive integer "
+                    f"(set it to a number of worker threads)"
                 ) from None
+            if workers < 1:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR}={env!r} must be a positive integer, "
+                    f"got {workers}"
+                )
         else:
             workers = min(MAX_AUTO_WORKERS, os.cpu_count() or 1)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    cpus = os.cpu_count() or 1
+    if workers > cpus:
+        _warn_oversubscribed(source, workers, cpus)
     return workers
+
+
+_WARNED_OVERSUBSCRIBED: set = set()
+
+
+def _warn_oversubscribed(source: str, value: int, cpus: int) -> None:
+    key = (source, value)
+    if key in _WARNED_OVERSUBSCRIBED:
+        return
+    _WARNED_OVERSUBSCRIBED.add(key)
+    warnings.warn(
+        f"{source}={value} oversubscribes this host ({cpus} CPU(s)); "
+        f"honouring it, but thread counts above the core count only add "
+        f"contention",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 _POOLS: dict[int, ThreadPoolExecutor] = {}

@@ -26,7 +26,12 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Optional
 
-from repro.kernels.engine import ENGINES, get_engine_object
+from repro.kernels.engine import (
+    ENGINES,
+    WORKER_ENGINES,
+    engine_accepts_workers,
+    get_engine_object,
+)
 
 __all__ = ["ExecutionPolicy", "coerce_policy"]
 
@@ -39,11 +44,11 @@ class ExecutionPolicy:
     ----------
     engine:
         Name from the engine registry (``reference`` / ``grouped`` /
-        ``parallel`` / ``compiled``).
+        ``parallel`` / ``compiled`` / ``procpool``).
     workers:
-        Worker-pool size.  For the ``parallel`` engine this is the
-        shard pool; :meth:`PlanCache.warm` also uses it to fan out
-        planning.  Engines without worker support ignore it at run
+        Worker-pool size.  For the ``parallel`` (thread) and
+        ``procpool`` (process) engines this is the shard pool;
+        :meth:`PlanCache.warm` also uses it to fan out planning.  Engines without worker support ignore it at run
         time (legacy kwarg spellings still raise, via
         :func:`coerce_policy`, to preserve the old contract).
     fallback:
@@ -142,8 +147,9 @@ def coerce_policy(
     ``fallback=`` / ``retry=`` / ``injector=`` spellings still work but
     emit a ``DeprecationWarning`` naming ``where``.  Mixing ``policy=``
     with any legacy kwarg is a ``TypeError`` (ambiguous intent), and
-    the historical ``ValueError`` for ``workers=`` with a non-parallel
-    engine is preserved (``workers_require_parallel=False`` lifts it
+    the historical ``ValueError`` for ``workers=`` with an engine whose
+    capabilities reject worker pools is preserved
+    (``workers_require_parallel=False`` lifts it
     for surfaces like ``PlanCache.warm`` where workers always meant a
     planning fan-out, not an engine pool).
     """
@@ -177,10 +183,12 @@ def coerce_policy(
     if (
         workers is not None
         and workers_require_parallel
-        and resolved_engine != "parallel"
+        and resolved_engine in ENGINES
+        and not engine_accepts_workers(resolved_engine)
     ):
         raise ValueError(
-            f"workers= only applies to the 'parallel' engine, not {resolved_engine!r}"
+            f"workers= only applies to the worker-pool engines "
+            f"{WORKER_ENGINES}, not {resolved_engine!r}"
         )
     return ExecutionPolicy(
         engine=resolved_engine,

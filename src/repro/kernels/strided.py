@@ -75,7 +75,7 @@ def execute_schedule_strided(
         else ExecutionPolicy.of(policy, warn_on_str=False)
     )
     run = get_engine_object(pol.engine).runner(
-        pol.workers if pol.engine == "parallel" else None
+        pol.workers if get_engine_object(pol.engine).capabilities.workers else None
     )
     with get_tracer().span("execute.strided", gemms=len(batch), engine=pol.engine):
         operands = split_strided(batch, a, b, c)

@@ -3,9 +3,13 @@
 Stream-K++ and tritonBLAS both argue the same point from different
 angles: an analytically *selected* kernel configuration needs a safety
 net for the cases where the selection misbehaves.  Here the selection
-is the execution engine (``compiled`` or ``parallel`` -> ``grouped``
--> ``reference``, each slower but simpler and more battle-tested than
-the previous), and the safety net is :class:`ReliableExecutor`:
+is the execution engine (``procpool`` -> ``compiled`` -> ``grouped``
+-> ``reference``, or ``parallel``/``compiled`` -> ``grouped`` ->
+``reference``; each link simpler and more battle-tested than the
+previous), and the safety net is :class:`ReliableExecutor`.  A
+``procpool`` worker-process death surfaces as
+:class:`~repro.kernels.procpool.ProcpoolWorkerDied` -- an ordinary
+engine failure here, so it counts into the breaker and degrades:
 
 1. run the preferred engine; on failure, **retry** per the
    :class:`~repro.reliability.retry.RetryPolicy` (transient faults);
@@ -33,7 +37,7 @@ import threading
 import time
 from typing import Callable, Optional, Sequence
 
-from repro.kernels import engine_fallbacks, get_engine
+from repro.kernels import engine_accepts_workers, engine_fallbacks, get_engine
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import FaultInjector
 from repro.reliability.retry import RetryPolicy
@@ -108,7 +112,7 @@ class ReliableExecutor:
         """
         return cls(
             policy.engine,
-            workers=policy.workers if policy.engine == "parallel" else None,
+            workers=policy.workers if engine_accepts_workers(policy.engine) else None,
             retry=policy.retry,
             fallback=policy.fallback,
             failure_threshold=failure_threshold,
@@ -151,7 +155,7 @@ class ReliableExecutor:
     def _run_engine(self, name: str, schedule, batch, operands):
         run = get_engine(
             name,
-            workers=self._workers if name == "parallel" else None,
+            workers=self._workers if engine_accepts_workers(name) else None,
             injector=self.injector,
         )
         return run(schedule, batch, operands)

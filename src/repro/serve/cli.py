@@ -42,6 +42,7 @@ import time
 from repro.core.framework import CoordinatedFramework
 from repro.core.options import Heuristic
 from repro.core.plancache import CacheStats, PlanCache
+from repro.kernels import ENGINES, WORKER_ENGINES
 from repro.gpu.specs import get_device
 from repro.telemetry import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
 
@@ -111,18 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument(
         "--engine",
-        choices=("reference", "grouped", "parallel", "compiled"),
+        choices=ENGINES,
         default="grouped",
         help="numerical execution engine for operand-carrying batches "
-        "(compiled = precompiled-plan interpreter, fastest warm path)",
+        "(compiled = precompiled-plan interpreter, fastest warm path; "
+        "procpool = multi-core worker processes over shared-memory "
+        "arenas)",
     )
     pipeline.add_argument(
         "--engine-workers",
         type=int,
         default=0,
         metavar="N",
-        help="parallel-engine shard pool size (0 = host default; "
-        "requires --engine parallel)",
+        help="worker-pool shard size (0 = host default; requires a "
+        f"worker-pool engine: {', '.join(WORKER_ENGINES)})",
     )
     pipeline.add_argument(
         "--warm",
@@ -453,8 +456,11 @@ def _run_cluster_live(trace, framework, cluster_config, time_scale: float, kills
 def main(argv: list[str] | None = None) -> int:
     """CLI entry: build the trace, serve it, print the latency report."""
     args = build_parser().parse_args(argv)
-    if args.engine_workers and args.engine != "parallel":
-        raise SystemExit("error: --engine-workers requires --engine parallel")
+    if args.engine_workers and args.engine not in WORKER_ENGINES:
+        raise SystemExit(
+            "error: --engine-workers requires a worker-pool engine "
+            f"(--engine {' | '.join(WORKER_ENGINES)})"
+        )
     if args.operands and not args.live:
         raise SystemExit("error: --operands requires --live (replay never executes)")
     if args.shards:

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.framework import HeuristicLike
-from repro.kernels import ENGINES, ExecutionPolicy
+from repro.kernels import ENGINES, WORKER_ENGINES, ExecutionPolicy
 from repro.reliability import FaultPlan, RetryPolicy
 from repro.serve.admission import AdmissionConfig
 from repro.serve.batcher import BatcherConfig
@@ -128,10 +128,10 @@ class ServeConfig:
                 raise ValueError(
                     f"engine_workers must be >= 1, got {self.engine_workers}"
                 )
-            if self.engine != "parallel":
+            if self.engine not in WORKER_ENGINES:
                 raise ValueError(
-                    "engine_workers= only applies to engine='parallel', "
-                    f"got engine={self.engine!r}"
+                    "engine_workers= only applies to the worker-pool "
+                    f"engines {WORKER_ENGINES}, got engine={self.engine!r}"
                 )
         if legacy:
             warnings.warn(

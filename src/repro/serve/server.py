@@ -22,7 +22,8 @@ driver, built from the same parts (``DynamicBatcher``,
 **Fault tolerance** (``config.reliability``, see
 ``docs/reliability.md``): planning and execution failures are retried
 per the :class:`~repro.reliability.RetryPolicy`; engine failures
-degrade along the fallback chain (``compiled`` or ``parallel`` ->
+degrade along the fallback chain (``procpool`` -> ``compiled`` ->
+``grouped`` -> ``reference``, or ``compiled``/``parallel`` ->
 ``grouped`` -> ``reference``) guarded by per-engine circuit breakers
 (:class:`~repro.reliability.ReliableExecutor`); a batch that still
 fails is **bisected** so healthy requests complete and only the poison
@@ -56,6 +57,7 @@ import numpy as np
 from repro.core.framework import CoordinatedFramework
 from repro.core.plancache import PlanCache
 from repro.core.problem import Gemm
+from repro.kernels import engine_accepts_workers
 from repro.reliability import (
     BreakerState,
     EngineUnavailable,
@@ -148,7 +150,7 @@ class GemmServer:
         policy = self.config.execution_policy()
         self._executor = ReliableExecutor(
             policy.engine,
-            workers=policy.workers if policy.engine == "parallel" else None,
+            workers=policy.workers if engine_accepts_workers(policy.engine) else None,
             retry=reliability.retry,
             fallback=reliability.fallback,
             failure_threshold=reliability.breaker_failure_threshold,
@@ -623,7 +625,10 @@ class GemmServer:
         thread has crashed; ``breakers`` maps each engine in the
         fallback chain to its circuit state (full snapshots live under
         ``breaker_detail``); the counters mirror what :meth:`summary`
-        later emits as telemetry.
+        later emits as telemetry.  When the ``procpool`` engine is in
+        the fallback chain, ``procpool`` reports the worker-process
+        pool's liveness (pool generations, restart count, live arena
+        segments) from :func:`repro.kernels.procpool.procpool_status`.
         """
         with self._cond:
             accepting = self._accepting
@@ -631,7 +636,7 @@ class GemmServer:
         with self._stats_lock:
             outstanding = len(self._tickets)
         snap = self._reliability_snapshot()
-        return {
+        health = {
             "ok": accepting and not snap["crashes"],
             "accepting": accepting,
             "queue_depth": pending + self._batch_q.qsize(),
@@ -649,6 +654,11 @@ class GemmServer:
             "faults_injected": snap["faults_injected"],
             "crashes": snap["crashes"],
         }
+        if "procpool" in snap["chain"]:
+            from repro.kernels.procpool import procpool_status
+
+            health["procpool"] = procpool_status()
+        return health
 
     def summary(self) -> ServeReport:
         """Compile everything served so far into a :class:`ServeReport`.

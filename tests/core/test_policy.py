@@ -113,7 +113,7 @@ class TestCoercePolicy:
 
     def test_workers_require_parallel_preserved(self):
         with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="only applies to the 'parallel'"):
+            with pytest.raises(ValueError, match="only applies to the worker-pool engines"):
                 coerce_policy(None, workers=2, where="here")
 
     def test_workers_requirement_liftable(self):
@@ -173,7 +173,7 @@ class TestFrameworkExecuteShims:
     def test_legacy_workers_contract_preserved(self, framework, small_batch, rng):
         ops = small_batch.random_operands(rng)
         with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="only applies to the 'parallel'"):
+            with pytest.raises(ValueError, match="only applies to the worker-pool engines"):
                 framework.execute(small_batch, ops, engine="grouped", workers=2)
 
 

@@ -228,7 +228,9 @@ class TestEngineRegistry:
     def test_get_engine_mapping(self):
         from repro.kernels import ENGINES, get_engine
 
-        assert set(ENGINES) == {"reference", "grouped", "parallel", "compiled"}
+        assert set(ENGINES) == {
+            "reference", "grouped", "parallel", "compiled", "procpool"
+        }
         assert get_engine("reference") is execute_schedule
         assert get_engine("grouped") is execute_grouped
         with pytest.raises(ValueError, match="unknown execution engine"):

@@ -1,0 +1,533 @@
+"""Tests for the process-pool execution engine.
+
+The contract is the grouped engine's, one level up: for every
+schedule, at every worker-process count, ``execute_procpool`` must be
+**byte-identical** (``np.array_equal`` on float64 -- bitwise) to
+``execute_grouped`` -- and therefore to the reference walk.  On top of
+that: determinism across reruns, shared-memory arena hygiene (no
+leaked ``/dev/shm`` segments after normal close, coordinator crash, or
+worker kill), worker validation/clamping, pool-death containment, and
+the registry/policy/serve integration.
+
+The equivalence classes force the real process path with
+``min_flops=0`` (the engine's break-even heuristic would otherwise
+route these small batches through serial grouped execution, which is
+trivially identical).  CI replays the suite under
+``REPRO_PROCPOOL_WORKERS`` to pin a single pool size per job step.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.problem import Gemm, GemmBatch
+from repro.core.tiling import ALL_BATCHED_STRATEGIES
+from repro.kernels.grouped import execute_grouped
+from repro.kernels import procpool as pp
+from repro.kernels.procpool import (
+    ARENA_PREFIX,
+    ProcpoolWorkerDied,
+    clear_procpool_runtimes,
+    execute_procpool,
+    live_arena_names,
+    procpool_runtime_for,
+    procpool_status,
+    resolve_procpool_workers,
+    shared_procpool,
+)
+
+from .test_parallel import forced_schedule, make_schedule
+
+#: Worker counts the equivalence suite sweeps.  CI overrides via
+#: REPRO_PROCPOOL_WORKERS to pin a single pool size per job step.
+_ENV_WORKERS = os.environ.get("REPRO_PROCPOOL_WORKERS")
+WORKER_COUNTS = [int(_ENV_WORKERS)] if _ENV_WORKERS else [1, 2, 4]
+
+
+def devshm_segments() -> set[str]:
+    """The ``repro-pp-*`` segment names currently backing /dev/shm."""
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith(ARENA_PREFIX)}
+    except FileNotFoundError:  # non-Linux: fall back to our own registry
+        return set(live_arena_names())
+
+
+@pytest.fixture(autouse=True)
+def _quiet_oversubscription():
+    """Worker counts above this host's CPU count are the point of the
+    sweep; silence the (correct) oversubscription warnings."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+def assert_matches_grouped(schedule, batch, ops, workers):
+    want = execute_grouped(schedule, batch, ops)
+    got = execute_procpool(schedule, batch, ops, workers=workers, min_flops=0)
+    for gi, (w, g) in enumerate(zip(want, got)):
+        assert w.dtype == g.dtype, f"GEMM {gi} dtype drift at workers={workers}"
+        assert np.array_equal(w, g), (
+            f"GEMM {gi}: procpool engine (workers={workers}) diverges from "
+            f"grouped (max |delta| = {np.max(np.abs(w - g))})"
+        )
+    return got
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("strategy_index", range(len(ALL_BATCHED_STRATEGIES)))
+    def test_all_table2_strategies(self, rng, strategy_index, workers):
+        """Every Table-2 entry, ragged in M, N, and K, every pool size."""
+        strat = ALL_BATCHED_STRATEGIES[strategy_index]
+        batch = GemmBatch(
+            [
+                Gemm(2 * strat.by + 3, 2 * strat.bx + 5, 20),
+                Gemm(strat.by, strat.bx, strat.bk),
+            ]
+        )
+        ops = batch.random_operands(rng)
+        sched = forced_schedule(batch, strategy_index)
+        assert_matches_grouped(sched, batch, ops, workers)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("trans_a", [False, True])
+    @pytest.mark.parametrize("trans_b", [False, True])
+    def test_transposed_operands(self, rng, trans_a, trans_b, workers):
+        batch = GemmBatch(
+            [
+                Gemm(33, 47, 21, trans_a=trans_a, trans_b=trans_b),
+                Gemm(64, 64, 64, trans_a=trans_a, trans_b=trans_b),
+            ]
+        )
+        ops = batch.random_operands(rng)
+        assert_matches_grouped(make_schedule(batch, "binary"), batch, ops, workers)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize(
+        "alpha,beta", [(1.0, 0.0), (1.5, 0.5), (0.0, 2.0), (-0.75, 1.0)]
+    )
+    def test_alpha_beta_epilogue(self, rng, alpha, beta, workers):
+        batch = GemmBatch(
+            [
+                Gemm(40, 40, 40, alpha=alpha, beta=beta),
+                Gemm(17, 23, 9, alpha=alpha, beta=beta),
+            ]
+        )
+        ops = batch.random_operands(rng)
+        assert_matches_grouped(make_schedule(batch, "threshold"), batch, ops, workers)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_large_k_forces_product_split(self, rng, workers):
+        """A K deep enough that the dominant GEMM splits into multiple
+        chunk shards (the coordinator's ordered-merge path)."""
+        from repro.kernels.grouped import grouped_plan_for
+        from repro.kernels.parallel import plan_shards
+
+        batch = GemmBatch([Gemm(48, 48, 1024), Gemm(16, 16, 64)])
+        ops = batch.random_operands(rng)
+        sched = make_schedule(batch, "threshold")
+        if workers > 1:
+            plan = grouped_plan_for(sched, batch)
+            sp = plan_shards(plan, batch, workers)
+            assert any(s.split for s in sp.products), "workload failed to split"
+        assert_matches_grouped(sched, batch, ops, workers)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_inception_batch(self, rng, workers):
+        from repro.core.framework import CoordinatedFramework
+        from repro.core.options import Heuristic
+        from repro.nn.googlenet import GOOGLENET_INCEPTIONS, inception_branch_batch
+
+        fw = CoordinatedFramework()
+        batch = inception_branch_batch(GOOGLENET_INCEPTIONS[2])
+        report = fw.plan(batch, Heuristic.THRESHOLD)
+        ops = batch.random_operands(rng)
+        assert_matches_grouped(report.schedule, batch, ops, workers)
+
+    def test_serial_fallback_below_breakeven(self, small_batch, rng):
+        """A tiny batch stays on the serial grouped path (and says so)."""
+        from repro.telemetry import Tracer, set_tracer
+
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch, "threshold")
+        want = execute_grouped(sched, small_batch, ops)
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+        try:
+            got = execute_procpool(sched, small_batch, ops, workers=2)
+        finally:
+            set_tracer(prev)
+        assert all(np.array_equal(w, g) for w, g in zip(want, got))
+        counters = tracer.metrics.to_dict()["counters"]
+        assert counters.get("procpool.serial_fallbacks", 0) == 1
+
+
+class TestDeterminism:
+    def _digest(self, outs) -> bytes:
+        import hashlib
+
+        h = hashlib.sha256()
+        for o in outs:
+            h.update(o.tobytes())
+        return h.digest()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_reruns_byte_identical(self, small_batch, rng, workers):
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch, "threshold")
+        first = self._digest(
+            execute_procpool(sched, small_batch, ops, workers=workers, min_flops=0)
+        )
+        for _ in range(3):
+            again = self._digest(
+                execute_procpool(
+                    sched, small_batch, ops, workers=workers, min_flops=0
+                )
+            )
+            assert again == first
+
+    def test_worker_counts_agree(self, rng):
+        """The same batch is byte-identical across every pool size."""
+        batch = GemmBatch([Gemm(48, 48, 512), Gemm(33, 47, 21)])
+        ops = batch.random_operands(rng)
+        sched = make_schedule(batch, "threshold")
+        digests = {
+            w: self._digest(
+                execute_procpool(sched, batch, ops, workers=w, min_flops=0)
+            )
+            for w in WORKER_COUNTS
+        }
+        assert len(set(digests.values())) == 1, digests
+
+
+class TestWorkerResolution:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_dedup(self):
+        pp._WARNED_OVERSUBSCRIBED.clear()
+        yield
+        pp._WARNED_OVERSUBSCRIBED.clear()
+
+    def test_explicit_count_honoured(self):
+        assert resolve_procpool_workers(1) == 1
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_procpool_workers(0)
+        with pytest.raises(ValueError, match="workers"):
+            resolve_procpool_workers(-2)
+
+    def test_env_malformed_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCPOOL_WORKERS", "nope")
+        with pytest.raises(ValueError, match="REPRO_PROCPOOL_WORKERS"):
+            resolve_procpool_workers(None)
+        monkeypatch.setenv("REPRO_PROCPOOL_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_PROCPOOL_WORKERS"):
+            resolve_procpool_workers(None)
+        monkeypatch.setenv("REPRO_PROCPOOL_WORKERS", "-3")
+        with pytest.raises(ValueError, match="REPRO_PROCPOOL_WORKERS"):
+            resolve_procpool_workers(None)
+
+    def test_env_clamped_to_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        monkeypatch.setenv("REPRO_PROCPOOL_WORKERS", "8")
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            assert resolve_procpool_workers(None) == 2
+        monkeypatch.setenv("REPRO_PROCPOOL_WORKERS", "2")
+        assert resolve_procpool_workers(None) == 2
+
+    def test_explicit_oversubscription_warns_but_honours(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            assert resolve_procpool_workers(7) == 7
+
+    def test_parallel_env_fallback(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        monkeypatch.delenv("REPRO_PROCPOOL_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "3")
+        assert resolve_procpool_workers(None) == 3
+
+    def test_auto_sizes_to_host(self, monkeypatch):
+        from repro.kernels.parallel import MAX_AUTO_WORKERS
+
+        monkeypatch.delenv("REPRO_PROCPOOL_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert resolve_procpool_workers(None) == min(3, MAX_AUTO_WORKERS)
+
+
+class TestArenaLifecycle:
+    def test_no_leak_after_normal_close(self, small_batch, rng):
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch, "threshold")
+        execute_procpool(sched, small_batch, ops, workers=2, min_flops=0)
+        names = set(live_arena_names())
+        assert names, "execute should have pinned an arena"
+        assert names <= devshm_segments(), "arena not backed by /dev/shm"
+        clear_procpool_runtimes()
+        assert not set(live_arena_names())
+        assert not (names & devshm_segments()), "segments leaked after close"
+
+    def test_arena_reused_across_warm_executions(self, small_batch, rng):
+        """Warm serve: the same (schedule, shapes, workers) key keeps one
+        pinned arena; repeated executes restage bytes, not segments."""
+        ops = small_batch.random_operands(rng)
+        sched = make_schedule(small_batch, "threshold")
+        execute_procpool(sched, small_batch, ops, workers=2, min_flops=0)
+        names = set(live_arena_names())
+        before = pp.procpool_memo_stats().hits
+        for _ in range(3):
+            execute_procpool(sched, small_batch, ops, workers=2, min_flops=0)
+        assert set(live_arena_names()) == names, "warm path rebuilt the arena"
+        assert pp.procpool_memo_stats().hits >= before + 3
+
+    def test_no_leak_after_coordinator_crash(self, tmp_path):
+        """A coordinator dying without cleanup leaves no /dev/shm litter:
+        the stdlib resource tracker (a separate process) unlinks it."""
+        script = tmp_path / "crash.py"
+        script.write_text(
+            "import os, sys\n"
+            "from repro.core.problem import Gemm, GemmBatch\n"
+            "sys.path.insert(0, os.path.dirname(__file__))\n"
+            "from repro.kernels.procpool import procpool_runtime_for, live_arena_names\n"
+            "from tests.kernels.test_parallel import make_schedule\n"
+            "batch = GemmBatch([Gemm(32, 32, 32)])\n"
+            "sched = make_schedule(batch, 'threshold')\n"
+            "procpool_runtime_for(sched, batch, 2)\n"
+            "print(live_arena_names()[0], flush=True)\n"
+            "os._exit(1)  # no atexit, no finalizers -- simulated crash\n"
+        )
+        repo = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src"), str(repo), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        name = proc.stdout.strip().splitlines()[-1]
+        assert name.startswith(ARENA_PREFIX), proc.stderr
+        # The tracker unlinks asynchronously after the crash; give it a
+        # few seconds before declaring a leak.
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            if name not in devshm_segments():
+                return
+            time.sleep(0.2)
+        pytest.fail(f"crashed coordinator leaked {name}")
+
+    def test_no_leak_after_worker_kill(self, rng):
+        """Killing every worker mid-flight breaks the pool; arenas still
+        unlink on close and the next execute gets a fresh generation."""
+        batch = GemmBatch([Gemm(64, 64, 256)])
+        ops = batch.random_operands(rng)
+        sched = make_schedule(batch, "threshold")
+        execute_procpool(sched, batch, ops, workers=2, min_flops=0)  # warm pool
+        pool = shared_procpool(2)
+        gen = pool.generation
+        for pid in list(pool.executor._processes):
+            os.kill(pid, signal.SIGKILL)
+        with pytest.raises(ProcpoolWorkerDied):
+            execute_procpool(sched, batch, ops, workers=2, min_flops=0)
+        status = procpool_status()
+        assert status["restarts"] >= 1
+        # The retired pool is replaced: next execute works on a new
+        # generation (stale-result fencing -- the broken pool's workers
+        # are all dead before it is dropped).
+        want = execute_grouped(sched, batch, ops)
+        got = execute_procpool(sched, batch, ops, workers=2, min_flops=0)
+        assert all(np.array_equal(w, g) for w, g in zip(want, got))
+        assert shared_procpool(2).generation > gen
+        names = set(live_arena_names())
+        clear_procpool_runtimes()
+        assert not (names & devshm_segments()), "segments leaked after kill"
+
+
+class TestFailureContainment:
+    def test_worker_death_participates_in_fallback_chain(self, rng):
+        """A dead pool is an ordinary engine failure: the reliability
+        chain degrades procpool -> compiled and completes the batch."""
+        from repro.reliability import ReliableExecutor, RetryPolicy
+
+        # Big enough to clear MIN_PROCPOOL_FLOPS, so the executor's
+        # procpool attempt really touches the (dead) pool.
+        batch = GemmBatch([Gemm(200, 200, 200), Gemm(180, 160, 220)])
+        ops = batch.random_operands(rng)
+        sched = make_schedule(batch, "threshold")
+        execute_procpool(sched, batch, ops, workers=2, min_flops=0)  # warm pool
+        pool = shared_procpool(2)
+        for pid in list(pool.executor._processes):
+            os.kill(pid, signal.SIGKILL)
+        executor = ReliableExecutor(
+            "procpool", workers=2, retry=RetryPolicy(max_attempts=1)
+        )
+        values, engine_used = executor.execute(sched, batch, ops)
+        assert engine_used == "compiled"
+        assert executor.fallbacks == 1
+        assert executor.breakers["procpool"].snapshot()["failures"] >= 1
+        want = execute_grouped(sched, batch, ops)
+        assert all(np.array_equal(w, g) for w, g in zip(want, values))
+
+    def test_engine_fallback_chain_registered(self):
+        from repro.kernels import ENGINE_FALLBACKS, engine_fallbacks
+
+        assert engine_fallbacks("procpool") == (
+            "procpool",
+            "compiled",
+            "grouped",
+            "reference",
+        )
+        assert ENGINE_FALLBACKS["procpool"][0] == "procpool"
+
+
+class TestRegistryAndPolicy:
+    def test_engine_listed(self):
+        from repro.kernels import ENGINES, WORKER_ENGINES
+
+        assert "procpool" in ENGINES
+        assert "procpool" in WORKER_ENGINES
+
+    def test_capabilities(self):
+        from repro.kernels import get_engine_object
+
+        caps = get_engine_object("procpool").capabilities
+        assert caps.workers
+        assert caps.process_isolation
+        assert caps.picklable_shards
+        assert caps.min_work_flops == pp.MIN_PROCPOOL_FLOPS
+
+    def test_get_engine_identity(self):
+        from repro.kernels import get_engine
+
+        assert get_engine("procpool") is execute_procpool
+        bound = get_engine("procpool", workers=2)
+        assert bound.workers == 2
+
+    def test_policy_accepts_procpool_workers(self):
+        from repro.kernels import ExecutionPolicy
+
+        pol = ExecutionPolicy(engine="procpool", workers=2)
+        assert pol.engine == "procpool" and pol.workers == 2
+
+    def test_legacy_workers_kwarg_accepts_procpool(self, small_batch, rng):
+        from repro.core.framework import CoordinatedFramework
+
+        fw = CoordinatedFramework()
+        ops = small_batch.random_operands(rng)
+        with pytest.warns(DeprecationWarning):
+            got = fw.execute(small_batch, ops, engine="procpool", workers=2)
+        want = execute_grouped(make_schedule(small_batch, "threshold"), small_batch, ops)
+        assert all(np.array_equal(w, g) for w, g in zip(want, got))
+
+    def test_shard_descriptors_pickle(self, small_batch):
+        """Task payloads must cross the process boundary."""
+        sched = make_schedule(small_batch, "threshold")
+        runtime = procpool_runtime_for(sched, small_batch, 2)
+        for task in runtime.product_tasks:
+            assert pickle.loads(pickle.dumps(task)) == task
+        assert pickle.loads(pickle.dumps(small_batch[0])) == small_batch[0]
+
+    def test_serve_config_procpool(self):
+        from repro.kernels import ExecutionPolicy
+        from repro.serve import ServeConfig
+
+        cfg = ServeConfig(policy=ExecutionPolicy(engine="procpool", workers=2))
+        assert cfg.execution_policy().engine == "procpool"
+        with pytest.warns(DeprecationWarning):
+            legacy = ServeConfig(engine="procpool", engine_workers=2)
+        assert legacy.execution_policy().workers == 2
+        with pytest.raises(ValueError, match="engine_workers"):
+            ServeConfig(engine="grouped", engine_workers=2)
+
+    def test_import_independence(self):
+        """procpool must not drag in the reference oracle."""
+        code = (
+            "import sys, repro.kernels.procpool; "
+            "assert 'repro.kernels.persistent' not in sys.modules"
+        )
+        repo = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src"), env.get("PYTHONPATH", "")]
+        )
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+class TestTelemetry:
+    def test_spans_and_gauges(self, rng):
+        from repro.telemetry import Tracer, set_tracer
+
+        batch = GemmBatch([Gemm(48, 48, 256), Gemm(33, 47, 21)])
+        ops = batch.random_operands(rng)
+        sched = make_schedule(batch, "threshold")
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+        try:
+            execute_procpool(sched, batch, ops, workers=2, min_flops=0)
+        finally:
+            set_tracer(prev)
+        names = [s.name for s in tracer.walk()]
+        assert "execute.procpool" in names
+        gauges = tracer.metrics.to_dict()["gauges"]
+        assert gauges["procpool.workers"] == 2
+        assert "procpool.shard_imbalance" in gauges
+        assert "procpool.arena_bytes" in gauges
+        assert "procpool.ipc_us" in gauges
+
+
+class TestServeIntegration:
+    def test_health_reports_pool_liveness(self):
+        from repro.core.framework import CoordinatedFramework
+        from repro.kernels import ExecutionPolicy
+        from repro.serve import GemmServer, ServeConfig
+
+        cfg = ServeConfig(policy=ExecutionPolicy(engine="procpool", workers=2))
+        server = GemmServer(CoordinatedFramework(), cfg)
+        try:
+            health = server.health()
+            assert "procpool" in health["chain"]
+            assert health["procpool"]["alive"] is True
+            assert "restarts" in health["procpool"]
+            assert "live_arenas" in health["procpool"]
+        finally:
+            server.close()
+
+    def test_served_batch_bit_matches_grouped(self, rng):
+        """A served batch through engine='procpool' returns byte-identical
+        values to the grouped engine (serial fallback or not)."""
+        from repro.core.framework import CoordinatedFramework
+        from repro.kernels import ExecutionPolicy
+        from repro.serve import GemmServer, ServeConfig
+        from repro.serve.batcher import BatcherConfig
+
+        a = rng.standard_normal((40, 64))
+        b = rng.standard_normal((64, 24))
+
+        def serve_once(policy):
+            cfg = ServeConfig(
+                policy=policy,
+                batcher=BatcherConfig(max_batch_size=1, max_wait_us=10.0),
+            )
+            with GemmServer(CoordinatedFramework(), cfg) as server:
+                t = server.submit(Gemm(40, 24, 64), operands=(a, b))
+            result = t.result(timeout=30.0)
+            assert result.value is not None
+            return result.value
+
+        grouped = serve_once(ExecutionPolicy(engine="grouped"))
+        procpool = serve_once(ExecutionPolicy(engine="procpool", workers=2))
+        assert np.array_equal(grouped, procpool)

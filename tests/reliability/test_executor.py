@@ -47,9 +47,13 @@ class TestFallbackChain:
         assert engine_fallbacks("parallel") == ("parallel", "grouped", "reference")
         assert engine_fallbacks("grouped") == ("grouped", "reference")
         assert engine_fallbacks("reference") == ("reference",)
+        assert engine_fallbacks("procpool") == (
+            "procpool", "compiled", "grouped", "reference"
+        )
         assert set(ENGINE_FALLBACKS) == {
             "compiled",
             "parallel",
+            "procpool",
             "grouped",
             "reference",
         }
