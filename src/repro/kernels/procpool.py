@@ -56,6 +56,14 @@ cannot leak across the restart because (a) a broken pool's processes
 are all dead before it is retired, and (b) every slab a worker writes
 (accumulators, chunk stacks, outputs) is fully re-staged or re-written
 by the current execute's own futures before the coordinator reads it.
+Aborts that leave workers *alive* (a worker exception, cancellation,
+``KeyboardInterrupt``) drain still-running shard futures before the
+execute re-raises; if a straggler outlasts the bounded drain the
+runtime is discarded and its arena unlinked, so a retry builds a
+fresh segment the straggler cannot touch.  Concurrent executes of the
+same ``(schedule, shapes, workers)`` share one memoized runtime and
+serialize on its lock -- server worker threads racing a hot schedule
+queue up instead of corrupting each other's slabs.
 
 **Arena hygiene.**  Segments are tracked three ways: a
 ``weakref.finalize`` per arena unlinks it when its runtime is dropped
@@ -367,6 +375,12 @@ class ProcpoolRuntime:
     validated here, once -- executes never re-check.  Epilogue *specs*
     are templates; alpha/beta and the C dtype come from the live batch
     at execute time (the plan cache's signature excludes them).
+
+    Because the runtime is shared (the memo hands the same instance to
+    every caller with the same key), ``lock`` serializes executes over
+    it: server worker threads racing the same schedule would otherwise
+    stage, zero and merge into the *same* slabs concurrently and
+    silently corrupt each other's outputs.
     """
 
     batch_token: tuple
@@ -377,6 +391,9 @@ class ProcpoolRuntime:
     product_tasks: tuple[_ProductTask, ...] = field(repr=False)
     epilogue_specs: tuple[_EpilogueSpec, ...] = field(repr=False)
     total_flops: float = 0.0
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def arena_bytes(self) -> int:
@@ -630,6 +647,11 @@ class ProcPool:
 
 
 _PROC_POOLS: dict[int, ProcPool] = {}
+#: Tombstones of retired (broken) pools, keyed by size like the live
+#: registry.  A tombstone stays visible to :func:`procpool_status`
+#: until a fresh generation of that size is created, so health
+#: endpoints can actually observe a dead, not-yet-replaced pool.
+_RETIRED_POOLS: dict[int, ProcPool] = {}
 _POOLS_LOCK = threading.Lock()
 _GENERATIONS = itertools.count(1)
 _RESTARTS = 0
@@ -669,15 +691,23 @@ def shared_procpool(workers: int) -> ProcPool:
         if pool is None:
             pool = ProcPool(_make_executor(workers), workers, next(_GENERATIONS))
             _PROC_POOLS[workers] = pool
+            # A fresh generation supersedes this size's tombstone.
+            _RETIRED_POOLS.pop(workers, None)
         return pool
 
 
 def _retire_pool(pool: ProcPool) -> None:
-    """Drop a broken pool so the next execute gets a fresh generation."""
+    """Drop a broken pool so the next execute gets a fresh generation.
+
+    The pool leaves the live registry but stays visible to
+    :func:`procpool_status` as a tombstone until a new generation of
+    its size replaces it.
+    """
     global _RESTARTS
     with _POOLS_LOCK:
         if _PROC_POOLS.get(pool.workers) is pool:
             del _PROC_POOLS[pool.workers]
+            _RETIRED_POOLS[pool.workers] = pool
             _RESTARTS += 1
         pool.alive = False
     pool.executor.shutdown(wait=False, cancel_futures=True)
@@ -688,6 +718,7 @@ def shutdown_procpools() -> None:
     with _POOLS_LOCK:
         pools = list(_PROC_POOLS.values())
         _PROC_POOLS.clear()
+        _RETIRED_POOLS.clear()
     for pool in pools:
         pool.alive = False
         pool.executor.shutdown(wait=True, cancel_futures=True)
@@ -696,22 +727,36 @@ def shutdown_procpools() -> None:
 def procpool_status() -> dict:
     """Pool liveness for health endpoints (JSON-compatible).
 
-    ``alive`` is False only when pools exist and every one of them is
-    broken; an idle process with no pools yet is healthy.
+    ``alive`` is ``False`` only when pools have existed and every one
+    of them is currently broken -- i.e. at least one retired pool has
+    not yet been replaced by a fresh generation and no live pool
+    exists.  An idle process with no pools yet is healthy.  Retired
+    pools appear in ``pools`` with ``"retired": True`` until their
+    size is recreated.
     """
     with _POOLS_LOCK:
-        pools = [
+        entries = [
             {
                 "workers": p.workers,
                 "generation": p.generation,
                 "alive": p.alive,
+                "retired": False,
             }
             for p in _PROC_POOLS.values()
+        ] + [
+            {
+                "workers": p.workers,
+                "generation": p.generation,
+                "alive": False,
+                "retired": True,
+            }
+            for p in _RETIRED_POOLS.values()
         ]
+        restarts = _RESTARTS
     return {
-        "alive": all(p["alive"] for p in pools) if pools else True,
-        "pools": sorted(pools, key=lambda p: p["workers"]),
-        "restarts": _RESTARTS,
+        "alive": any(p["alive"] for p in entries) if entries else True,
+        "pools": sorted(entries, key=lambda p: (p["workers"], p["generation"])),
+        "restarts": restarts,
         "live_arenas": len(live_arena_names()),
     }
 
@@ -763,8 +808,17 @@ def execute_procpool(
 
 
 def _supported_operands(operands) -> bool:
+    """Whether every operand can round-trip the arena byte views.
+
+    All three matrices are checked: an exotic A or B (complex,
+    float128, object) would make the staging ``np.copyto`` raise under
+    same-kind casting, whereas the grouped engine casts and succeeds --
+    the drop-in contract demands the grouped path handle those too.
+    """
     return all(
-        op[2].dtype.kind in "fiu" and op[2].dtype.itemsize <= 8 for op in operands
+        arr.dtype.kind in "fiu" and arr.dtype.itemsize <= 8
+        for op in operands
+        for arr in op
     )
 
 
@@ -799,6 +853,66 @@ def _execute_procpool(
         return outputs, {"serial": True, "total_flops": total_flops}
 
     runtime = procpool_runtime_for(schedule, batch, workers)
+    # The memo hands the SAME runtime (arena included) to every caller
+    # with this (schedule, shapes, workers) key -- server worker
+    # threads race it.  Hold the runtime lock across the whole
+    # stage -> submit -> merge -> copy-out window so concurrent
+    # executes serialize instead of interleaving writes into the same
+    # slabs.
+    with runtime.lock:
+        return _execute_on_runtime(
+            schedule, batch, operands, runtime, workers, total_flops
+        )
+
+
+#: How long an aborted execute waits for still-running shard futures
+#: to drain before fencing the arena off (seconds).
+_STRAGGLER_DRAIN_S = 30.0
+
+
+def _drain_or_fence(
+    schedule: BatchSchedule,
+    runtime: ProcpoolRuntime,
+    pending: set,
+    timeout: float = _STRAGGLER_DRAIN_S,
+) -> None:
+    """Make the arena safe to reuse after an aborted execute.
+
+    Cancelling only removes *queued* futures; a shard already running
+    in a worker keeps writing its acc/stack slabs.  A retry on the
+    memoized runtime would re-stage those same slabs, and the
+    straggler's late write would corrupt the retry's result.  So:
+    cancel what we can, wait (bounded) for the rest to finish, and if
+    any shard is still running after the timeout -- or the wait itself
+    is interrupted -- discard the runtime from the memo and unlink its
+    arena, so the next execute builds a fresh segment the straggler
+    has never heard of.
+    """
+    for fut in pending:
+        fut.cancel()
+    running = {fut for fut in pending if not fut.cancelled()}
+    if not running:
+        return
+    quiescent = False
+    try:
+        _, stragglers = wait(running, timeout=timeout)
+        quiescent = not stragglers
+    except BaseException:  # e.g. a second KeyboardInterrupt mid-drain
+        pass
+    if not quiescent:
+        _RUNTIME_MEMO.discard(schedule)
+        runtime.arena.close()
+
+
+def _execute_on_runtime(
+    schedule: BatchSchedule,
+    batch: GemmBatch,
+    operands: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    runtime: ProcpoolRuntime,
+    workers: int,
+    total_flops: float,
+) -> tuple[list[np.ndarray], dict]:
+    tracer = get_tracer()
     pool = shared_procpool(workers)
     t_start = time.perf_counter()
 
@@ -928,8 +1042,11 @@ def _execute_procpool(
             f"procpool execute)"
         ) from exc
     except BaseException:
-        for fut in pending:
-            fut.cancel()
+        # Worker exception / cancellation / KeyboardInterrupt: unlike
+        # the broken-pool case the workers are still alive, so drain
+        # (or fence off) their in-flight slab writes before a retry
+        # can restage this arena.
+        _drain_or_fence(schedule, runtime, pending)
         raise
 
     # -- copy outputs out of the arena -------------------------------

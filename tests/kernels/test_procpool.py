@@ -23,7 +23,9 @@ import pickle
 import signal
 import subprocess
 import sys
+import threading
 import time
+from concurrent.futures import Future
 from pathlib import Path
 
 import numpy as np
@@ -155,6 +157,30 @@ class TestBitExactEquivalence:
         ops = batch.random_operands(rng)
         assert_matches_grouped(report.schedule, batch, ops, workers)
 
+    @pytest.mark.parametrize("bad_operand", [0, 1])
+    def test_exotic_ab_dtype_takes_grouped_path(self, rng, bad_operand):
+        """A complex A or B must fall back to serial grouped (and match
+        it), not crash in the arena staging copy -- the C-only dtype
+        gate used to let these through."""
+        from repro.telemetry import Tracer, set_tracer
+
+        batch = GemmBatch([Gemm(64, 64, 64)])
+        a, b, c = batch.random_operands(rng)[0]
+        op = [a, b, c]
+        op[bad_operand] = op[bad_operand].astype(np.complex128)
+        ops = [tuple(op)]
+        sched = make_schedule(batch, "threshold")
+        want = execute_grouped(sched, batch, ops)
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+        try:
+            got = execute_procpool(sched, batch, ops, workers=2, min_flops=0)
+        finally:
+            set_tracer(prev)
+        assert all(np.array_equal(w, g) for w, g in zip(want, got))
+        counters = tracer.metrics.to_dict()["counters"]
+        assert counters.get("procpool.serial_fallbacks", 0) == 1
+
     def test_serial_fallback_below_breakeven(self, small_batch, rng):
         """A tiny batch stays on the serial grouped path (and says so)."""
         from repro.telemetry import Tracer, set_tracer
@@ -209,6 +235,133 @@ class TestDeterminism:
             for w in WORKER_COUNTS
         }
         assert len(set(digests.values())) == 1, digests
+
+
+class TestConcurrency:
+    """Concurrent executes share one memoized runtime (arena included);
+    the runtime lock must serialize them or they corrupt each other."""
+
+    def test_concurrent_executes_bit_exact(self, rng):
+        batch = GemmBatch([Gemm(64, 64, 512), Gemm(48, 48, 256)])
+        sched = make_schedule(batch, "threshold")
+        n_threads, n_iters = 4, 3
+        # Distinct operands per thread: interleaved staging into the
+        # shared slabs would surface as cross-contaminated outputs.
+        per_thread = [batch.random_operands(rng) for _ in range(n_threads)]
+        wants = [execute_grouped(sched, batch, ops) for ops in per_thread]
+        barrier = threading.Barrier(n_threads)
+        failures: list[str] = []
+
+        def run(idx: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(n_iters):
+                    got = execute_procpool(
+                        sched, batch, per_thread[idx], workers=2, min_flops=0
+                    )
+                    for gi, (w, g) in enumerate(zip(wants[idx], got)):
+                        if not np.array_equal(w, g):
+                            failures.append(
+                                f"thread {idx} GEMM {gi}: corrupted output"
+                            )
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(f"thread {idx}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not failures, failures
+
+    def test_runtime_shared_across_threads(self, small_batch, rng):
+        """The race in the test above is real: both threads get the
+        same runtime object, not per-call copies."""
+        sched = make_schedule(small_batch, "threshold")
+        r1 = procpool_runtime_for(sched, small_batch, 2)
+        r2 = procpool_runtime_for(sched, small_batch, 2)
+        assert r1 is r2
+
+    def test_server_concurrent_same_schedule_bit_exact(self, rng):
+        """Two serve pipeline threads executing the same hot schedule
+        concurrently through the procpool engine stay bit-identical to
+        serving the same requests through the grouped engine."""
+        from repro.core.framework import CoordinatedFramework
+        from repro.kernels import ExecutionPolicy
+        from repro.serve import GemmServer, ServeConfig
+        from repro.serve.batcher import BatcherConfig
+
+        # Above MIN_PROCPOOL_FLOPS (2*200^3 = 1.6e7), so the server's
+        # executes take the real process path.
+        requests = [
+            (
+                rng.standard_normal((200, 200)),
+                rng.standard_normal((200, 200)),
+            )
+            for _ in range(6)
+        ]
+
+        def serve_all(policy):
+            cfg = ServeConfig(
+                workers=2,
+                policy=policy,
+                batcher=BatcherConfig(max_batch_size=1, max_wait_us=10.0),
+            )
+            with GemmServer(CoordinatedFramework(), cfg) as server:
+                tickets = [
+                    server.submit(Gemm(200, 200, 200), operands=(a, b))
+                    for a, b in requests
+                ]
+                results = [t.result(timeout=60.0) for t in tickets]
+            assert all(r.value is not None for r in results)
+            return [r.value for r in results]
+
+        grouped = serve_all(ExecutionPolicy(engine="grouped"))
+        procpool = serve_all(ExecutionPolicy(engine="procpool", workers=2))
+        for i, (w, g) in enumerate(zip(grouped, procpool)):
+            assert np.array_equal(w, g), f"request {i} corrupted under concurrency"
+
+
+class TestAbortDrain:
+    """An aborted execute must leave the shared arena quiescent (drain)
+    or unreachable (fence) before a retry can restage it."""
+
+    def test_finished_futures_drain_without_fence(self, small_batch):
+        sched = make_schedule(small_batch, "threshold")
+        runtime = procpool_runtime_for(sched, small_batch, 2)
+        name = runtime.arena.name
+        done: Future = Future()
+        done.set_running_or_notify_cancel()
+        done.set_result((0, 0.0))
+        pp._drain_or_fence(sched, runtime, {done}, timeout=5.0)
+        assert name in live_arena_names(), "quiescent arena was fenced"
+        assert procpool_runtime_for(sched, small_batch, 2) is runtime
+
+    def test_straggler_fences_runtime_and_arena(self, small_batch):
+        sched = make_schedule(small_batch, "threshold")
+        runtime = procpool_runtime_for(sched, small_batch, 2)
+        name = runtime.arena.name
+        straggler: Future = Future()
+        straggler.set_running_or_notify_cancel()  # running: cancel() fails
+        pp._drain_or_fence(sched, runtime, {straggler}, timeout=0.05)
+        assert name not in live_arena_names(), "straggler arena not unlinked"
+        assert name not in devshm_segments()
+        rebuilt = procpool_runtime_for(sched, small_batch, 2)
+        assert rebuilt is not runtime
+        assert rebuilt.arena.name != name
+        rebuilt.arena.close()
+        pp._RUNTIME_MEMO.discard(sched)
+
+    def test_queued_futures_cancel_cleanly(self, small_batch):
+        sched = make_schedule(small_batch, "threshold")
+        runtime = procpool_runtime_for(sched, small_batch, 2)
+        name = runtime.arena.name
+        queued: Future = Future()  # never started: cancellable
+        pp._drain_or_fence(sched, runtime, {queued}, timeout=5.0)
+        assert queued.cancelled()
+        assert name in live_arena_names()
 
 
 class TestWorkerResolution:
@@ -382,6 +535,32 @@ class TestFailureContainment:
         want = execute_grouped(sched, batch, ops)
         assert all(np.array_equal(w, g) for w, g in zip(want, values))
 
+    def test_status_reports_dead_pool_until_replaced(self, rng):
+        """A retired pool stays visible as a tombstone: ``alive`` goes
+        False while the broken generation is unreplaced, then True (and
+        the tombstone clears) after the next successful execute."""
+        pp.shutdown_procpools()
+        batch = GemmBatch([Gemm(64, 64, 256)])
+        ops = batch.random_operands(rng)
+        sched = make_schedule(batch, "threshold")
+        execute_procpool(sched, batch, ops, workers=2, min_flops=0)
+        pool = shared_procpool(2)
+        for pid in list(pool.executor._processes):
+            os.kill(pid, signal.SIGKILL)
+        with pytest.raises(ProcpoolWorkerDied):
+            execute_procpool(sched, batch, ops, workers=2, min_flops=0)
+        status = procpool_status()
+        assert status["alive"] is False, status
+        assert any(
+            p["retired"] and not p["alive"] and p["generation"] == pool.generation
+            for p in status["pools"]
+        ), status
+        # A fresh generation supersedes the tombstone.
+        execute_procpool(sched, batch, ops, workers=2, min_flops=0)
+        status = procpool_status()
+        assert status["alive"] is True, status
+        assert not any(p["retired"] for p in status["pools"]), status
+
     def test_engine_fallback_chain_registered(self):
         from repro.kernels import ENGINE_FALLBACKS, engine_fallbacks
 
@@ -495,6 +674,7 @@ class TestServeIntegration:
         from repro.kernels import ExecutionPolicy
         from repro.serve import GemmServer, ServeConfig
 
+        pp.shutdown_procpools()  # a prior test's tombstone must not leak in
         cfg = ServeConfig(policy=ExecutionPolicy(engine="procpool", workers=2))
         server = GemmServer(CoordinatedFramework(), cfg)
         try:
