@@ -42,6 +42,7 @@ from repro.core import (
     GemmBatch,
     Heuristic,
     PlanOptions,
+    Precision,
     Tile,
     TilingStrategy,
     TilingDecision,
@@ -49,14 +50,22 @@ from repro.core import (
     BatchSchedule,
     BatchingResult,
     HeuristicSelector,
+    default_precision,
+    infer_precision,
     select_tiling,
     batch_tiles,
     build_schedule,
     train_default_selector,
 )
 from repro.gpu import (
+    BackendSpec,
+    CudaBackend,
     DeviceSpec,
+    SramBackend,
+    SystolicBackend,
+    get_backend,
     get_device,
+    list_backends,
     list_devices,
     simulate_kernel,
     occupancy,
@@ -95,6 +104,9 @@ _KERNEL_EXPORTS = (
     "get_engine_object",
     "ENGINES",
     "ExecutionPolicy",
+    "verify_outputs",
+    "VerificationError",
+    "VerificationReport",
 )
 
 
@@ -118,6 +130,9 @@ __all__ = [
     "GemmBatch",
     "Heuristic",
     "PlanOptions",
+    "Precision",
+    "default_precision",
+    "infer_precision",
     "Tile",
     "Tracer",
     "get_tracer",
@@ -134,6 +149,12 @@ __all__ = [
     "batch_tiles",
     "build_schedule",
     "train_default_selector",
+    "BackendSpec",
+    "CudaBackend",
+    "SystolicBackend",
+    "SramBackend",
+    "get_backend",
+    "list_backends",
     "DeviceSpec",
     "get_device",
     "list_devices",
@@ -153,6 +174,9 @@ __all__ = [
     "get_engine_object",
     "ENGINES",
     "ExecutionPolicy",
+    "verify_outputs",
+    "VerificationError",
+    "VerificationReport",
     "simulate_default",
     "simulate_cke",
     "simulate_cublas_batched",

@@ -172,6 +172,7 @@ def replay_cluster_trace(
                 deadline_us=tr.deadline_us,
                 timeout_us=tr.timeout_us,
                 priority=tr.priority,
+                precision=getattr(tr, "precision", None),
             ),
         )
 
@@ -293,7 +294,9 @@ def replay_cluster_trace(
             n_rejected_global += 1
             return
         try:
-            decision = router.route(signature_key(req.gemm), depths())
+            decision = router.route(
+                signature_key(req.gemm, getattr(req, "precision", None)), depths()
+            )
         except LookupError:
             # Every shard is gone; the tier itself refuses the request.
             n_rejected_global += 1

@@ -241,8 +241,13 @@ class ClusterFrontend:
         deadline_us: Optional[float] = None,
         timeout_us: Optional[float] = None,
         priority: int = 0,
+        precision: Optional[str] = None,
     ) -> ServeTicket:
         """Route one GEMM to a shard; never blocks.
+
+        ``precision`` qualifies the routing key (fp16 traffic lands on
+        its own warm shard, never colliding with fp32 of the same
+        shape) and is forwarded to the shard server's ``submit``.
 
         Returns the shard server's ticket, or a pre-resolved rejection
         when the tier refuses the request before routing
@@ -264,7 +269,7 @@ class ClusterFrontend:
             ):
                 self._n_rejected_global += 1
                 return self._settled_ticket(REASON_QUEUE_FULL, now_us)
-            key = signature_key(gemm)
+            key = signature_key(gemm, precision)
             blocked: set[int] = set()
             while True:
                 try:
@@ -286,6 +291,7 @@ class ClusterFrontend:
             deadline_us=deadline_us,
             timeout_us=timeout_us,
             priority=priority,
+            precision=precision,
         )
         with self._watch_lock:
             self._watch.append((shard, ticket))

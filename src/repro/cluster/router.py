@@ -39,19 +39,27 @@ from repro.cluster.hashring import HashRing
 __all__ = ["ShardState", "RouteDecision", "Router", "signature_key"]
 
 
-def signature_key(gemm) -> str:
-    """The routing key of one GEMM: its shape signature.
+def signature_key(gemm, precision=None) -> str:
+    """The routing key of one GEMM: its shape signature, dtype-qualified.
 
-    Everything planning cares about per problem -- ``m x n x k`` and
-    the transpose flags -- and nothing it does not (alpha/beta only
-    touch the epilogue), mirroring
+    Everything planning cares about per problem -- ``m x n x k``, the
+    transpose flags, and (when given) the storage ``precision`` -- and
+    nothing it does not (alpha/beta only touch the epilogue), mirroring
     :func:`repro.core.plancache.batch_signature` at single-GEMM
     granularity so equal-signature requests share a shard and batch
-    into repeating cache keys.
+    into repeating cache keys.  Tiling decisions are dtype-aware
+    (strategy pools and occupancy shift at half-width storage), so an
+    fp16 request must not share a cache key with an fp32 request of
+    the same shape; ``precision=None`` keeps the historical fp32 key
+    unchanged, so existing ring placements are undisturbed.
     """
     key = f"{gemm.m}x{gemm.n}x{gemm.k}"
     if gemm.trans_a or gemm.trans_b:
         key += f"/{'t' if gemm.trans_a else 'n'}{'t' if gemm.trans_b else 'n'}"
+    if precision is not None:
+        from repro.core.precision import Precision
+
+        key += f"@{Precision.coerce(precision).value}"
     return key
 
 

@@ -22,6 +22,13 @@ Layout:
 
 from repro.core.problem import Gemm, GemmBatch, Tile
 from repro.core.options import Heuristic, PlanOptions
+from repro.core.precision import (
+    Precision,
+    default_precision,
+    infer_precision,
+    quantize_operands,
+    quantize_outputs,
+)
 from repro.core.tiling import (
     TilingStrategy,
     SINGLE_GEMM_STRATEGIES,
@@ -58,6 +65,11 @@ __all__ = [
     "Tile",
     "Heuristic",
     "PlanOptions",
+    "Precision",
+    "default_precision",
+    "infer_precision",
+    "quantize_operands",
+    "quantize_outputs",
     "TilingStrategy",
     "SINGLE_GEMM_STRATEGIES",
     "BATCHED_STRATEGIES_128",

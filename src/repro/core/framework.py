@@ -33,6 +33,13 @@ import numpy as np
 
 from repro.core.batching import BatchingResult, batch_tiles
 from repro.core.options import Heuristic, PlanOptions
+from repro.core.precision import (
+    Precision,
+    default_precision,
+    infer_precision,
+    quantize_operands,
+    quantize_outputs,
+)
 from repro.core.problem import GemmBatch
 from repro.core.schedule import BatchSchedule, build_schedule, enumerate_tiles
 from repro.core.selector import HeuristicSelector
@@ -100,24 +107,44 @@ class CoordinatedFramework:
         falls back to ``BEST`` (exhaustive trial) with a warning in the
         report.
     precision:
-        ``"fp32"`` (default) or ``"fp16"`` -- the latter prices the
-        simulated kernels at half the traffic and at Tensor-Core FMA
-        rates where the device has them (the Volta capability the
-        paper's introduction highlights).  Numerical execution is
-        precision-agnostic (operand dtype decides).
+        ``"fp32"``, ``"fp16"`` or ``"bf16"`` -- the *storage*
+        precision: half-width values price the simulated kernels at
+        half the traffic and at Tensor-Core / matrix-unit FMA rates
+        where the device has them, and :meth:`execute` stages operands
+        on the precision's storage grid before the (FP64-accumulating)
+        engines run.  ``None`` (the default) reads ``$REPRO_DTYPE``,
+        falling back to fp32.
+    backend:
+        A :class:`~repro.gpu.backends.BackendSpec` (or a spelling
+        accepted by :func:`~repro.gpu.backends.get_backend`) supplying
+        the per-precision tiling-strategy candidate pools and the
+        device model.  ``None`` wraps ``device`` in a
+        :class:`~repro.gpu.backends.CudaBackend` -- the paper's
+        configuration, planning-identical to the pre-backend code.
+        When a backend is given its ``device`` takes over as the
+        simulation target.
     """
 
     def __init__(
         self,
         device: DeviceSpec = VOLTA_V100,
         selector: Optional[HeuristicSelector] = None,
-        precision: str = "fp32",
+        precision: Optional[str] = None,
+        backend=None,
     ):
-        if precision not in ("fp32", "fp16"):
-            raise ValueError(f"precision must be 'fp32' or 'fp16', got {precision!r}")
-        self.device = device
+        from repro.gpu.backends import CudaBackend, get_backend
+
+        prec = (
+            default_precision() if precision is None else Precision.coerce(precision)
+        )
+        if backend is None:
+            self.backend = CudaBackend(device)
+            self.device = device
+        else:
+            self.backend = get_backend(backend)
+            self.device = self.backend.device
         self.selector = selector
-        self.precision = precision
+        self.precision = prec.value
 
     # -- options -----------------------------------------------------
 
@@ -142,7 +169,16 @@ class CoordinatedFramework:
             theta=self.device.batching_theta,
             tlp_threshold=self.device.tlp_threshold,
             precision=self.precision,
+            backend=self.backend.name,
         )
+
+    def _backend_of(self, opts: PlanOptions):
+        """The backend a resolved options value plans against."""
+        if opts.backend is None or opts.backend == self.backend.name:
+            return self.backend
+        from repro.gpu.backends import get_backend
+
+        return get_backend(opts.backend)
 
     # -- planning ----------------------------------------------------
 
@@ -177,7 +213,12 @@ class CoordinatedFramework:
 
     def _plan_resolved(self, batch: GemmBatch, opts: PlanOptions) -> PlanReport:
         tracer = get_tracer()
-        decision = select_tiling(batch, tlp_threshold=opts.tlp_threshold)
+        decision = select_tiling(
+            batch,
+            tlp_threshold=opts.tlp_threshold,
+            backend=self._backend_of(opts),
+            precision=opts.precision,
+        )
         tiles = enumerate_tiles(batch, decision)
         tracer.counter("tiles_enumerated", len(tiles))
 
@@ -316,10 +357,12 @@ class CoordinatedFramework:
         :class:`SimulationResult` carries the ``simulate`` span (with
         the kernel-level child span) in its ``trace`` field.
         """
-        precision = self._plan_precision(report)
-        compulsory = float(report.batch.compulsory_ab_bytes)
-        if precision == "fp16":
-            compulsory /= 2.0
+        precision = Precision.coerce(self._plan_precision(report))
+        # compulsory_ab_bytes is stated at fp32 width; rescale to the
+        # storage precision (half the unique footprint at fp16/bf16).
+        compulsory = (
+            float(report.batch.compulsory_ab_bytes) * precision.storage_bytes / 4.0
+        )
         tracer = get_tracer()
         with tracer.span(
             "simulate",
@@ -395,6 +438,19 @@ class CoordinatedFramework:
         ``policy.workers`` defaults from ``options.workers`` for the
         parallel engine.
 
+        Mixed precision is executed for real: under a reduced
+        precision (resolved from explicit options, then
+        ``policy.precision``, then the operand dtype -- ``float16``
+        operands imply fp16 -- then the framework default) operands
+        are staged on the storage grid before the FP64-accumulating
+        engines run, and bf16 outputs are re-quantized to the bf16
+        grid.  The fp32 path passes operands through untouched and
+        stays bit-exact.  ``policy.verify`` runs the
+        :mod:`repro.kernels.verify` tolerance check on the outputs
+        (bit-exact for fp32, per-dtype ``atol``/``rtol`` otherwise)
+        and raises :class:`~repro.kernels.verify.VerificationError`
+        on failure.
+
         The pre-policy keyword spellings (``engine=``, ``workers=``,
         ``fallback=``, ``injector=``, ``retry=``) still work but are
         deprecated; they coerce into a policy behind a
@@ -412,13 +468,15 @@ class CoordinatedFramework:
             injector=injector,
             where="CoordinatedFramework.execute",
         )
-        opts = self.resolve_options(heuristic, options)
+        opts = self._execution_options(heuristic, options, operands, pol)
         if pol.workers is None:
             from repro.kernels import engine_accepts_workers
 
             if engine_accepts_workers(pol.engine):
                 pol = pol.with_workers(opts.workers)
         report = self.plan(batch, options=opts)
+        prec = Precision.coerce(opts.precision)
+        staged = quantize_operands(operands, prec) if prec.is_reduced else operands
         tracer = get_tracer()
         if pol.reliable:
             from repro.reliability import ReliableExecutor
@@ -426,19 +484,57 @@ class CoordinatedFramework:
             executor = ReliableExecutor.from_policy(pol)
             with tracer.span("execute", gemms=len(batch), engine=pol.engine) as span:
                 values, engine_used = executor.execute(
-                    report.schedule, batch, operands
+                    report.schedule, batch, staged
                 )
                 tracer.counter("execute.retries", executor.retries)
                 tracer.counter("execute.fallbacks", executor.fallbacks)
                 if span.enabled:
                     span.set_attr("engine_used", engine_used)
                     span.set_attr("fallbacks", executor.fallbacks)
-            return values
-        from repro.kernels import engine_accepts_workers
+        else:
+            from repro.kernels import engine_accepts_workers
 
-        run = get_engine(
-            pol.engine,
-            workers=pol.workers if engine_accepts_workers(pol.engine) else None,
-        )
-        with tracer.span("execute", gemms=len(batch), engine=pol.engine):
-            return run(report.schedule, batch, operands)
+            run = get_engine(
+                pol.engine,
+                workers=pol.workers if engine_accepts_workers(pol.engine) else None,
+            )
+            with tracer.span("execute", gemms=len(batch), engine=pol.engine):
+                values = run(report.schedule, batch, staged)
+        values = quantize_outputs(values, prec)
+        if getattr(pol, "verify", False):
+            from repro.kernels.verify import verify_outputs
+
+            verify_outputs(
+                batch,
+                staged,
+                values,
+                prec,
+                schedule=report.schedule,
+                raise_on_failure=True,
+            )
+        return values
+
+    def _execution_options(
+        self, heuristic, options, operands, pol
+    ) -> PlanOptions:
+        """Resolve planning options for an execution, dtype-qualified.
+
+        An explicitly pinned ``options.precision`` wins; otherwise the
+        policy's precision, then the operands' storage dtype
+        (``float16`` operands imply fp16 -- the qualification that
+        keeps an fp16 submission from reusing a cached fp32 plan),
+        then the framework default.
+        """
+        pinned = None
+        for spec in (options, heuristic):
+            if isinstance(spec, PlanOptions) and spec.precision is not None:
+                pinned = spec.precision
+                break
+        opts = self.resolve_options(heuristic, options)
+        if pinned is None:
+            choice = getattr(pol, "precision", None) or infer_precision(operands)
+            if choice is not None:
+                value = Precision.coerce(choice).value
+                if value != opts.precision:
+                    opts = replace(opts, precision=value)
+        return opts

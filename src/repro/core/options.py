@@ -22,8 +22,11 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Optional, Union
 
-#: Precisions the device cost model prices.
-PRECISIONS = ("fp32", "fp16")
+from repro.core.precision import Precision
+
+#: Precisions the device cost model prices (storage dtypes; see
+#: :class:`repro.core.precision.Precision`).
+PRECISIONS = tuple(p.value for p in Precision)
 
 
 class Heuristic(enum.Enum):
@@ -107,8 +110,18 @@ class PlanOptions:
         The tiling engine's Eq. 1 threshold; ``None`` means the
         device's calibrated ``tlp_threshold``.
     precision:
-        ``"fp32"`` or ``"fp16"`` for the cost model; ``None`` means the
+        ``"fp32"``, ``"fp16"`` or ``"bf16"`` -- the *storage* precision
+        plans are costed (and operands staged) at; ``None`` means the
         framework's configured precision.
+    backend:
+        A backend spelling accepted by
+        :func:`repro.gpu.backends.get_backend` (``"cuda:v100"``,
+        ``"systolic"``, ``"sram"``, ...) or a
+        :class:`~repro.gpu.backends.BackendSpec`, normalized to the
+        backend's canonical name; ``None`` means the framework's
+        configured backend.  A planning knob: different backends admit
+        different strategy pools, so it participates in
+        :meth:`cache_key`.
     workers:
         Thread-pool size for the ``parallel`` execution engine;
         ``None`` defers to the engine's host-sized default.  An
@@ -128,6 +141,7 @@ class PlanOptions:
     theta: Optional[int] = None
     tlp_threshold: Optional[int] = None
     precision: Optional[str] = None
+    backend: Optional[str] = None
     workers: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -140,10 +154,32 @@ class PlanOptions:
             raise ValueError(
                 f"tlp_threshold must be positive, got {self.tlp_threshold}"
             )
-        if self.precision is not None and self.precision not in PRECISIONS:
-            raise ValueError(
-                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+        if self.precision is not None:
+            if self.precision not in PRECISIONS:
+                raise ValueError(
+                    f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+                )
+            object.__setattr__(
+                self, "precision", Precision.coerce(self.precision).value
             )
+        if self.backend is not None:
+            # Normalize any accepted spelling (or a BackendSpec) to the
+            # canonical name so equal backends produce equal cache keys.
+            from repro.gpu.backends import get_backend
+
+            try:
+                object.__setattr__(
+                    self, "backend", get_backend(self.backend).name
+                )
+            except KeyError:
+                # A "cuda:<device>" name whose device is not in the
+                # registry: custom DeviceSpecs (deserialized or built in
+                # code) are legal framework devices, and the framework
+                # stamps their canonical backend name into resolved
+                # options.  Keep the spelling; resolution against the
+                # framework's own backend happens by name equality.
+                if not str(self.backend).startswith("cuda:"):
+                    raise
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
 
@@ -168,9 +204,18 @@ class PlanOptions:
         return cls(heuristic=Heuristic.coerce(value, warn=warn_on_str))
 
     def resolved(
-        self, theta: int, tlp_threshold: int, precision: str
+        self,
+        theta: int,
+        tlp_threshold: int,
+        precision: str,
+        backend: Optional[str] = None,
     ) -> "PlanOptions":
-        """Fill every ``None`` field from the given defaults."""
+        """Fill every ``None`` field from the given defaults.
+
+        ``backend=None`` (the historical three-argument call) leaves
+        the backend field as-is; the framework always passes its
+        configured backend's canonical name.
+        """
         return replace(
             self,
             theta=self.theta if self.theta is not None else theta,
@@ -180,6 +225,7 @@ class PlanOptions:
                 else tlp_threshold
             ),
             precision=self.precision if self.precision is not None else precision,
+            backend=self.backend if self.backend is not None else backend,
         )
 
     @property
@@ -204,6 +250,7 @@ class PlanOptions:
             self.theta,
             self.tlp_threshold,
             self.precision,
+            self.backend,
         )
 
     def to_dict(self) -> dict:
@@ -213,5 +260,6 @@ class PlanOptions:
             "theta": self.theta,
             "tlp_threshold": self.tlp_threshold,
             "precision": self.precision,
+            "backend": self.backend,
             "workers": self.workers,
         }

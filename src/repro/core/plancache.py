@@ -377,12 +377,26 @@ class PlanCache:
         injector) runs through
         :class:`~repro.reliability.ReliableExecutor`.
 
+        The cache lookup is **dtype-qualified**: when neither the
+        options nor the policy pin a precision, the operands' storage
+        dtype decides (``float16`` operands imply fp16), so an fp16
+        submission can never hit -- let alone execute through -- a
+        cached fp32 plan.  Under a reduced precision the operands are
+        staged on the storage grid before the engines run and bf16
+        outputs are re-quantized; ``policy.verify`` runs the
+        :mod:`repro.kernels.verify` contract on the outputs.
+
         The pre-policy ``engine=`` / ``workers=`` spellings still work
         behind a ``DeprecationWarning``; ``workers`` sizes the
         parallel engine's pool (``None`` falls back to
         ``options.workers``, then the host default) and is rejected
         for other engines.
         """
+        from repro.core.precision import (
+            Precision,
+            quantize_operands,
+            quantize_outputs,
+        )
         from repro.kernels import coerce_policy, get_engine
 
         pol = coerce_policy(
@@ -396,27 +410,43 @@ class PlanCache:
 
             if engine_accepts_workers(pol.engine):
                 pol = pol.with_workers(options.workers)
-        entry, _ = self._entry_with_info(batch, heuristic, options=options)
+        opts = self.framework._execution_options(heuristic, options, operands, pol)
+        entry, _ = self._entry_with_info(batch, options=opts)
         schedule = entry.report.schedule
+        prec = Precision.coerce(opts.precision)
+        staged = quantize_operands(operands, prec) if prec.is_reduced else operands
         if pol.reliable:
             from repro.reliability import ReliableExecutor
 
             values, _ = ReliableExecutor.from_policy(pol).execute(
-                schedule, batch, operands
+                schedule, batch, staged
             )
-            return values
-        if pol.engine == "compiled":
+        elif pol.engine == "compiled":
             from repro.kernels.compiled import execute_compiled
 
             artifact = self._compiled_artifact(entry, batch)
-            return execute_compiled(schedule, batch, operands, plan=artifact)
-        from repro.kernels import engine_accepts_workers
+            values = execute_compiled(schedule, batch, staged, plan=artifact)
+        else:
+            from repro.kernels import engine_accepts_workers
 
-        run = get_engine(
-            pol.engine,
-            workers=pol.workers if engine_accepts_workers(pol.engine) else None,
-        )
-        return run(schedule, batch, operands)
+            run = get_engine(
+                pol.engine,
+                workers=pol.workers if engine_accepts_workers(pol.engine) else None,
+            )
+            values = run(schedule, batch, staged)
+        values = quantize_outputs(values, prec)
+        if getattr(pol, "verify", False):
+            from repro.kernels.verify import verify_outputs
+
+            verify_outputs(
+                batch,
+                staged,
+                values,
+                prec,
+                schedule=schedule,
+                raise_on_failure=True,
+            )
+        return values
 
     def clear(self) -> None:
         """Drop every cached plan (statistics are kept)."""

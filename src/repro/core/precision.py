@@ -1,0 +1,210 @@
+"""Storage precisions: the :class:`Precision` enum and its numerics.
+
+The paper's framework prices FP16 kernels at Tensor-Core rates; this
+module is where the *rest* of the stack learns what a precision means:
+
+* **storage** -- how many bytes one matrix element occupies in DRAM,
+  shared memory, and the staging tiles (``storage_bytes``), and which
+  NumPy dtype carries it on the host (``storage_dtype``).  ``bf16``
+  has no native NumPy dtype, so it travels in a ``float32`` container
+  whose mantissa is truncated to bfloat16's 8 bits (round-to-nearest
+  even) -- the standard software emulation.
+* **accumulation** -- always at least FP32 (the engines accumulate in
+  FP64 on the host, mirroring the FP32-accumulate contract of
+  Tensor-Core / matrix-unit hardware), so only *storage* varies per
+  precision.
+* **verification** -- per-precision ``atol``/``rtol`` bounds for the
+  tolerance-verified mixed-precision path
+  (:mod:`repro.kernels.verify`).  FP32 carries zero tolerance: its
+  contract is bit-exactness against the reference engine.
+
+Every public surface that accepts a precision goes through
+:meth:`Precision.coerce`, which raises on unknown spellings -- the
+old ``element_bytes`` behaviour of silently pricing any non-``fp16``
+string as FP32 is exactly the bug this enum removes.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "Precision",
+    "PrecisionLike",
+    "default_precision",
+    "infer_precision",
+    "quantize_operands",
+    "quantize_outputs",
+]
+
+#: Environment variable selecting the framework-wide default precision.
+PRECISION_ENV_VAR = "REPRO_DTYPE"
+
+
+class Precision(str, enum.Enum):
+    """A storage precision: ``fp32``, ``fp16``, or ``bf16``.
+
+    A ``str`` subclass so existing string-typed plumbing (cache keys,
+    JSON reports, ``PlanOptions.precision``) keeps working unchanged:
+    ``Precision.FP16 == "fp16"`` is true, and a member serializes as
+    its value.
+    """
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+
+    def __str__(self) -> str:  # str(Precision.FP16) == "fp16", not the repr
+        return self.value
+
+    @classmethod
+    def coerce(cls, value: "PrecisionLike") -> "Precision":
+        """Accept a member or its string value; raise on anything else.
+
+        Unknown spellings (``"fp8"``, typos like ``"pf16"``) raise
+        :class:`ValueError` instead of silently pricing as FP32.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.strip().lower())
+            except ValueError:
+                known = ", ".join(m.value for m in cls)
+                raise ValueError(
+                    f"unknown precision {value!r}; known: {known}"
+                ) from None
+        raise TypeError(
+            f"precision must be a Precision or str, got {type(value).__name__}"
+        )
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes per matrix element in DRAM / shared-memory staging."""
+        return 4 if self is Precision.FP32 else 2
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """The NumPy dtype operands travel in on the host.
+
+        bf16 has no native NumPy dtype; it rides in a float32
+        container restricted to the bfloat16 grid (see
+        :meth:`quantize`).
+        """
+        if self is Precision.FP16:
+            return np.dtype(np.float16)
+        return np.dtype(np.float32)
+
+    @property
+    def is_reduced(self) -> bool:
+        """True for the half-width precisions (fp16/bf16)."""
+        return self is not Precision.FP32
+
+    @property
+    def tolerance(self) -> tuple[float, float]:
+        """``(atol, rtol)`` for tolerance-bounded verification.
+
+        FP32 is ``(0, 0)``: its contract is bit-exactness.  The
+        half-width bounds budget one rounding step per stored element
+        (~2^-10 relative for fp16's 10-bit mantissa, ~2^-7 for bf16's
+        8-bit one) times a modest accumulation-depth factor -- the
+        engines accumulate in FP64, so error enters only through
+        operand storage and the final store.
+        """
+        if self is Precision.FP16:
+            return (1e-2, 2e-3)
+        if self is Precision.BF16:
+            return (8e-2, 1.6e-2)
+        return (0.0, 0.0)
+
+    def quantize(self, array: np.ndarray) -> np.ndarray:
+        """Round ``array`` onto this precision's storage grid.
+
+        * fp32 -- cast to float32 (identity for float32 input).
+        * fp16 -- cast to NumPy's native float16.
+        * bf16 -- float32 container with the mantissa rounded to 8
+          bits (round-to-nearest-even via the add-0x7FFF+lsb integer
+          trick), i.e. exactly the values a bfloat16 tensor can hold.
+        """
+        if self is Precision.FP16:
+            return np.ascontiguousarray(array, dtype=np.float16)
+        out = np.ascontiguousarray(array, dtype=np.float32)
+        if self is Precision.FP32:
+            return out
+        bits = out.view(np.uint32)
+        lsb = (bits >> np.uint32(16)) & np.uint32(1)
+        rounded = (bits + np.uint32(0x7FFF) + lsb) & np.uint32(0xFFFF0000)
+        return rounded.view(np.float32)
+
+
+#: What precision-accepting surfaces take.
+PrecisionLike = Union[Precision, str]
+
+
+def default_precision() -> Precision:
+    """The framework default: ``$REPRO_DTYPE`` if set, else fp32.
+
+    An invalid value in the environment raises loudly (a smoke run
+    under ``REPRO_DTYPE=pf16`` must not silently test fp32).
+    """
+    value = os.environ.get(PRECISION_ENV_VAR)
+    if not value:
+        return Precision.FP32
+    return Precision.coerce(value)
+
+
+def infer_precision(
+    operands: Iterable[Sequence[np.ndarray]],
+) -> Optional[Precision]:
+    """The storage precision a set of ``(A, B, C)`` operands implies.
+
+    ``float16`` operands imply fp16 -- the dtype-qualification hook
+    that keeps an fp16 submission from hitting a cached fp32 plan.
+    ``float32``/``float64`` (and non-float) operands imply nothing
+    (``None``): bf16 rides in a float32 container and cannot be
+    distinguished from fp32 by dtype alone, so it must be requested
+    explicitly via options.
+    """
+    for triple in operands:
+        for arr in triple:
+            dtype = getattr(arr, "dtype", None)
+            if dtype is not None and dtype == np.float16:
+                return Precision.FP16
+        break  # homogeneous batches: the first GEMM's dtype decides
+    return None
+
+
+def quantize_operands(operands, precision: PrecisionLike):
+    """Stage every ``(A, B, C)`` triple at the precision's storage grid.
+
+    This is the "low-precision staging" half of real mixed-precision
+    execution: operands are rounded to what the device would actually
+    hold in DRAM before the (FP64-accumulating) engines consume them.
+    Returns new arrays; inputs are never modified.  FP32 input already
+    in float32 passes through unchanged (no copy, bit-exact path).
+    """
+    prec = Precision.coerce(precision)
+    if prec is Precision.FP32:
+        return [
+            tuple(np.ascontiguousarray(x, dtype=np.float32) for x in triple)
+            for triple in operands
+        ]
+    return [tuple(prec.quantize(x) for x in triple) for triple in operands]
+
+
+def quantize_outputs(outputs, precision: PrecisionLike):
+    """Round engine outputs onto the precision's storage grid.
+
+    The engines cast their FP64 accumulators to the C operand's dtype;
+    for fp16 that already lands on the half grid, but bf16's float32
+    container needs an explicit re-quantization so the stored result is
+    a value bfloat16 hardware could have written.
+    """
+    prec = Precision.coerce(precision)
+    if prec is not Precision.BF16:
+        return outputs
+    return [prec.quantize(out) for out in outputs]

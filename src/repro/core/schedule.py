@@ -157,8 +157,16 @@ class BatchSchedule:
         Every tile runs with the full unified thread count (the unified
         thread structure leaves no idle threads); the block footprint is
         the schedule's fused-kernel footprint.  ``precision`` prices the
-        kernel at FP32 (default) or FP16/Tensor-Core rates.
+        kernel at FP32 (default) or half-width/Tensor-Core rates; the
+        serialized footprint is stated at fp32 width, so the fused
+        shared-memory allocation is rescaled to the storage width here
+        (staging tiles are linear in element bytes) -- halving the
+        footprint is what lets occupancy admit more fp16/bf16 blocks.
         """
+        from repro.core.precision import Precision
+
+        prec = Precision.coerce(precision)
+        smem = self.shared_memory_bytes * prec.storage_bytes // 4
         works = []
         for b in range(self.num_blocks):
             tiles = []
@@ -171,14 +179,14 @@ class BatchSchedule:
                         strategy=strat,
                         k=self._tile_k(slot),
                         active_threads=self.threads_per_block,
-                        precision=precision,
+                        precision=prec,
                     )
                 )
             works.append(
                 BlockWork(
                     threads=self.threads_per_block,
                     registers_per_thread=self.registers_per_thread,
-                    shared_memory_bytes=self.shared_memory_bytes,
+                    shared_memory_bytes=smem,
                     tiles=tuple(tiles),
                 )
             )

@@ -89,10 +89,22 @@ class TilingStrategy:
         rows, cols = self.tiles_for(gemm)
         return rows * cols
 
+    def smem_footprint(self, element_bytes: int) -> int:
+        """Double-buffered A and B staging tiles at one element width.
+
+        ``element_bytes`` is the *storage* width of the precision the
+        tiles are staged in (4 for fp32, 2 for fp16/bf16 -- see
+        :class:`repro.core.precision.Precision`); accumulation width
+        does not appear here because accumulators live in registers.
+        """
+        if element_bytes <= 0:
+            raise ValueError(f"element_bytes must be positive, got {element_bytes}")
+        return 2 * (self.by * self.bk + self.bk * self.bx) * element_bytes
+
     @property
     def shared_memory_bytes(self) -> int:
         """Double-buffered A and B staging tiles (FP32), as in Figure 2."""
-        return 2 * (self.by * self.bk + self.bk * self.bx) * 4
+        return self.smem_footprint(4)
 
     @property
     def registers_per_thread(self) -> int:
@@ -225,7 +237,13 @@ class TilingDecision:
         return self.strategies[gemm_index]
 
 
-def select_tiling(batch: GemmBatch, tlp_threshold: int = 65536) -> TilingDecision:
+def select_tiling(
+    batch: GemmBatch,
+    tlp_threshold: int = 65536,
+    *,
+    backend=None,
+    precision=None,
+) -> TilingDecision:
     """The tiling-strategy selection algorithm of Section 4.2.3.
 
     Step 1: per-GEMM priority queues of available strategies
@@ -235,14 +253,31 @@ def select_tiling(batch: GemmBatch, tlp_threshold: int = 65536) -> TilingDecisio
     threshold, repeat step 2 with larger strategies; when every queue is
     exhausted, switch to the 128-thread pool.  The first selection whose
     TLP does not exceed the threshold is final.
+
+    ``backend`` -- an optional
+    :class:`~repro.gpu.backends.BackendSpec` -- replaces the two
+    Table-2 pools with the backend's per-precision candidate pools
+    (``backend.strategy_pools(precision)``): the same algorithm, run
+    over what the target hardware actually admits for that storage
+    dtype.  ``None`` (the default) keeps the published V100 tables,
+    bit-identical to the pre-backend behaviour; ``precision`` without
+    a backend is accepted and has no effect on selection (the CUDA
+    pools are precision-independent).
     """
     if tlp_threshold <= 0:
         raise ValueError(f"tlp_threshold must be positive, got {tlp_threshold}")
 
+    pools = (BATCHED_STRATEGIES_256, BATCHED_STRATEGIES_128)
+    if backend is not None:
+        from repro.core.precision import Precision
+
+        prec = Precision.coerce(precision) if precision is not None else Precision.FP32
+        pools = backend.strategy_pools(prec)
+
     with get_tracer().span(
         "tiling.select", gemms=len(batch), tlp_threshold=tlp_threshold
     ) as _span:
-        decision = _select_tiling(batch, tlp_threshold)
+        decision = _select_tiling(batch, tlp_threshold, pools)
         if _span.enabled:
             _span.set_attr("tlp", decision.tlp)
             _span.set_attr("threads", decision.threads)
@@ -250,8 +285,16 @@ def select_tiling(batch: GemmBatch, tlp_threshold: int = 65536) -> TilingDecisio
     return decision
 
 
-def _select_tiling(batch: GemmBatch, tlp_threshold: int) -> TilingDecision:
-    queues = [available_strategies(g, BATCHED_STRATEGIES_256) for g in batch]
+def _select_tiling(
+    batch: GemmBatch,
+    tlp_threshold: int,
+    pools: tuple[Sequence[TilingStrategy], Sequence[TilingStrategy]] = (
+        BATCHED_STRATEGIES_256,
+        BATCHED_STRATEGIES_128,
+    ),
+) -> TilingDecision:
+    pool_256, pool_128 = pools
+    queues = [available_strategies(g, pool_256) for g in batch]
     cursors = [0] * len(batch)
     trace: list[tuple[tuple[str, ...], int]] = []
 
@@ -279,7 +322,7 @@ def _select_tiling(batch: GemmBatch, tlp_threshold: int) -> TilingDecision:
             # ILP) and repeat step 2 -- pop from the fresh queues,
             # smallest first, advancing as before.
             threads = 128
-            queues = [available_strategies(g, BATCHED_STRATEGIES_128) for g in batch]
+            queues = [available_strategies(g, pool_128) for g in batch]
             cursors = [0] * len(batch)
             continue
         break

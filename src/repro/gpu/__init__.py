@@ -29,6 +29,14 @@ from repro.gpu.specs import (
     MAXWELL_M60,
     MAXWELL_TITANX,
 )
+from repro.gpu.backends import (
+    BackendSpec,
+    CudaBackend,
+    SramBackend,
+    SystolicBackend,
+    get_backend,
+    list_backends,
+)
 from repro.gpu.occupancy import OccupancyResult, occupancy
 from repro.gpu.costmodel import BlockWork, SmContext, TileWork, block_cycles
 from repro.gpu.simulator import (
@@ -50,6 +58,12 @@ __all__ = [
     "PASCAL_TITANXP",
     "MAXWELL_M60",
     "MAXWELL_TITANX",
+    "BackendSpec",
+    "CudaBackend",
+    "SystolicBackend",
+    "SramBackend",
+    "get_backend",
+    "list_backends",
     "OccupancyResult",
     "occupancy",
     "BlockWork",

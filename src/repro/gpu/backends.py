@@ -1,0 +1,381 @@
+"""Pluggable backend specifications: which strategies a target admits.
+
+The paper's framework is V100-shaped: the twelve Table-2 strategies
+are always all candidates, and the only hardware knob is the
+:class:`~repro.gpu.specs.DeviceSpec` the cost model prices against.
+A :class:`BackendSpec` generalizes the *admission* side: each backend
+decides, per (strategy, precision), which of the twelve batched
+strategies its hardware can profitably run, and hands the §4 selection
+algorithm a filtered candidate pool.  Three models ship:
+
+* :class:`CudaBackend` -- the paper's six NVIDIA devices.  Every
+  Table-2 strategy is admissible at every precision (48 KB+ shared
+  memory swallows the largest staging tiles at any width), so the
+  candidate pools are exactly the published tables and fp32-V100
+  planning is bit-identical to the backend-less path.
+* :class:`SystolicBackend` -- a TPU-style matrix unit.  A tile maps
+  onto an ``array_rows x array_cols`` systolic array in passes;
+  utilization is the fraction of PE-cycles doing useful work, which
+  collapses for tiles much smaller than the array (a 16x16 tile on a
+  128x128 array lights up 1.6% of the PEs).  Strategies below
+  ``min_utilization`` are filtered out of the candidate pools.
+* :class:`SramBackend` -- a CK-tile-like accelerator with an explicit
+  per-block SRAM budget shared by the double-buffered A/B staging
+  tiles (at *storage* width) and the FP32 accumulator tile.  Admission
+  is dtype-aware: halving the storage width admits strategies whose
+  fp32 staging would blow the budget -- the concrete case where
+  precision changes the tiling decision.
+
+Backends are orthogonal to precision: ``strategy_pools(precision)``
+is the per-(backend, dtype) candidate set the tiling engine consumes
+(:func:`repro.core.tiling.select_tiling`), and ``device`` is the
+:class:`DeviceSpec` the cycle model prices blocks against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.precision import Precision, PrecisionLike
+from repro.core.tiling import (
+    BATCHED_STRATEGIES_128,
+    BATCHED_STRATEGIES_256,
+    TilingStrategy,
+)
+from repro.gpu.specs import DeviceSpec, VOLTA_V100, get_device
+
+__all__ = [
+    "BackendSpec",
+    "CudaBackend",
+    "SystolicBackend",
+    "SramBackend",
+    "get_backend",
+    "list_backends",
+]
+
+#: The two thread-pool variants every backend filters.
+_BASE_POOLS = (BATCHED_STRATEGIES_256, BATCHED_STRATEGIES_128)
+
+
+@runtime_checkable
+class BackendSpec(Protocol):
+    """What the tiling engine needs to know about a target.
+
+    ``name`` identifies the backend in cache keys and reports;
+    ``device`` is the :class:`DeviceSpec` the cycle cost model prices
+    against; ``strategy_pools(precision)`` returns the ``(256-thread,
+    128-thread)`` candidate pools -- each a filtered, same-ordered
+    subset of the Table-2 pools -- for one storage precision;
+    ``admits(strategy, precision)`` is the underlying per-strategy
+    predicate.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def device(self) -> DeviceSpec: ...
+
+    def admits(self, strategy: TilingStrategy, precision: PrecisionLike) -> bool:
+        """Whether the target can run ``strategy`` at ``precision``."""
+        ...
+
+    def strategy_pools(
+        self, precision: PrecisionLike
+    ) -> tuple[tuple[TilingStrategy, ...], tuple[TilingStrategy, ...]]:
+        """The filtered ``(256-thread, 128-thread)`` candidate pools."""
+        ...
+
+
+def _filtered_pools(
+    backend: "BackendSpec", precision: Precision
+) -> tuple[tuple[TilingStrategy, ...], tuple[TilingStrategy, ...]]:
+    """Apply a backend's admission predicate to both Table-2 pools.
+
+    A pool never filters down to nothing: the framework guarantee that
+    every GEMM has at least one candidate survives any backend, so an
+    over-restrictive model degrades plan quality, not planability.
+    The fallback is the admissible-on-no-count strategy closest to
+    admission (largest utilization / smallest footprint is equivalent
+    to "first by the backend's own preference"), here simply the
+    smallest tile -- matching :func:`available_strategies`' fallback.
+    """
+    pools = []
+    for base in _BASE_POOLS:
+        kept = tuple(s for s in base if backend.admits(s, precision))
+        if not kept:
+            kept = (min(base, key=lambda s: s.tile_elems),)
+        pools.append(kept)
+    return tuple(pools)
+
+
+@dataclass(frozen=True)
+class CudaBackend:
+    """One of the paper's NVIDIA devices, as a backend.
+
+    Admission is unconditional: every Table-2 strategy's staging
+    footprint fits CUDA shared memory at fp32 width and below, so the
+    candidate pools are exactly the published tables at every
+    precision -- which keeps fp32-V100 planning bit-identical to the
+    pre-backend code path.
+    """
+
+    spec: DeviceSpec = VOLTA_V100
+
+    @property
+    def name(self) -> str:
+        return f"cuda:{self.spec.name}"
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.spec
+
+    def admits(self, strategy: TilingStrategy, precision: PrecisionLike) -> bool:
+        """Whether the staging tiles fit the device's per-block shared memory."""
+        prec = Precision.coerce(precision)
+        return (
+            strategy.smem_footprint(prec.storage_bytes)
+            <= self.spec.max_shared_memory_per_block
+        )
+
+    def strategy_pools(
+        self, precision: PrecisionLike
+    ) -> tuple[tuple[TilingStrategy, ...], tuple[TilingStrategy, ...]]:
+        """The Table-2 pools (identical tuples when everything fits)."""
+        prec = Precision.coerce(precision)
+        if all(
+            self.admits(s, prec) for pool in _BASE_POOLS for s in pool
+        ):  # the always-true fast path on the shipped devices
+            return _BASE_POOLS
+        return _filtered_pools(self, prec)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible description (manifests, health endpoints)."""
+        return {"kind": "cuda", "device": self.spec.name}
+
+
+#: The device-model stand-in a systolic part prices against: one big
+#: matrix unit per "SM", modest core count, HBM-class bandwidth.  The
+#: cycle numbers keep the same qualitative regimes as the GPU specs
+#: (bandwidth-bound small tiles, compute-bound huge ones); absolute
+#: cycles are not calibrated against any real TPU.
+SYSTOLIC_DEVICE = DeviceSpec(
+    name="Systolic-128x128",
+    architecture="systolic",
+    num_sms=8,
+    clock_ghz=0.94,
+    fma_lanes_per_sm=4096,
+    tensor_core_fp16_fma_per_sm=16384,
+    shared_memory_per_sm=24 * 1024 * 1024,
+    max_shared_memory_per_block=24 * 1024 * 1024,
+    mem_bandwidth_gbps=1200.0,
+    mem_latency_cycles=500,
+    tlp_threshold=65536,
+    batching_theta=256,
+)
+
+
+@dataclass(frozen=True)
+class SystolicBackend:
+    """A TPU-style systolic-array model: admission by utilization.
+
+    A ``BY x BX`` output tile executes on the ``array_rows x
+    array_cols`` PE grid in ``ceil(BY/rows) * ceil(BX/cols)`` passes;
+    every pass occupies the whole array for its full duration, so
+
+        utilization = (BY * BX) / (passes * rows * cols)
+
+    is the fraction of PE-cycles doing useful work -- at most 1 (an
+    aligned tile), collapsing quadratically for small tiles.  Pools
+    keep only strategies with ``utilization >= min_utilization``; the
+    default 0.25 admits {large, tall, wide, huge} on the 128x128
+    array, which matches the published TPU guidance of keeping matmul
+    dimensions at or above the array size.
+    """
+
+    array_rows: int = 128
+    array_cols: int = 128
+    min_utilization: float = 0.25
+    spec: DeviceSpec = SYSTOLIC_DEVICE
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+        if not 0.0 < self.min_utilization <= 1.0:
+            raise ValueError(
+                f"min_utilization must be in (0, 1], got {self.min_utilization}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"systolic:{self.array_rows}x{self.array_cols}"
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.spec
+
+    def utilization(self, strategy: TilingStrategy) -> float:
+        """PE utilization of one tile on the array (0 < u <= 1)."""
+        passes = -(-strategy.by // self.array_rows) * -(-strategy.bx // self.array_cols)
+        return (strategy.by * strategy.bx) / (
+            passes * self.array_rows * self.array_cols
+        )
+
+    def admits(self, strategy: TilingStrategy, precision: PrecisionLike) -> bool:
+        """Whether the tile keeps the PE array usefully busy."""
+        Precision.coerce(precision)  # validate; utilization is dtype-free
+        return self.utilization(strategy) >= self.min_utilization
+
+    def strategy_pools(
+        self, precision: PrecisionLike
+    ) -> tuple[tuple[TilingStrategy, ...], tuple[TilingStrategy, ...]]:
+        """The utilization-filtered candidate pools."""
+        return _filtered_pools(self, Precision.coerce(precision))
+
+    def to_dict(self) -> dict:
+        """JSON-compatible description (manifests, health endpoints)."""
+        return {
+            "kind": "systolic",
+            "array": [self.array_rows, self.array_cols],
+            "min_utilization": self.min_utilization,
+        }
+
+
+#: Device-model stand-in for the SRAM-budgeted part: CDNA-like core
+#: counts with the LDS-sized budget mirrored into the block cap.
+SRAM_DEVICE = DeviceSpec(
+    name="SRAM-40K",
+    architecture="sram-tile",
+    num_sms=64,
+    clock_ghz=1.7,
+    fma_lanes_per_sm=128,
+    shared_memory_per_sm=64 * 1024,
+    max_shared_memory_per_block=64 * 1024,
+    mem_bandwidth_gbps=1600.0,
+    mem_latency_cycles=420,
+    tlp_threshold=65536,
+    batching_theta=256,
+)
+
+
+@dataclass(frozen=True)
+class SramBackend:
+    """A CK-tile-like accelerator: admission by per-block SRAM budget.
+
+    The budget is shared by the double-buffered A/B staging tiles *at
+    storage width* and the FP32 accumulator tile (mixed-precision
+    hardware accumulates wide regardless of storage):
+
+        footprint = 2*(BY*BK + BK*BX)*storage_bytes + BY*BX*4
+
+    With the default 40 KB budget the fp32 pool is {small, medium,
+    large}; at fp16/bf16 the halved staging admits {tall, wide} too
+    (huge's 64 KB accumulator alone exceeds the budget at any storage
+    width).  This is the backend where precision visibly changes the
+    tiling decision.
+    """
+
+    sram_budget_bytes: int = 40 * 1024
+    accumulator_bytes: int = 4
+    spec: DeviceSpec = SRAM_DEVICE
+
+    def __post_init__(self) -> None:
+        if self.sram_budget_bytes <= 0:
+            raise ValueError("sram_budget_bytes must be positive")
+        if self.accumulator_bytes <= 0:
+            raise ValueError("accumulator_bytes must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"sram:{self.sram_budget_bytes // 1024}k"
+
+    @property
+    def device(self) -> DeviceSpec:
+        return self.spec
+
+    def tile_footprint_bytes(
+        self, strategy: TilingStrategy, precision: PrecisionLike
+    ) -> int:
+        """SRAM bytes one block needs: staging at storage width + FP32 accumulator."""
+        prec = Precision.coerce(precision)
+        staging = strategy.smem_footprint(prec.storage_bytes)
+        accumulator = strategy.by * strategy.bx * self.accumulator_bytes
+        return staging + accumulator
+
+    def admits(self, strategy: TilingStrategy, precision: PrecisionLike) -> bool:
+        """Whether staging + accumulator fit the per-block SRAM budget."""
+        return self.tile_footprint_bytes(strategy, precision) <= self.sram_budget_bytes
+
+    def strategy_pools(
+        self, precision: PrecisionLike
+    ) -> tuple[tuple[TilingStrategy, ...], tuple[TilingStrategy, ...]]:
+        """The budget-filtered candidate pools (dtype-aware)."""
+        return _filtered_pools(self, Precision.coerce(precision))
+
+    def to_dict(self) -> dict:
+        """JSON-compatible description (manifests, health endpoints)."""
+        return {
+            "kind": "sram",
+            "sram_budget_bytes": self.sram_budget_bytes,
+            "accumulator_bytes": self.accumulator_bytes,
+        }
+
+
+def list_backends() -> list[str]:
+    """The spellings :func:`get_backend` accepts (aliases included)."""
+    return ["cuda", "cuda:<device>", "systolic", "tpu", "sram", "cktile"]
+
+
+def get_backend(name) -> BackendSpec:
+    """Resolve a backend spelling (or pass a spec through).
+
+    * ``"cuda"`` -- :class:`CudaBackend` on the default V100;
+      ``"cuda:<device>"`` accepts any :func:`~repro.gpu.specs.get_device`
+      name or alias (``"cuda:p100"``, ``"cuda:titanxp"``, ...).
+    * ``"systolic"`` / ``"tpu"`` -- the default 128x128
+      :class:`SystolicBackend`.
+    * ``"sram"`` / ``"cktile"`` -- the default 40 KB
+      :class:`SramBackend`.
+
+    An existing :class:`BackendSpec` is returned unchanged, so every
+    surface can accept either spelling.  Unknown names raise
+    :class:`KeyError`.
+    """
+    if isinstance(name, (CudaBackend, SystolicBackend, SramBackend)):
+        return name
+    if not isinstance(name, str):
+        if isinstance(name, BackendSpec):
+            return name
+        raise TypeError(
+            f"backend must be a BackendSpec or str, got {type(name).__name__}"
+        )
+    key = name.strip()
+    kind, _, arg = key.partition(":")
+    kind = kind.lower()
+    arg = arg.strip()
+    if kind == "cuda":
+        return CudaBackend(get_device(arg)) if arg else CudaBackend()
+    if kind in ("systolic", "tpu"):
+        if not arg:
+            return SystolicBackend()
+        rows, _, cols = arg.lower().partition("x")
+        try:
+            return SystolicBackend(array_rows=int(rows), array_cols=int(cols))
+        except ValueError:
+            raise KeyError(
+                f"bad systolic spelling {name!r}; expected 'systolic:<rows>x<cols>'"
+            ) from None
+    if kind in ("sram", "cktile"):
+        if not arg:
+            return SramBackend()
+        try:
+            kib = int(arg.lower().rstrip("k"))
+        except ValueError:
+            raise KeyError(
+                f"bad sram spelling {name!r}; expected 'sram:<kibibytes>k'"
+            ) from None
+        return SramBackend(sram_budget_bytes=kib * 1024)
+    raise KeyError(
+        f"unknown backend {name!r}; available: {list_backends()}"
+    )

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.precision import Precision, PrecisionLike
 from repro.core.tiling import TilingStrategy
 from repro.gpu.specs import DeviceSpec
 
@@ -87,15 +88,16 @@ class TileWork:
     strategy: TilingStrategy
     k: int
     active_threads: int = 0  # 0 means "strategy.threads"
-    precision: str = "fp32"
+    precision: PrecisionLike = Precision.FP32
 
     def __post_init__(self) -> None:
         if self.k <= 0:
             raise ValueError(f"tile depth k must be positive, got {self.k}")
         if self.active_threads < 0:
             raise ValueError("active_threads must be non-negative")
-        if self.precision not in ("fp32", "fp16"):
-            raise ValueError(f"precision must be 'fp32' or 'fp16', got {self.precision!r}")
+        # Strings coerce through the enum, which raises on unknown
+        # spellings -- a typo must not silently price as fp32.
+        object.__setattr__(self, "precision", Precision.coerce(self.precision))
 
     @property
     def threads(self) -> int:
@@ -108,8 +110,8 @@ class TileWork:
 
     @property
     def element_bytes(self) -> int:
-        """Bytes per matrix element for the tile's precision."""
-        return 2 if self.precision == "fp16" else 4
+        """Bytes per matrix element for the tile's storage precision."""
+        return self.precision.storage_bytes
 
     @property
     def bytes_per_iteration(self) -> int:
@@ -303,8 +305,10 @@ def iteration_cycles(
     the pipeline-fill prologue, which the C writeback is not part of).
     """
     r = ctx.resident_blocks
+    # fp16 and bf16 share the half-width datapath (Tensor-Core / matrix
+    # unit where present, packed half2 math otherwise).
     lanes = (
-        device.fp16_fma_per_sm if tile.precision == "fp16" else device.fma_lanes_per_sm
+        device.fp16_fma_per_sm if tile.precision.is_reduced else device.fma_lanes_per_sm
     )
     compute = tile.fmas_per_iteration / (lanes / r)
     memory = memory_cycles_per_iteration(device, tile, ctx, include_stores=include_stores)
@@ -317,7 +321,7 @@ def iteration_cycles(
         * r
         / device.warp_schedulers_per_sm
     )
-    if tile.precision == "fp16" and device.tensor_core_fp16_fma_per_sm > 0:
+    if tile.precision.is_reduced and device.tensor_core_fp16_fma_per_sm > 0:
         issue /= TENSOR_CORE_ISSUE_COMPRESSION
     return max(compute, memory, issue)
 

@@ -93,6 +93,9 @@ _EXPORTS = {
     "CompiledGemm": ("repro.kernels.compiled", "CompiledGemm"),
     "PlanMemo": ("repro.kernels.memo", "PlanMemo"),
     "MemoStats": ("repro.kernels.memo", "MemoStats"),
+    "verify_outputs": ("repro.kernels.verify", "verify_outputs"),
+    "VerificationError": ("repro.kernels.verify", "VerificationError"),
+    "VerificationReport": ("repro.kernels.verify", "VerificationReport"),
 }
 
 __all__ = [

@@ -61,6 +61,17 @@ class ExecutionPolicy:
     injector:
         A :class:`~repro.reliability.FaultInjector` evaluated at the
         ``"engine"`` fault site before every execution (chaos tests).
+    precision:
+        Optional storage precision (``"fp32"`` / ``"fp16"`` /
+        ``"bf16"``) this execution should stage operands at.  ``None``
+        defers to the planning options / operand dtype / framework
+        default (see :meth:`CoordinatedFramework.execute`); planning
+        options that pin a precision win over the policy.
+    verify:
+        Run the :mod:`repro.kernels.verify` contract on the outputs
+        after execution (bit-exact for fp32, per-dtype tolerance for
+        fp16/bf16) and raise
+        :class:`~repro.kernels.verify.VerificationError` on failure.
     """
 
     engine: str = "grouped"
@@ -68,12 +79,20 @@ class ExecutionPolicy:
     fallback: bool = False
     retry: Optional[Any] = None
     injector: Optional[Any] = None
+    precision: Optional[str] = None
+    verify: bool = False
 
     def __post_init__(self):
-        """Validate the engine name and the worker count."""
+        """Validate the engine name, worker count, and precision."""
         get_engine_object(self.engine)  # canonical unknown-engine ValueError
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.precision is not None:
+            from repro.core.precision import Precision
+
+            object.__setattr__(
+                self, "precision", Precision.coerce(self.precision).value
+            )
 
     @property
     def reliable(self) -> bool:
@@ -124,6 +143,8 @@ class ExecutionPolicy:
             "fallback": self.fallback,
             "retry": self.retry is not None,
             "injector": self.injector is not None,
+            "precision": self.precision,
+            "verify": self.verify,
         }
 
 

@@ -1,0 +1,172 @@
+"""Tolerance-bounded output verification for mixed-precision runs.
+
+Two contracts, selected by the precision the batch executed under:
+
+* **fp32 -- bit-exact.**  Every engine accumulates each tile's
+  product in FP64 over BK-sized chunks in ascending-K order, so all
+  engines produce byte-identical outputs; the verifier replays the
+  schedule through the ``reference`` engine (the persistent-threads
+  Figure 7 walk) and demands ``array_equal`` per GEMM.  Any mismatch
+  is a planning or indexing bug, never rounding.
+* **fp16 / bf16 -- tolerance-bounded.**  Operands were staged on the
+  storage grid, so the exact answer *for what the device stored* is
+  the FP64 epilogue ``alpha * op(A) @ op(B) + beta * C`` over the
+  staged operands; the executed output (rounded to the storage grid
+  on the final store) must sit within the precision's per-dtype
+  ``atol``/``rtol`` bounds (:attr:`Precision.tolerance`).  A
+  violation means an engine dropped or double-counted work -- the
+  bound is far wider than one store rounding but far narrower than
+  any missing K-chunk.
+
+``verify_outputs`` is the single entry point; ``ExecutionPolicy
+(verify=True)`` routes :meth:`CoordinatedFramework.execute` and
+:meth:`PlanCache.execute` through it automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.precision import Precision, PrecisionLike
+from repro.core.problem import GemmBatch
+
+__all__ = ["VerificationError", "VerificationReport", "verify_outputs"]
+
+
+class VerificationError(AssertionError):
+    """An executed batch failed its precision's verification contract."""
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one verification pass.
+
+    ``max_abs_err`` / ``max_rel_err`` are over every element of every
+    GEMM (0.0 on the bit-exact path); ``failures`` lists the indices
+    of GEMMs that violated the contract.
+    """
+
+    precision: Precision
+    mode: str  # "bit-exact" or "tolerance"
+    checked: int
+    atol: float
+    rtol: float
+    max_abs_err: float = 0.0
+    max_rel_err: float = 0.0
+    failures: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every GEMM satisfied the contract."""
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (bench records, health endpoints)."""
+        return {
+            "precision": self.precision.value,
+            "mode": self.mode,
+            "checked": self.checked,
+            "atol": self.atol,
+            "rtol": self.rtol,
+            "max_abs_err": self.max_abs_err,
+            "max_rel_err": self.max_rel_err,
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
+
+def _exact_outputs(batch: GemmBatch, operands) -> list[np.ndarray]:
+    """FP64 epilogue over the staged operands (the tolerance oracle)."""
+    outs = []
+    for gemm, (a, b, c) in zip(batch, operands):
+        product = gemm.op_a(a).astype(np.float64) @ gemm.op_b(b).astype(np.float64)
+        outs.append(gemm.alpha * product + gemm.beta * c.astype(np.float64))
+    return outs
+
+
+def verify_outputs(
+    batch: GemmBatch,
+    operands: Sequence,
+    outputs: Sequence[np.ndarray],
+    precision: PrecisionLike,
+    *,
+    schedule=None,
+    raise_on_failure: bool = False,
+) -> VerificationReport:
+    """Check executed outputs against the precision's contract.
+
+    ``operands`` must be the *staged* operands the engines consumed
+    (post-quantization for fp16/bf16).  For fp32 a ``schedule`` is
+    required: the bit-exact oracle is the ``reference`` engine replay
+    of that schedule.  For reduced precisions the oracle is the FP64
+    epilogue over the staged operands and ``schedule`` is unused.
+
+    Returns a :class:`VerificationReport`; with
+    ``raise_on_failure=True`` a violated contract raises
+    :class:`VerificationError` instead.
+    """
+    prec = Precision.coerce(precision)
+    if len(outputs) != len(batch):
+        raise ValueError(
+            f"got {len(outputs)} outputs for a batch of {len(batch)} GEMMs"
+        )
+    atol, rtol = prec.tolerance
+
+    if prec is Precision.FP32:
+        if schedule is None:
+            raise ValueError(
+                "fp32 verification is bit-exact against the reference engine "
+                "and needs the executed schedule; pass schedule="
+            )
+        from repro.kernels.persistent import execute_schedule
+
+        want = execute_schedule(schedule, batch, operands)
+        failures = tuple(
+            i
+            for i, (got, ref) in enumerate(zip(outputs, want))
+            if not np.array_equal(got, ref)
+        )
+        report = VerificationReport(
+            precision=prec,
+            mode="bit-exact",
+            checked=len(batch),
+            atol=atol,
+            rtol=rtol,
+            failures=failures,
+        )
+    else:
+        exact = _exact_outputs(batch, operands)
+        failures = []
+        max_abs = 0.0
+        max_rel = 0.0
+        for i, (got, ref) in enumerate(zip(outputs, exact)):
+            got64 = np.asarray(got, dtype=np.float64)
+            abs_err = np.abs(got64 - ref)
+            if abs_err.size:
+                max_abs = max(max_abs, float(abs_err.max()))
+                denom = np.maximum(np.abs(ref), 1e-30)
+                max_rel = max(max_rel, float((abs_err / denom).max()))
+            if not np.allclose(got64, ref, atol=atol, rtol=rtol):
+                failures.append(i)
+        report = VerificationReport(
+            precision=prec,
+            mode="tolerance",
+            checked=len(batch),
+            atol=atol,
+            rtol=rtol,
+            max_abs_err=max_abs,
+            max_rel_err=max_rel,
+            failures=tuple(failures),
+        )
+
+    if raise_on_failure and not report.ok:
+        raise VerificationError(
+            f"{prec.value} verification failed for GEMM(s) "
+            f"{list(report.failures)} of {report.checked} "
+            f"({report.mode}; max_abs={report.max_abs_err:.3e}, "
+            f"max_rel={report.max_rel_err:.3e}, atol={atol}, rtol={rtol})"
+        )
+    return report

@@ -69,6 +69,21 @@ class FormedBatch:
         """How full the batch is (requests actually carried)."""
         return len(self.requests)
 
+    @property
+    def precision(self) -> str | None:
+        """The batch's storage precision, when the requests agree.
+
+        The unique precision pinned by the carried requests; ``None``
+        when no request pinned one *or* when requests disagree (a
+        mixed batch plans at the framework default -- routing keys are
+        dtype-qualified, so a cluster front-end never forms one, but a
+        single-node server with interleaved dtypes can).
+        """
+        pinned = {r.precision for r in self.requests if r.precision is not None}
+        if len(pinned) == 1:
+            return next(iter(pinned))
+        return None
+
     def to_gemm_batch(self) -> GemmBatch:
         """The planner-facing problem description."""
         return GemmBatch(r.gemm for r in self.requests)

@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline = parser.add_argument_group("pipeline")
     pipeline.add_argument("--device", default="v100", help="device name or alias")
+    pipeline.add_argument(
+        "--precision",
+        choices=("fp32", "fp16", "bf16"),
+        default=None,
+        help="storage precision every request plans and executes at "
+        "(default: the framework default, REPRO_DTYPE or fp32)",
+    )
+    pipeline.add_argument(
+        "--backend",
+        default=None,
+        help="tiling backend (cuda:<device> / systolic:<RxC> / sram:<N>k; "
+        "default: CUDA on --device)",
+    )
     pipeline.add_argument("--workers", type=int, default=2, help="worker pool size")
     pipeline.add_argument(
         "--max-batch", type=int, default=16, help="dynamic batcher size trigger"
@@ -292,6 +305,13 @@ def _build_trace(args: argparse.Namespace):
         )
     if not trace:
         raise SystemExit("error: the trace is empty (rate/duration too small?)")
+    if getattr(args, "precision", None):
+        from dataclasses import replace
+
+        trace = [
+            tr if tr.precision is not None else replace(tr, precision=args.precision)
+            for tr in trace
+        ]
     if args.save_trace:
         save_trace(args.save_trace, trace)
         print(f"wrote {len(trace)} requests to {args.save_trace}", file=sys.stderr)
@@ -374,6 +394,7 @@ def _run_live(
                 ),
                 timeout_us=tr.timeout_us,
                 priority=tr.priority,
+                precision=tr.precision,
             )
         )
     # Snapshot liveness while the server still accepts -- after close()
@@ -442,6 +463,7 @@ def _run_cluster_live(trace, framework, cluster_config, time_scale: float, kills
                 ),
                 timeout_us=tr.timeout_us,
                 priority=tr.priority,
+                precision=tr.precision,
             )
         )
     for shard, _ in pending_kills:  # kills scheduled past the last arrival
@@ -484,7 +506,12 @@ def main(argv: list[str] | None = None) -> int:
         device = get_device(args.device)
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}") from None
-    framework = CoordinatedFramework(device=device)
+    try:
+        framework = CoordinatedFramework(
+            device=device, precision=args.precision, backend=args.backend
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
     config = _build_config(args, heuristic)
     trace = _build_trace(args)
 

@@ -121,6 +121,7 @@ def replay_trace(
                 deadline_us=tr.deadline_us,
                 timeout_us=tr.timeout_us,
                 priority=tr.priority,
+                precision=getattr(tr, "precision", None),
             ),
         )
 

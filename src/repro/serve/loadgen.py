@@ -53,6 +53,7 @@ class TraceRequest:
     deadline_us: Optional[float] = None
     timeout_us: Optional[float] = None
     priority: int = 0
+    precision: Optional[str] = None  # storage precision ("fp32"/"fp16"/"bf16")
 
     def to_dict(self) -> dict:
         """Return the request as a JSON-compatible dict."""
@@ -68,6 +69,8 @@ class TraceRequest:
             d["timeout_us"] = self.timeout_us
         if self.priority:
             d["priority"] = self.priority
+        if self.precision is not None:
+            d["precision"] = self.precision
         return d
 
     @classmethod
@@ -78,6 +81,7 @@ class TraceRequest:
             deadline_us=float(d["deadline_us"]) if "deadline_us" in d else None,
             timeout_us=float(d["timeout_us"]) if "timeout_us" in d else None,
             priority=int(d.get("priority", 0)),
+            precision=d.get("precision"),
         )
 
 

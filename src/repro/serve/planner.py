@@ -80,10 +80,22 @@ class PlannerStage:
         penalty_us = 0.0
         if self.injector is not None:
             penalty_us = self.injector.check(SITE_PLANNER) * 1e3
+        heuristic = self.heuristic
+        if formed.precision is not None:
+            # Requests pinned a storage precision: plan (and cache) the
+            # batch under it so strategy pools, occupancy, and the cache
+            # key are all dtype-qualified.
+            from dataclasses import replace as _replace
+
+            opts = self.framework.resolve_options(heuristic)
+            if opts.precision != formed.precision:
+                heuristic = _replace(opts, precision=formed.precision)
+            else:
+                heuristic = opts
         with get_tracer().span(
             "serve.plan", batch_id=formed.batch_id, gemms=len(batch)
         ) as span:
-            report, hit = self.cache.plan_with_info(batch, self.heuristic)
+            report, hit = self.cache.plan_with_info(batch, heuristic)
             sim = self._simulate(report)
             if span.enabled:
                 span.set_attr("cache_hit", hit)

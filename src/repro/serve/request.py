@@ -85,12 +85,19 @@ class ServeRequest:
     timeout_us: Optional[float] = None
     priority: int = 0
     operands: Any = None  # optional (A, B, C) arrays for numerical execution
+    precision: Optional[str] = None  # storage precision ("fp32"/"fp16"/"bf16")
 
     def __post_init__(self) -> None:
         if self.arrival_us < 0:
             raise ValueError(f"arrival_us must be >= 0, got {self.arrival_us}")
         if self.timeout_us is not None and self.timeout_us <= 0:
             raise ValueError(f"timeout_us must be positive, got {self.timeout_us}")
+        if self.precision is not None:
+            from repro.core.precision import Precision
+
+            object.__setattr__(
+                self, "precision", Precision.coerce(self.precision).value
+            )
 
     @property
     def timeout_deadline_us(self) -> Optional[float]:

@@ -291,6 +291,7 @@ class GemmServer:
         deadline_us: Optional[float] = None,
         timeout_us: Optional[float] = None,
         priority: int = 0,
+        precision: Optional[str] = None,
     ) -> ServeTicket:
         """Submit one GEMM; never blocks.
 
@@ -299,6 +300,10 @@ class GemmServer:
         ``(A, B, C)`` triple -- when every request in a formed batch
         carries operands, the batch executes numerically and each
         :class:`Completed` result carries its C output in ``value``.
+        ``precision`` pins the storage precision the request should be
+        planned and executed at; left ``None``, float16 operands infer
+        ``"fp16"`` (bf16 rides float32 containers and cannot be
+        inferred -- pin it explicitly).
         """
         if operands is not None and len(operands) == 2:
             a, b = operands
@@ -309,6 +314,11 @@ class GemmServer:
                 b,
                 np.zeros((gemm.m, gemm.n), dtype=np.result_type(a, b)),
             )
+        if precision is None and operands is not None:
+            from repro.core.precision import infer_precision
+
+            inferred = infer_precision([operands])
+            precision = None if inferred is None else inferred.value
         with self._cond:
             rid = next(self._next_id)
             now_us = self._now_us()
@@ -320,6 +330,7 @@ class GemmServer:
                 timeout_us=timeout_us,
                 priority=priority,
                 operands=operands,
+                precision=precision,
             )
             ticket = ServeTicket(rid)
             self._tickets[rid] = ticket
@@ -484,11 +495,27 @@ class GemmServer:
             planned = self._plan_with_retry(sub)
             values: Optional[list] = None
             if all(r.operands is not None for r in requests):
+                operands = [r.operands for r in requests]
+                prec = None
+                if sub.precision is not None:
+                    from repro.core.precision import (
+                        Precision,
+                        quantize_operands,
+                        quantize_outputs,
+                    )
+
+                    prec = Precision.coerce(sub.precision)
+                    if prec.is_reduced:
+                        # Stage on the storage grid the batch was
+                        # planned at (mixed-precision for real).
+                        operands = quantize_operands(operands, prec)
                 values, _engine_used = self._executor.execute(
                     planned.report.schedule,
                     sub.to_gemm_batch(),
-                    [r.operands for r in requests],
+                    operands,
                 )
+                if prec is not None and prec.is_reduced:
+                    values = quantize_outputs(values, prec)
         except Exception as exc:
             # EngineUnavailable is not data-dependent: splitting the
             # batch cannot help, so reject the slice outright.

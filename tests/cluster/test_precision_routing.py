@@ -1,0 +1,130 @@
+"""Dtype-qualified routing and cache keys (collision regression).
+
+Before this PR an fp16 request for ``512x512x512`` produced the same
+``Router.signature_key`` and the same ``PlanCache`` key as an fp32
+request for the identical shape -- so the fp16 submission would ride a
+cached fp32 plan (wrong strategy pools, wrong occupancy) and the two
+traffic classes fought over one warm shard.  These tests pin the fix:
+both keys are qualified by storage precision, and the unqualified
+spellings are byte-identical to the historical ones (ring placements
+and warm caches survive the upgrade).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.router import signature_key
+from repro.core.framework import CoordinatedFramework
+from repro.core.options import PlanOptions
+from repro.core.plancache import PlanCache
+from repro.core.problem import Gemm, GemmBatch
+from repro.serve.request import ServeRequest
+
+
+def test_signature_key_unqualified_spelling_is_unchanged():
+    """precision=None keeps the historical key (ring stability)."""
+    assert signature_key(Gemm(512, 512, 512)) == "512x512x512"
+    assert (
+        signature_key(Gemm(64, 32, 16, trans_a=True)) == "64x32x16/tn"
+    )
+
+
+def test_signature_key_is_dtype_qualified():
+    g = Gemm(512, 512, 512)
+    keys = {
+        signature_key(g),
+        signature_key(g, "fp32"),
+        signature_key(g, "fp16"),
+        signature_key(g, "bf16"),
+    }
+    assert len(keys) == 4  # no collisions between dtypes (or with None)
+    assert signature_key(g, "fp16") == "512x512x512@fp16"
+
+
+def test_signature_key_rejects_unknown_precision():
+    with pytest.raises(ValueError, match="unknown precision"):
+        signature_key(Gemm(8, 8, 8), "fp8")
+
+
+def test_plan_cache_key_collision_regression():
+    """Same shapes at fp32 vs fp16: two entries, two distinct plans."""
+    framework = CoordinatedFramework()
+    cache = PlanCache(framework, capacity=8)
+    batch = GemmBatch([Gemm(256, 256, 128), Gemm(64, 64, 64)])
+
+    r32, hit32 = cache.plan_with_info(batch, PlanOptions(precision="fp32"))
+    r16, hit16 = cache.plan_with_info(batch, PlanOptions(precision="fp16"))
+    assert not hit32 and not hit16  # the fp16 lookup must NOT hit fp32's entry
+    assert len(cache) == 2
+    assert r32.options.cache_key() != r16.options.cache_key()
+
+    # Replays of either dtype hit their own entry.
+    _, again32 = cache.plan_with_info(batch, PlanOptions(precision="fp32"))
+    _, again16 = cache.plan_with_info(batch, PlanOptions(precision="fp16"))
+    assert again32 and again16
+    assert len(cache) == 2
+
+
+def test_plan_cache_execute_infers_dtype_qualification():
+    """float16 operands execute against an fp16-qualified entry."""
+    framework = CoordinatedFramework(precision="fp32")  # env-independent
+    cache = PlanCache(framework, capacity=8)
+    batch = GemmBatch([Gemm(48, 48, 32)])
+    rng = np.random.default_rng(0)
+    ops32 = batch.random_operands(rng)
+    ops16 = [
+        tuple(x.astype(np.float16) for x in triple) for triple in ops32
+    ]
+    v32 = cache.execute(batch, operands=ops32)
+    v16 = cache.execute(batch, operands=ops16)
+    assert len(cache) == 2  # one fp32 entry, one fp16 entry
+    assert v16[0].dtype == np.float16
+    assert v32[0].dtype == np.float32
+
+
+def test_serve_request_validates_precision():
+    g = Gemm(8, 8, 8)
+    req = ServeRequest(request_id=0, gemm=g, arrival_us=0.0, precision="FP16")
+    assert req.precision == "fp16"  # normalized spelling
+    assert (
+        ServeRequest(request_id=1, gemm=g, arrival_us=0.0).precision is None
+    )
+    with pytest.raises(ValueError, match="unknown precision"):
+        ServeRequest(request_id=2, gemm=g, arrival_us=0.0, precision="int8")
+
+
+def test_cluster_replay_routes_dtypes_independently():
+    """A mixed fp32/fp16 trace of one shape replays cleanly, and the
+    two dtypes hash independently on the ring."""
+    from repro.cluster import ClusterConfig, replay_cluster_trace
+    from repro.serve.loadgen import TraceRequest
+
+    trace = [
+        TraceRequest(arrival_us=float(i * 100), gemm=Gemm(128, 128, 64),
+                     precision="fp16" if i % 2 else None)
+        for i in range(12)
+    ]
+    framework = CoordinatedFramework()
+    report = replay_cluster_trace(
+        trace, framework, ClusterConfig(shards=4)
+    )
+    assert report.n_completed == 12
+
+    # The ring may or may not separate the two keys (hash-dependent),
+    # but the keys themselves must differ.
+    assert signature_key(Gemm(128, 128, 64), "fp16") != signature_key(
+        Gemm(128, 128, 64)
+    )
+
+
+def test_trace_request_precision_round_trips_json():
+    from repro.serve.loadgen import TraceRequest
+
+    tr = TraceRequest(arrival_us=1.0, gemm=Gemm(16, 16, 16), precision="bf16")
+    again = TraceRequest.from_dict(tr.to_dict())
+    assert again.precision == "bf16"
+    bare = TraceRequest(arrival_us=2.0, gemm=Gemm(16, 16, 16))
+    assert "precision" not in bare.to_dict()
+    assert TraceRequest.from_dict(bare.to_dict()).precision is None

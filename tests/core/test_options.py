@@ -102,6 +102,7 @@ class TestPlanOptions:
             "theta": 64,
             "tlp_threshold": None,
             "precision": None,
+            "backend": None,
             "workers": None,
         }
 
@@ -117,7 +118,7 @@ class TestPlanOptions:
         assert sized.resolved(256, 65536, "fp32").workers == 4
 
     def test_precisions_constant(self):
-        assert set(PRECISIONS) == {"fp32", "fp16"}
+        assert set(PRECISIONS) == {"fp32", "fp16", "bf16"}
 
 
 class TestFrameworkEntryPoints:

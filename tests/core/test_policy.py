@@ -93,6 +93,8 @@ class TestExecutionPolicy:
             "fallback": True,
             "retry": False,
             "injector": False,
+            "precision": None,
+            "verify": False,
         }
 
 
