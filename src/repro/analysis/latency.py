@@ -145,6 +145,15 @@ def render_cluster_report(report) -> str:
     out.append(
         f"routing: {report.n_steals} steals, {report.n_failovers} failovers"
     )
+    sup = getattr(report, "supervisor", None)
+    if sup is not None:
+        out.append(
+            f"supervision: {sup.get('restarts', 0)} restarts, "
+            f"{sup.get('resubmissions', 0)} failover resubmissions, "
+            f"{sup.get('budget_exhausted', 0)} budget-exhausted, "
+            f"{sup.get('failover_exhausted', 0)} failover-exhausted, "
+            f"ejected {sorted(sup.get('ejected', [])) or 'none'}"
+        )
     lat = report.latency
     out.append(
         format_table(

@@ -17,9 +17,15 @@ puts a cluster front-end over N in-process shards:
 * :mod:`repro.cluster.frontend` -- :class:`ClusterFrontend`, the live
   tier over threaded ``GemmServer`` shards with per-shard circuit
   breakers, drain/eject/rejoin, and :meth:`cluster_health`;
+* :mod:`repro.cluster.supervisor` -- shard supervision: the
+  capped-exponential restart policy (:class:`SupervisorConfig`,
+  :class:`RestartTracker`) and the live :class:`ShardSupervisor`
+  that respawns killed shards warm from their predecessor's
+  plan-cache manifest;
 * :mod:`repro.cluster.driver` -- :func:`replay_cluster_trace`,
   deterministic virtual-time cluster replay (including mid-run shard
-  kills) -- the bit-reproducible twin the benchmarks use;
+  kills and supervised recovery) -- the bit-reproducible twin the
+  benchmarks use;
 * :mod:`repro.cluster.report` -- :class:`ClusterReport` aggregation.
 
 Submodules are imported lazily (PEP 562) so the light pieces --
@@ -52,6 +58,10 @@ _EXPORTS = {
     "RouteDecision": "repro.cluster.router",
     "Router": "repro.cluster.router",
     "ClusterFrontend": "repro.cluster.frontend",
+    "SupervisorConfig": "repro.cluster.supervisor",
+    "ShardSupervisor": "repro.cluster.supervisor",
+    "SupervisorStats": "repro.cluster.supervisor",
+    "RestartTracker": "repro.cluster.supervisor",
     "replay_cluster_trace": "repro.cluster.driver",
     "ShardSummary": "repro.cluster.report",
     "ClusterReport": "repro.cluster.report",

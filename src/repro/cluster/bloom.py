@@ -132,6 +132,49 @@ class BloomAdmission:
             self.rotations += 1
         return False
 
+    def export_state(self) -> dict:
+        """Export both generations for a warm-respawn handoff.
+
+        The returned dict carries the raw generation bitsets (as
+        arbitrary-precision ints) plus the lifetime counters -- enough
+        for :meth:`import_state` on a freshly built filter of the same
+        geometry to continue exactly where this one stopped, so a
+        respawned shard's admission filter still remembers which
+        signatures had proven reuse.  In-process handoff only (the
+        bitsets are not JSON-sized); :meth:`snapshot` remains the
+        reporting surface.
+        """
+        return {
+            "num_bits": self.num_bits,
+            "num_hashes": self.num_hashes,
+            "current": self._current,
+            "previous": self._previous,
+            "inserts_current": self._inserts_current,
+            "admitted": self.admitted,
+            "deferred": self.deferred,
+            "rotations": self.rotations,
+        }
+
+    def import_state(self, state: dict) -> bool:
+        """Adopt a predecessor's exported generations; True on success.
+
+        Refuses (returns False, filter unchanged) when the exported
+        geometry -- bit count or hash count -- does not match this
+        filter's, since bit positions would not be comparable.
+        """
+        if (
+            state.get("num_bits") != self.num_bits
+            or state.get("num_hashes") != self.num_hashes
+        ):
+            return False
+        self._current = int(state["current"])
+        self._previous = int(state["previous"])
+        self._inserts_current = int(state["inserts_current"])
+        self.admitted = int(state.get("admitted", 0))
+        self.deferred = int(state.get("deferred", 0))
+        self.rotations = int(state.get("rotations", 0))
+        return True
+
     def snapshot(self) -> dict:
         """Sizing and traffic counters (JSON-compatible)."""
         return {

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cluster.supervisor import SupervisorConfig
 from repro.serve.config import ServeConfig
 
 
@@ -55,6 +56,14 @@ class ClusterConfig:
 
     ``serve`` is the per-shard pipeline configuration and
     ``cache_capacity`` each shard's PlanCache bound.
+
+    ``supervisor`` enables self-healing
+    (:class:`~repro.cluster.supervisor.SupervisorConfig`): dead shards
+    respawn warm from their predecessor's PlanCache manifest under a
+    capped-exponential restart policy, and shard-kill casualties are
+    resubmitted along the ring up to the failover limit.  ``None``
+    (the default) keeps the PR-7 behavior -- kills are permanent and
+    casualties settle as ``error:ShardKilled``.
     """
 
     shards: int = 4
@@ -64,6 +73,7 @@ class ClusterConfig:
     bloom: Optional[BloomConfig] = None
     serve: ServeConfig = field(default_factory=ServeConfig)
     cache_capacity: int = 256
+    supervisor: Optional[SupervisorConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:

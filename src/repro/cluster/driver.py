@@ -37,7 +37,35 @@ Event kinds, one heap ordered by (time, insertion sequence):
 * ``window`` -- re-poll one shard's batcher;
 * ``complete`` -- a shard worker finished a batch (ignored if the
   shard died while the batch was in flight -- those requests were
-  already settled at kill time).
+  already settled at kill time);
+* ``respawn`` -- a supervised shard's restart backoff elapsed: a
+  fresh pipeline is swapped in, warmed from the predecessor's
+  :class:`~repro.core.plancache.PlanCacheManifest`, and rejoined to
+  the ring.
+
+**Supervision** (``config.supervisor``, a
+:class:`~repro.cluster.supervisor.SupervisorConfig`) turns kills from
+permanent losses into recoverable incidents, in virtual time and
+fully deterministically:
+
+* a kill's casualties are **resubmitted** along the ring instead of
+  settling ``error:ShardKilled`` -- each re-enters the arrival path
+  with its ``failover`` count incremented, up to
+  ``failover_limit``; a casualty over the limit settles as the typed
+  ``failover_exhausted``, and one whose deadline budget is already
+  spent at the kill instant settles ``budget_exhausted`` (no shard
+  could finish it in time, so no capacity is wasted trying);
+* the killed shard schedules a ``respawn`` at kill time + the
+  :class:`~repro.cluster.supervisor.RestartTracker`'s
+  capped-exponential backoff -- unless its restart window is spent,
+  in which case it is permanently ejected;
+* the respawned pipeline restores the predecessor's cache manifest
+  (signatures re-planned; Bloom admission generations imported) and
+  inherits its results/occupancy history, so the shard's report spans
+  every incarnation and no settlement is lost.
+
+Without ``config.supervisor`` the PR-7 behavior is byte-identical:
+kills are permanent and casualties settle ``error:ShardKilled``.
 """
 
 from __future__ import annotations
@@ -45,6 +73,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.cluster.bloom import BloomAdmission
@@ -54,7 +83,8 @@ from repro.cluster.report import (
     ClusterReport,
     compile_cluster_report,
 )
-from repro.cluster.router import Router, signature_key
+from repro.cluster.router import Router, ShardState, signature_key
+from repro.cluster.supervisor import RestartTracker, SupervisorStats
 from repro.core.framework import CoordinatedFramework
 from repro.core.plancache import PlanCache
 from repro.serve.admission import AdmissionController
@@ -63,7 +93,9 @@ from repro.serve.loadgen import TraceRequest
 from repro.serve.planner import PlannerStage
 from repro.serve.report import compile_report
 from repro.serve.request import (
+    REASON_BUDGET_EXHAUSTED,
     REASON_DEADLINE,
+    REASON_FAILOVER_EXHAUSTED,
     Completed,
     Rejected,
     ServeRequest,
@@ -134,13 +166,20 @@ def replay_cluster_trace(
     """Serve ``trace`` across the configured shard cluster, virtually.
 
     ``kill`` schedules crashes: each ``(shard_id, time_us)`` pair
-    kills that shard at the given virtual time (queued and in-flight
-    work settles as ``error:ShardKilled``; subsequent traffic remaps).
-    Deterministic: identical inputs yield the byte-identical report.
+    kills that shard at the given virtual time.  Without
+    ``config.supervisor``, queued and in-flight work settles as
+    ``error:ShardKilled`` and the shard stays dead; with it, the
+    casualties fail over along the ring (typed ``budget_exhausted`` /
+    ``failover_exhausted`` when they cannot) and the shard respawns
+    warm after its restart backoff.  Deterministic either way:
+    identical inputs yield the byte-identical report.
     """
     framework = framework if framework is not None else CoordinatedFramework()
     config = config if config is not None else ClusterConfig()
     serve_cfg = config.serve
+    sup_cfg = config.supervisor
+    sup_stats = SupervisorStats()
+    trackers = {i: RestartTracker() for i in range(config.shards)}
     router = Router(
         config.shards,
         vnodes=config.vnodes,
@@ -272,18 +311,80 @@ def replay_cluster_trace(
             shard.admission.observe_service(latency_us)
         dispatch(shard, now_us)
 
+    def settle_casualties(shard: _Shard, requests, now_us: float) -> None:
+        """Settle (or fail over) the requests a kill orphaned.
+
+        Unsupervised: the PR-7 typed ``error:ShardKilled``.  Supervised,
+        each casualty takes exactly one of three typed paths:
+
+        * deadline budget already spent at the kill instant -- settle
+          ``budget_exhausted`` (no resubmission could finish in time);
+        * ``failover`` count under the limit -- re-enter the arrival
+          path *now* with the count incremented (the router will walk
+          the ring past the dead shard);
+        * over the limit -- settle ``failover_exhausted``.
+        """
+        if sup_cfg is None:
+            reject(shard, requests, now_us, REASON_SHARD_KILLED)
+            return
+        for r in requests:
+            if r.deadline_us is not None and r.deadline_us <= now_us:
+                sup_stats.budget_exhausted += 1
+                reject(shard, [r], now_us, REASON_BUDGET_EXHAUSTED)
+            elif r.failover < sup_cfg.failover_limit:
+                sup_stats.resubmissions += 1
+                push(now_us, "arrive", replace(r, failover=r.failover + 1))
+            else:
+                sup_stats.failover_exhausted += 1
+                reject(shard, [r], now_us, REASON_FAILOVER_EXHAUSTED)
+
     def kill_shard(shard: _Shard, now_us: float) -> None:
         if not shard.alive:
             return
         shard.alive = False
         router.mark_dead(shard.shard_id)
-        reject(shard, shard.batcher.drain_pending(), now_us, REASON_SHARD_KILLED)
+        settle_casualties(shard, shard.batcher.drain_pending(), now_us)
         while shard.fifo:
-            reject(shard, shard.fifo.popleft().requests, now_us, REASON_SHARD_KILLED)
+            settle_casualties(shard, shard.fifo.popleft().requests, now_us)
         for planned, _ in shard.inflight.values():
-            reject(shard, planned.formed.requests, now_us, REASON_SHARD_KILLED)
+            settle_casualties(shard, planned.formed.requests, now_us)
         shard.inflight.clear()
         tracer.counter("cluster.shard_killed")
+        if sup_cfg is None:
+            return
+        tracker = trackers[shard.shard_id]
+        if tracker.may_restart(now_us, sup_cfg):
+            # Snapshot the warm state at the kill instant -- keys only,
+            # so the manifest survives the crash by construction.
+            manifest = shard.cache.snapshot()
+            push(
+                now_us + tracker.backoff_us(sup_cfg),
+                "respawn",
+                (shard.shard_id, manifest),
+            )
+        else:
+            router.eject(shard.shard_id)
+            sup_stats.record_ejection(shard.shard_id)
+
+    def respawn_shard(shard_id: int, manifest, now_us: float) -> None:
+        old = shards[shard_id]
+        if old.alive or router.state(shard_id) is not ShardState.DEAD:
+            return  # revived or permanently ejected in the meantime
+        fresh = _Shard(shard_id, framework, config)
+        # The shard's report spans every incarnation: settlements,
+        # occupancy history, and cache counters all carry over.
+        fresh.results = old.results
+        fresh.occupancies = old.occupancies
+        fresh.formed_batches = old.formed_batches
+        fresh.cache.stats = old.cache.stats_snapshot()
+        fresh.cache.restore(manifest)
+        shards[shard_id] = fresh
+        router.rejoin(shard_id)
+        trackers[shard_id].record(now_us)
+        sup_stats.record_restart(shard_id)
+        tracer.counter("cluster.shard_respawned")
+        # Anything already waiting for this shard's ring segment routed
+        # elsewhere while it was down; new arrivals remap back now.
 
     def arrive(req: ServeRequest, now_us: float) -> None:
         nonlocal n_rejected_global
@@ -327,6 +428,9 @@ def replay_cluster_trace(
             elif kind == "complete":
                 shard_id, token = payload  # type: ignore[misc]
                 complete(shards[shard_id], token, now_us)
+            elif kind == "respawn":
+                shard_id, manifest = payload  # type: ignore[misc]
+                respawn_shard(shard_id, manifest, now_us)
             else:  # kill
                 kill_shard(shards[payload], now_us)  # type: ignore[index]
         if span.enabled:
@@ -337,6 +441,10 @@ def replay_cluster_trace(
         tracer.counter("cluster.steals", router.steals)
         tracer.counter("cluster.failovers", router.failovers)
         tracer.counter("cluster.rejected_global", n_rejected_global)
+        if sup_cfg is not None:
+            tracer.counter("supervisor.restarts", sup_stats.restarts)
+            tracer.counter("failover.resubmissions", sup_stats.resubmissions)
+            tracer.counter("budget.exhausted", sup_stats.budget_exhausted)
         for s in shards:
             tracer.gauge(f"cluster.shard_depth.{s.shard_id}", s.depth)
             tracer.gauge(
@@ -374,4 +482,5 @@ def replay_cluster_trace(
             if s.bloom is not None
         }
         or None,
+        supervisor=sup_stats.to_dict() if sup_cfg is not None else None,
     )

@@ -80,6 +80,10 @@ class ClusterReport:
     latency: LatencyStats  # aggregate over every completed request
     shards: tuple[ShardSummary, ...]
     router: dict  # Router.snapshot()
+    #: SupervisorStats.to_dict() when supervision ran, else None --
+    #: restarts, failover resubmissions, budget/failover exhaustions,
+    #: permanent ejections.
+    supervisor: Optional[dict] = None
 
     @property
     def n_settled(self) -> int:
@@ -120,6 +124,7 @@ class ClusterReport:
             "goodput_rps": self.goodput_rps,
             "latency": self.latency.to_dict(),
             "router": self.router,
+            "supervisor": self.supervisor,
             "shards": [s.to_dict() for s in self.shards],
         }
 
@@ -134,6 +139,7 @@ def compile_cluster_report(
     makespan_us: float,
     time_base: str,
     bloom: Optional[Mapping[int, dict]] = None,
+    supervisor: Optional[dict] = None,
 ) -> ClusterReport:
     """Aggregate per-shard reports into one :class:`ClusterReport`."""
     summaries = tuple(
@@ -178,4 +184,5 @@ def compile_cluster_report(
         latency=LatencyStats.from_us(latencies),
         shards=summaries,
         router=router,
+        supervisor=supervisor,
     )

@@ -1,0 +1,311 @@
+"""Shard supervision: health probing, warm respawn, restart policy.
+
+PR 7 built the *failure* half of the cluster story: a killed shard
+settles 100% of its tickets as typed ``error:ShardKilled`` -- and then
+stays dead, permanently costing its share of completion even though
+every sibling is healthy and every plan is recomputable.  This module
+is the *recovery* half, shared by both cluster front-ends:
+
+* :class:`SupervisorConfig` -- the restart policy: capped-exponential
+  backoff per respawn, a max-restarts-per-window bound after which the
+  shard is permanently ejected, and the failover resubmission limit
+  for the tickets a kill settled;
+* :class:`RestartTracker` -- the per-shard bookkeeping that enforces
+  that policy deterministically (pure arithmetic over timestamps, so
+  the virtual-time replay driver can reuse it bit-for-bit);
+* :class:`SupervisorStats` -- restarts/resubmissions/budget counters,
+  reported under ``ClusterReport.supervisor`` and emitted as the
+  ``supervisor.restarts`` / ``failover.resubmissions`` /
+  ``budget.exhausted`` telemetry counters;
+* :class:`ShardSupervisor` -- the live probe thread over a
+  :class:`~repro.cluster.frontend.ClusterFrontend`: it polls
+  :meth:`~repro.serve.server.GemmServer.health` and ring state every
+  ``probe_interval_us``, schedules a respawn for each dead shard, and
+  swaps in a fresh :class:`~repro.serve.server.GemmServer` warmed
+  from the predecessor's :meth:`~repro.core.plancache.PlanCache.
+  snapshot` manifest (signatures + options re-planned on restore;
+  Bloom admission generations carried over), then rejoins the ring.
+
+**Supervisor state machine** (per shard)::
+
+    ACTIVE --kill/crash--> DEAD --backoff elapses--> RESPAWNING
+      ^                      |                            |
+      |                      | restarts-in-window         | warm restore
+      |                      |   >= max_restarts          |  + rejoin
+      |                      v                            |
+      |                   EJECTED (permanent)             |
+      +---------------------------------------------------+
+
+The replay driver implements the same transitions inline on its
+virtual-time event heap (a ``respawn`` event scheduled at kill time +
+backoff) -- policy decisions live here precisely so the two modes
+cannot drift.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (frontend imports us)
+    from repro.cluster.frontend import ClusterFrontend
+
+__all__ = [
+    "SupervisorConfig",
+    "RestartTracker",
+    "SupervisorStats",
+    "ShardSupervisor",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """The shard restart policy (presence on a ClusterConfig enables it).
+
+    ``restart_backoff_us`` is the base delay between a shard's death
+    and its respawn; each successive respawn of the same shard multiplies
+    it by ``backoff_multiplier`` up to ``max_backoff_us`` (capped
+    exponential -- a flapping shard backs off, a one-off crash restarts
+    fast).  A shard that dies more than ``max_restarts`` times inside
+    ``restart_window_us`` is permanently ejected instead of respawned.
+
+    ``failover_limit`` bounds how many times a ticket settled by a
+    shard kill may be transparently resubmitted along the ring's
+    lookup chain (0 disables resubmission: casualties settle as
+    ``failover_exhausted`` immediately).  ``probe_interval_us`` paces
+    the live supervisor's health-probe loop (unused by the
+    virtual-time replay, which sees kills as events).
+    """
+
+    restart_backoff_us: float = 20_000.0
+    backoff_multiplier: float = 2.0
+    max_backoff_us: float = 500_000.0
+    max_restarts: int = 3
+    restart_window_us: float = 5_000_000.0
+    failover_limit: int = 1
+    probe_interval_us: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if self.restart_backoff_us < 0:
+            raise ValueError(
+                f"restart_backoff_us must be >= 0, got {self.restart_backoff_us}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.max_backoff_us < self.restart_backoff_us:
+            raise ValueError(
+                "max_backoff_us must be >= restart_backoff_us, "
+                f"got {self.max_backoff_us} < {self.restart_backoff_us}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.restart_window_us <= 0:
+            raise ValueError(
+                f"restart_window_us must be > 0, got {self.restart_window_us}"
+            )
+        if self.failover_limit < 0:
+            raise ValueError(
+                f"failover_limit must be >= 0, got {self.failover_limit}"
+            )
+        if self.probe_interval_us <= 0:
+            raise ValueError(
+                f"probe_interval_us must be > 0, got {self.probe_interval_us}"
+            )
+
+
+class RestartTracker:
+    """Per-shard restart accounting: backoff schedule + window bound.
+
+    Pure arithmetic over caller-supplied timestamps -- no clock, no
+    threads -- so the deterministic replay driver and the live
+    supervisor enforce the identical policy.
+    """
+
+    def __init__(self) -> None:
+        self._times_us: list[float] = []
+        #: Lifetime respawn count (never pruned; drives the backoff).
+        self.total = 0
+
+    def may_restart(self, now_us: float, config: SupervisorConfig) -> bool:
+        """Whether the window still has restart allowance at ``now_us``."""
+        cutoff = now_us - config.restart_window_us
+        self._times_us = [t for t in self._times_us if t > cutoff]
+        return len(self._times_us) < config.max_restarts
+
+    def backoff_us(self, config: SupervisorConfig) -> float:
+        """The capped-exponential delay before the *next* respawn."""
+        return min(
+            config.restart_backoff_us * config.backoff_multiplier**self.total,
+            config.max_backoff_us,
+        )
+
+    def record(self, now_us: float) -> None:
+        """Commit one respawn at ``now_us``."""
+        self._times_us.append(now_us)
+        self.total += 1
+
+
+@dataclass
+class SupervisorStats:
+    """What supervision did during one run (JSON via :meth:`to_dict`)."""
+
+    restarts: int = 0
+    resubmissions: int = 0
+    budget_exhausted: int = 0
+    failover_exhausted: int = 0
+    ejected: list = field(default_factory=list)
+    per_shard_restarts: dict = field(default_factory=dict)
+
+    def record_restart(self, shard: int) -> None:
+        """Count one committed respawn of ``shard``."""
+        self.restarts += 1
+        self.per_shard_restarts[shard] = self.per_shard_restarts.get(shard, 0) + 1
+
+    def record_ejection(self, shard: int) -> None:
+        """Record ``shard``'s permanent ejection (idempotent)."""
+        if shard not in self.ejected:
+            self.ejected.append(shard)
+
+    def to_dict(self) -> dict:
+        """Deterministically ordered JSON-compatible summary."""
+        return {
+            "restarts": self.restarts,
+            "resubmissions": self.resubmissions,
+            "budget_exhausted": self.budget_exhausted,
+            "failover_exhausted": self.failover_exhausted,
+            "ejected": sorted(self.ejected),
+            "per_shard_restarts": {
+                str(i): self.per_shard_restarts[i]
+                for i in sorted(self.per_shard_restarts)
+            },
+        }
+
+
+class ShardSupervisor:
+    """The live probe-and-respawn loop over a :class:`ClusterFrontend`.
+
+    One daemon thread wakes every ``probe_interval_us``:
+
+    1. **probe** -- sync ring membership (a shard whose server stopped
+       accepting is marked dead) and read each shard's state;
+    2. **schedule** -- a newly dead shard gets a respawn scheduled at
+       now + its tracker's capped-exponential backoff, with the
+       predecessor's cache manifest snapshotted immediately (the dead
+       server still holds it); a shard over its restart window is
+       permanently ejected instead;
+    3. **respawn** -- once a shard's backoff elapses, build a fresh
+       bloom/cache/server trio, restore the manifest (re-planning the
+       keys -- the warmup happens *before* the shard rejoins, so it
+       never serves cold), swap it into the frontend under the
+       frontend lock, reset the shard's circuit breaker, and rejoin
+       the ring.
+
+    The supervisor never raises out of its loop (a probe failure is a
+    condition to survive, not propagate) and stops before the frontend
+    closes its shards, so shutdown cannot race a respawn.
+    """
+
+    def __init__(
+        self,
+        frontend: "ClusterFrontend",
+        config: SupervisorConfig,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.frontend = frontend
+        self.config = config
+        self._clock = clock
+        self.stats = SupervisorStats()
+        self.trackers = {i: RestartTracker() for i in range(frontend.config.shards)}
+        # shard -> (due_s on self._clock, PlanCacheManifest)
+        self._pending: dict[int, tuple[float, object]] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "ShardSupervisor":
+        """Spawn the probe thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="cluster-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Stop and join the probe thread; no further respawns occur."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+
+    def _loop(self) -> None:
+        interval_s = self.config.probe_interval_us / 1e6
+        while not self._stop.is_set():
+            try:
+                self.probe()
+            except Exception:  # noqa: BLE001 - supervision must outlive probes
+                pass
+            self._stop.wait(interval_s)
+
+    # -- probe / schedule / respawn -----------------------------------
+
+    def probe(self) -> None:
+        """One supervision pass (callable directly in tests)."""
+        fe = self.frontend
+        now_s = self._clock()
+        with fe._lock:
+            fe._sync_membership()
+            states = fe.router.states()
+        for shard, state in states.items():
+            if state == "dead" and shard not in self._pending:
+                self._schedule(shard, now_s)
+        due = [s for s, (t, _) in self._pending.items() if t <= now_s]
+        for shard in due:
+            _, manifest = self._pending.pop(shard)
+            self._respawn(shard, manifest)
+
+    def _schedule(self, shard: int, now_s: float) -> None:
+        tracker = self.trackers[shard]
+        if not tracker.may_restart(now_s * 1e6, self.config):
+            with self.frontend._lock:
+                self.frontend.router.eject(shard)
+            self.stats.record_ejection(shard)
+            return
+        # Snapshot the predecessor's warm state now -- the dead server
+        # still holds its cache; the manifest is keys only, so this is
+        # cheap even at the kill instant.
+        manifest = self.frontend.servers[shard].cache.snapshot()
+        self._pending[shard] = (
+            now_s + tracker.backoff_us(self.config) / 1e6,
+            manifest,
+        )
+
+    def _respawn(self, shard: int, manifest) -> None:
+        fe = self.frontend
+        if fe._closed:
+            return
+        bloom, cache, server = fe._build_shard()
+        if manifest is not None:
+            cache.restore(manifest)
+        server.start()
+        with fe._lock:
+            if fe._closed:
+                swap = False
+            else:
+                fe._retire_shard(shard)
+                fe.blooms[shard] = bloom
+                fe.servers[shard] = server
+                fe.breakers[shard] = fe._build_breaker(shard)
+                fe.router.rejoin(shard)
+                swap = True
+        if not swap:
+            server.close(drain=False)
+            return
+        self.trackers[shard].record(self._clock() * 1e6)
+        self.stats.record_restart(shard)

@@ -52,7 +52,7 @@ from typing import Any, Iterable, Optional
 
 from repro.core.framework import CoordinatedFramework, HeuristicLike, PlanReport
 from repro.core.options import PlanOptions
-from repro.core.problem import GemmBatch
+from repro.core.problem import Gemm, GemmBatch
 from repro.telemetry import get_tracer
 
 
@@ -100,6 +100,38 @@ class CacheStats:
             "admission_deferred": self.admission_deferred,
             "hit_rate": self.hit_rate,
         }
+
+
+@dataclass(frozen=True)
+class PlanCacheManifest:
+    """A warm-state handoff: cache *keys*, never numeric artifacts.
+
+    Produced by :meth:`PlanCache.snapshot` and consumed by
+    :meth:`PlanCache.restore` -- the cluster supervisor's mechanism
+    for respawning a killed shard warm.  Each entry is the
+    ``(resolved PlanOptions, batch signature)`` pair that keyed a
+    cached plan, in LRU -> MRU order; restoring *re-plans* each key
+    (planning is a pure function of signature and options -- the
+    Stream-K++/tritonBLAS argument that selection state is derivable
+    from analytical keys alone), so no schedule, simulation, or
+    compiled artifact ever needs to survive the crash.
+
+    ``admission_state`` optionally carries the predecessor's
+    :class:`~repro.cluster.bloom.BloomAdmission` generations
+    (:meth:`~repro.cluster.bloom.BloomAdmission.export_state`) so the
+    successor's admission filter remembers which signatures had
+    already proven reuse.
+    """
+
+    entries: tuple[tuple[Optional[PlanOptions], tuple], ...]
+    admission_state: Optional[dict] = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def signatures(self) -> tuple[tuple, ...]:
+        """The batch signatures carried, in LRU -> MRU order."""
+        return tuple(sig for _, sig in self.entries)
 
 
 @dataclass
@@ -341,6 +373,64 @@ class PlanCache:
             if span.enabled:
                 span.set_attr("planned", planned)
         return planned
+
+    def snapshot(self) -> PlanCacheManifest:
+        """Export the warm-state manifest (keys only, LRU -> MRU order).
+
+        The manifest carries, per cached entry, the resolved
+        :class:`PlanOptions` and the batch signature that keyed it --
+        everything :meth:`restore` needs to re-derive the identical
+        plan -- plus the admission policy's exported state when the
+        policy supports it (``export_state``).  Cheap: no schedule,
+        simulation, or compiled artifact is copied.
+        """
+        with self._lock:
+            entries = tuple(
+                (entry.report.options, batch_signature(entry.report.batch))
+                for entry in self._entries.values()
+            )
+            admission_state = None
+            exporter = getattr(self.admission, "export_state", None)
+            if exporter is not None:
+                admission_state = exporter()
+        return PlanCacheManifest(entries=entries, admission_state=admission_state)
+
+    def restore(self, manifest: PlanCacheManifest) -> int:
+        """Warm this cache from a predecessor's manifest; returns #restored.
+
+        Each manifest entry is **re-planned** from its signature and
+        options (planning is deterministic, so the restored plan is
+        identical to the lost one) and inserted directly -- bypassing
+        both the admission policy (these keys already earned their
+        slots) and the hit/miss statistics (a restore is not cache
+        traffic).  The admission filter's own state is imported first
+        when both sides support it, so generation history survives the
+        handoff.  Insertion preserves the manifest's LRU -> MRU order,
+        truncated to this cache's capacity from the cold end.
+        """
+        if manifest.admission_state is not None and self.admission is not None:
+            importer = getattr(self.admission, "import_state", None)
+            if importer is not None:
+                importer(manifest.admission_state)
+        restored = 0
+        # Keep the warmest keys when the manifest outsizes the cache.
+        entries = manifest.entries[-self.capacity :]
+        for opts, sig in entries:
+            resolved = self.framework.resolve_options(None, opts)
+            batch = GemmBatch(
+                Gemm(m, n, k, trans_a=ta, trans_b=tb) for m, n, k, ta, tb in sig
+            )
+            report = self.framework.plan(batch, options=resolved)
+            key = (resolved.cache_key(), sig)
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    continue
+                self._entries[key] = _CacheEntry(report)
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            restored += 1
+        return restored
 
     def stats_snapshot(self) -> CacheStats:
         """A consistent copy of the counters (safe to read under churn)."""

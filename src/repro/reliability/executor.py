@@ -91,6 +91,7 @@ class ReliableExecutor:
         self._executions = 0
         self._retries = 0
         self._fallbacks = 0
+        self._budget_abandoned = 0
         self._engine_used: dict[str, int] = {}
 
     @classmethod
@@ -143,6 +144,7 @@ class ReliableExecutor:
                 "executions": self._executions,
                 "retries": self._retries,
                 "fallbacks": self._fallbacks,
+                "budget_abandoned": self._budget_abandoned,
                 "engine_used": dict(sorted(self._engine_used.items())),
             }
         counts["breakers"] = {
@@ -160,13 +162,27 @@ class ReliableExecutor:
         )
         return run(schedule, batch, operands)
 
-    def execute(self, schedule, batch, operands: Sequence) -> tuple[list, str]:
+    def execute(
+        self, schedule, batch, operands: Sequence, *, budget=None
+    ) -> tuple[list, str]:
         """Execute through the chain; returns ``(values, engine_used)``.
 
         Raises the last engine failure when every engine is exhausted,
         or :class:`EngineUnavailable` when every breaker refused and no
         attempt was even possible (cannot happen while the last-resort
         engine exists, which is always attempted).
+
+        ``budget`` -- an optional
+        :class:`~repro.serve.budget.DeadlineBudget` -- makes the retry
+        and fallback machinery deadline-honest: a retry backoff the
+        budget cannot afford abandons that engine immediately (the
+        sleep would finish after the deadline), and a *fallback*
+        attempt (any engine past the first) is never started once the
+        budget is spent -- :class:`~repro.serve.budget.BudgetExhausted`
+        is raised instead so the caller fails fast to the next shard.
+        The first engine's first attempt is always allowed: budget
+        charging bounds recovery effort, it never refuses the work
+        outright (admission already did feasibility).
         """
         last_exc: Optional[Exception] = None
         for position, name in enumerate(self.chain):
@@ -174,6 +190,15 @@ class ReliableExecutor:
             last_resort = position == len(self.chain) - 1
             if not breaker.allow() and not last_resort:
                 continue
+            if budget is not None and position > 0 and budget.exhausted():
+                from repro.serve.budget import BudgetExhausted
+
+                with self._lock:
+                    self._budget_abandoned += 1
+                raise BudgetExhausted(
+                    f"deadline budget spent before fallback engine {name!r} "
+                    f"could start"
+                ) from last_exc
             for attempt in range(1, self.retry.max_attempts + 1):
                 try:
                     values = self._run_engine(name, schedule, batch, operands)
@@ -184,9 +209,16 @@ class ReliableExecutor:
                     tripped = not last_resort and not breaker.allow()
                     if exhausted or tripped:
                         break  # fall through to the next engine
+                    delay_ms = self.retry.delay_ms(attempt, token=(name, position))
+                    if budget is not None and not budget.affords(delay_ms * 1e3):
+                        # The backoff alone outlives the deadline:
+                        # abandon this engine's retries rather than
+                        # sleep past the budget.
+                        with self._lock:
+                            self._budget_abandoned += 1
+                        break
                     with self._lock:
                         self._retries += 1
-                    delay_ms = self.retry.delay_ms(attempt, token=(name, position))
                     if delay_ms > 0:
                         self._sleep(delay_ms / 1e3)
                 else:

@@ -47,6 +47,7 @@ Quickstart (live server)::
 
 from repro.serve.admission import AdmissionConfig, AdmissionController
 from repro.serve.batcher import BatcherConfig, DynamicBatcher, FormedBatch
+from repro.serve.budget import BudgetExhausted, DeadlineBudget
 from repro.serve.config import ReliabilityConfig, ServeConfig
 from repro.serve.driver import replay_trace
 from repro.serve.loadgen import (
@@ -60,8 +61,10 @@ from repro.serve.loadgen import (
 from repro.serve.planner import PlannedBatch, PlannerStage
 from repro.serve.report import ServeReport, compile_report
 from repro.serve.request import (
+    REASON_BUDGET_EXHAUSTED,
     REASON_DEADLINE,
     REASON_ERROR_PREFIX,
+    REASON_FAILOVER_EXHAUSTED,
     REASON_QUEUE_FULL,
     REASON_SHUTDOWN,
     REASON_STRANDED,
@@ -80,6 +83,8 @@ __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "BatcherConfig",
+    "BudgetExhausted",
+    "DeadlineBudget",
     "DynamicBatcher",
     "FormedBatch",
     "ReliabilityConfig",
@@ -95,8 +100,10 @@ __all__ = [
     "PlannerStage",
     "ServeReport",
     "compile_report",
+    "REASON_BUDGET_EXHAUSTED",
     "REASON_DEADLINE",
     "REASON_ERROR_PREFIX",
+    "REASON_FAILOVER_EXHAUSTED",
     "REASON_QUEUE_FULL",
     "REASON_SHUTDOWN",
     "REASON_STRANDED",

@@ -25,6 +25,7 @@ import threading
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.serve.budget import DeadlineBudget
 from repro.serve.request import (
     REASON_DEADLINE,
     REASON_QUEUE_FULL,
@@ -93,6 +94,12 @@ class AdmissionController:
         ``pending_count`` is how many admitted requests are already
         waiting (the batcher's depth); the caller holds whatever lock
         makes that count current.
+
+        Deadline feasibility is a :class:`~repro.serve.budget.
+        DeadlineBudget` query: the request is admitted iff its budget
+        still affords the current service estimate (plus the
+        configured slack) -- the entry point of the end-to-end budget
+        thread that the batcher, planner, and executor continue.
         """
         if pending_count >= self.config.queue_capacity:
             return Rejected(
@@ -101,9 +108,10 @@ class AdmissionController:
                 latency_us=max(0.0, now_us - request.arrival_us),
                 reason=REASON_QUEUE_FULL,
             )
-        if request.deadline_us is not None:
+        budget = DeadlineBudget(request.deadline_us)
+        if budget.bounded:
             estimate = self.service_estimate_us + self.config.deadline_slack_us
-            if request.deadline_us <= now_us + estimate:
+            if not budget.affords(estimate, now_us=now_us):
                 return Rejected(
                     request_id=request.request_id,
                     finish_us=now_us,

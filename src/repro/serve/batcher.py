@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.problem import GemmBatch
+from repro.serve.budget import DeadlineBudget
 from repro.serve.request import ServeRequest
 
 
@@ -126,10 +127,14 @@ class DynamicBatcher:
         return oldest + self.config.max_wait_us
 
     def _shed_expired(self, now_us: float) -> list[ServeRequest]:
+        # A request is shed exactly when its deadline budget is spent
+        # at formation time -- the same DeadlineBudget the admission
+        # controller and executor consult, so the three stages cannot
+        # disagree about what "expired" means.
         expired = [
             r
             for r in self._pending
-            if r.deadline_us is not None and r.deadline_us <= now_us
+            if DeadlineBudget(r.deadline_us).exhausted(now_us=now_us)
         ]
         if expired:
             dead = set(id(r) for r in expired)

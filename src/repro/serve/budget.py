@@ -1,0 +1,124 @@
+"""End-to-end deadline budgets: honest deadlines under faults.
+
+A request's deadline is a *budget*, not a hint.  Pre-budget, the
+serving pipeline checked deadlines only at admission (feasibility
+against the EWMA estimate) and at batch formation (shedding the
+already-expired) -- but the fault-tolerance machinery underneath
+(:class:`~repro.reliability.ReliableExecutor` retries, engine
+fallback, planner retries) happily burned wall time on a request whose
+deadline had long passed, and a failover resubmission could be issued
+for a ticket that no shard could possibly finish in time.
+
+:class:`DeadlineBudget` makes the deadline a first-class resource that
+every stage charges against:
+
+* **admission** tests feasibility as "does the budget afford the
+  current service estimate";
+* the **batcher** sheds a pending request exactly when its budget is
+  exhausted;
+* the **planner** refuses to charge an injected slow-fault penalty the
+  budget cannot afford;
+* the **executor** skips a retry backoff that does not fit the
+  remaining budget (abandoning that engine) and refuses to *start* a
+  fallback attempt once the budget is spent -- raising
+  :class:`BudgetExhausted` so the caller fails fast to the next
+  engine or shard instead of completing work nobody can use;
+* the **cluster tier** settles a shard-kill casualty whose budget is
+  already spent as the typed ``budget_exhausted`` rejection instead
+  of resubmitting it along the ring.
+
+The budget is deliberately clock-agnostic: bind a ``clock_us``
+callable (the live server binds its own ``_now_us``) or pass an
+explicit ``now_us`` per query (the virtual-time drivers do), so the
+same object serves both wall-clock and deterministic replay modes.
+A budget with no deadline is infinite -- every query is free -- so the
+happy path costs one comparison and nothing else.
+
+This module is dependency-free (stdlib only) on purpose: it is
+imported by :mod:`repro.serve` *and* lazily by
+:mod:`repro.reliability.executor`, and must never participate in the
+import cycle between those packages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+__all__ = ["BudgetExhausted", "DeadlineBudget"]
+
+
+class BudgetExhausted(RuntimeError):
+    """The deadline budget was spent before the work could finish.
+
+    Raised by budget-aware stages (planner retry, executor fallback)
+    to *fail fast*: the request should move to the next engine/shard
+    -- or settle as the typed ``budget_exhausted`` rejection -- rather
+    than keep consuming pipeline capacity on an answer that can no
+    longer arrive in time.
+    """
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """The remaining time a request may spend, measured against a clock.
+
+    Parameters
+    ----------
+    deadline_us:
+        The absolute deadline on the owning pipeline's clock; ``None``
+        means unbounded (every query answers "plenty left").
+    clock_us:
+        Optional bound time source (microseconds, same timebase as the
+        deadline).  Queries may instead pass ``now_us`` explicitly --
+        virtual-time callers do; binding a clock is the live server's
+        convenience.
+    """
+
+    deadline_us: Optional[float] = None
+    clock_us: Optional[Callable[[], float]] = None
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this budget can ever run out."""
+        return self.deadline_us is not None
+
+    def _now(self, now_us: Optional[float]) -> float:
+        if now_us is not None:
+            return now_us
+        if self.clock_us is not None:
+            return self.clock_us()
+        raise ValueError(
+            "DeadlineBudget query needs a clock: bind clock_us or pass now_us"
+        )
+
+    def remaining_us(self, now_us: Optional[float] = None) -> float:
+        """Microseconds left before the deadline (``inf`` if unbounded)."""
+        if self.deadline_us is None:
+            return math.inf
+        return self.deadline_us - self._now(now_us)
+
+    def exhausted(self, now_us: Optional[float] = None) -> bool:
+        """True once the deadline has passed."""
+        return self.remaining_us(now_us) <= 0.0
+
+    def affords(self, cost_us: float, now_us: Optional[float] = None) -> bool:
+        """Whether ``cost_us`` more work can finish inside the budget."""
+        return self.remaining_us(now_us) > cost_us
+
+    @classmethod
+    def for_requests(
+        cls, requests: Iterable, *, clock_us: Optional[Callable[[], float]] = None
+    ) -> "DeadlineBudget":
+        """The tightest budget across a batch of requests.
+
+        A batch is served as one unit, so the stage charging against
+        the batch must respect its most urgent member; requests
+        without a deadline contribute nothing (a batch of deadline-free
+        requests gets an unbounded budget).
+        """
+        deadlines = [
+            r.deadline_us for r in requests if r.deadline_us is not None
+        ]
+        return cls(min(deadlines) if deadlines else None, clock_us)

@@ -18,6 +18,11 @@ Usage::
     repro-serve --shards 4 --bloom --steal-threshold 8 --kill-shard 1@150000
     repro-serve --shards 4 --live --time-scale 0.1 --json
 
+    # supervised recovery: respawn killed shards warm and fail
+    # their settled tickets over along the ring
+    repro-serve --shards 4 --kill-shard 1@150000 --supervise \
+        --max-restarts 3 --restart-backoff-us 20000 --failover-limit 1
+
 By default the trace is replayed **deterministically in virtual time**
 (:func:`repro.serve.driver.replay_trace`): arrival times come from the
 trace, service times from the device model, so the same seed and
@@ -241,6 +246,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="kill a shard mid-run (e.g. 1@150000; repeatable); its held "
         "requests settle as error:ShardKilled and traffic remaps",
     )
+    cluster.add_argument(
+        "--supervise",
+        action="store_true",
+        help="supervise the shards: respawn killed shards warm from their "
+        "predecessor's plan-cache manifest and transparently resubmit "
+        "the tickets a kill settled",
+    )
+    cluster.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="restarts allowed per shard per restart window before "
+        "permanent ejection (requires --supervise)",
+    )
+    cluster.add_argument(
+        "--restart-backoff-us",
+        type=float,
+        default=20_000.0,
+        metavar="US",
+        help="base delay before a killed shard respawns; doubles per "
+        "respawn, capped (requires --supervise)",
+    )
+    cluster.add_argument(
+        "--failover-limit",
+        type=int,
+        default=1,
+        metavar="N",
+        help="max transparent resubmissions per ticket settled by a "
+        "shard kill; 0 settles them failover_exhausted (requires "
+        "--supervise)",
+    )
     output = parser.add_argument_group("output")
     output.add_argument(
         "--live",
@@ -425,9 +462,16 @@ def _parse_kills(specs: list[str], shards: int) -> list[tuple[int, float]]:
 
 
 def _build_cluster_config(args: argparse.Namespace, serve_config):
-    from repro.cluster import BloomConfig, ClusterConfig
+    from repro.cluster import BloomConfig, ClusterConfig, SupervisorConfig
 
     try:
+        supervisor = None
+        if args.supervise:
+            supervisor = SupervisorConfig(
+                max_restarts=args.max_restarts,
+                restart_backoff_us=args.restart_backoff_us,
+                failover_limit=args.failover_limit,
+            )
         return ClusterConfig(
             shards=args.shards,
             vnodes=args.vnodes,
@@ -436,6 +480,7 @@ def _build_cluster_config(args: argparse.Namespace, serve_config):
             bloom=BloomConfig(capacity=args.bloom_capacity) if args.bloom else None,
             serve=serve_config,
             cache_capacity=args.cache_capacity,
+            supervisor=supervisor,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -494,6 +539,15 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit("error: --operands is not supported with --shards")
     elif args.kill_shard:
         raise SystemExit("error: --kill-shard requires --shards")
+    elif args.supervise:
+        raise SystemExit("error: --supervise requires --shards")
+    if not args.supervise:
+        defaults = build_parser()
+        for flag in ("max_restarts", "restart_backoff_us", "failover_limit"):
+            if getattr(args, flag) != defaults.get_default(flag):
+                raise SystemExit(
+                    f"error: --{flag.replace('_', '-')} requires --supervise"
+                )
     try:
         heuristic = Heuristic.coerce(args.heuristic, warn=False)
     except ValueError as exc:
@@ -572,6 +626,16 @@ def main(argv: list[str] | None = None) -> int:
             f"settlement {report.settlement_share:.1%}, "
             f"{report.n_steals} steals, {report.n_failovers} failovers"
         )
+        sup = getattr(report, "supervisor", None)
+        if sup is not None:
+            print(
+                "supervision: "
+                f"{sup.get('restarts', 0)} restarts, "
+                f"{sup.get('resubmissions', 0)} resubmissions, "
+                f"{sup.get('budget_exhausted', 0)} budget-exhausted, "
+                f"{sup.get('failover_exhausted', 0)} failover-exhausted, "
+                f"ejected {sup.get('ejected', []) or 'none'}"
+            )
         if health is not None:
             print(
                 "cluster health: "

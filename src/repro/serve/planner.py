@@ -25,6 +25,7 @@ from repro.core.plancache import PlanCache
 from repro.gpu.simulator import SimulationResult
 from repro.reliability import SITE_PLANNER, FaultInjector
 from repro.serve.batcher import FormedBatch
+from repro.serve.budget import BudgetExhausted, DeadlineBudget
 from repro.telemetry import get_tracer
 
 
@@ -72,14 +73,33 @@ class PlannerStage:
         # id(report) -> (report, sim); the report reference keeps the id stable.
         self._sim_memo: dict[int, tuple[PlanReport, SimulationResult]] = {}
 
-    def plan(self, formed: FormedBatch) -> PlannedBatch:
-        """Plan (or look up) one formed batch and price its service."""
+    def plan(
+        self, formed: FormedBatch, *, budget: DeadlineBudget | None = None
+    ) -> PlannedBatch:
+        """Plan (or look up) one formed batch and price its service.
+
+        ``budget`` -- the batch's :class:`DeadlineBudget`, when the
+        caller threads one -- is charged for injected slow-fault
+        penalties: a penalty the budget cannot afford raises
+        :class:`BudgetExhausted` instead of silently pricing work that
+        will finish past the deadline.  The replay drivers plan without
+        a budget (virtual time never *waits* for the penalty).
+        """
         if not formed.requests:
             raise ValueError("cannot plan an empty batch (pure shed event)")
         batch = formed.to_gemm_batch()
         penalty_us = 0.0
         if self.injector is not None:
             penalty_us = self.injector.check(SITE_PLANNER) * 1e3
+            if (
+                budget is not None
+                and penalty_us > 0.0
+                and not budget.affords(penalty_us)
+            ):
+                raise BudgetExhausted(
+                    f"injected planner slow-fault of {penalty_us:.0f}us "
+                    f"exceeds the batch's remaining deadline budget"
+                )
         heuristic = self.heuristic
         if formed.precision is not None:
             # Requests pinned a storage precision: plan (and cache) the

@@ -22,17 +22,37 @@ Every request resolves to exactly one structured result:
 
 Rejection reasons form a small closed taxonomy:
 
-=================  ====================================================
-``queue_full``     admission backpressure (the queue was at capacity)
-``deadline``       infeasible or expired deadline (admission or shed)
-``shutdown``       the server stopped before the request was served
-``error:<Exc>``    planning or execution failed after retries,
-                   fallback, and (for multi-request batches) poison
-                   bisection; ``<Exc>`` is the exception class name,
-                   e.g. ``error:InjectedFault`` or ``error:ValueError``
-``error:Stranded`` the crash-barrier sweep settled a ticket whose
-                   pipeline thread died (never under normal operation)
-=================  ====================================================
+======================  ===============================================
+``queue_full``          admission backpressure (queue was at capacity)
+``deadline``            infeasible or expired deadline (admission or
+                        shed)
+``shutdown``            the server stopped before the request was
+                        served
+``budget_exhausted``    the request's :class:`~repro.serve.budget.
+                        DeadlineBudget` was spent before a retry or
+                        failover path could finish it -- the honest
+                        settlement for a deadline blown mid-recovery
+                        (a shard-kill casualty whose deadline already
+                        passed, or a batch whose remaining budget
+                        cannot pay for another attempt)
+``failover_exhausted``  a shard-kill casualty was resubmitted along
+                        the ring up to the supervisor's failover
+                        limit and still found no shard to complete it
+``error:<Exc>``         planning or execution failed after retries,
+                        fallback, and (for multi-request batches)
+                        poison bisection; ``<Exc>`` is the exception
+                        class name, e.g. ``error:InjectedFault`` or
+                        ``error:ValueError``
+``error:Stranded``      the crash-barrier sweep settled a ticket whose
+                        pipeline thread died (never under normal
+                        operation)
+======================  ===============================================
+
+``budget_exhausted`` and ``failover_exhausted`` are *plain* reasons,
+not ``error:``-typed: they describe a policy decision (the deadline or
+the resubmit limit won), not a pipeline defect, so they land in
+``n_rejected_other`` -- but they are still terminal, typed
+settlements; the 100%-settlement contract covers them.
 
 All times are microseconds.  Deadlines are *absolute* (on the
 server's clock); timeouts are *relative* to arrival.
@@ -50,6 +70,10 @@ from repro.core.problem import Gemm
 REASON_QUEUE_FULL = "queue_full"
 REASON_DEADLINE = "deadline"
 REASON_SHUTDOWN = "shutdown"
+#: The deadline budget ran out before a retry/failover could finish.
+REASON_BUDGET_EXHAUSTED = "budget_exhausted"
+#: A shard-kill casualty exhausted its failover resubmissions.
+REASON_FAILOVER_EXHAUSTED = "failover_exhausted"
 #: Prefix of the failure branch of the taxonomy (``error:<ExcName>``).
 REASON_ERROR_PREFIX = "error:"
 #: A ticket settled by the crash-barrier sweep (owning thread died).
@@ -86,8 +110,14 @@ class ServeRequest:
     priority: int = 0
     operands: Any = None  # optional (A, B, C) arrays for numerical execution
     precision: Optional[str] = None  # storage precision ("fp32"/"fp16"/"bf16")
+    #: How many times this request has been resubmitted along the ring
+    #: after a shard kill (0 = the original submission).  Bounded by
+    #: the supervisor's ``failover_limit``.
+    failover: int = 0
 
     def __post_init__(self) -> None:
+        if self.failover < 0:
+            raise ValueError(f"failover must be >= 0, got {self.failover}")
         if self.arrival_us < 0:
             raise ValueError(f"arrival_us must be >= 0, got {self.arrival_us}")
         if self.timeout_us is not None and self.timeout_us <= 0:

@@ -66,10 +66,12 @@ from repro.reliability import (
 )
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import DynamicBatcher, FormedBatch
+from repro.serve.budget import BudgetExhausted, DeadlineBudget
 from repro.serve.config import ServeConfig
 from repro.serve.planner import PlannerStage
 from repro.serve.report import ServeReport, compile_report
 from repro.serve.request import (
+    REASON_BUDGET_EXHAUSTED,
     REASON_DEADLINE,
     REASON_SHUTDOWN,
     REASON_STRANDED,
@@ -188,6 +190,7 @@ class GemmServer:
         self._last_finish_us = 0.0
         self._planner_retries = 0
         self._bisections = 0
+        self._budget_exhausted = 0
         self._crashes: list[str] = []
 
     @property
@@ -462,17 +465,31 @@ class GemmServer:
             shed=[],
         )
 
-    def _plan_with_retry(self, sub: FormedBatch):
+    def _plan_with_retry(
+        self, sub: FormedBatch, budget: Optional[DeadlineBudget] = None
+    ):
         policy = self.config.reliability.retry
         for attempt in range(1, policy.max_attempts + 1):
             try:
-                return self._planner.plan(sub)
-            except Exception:
+                return self._planner.plan(sub, budget=budget)
+            except BudgetExhausted:
+                # The budget itself refused the work -- retrying cannot
+                # buy time back, so fail fast to the caller.
+                raise
+            except Exception as exc:
                 if attempt >= policy.max_attempts:
                     raise
+                delay_ms = policy.delay_ms(attempt, token="planner")
+                if budget is not None and not budget.affords(delay_ms * 1e3):
+                    # The retry backoff alone outlives the deadline:
+                    # charge the failure to the budget instead of
+                    # sleeping past it.
+                    raise BudgetExhausted(
+                        f"deadline budget cannot afford the {delay_ms:.0f}ms "
+                        f"planner retry backoff"
+                    ) from exc
                 with self._stats_lock:
                     self._planner_retries += 1
-                delay_ms = policy.delay_ms(attempt, token="planner")
                 if delay_ms > 0:
                     self._sleep(delay_ms / 1e3)
         raise AssertionError("unreachable")
@@ -489,10 +506,19 @@ class GemmServer:
         TimedOut); on terminal failure the slice is split in half and
         re-executed so a single poison request cannot take its healthy
         batchmates down with it.
+
+        The slice's tightest deadline becomes a
+        :class:`~repro.serve.budget.DeadlineBudget` that the planner
+        retries and the executor's retry/fallback machinery charge
+        against; a slice abandoned by the budget settles as the typed
+        ``budget_exhausted`` rejection.  Bisection still applies --
+        each half rebuilds its own budget, so batchmates with looser
+        deadlines are not dragged down by the most urgent member.
         """
+        budget = DeadlineBudget.for_requests(requests, clock_us=self._now_us)
         try:
             sub = self._sub_batch(formed, requests)
-            planned = self._plan_with_retry(sub)
+            planned = self._plan_with_retry(sub, budget)
             values: Optional[list] = None
             if all(r.operands is not None for r in requests):
                 operands = [r.operands for r in requests]
@@ -513,6 +539,7 @@ class GemmServer:
                     planned.report.schedule,
                     sub.to_gemm_batch(),
                     operands,
+                    budget=budget,
                 )
                 if prec is not None and prec.is_reduced:
                     values = quantize_outputs(values, prec)
@@ -532,8 +559,16 @@ class GemmServer:
                 return
             # Terminal failure: settle the tickets AND keep feeding the
             # admission EWMA so the deadline-feasibility estimate does
-            # not go stale for the duration of an incident.
-            self._reject_requests(requests, error_reason(exc), observe=True)
+            # not go stale for the duration of an incident.  A budget
+            # abandonment is not an engine error -- it settles under
+            # the plain typed ``budget_exhausted`` reason.
+            if isinstance(exc, BudgetExhausted):
+                with self._stats_lock:
+                    self._budget_exhausted += len(requests)
+                reason = REASON_BUDGET_EXHAUSTED
+            else:
+                reason = error_reason(exc)
+            self._reject_requests(requests, reason, observe=True)
             return
         finish_us = self._now_us()
         for i, r in enumerate(requests):
@@ -617,12 +652,31 @@ class GemmServer:
 
     # -- introspection ------------------------------------------------
 
+    def measurements(self) -> dict:
+        """Raw per-incarnation measurements, for supervised aggregation.
+
+        The cluster supervisor replaces a dead shard's server with a
+        fresh one; the frontend keeps this export from each retired
+        incarnation so :meth:`ClusterFrontend.summary` can merge the
+        full history instead of losing everything the dead server did.
+        """
+        with self._stats_lock:
+            return {
+                "results": list(self._results),
+                "occupancies": list(self._occupancies),
+                "formed_batches": list(self._formed_batches),
+                "first_arrival_us": self._first_arrival_us,
+                "last_finish_us": self._last_finish_us,
+                "cache": self.cache.stats_snapshot(),
+            }
+
     def _reliability_snapshot(self) -> dict:
         snap = self._executor.snapshot()
         with self._stats_lock:
             snap["planner_retries"] = self._planner_retries
             snap["retries"] += self._planner_retries
             snap["bisections"] = self._bisections
+            snap["budget_exhausted"] = self._budget_exhausted
             snap["crashes"] = list(self._crashes)
         snap["faults_injected"] = (
             self._injector.injected_count if self._injector is not None else 0
@@ -677,6 +731,8 @@ class GemmServer:
             "retries": snap["retries"],
             "fallbacks": snap["fallbacks"],
             "bisections": snap["bisections"],
+            "budget_exhausted": snap["budget_exhausted"],
+            "budget_abandoned": snap["budget_abandoned"],
             "engine_used": snap["engine_used"],
             "faults_injected": snap["faults_injected"],
             "crashes": snap["crashes"],
@@ -729,6 +785,7 @@ class GemmServer:
             tracer.counter("serve.retries", reliability["retries"])
             tracer.counter("serve.fallbacks", reliability["fallbacks"])
             tracer.counter("serve.bisections", reliability["bisections"])
+            tracer.counter("budget.exhausted", reliability["budget_exhausted"])
             tracer.counter("faults.injected", reliability["faults_injected"])
             for name, detail in reliability["breakers"].items():
                 tracer.gauge(

@@ -115,6 +115,75 @@ class TestStateMachine:
             CircuitBreaker("x", **kwargs)
 
 
+class TestHalfOpenConcurrency:
+    """The half-open probe slot under genuinely concurrent contention.
+
+    HALF_OPEN admits *exactly one* caller -- the probe -- no matter how
+    many threads race ``allow()`` at the same instant; everyone else
+    must see the breaker as still refusing until the probe's outcome is
+    recorded.  Both probe outcomes must then transition the state
+    machine correctly for every waiter.
+    """
+
+    N_THREADS = 16
+
+    def _race_allow(self, breaker) -> list[bool]:
+        import threading
+
+        barrier = threading.Barrier(self.N_THREADS)
+        votes: list[bool] = [False] * self.N_THREADS
+
+        def contend(i: int) -> None:
+            barrier.wait()
+            votes[i] = breaker.allow()
+
+        threads = [
+            threading.Thread(target=contend, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return votes
+
+    def _half_open(self, clock) -> CircuitBreaker:
+        breaker = make(clock, threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        return breaker
+
+    def test_exactly_one_probe_admitted(self, clock):
+        breaker = self._half_open(clock)
+        votes = self._race_allow(breaker)
+        assert sum(votes) == 1
+        # The losers keep losing until the probe outcome lands.
+        assert not breaker.allow()
+
+    def test_probe_success_closes_for_every_loser(self, clock):
+        breaker = self._half_open(clock)
+        assert sum(self._race_allow(breaker)) == 1
+        breaker.record_success()  # the winner reports back
+        assert breaker.state is BreakerState.CLOSED
+        # CLOSED has no probe slot: every racer is now admitted.
+        assert all(self._race_allow(breaker))
+        assert breaker.history == ("closed", "open", "half_open", "closed")
+
+    def test_probe_failure_reopens_for_every_loser(self, clock):
+        breaker = self._half_open(clock)
+        assert sum(self._race_allow(breaker)) == 1
+        breaker.record_failure()  # the probe failed: re-arm
+        assert breaker.state is BreakerState.OPEN
+        assert not any(self._race_allow(breaker))
+        # The cooldown re-arms a fresh single-probe slot.
+        clock.advance(6.0)
+        assert sum(self._race_allow(breaker)) == 1
+        assert breaker.history == (
+            "closed", "open", "half_open", "open", "half_open"
+        )
+
+
 class TestStateCodes:
     def test_gauge_encoding(self):
         assert BreakerState.CLOSED.code == 0

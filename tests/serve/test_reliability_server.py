@@ -250,10 +250,10 @@ class TestShutdownUnderLoad:
         inner_plan = server._planner.plan
         first_call = threading.Event()
 
-        def gated_plan(formed):
+        def gated_plan(formed, **kwargs):
             first_call.set()
             gate.wait(timeout=30.0)
-            return inner_plan(formed)
+            return inner_plan(formed, **kwargs)
 
         server._planner.plan = gated_plan
         server.start()
